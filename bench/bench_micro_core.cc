@@ -1,0 +1,150 @@
+// Micro benchmarks (google-benchmark) for the substrates: representation
+// construction, containment checks, generators and serialization. Not a
+// paper figure — an engineering guardrail against substrate regressions.
+
+#include <benchmark/benchmark.h>
+
+#include "core/coincidence.h"
+#include "core/containment.h"
+#include "core/endpoint.h"
+#include "datagen/quest.h"
+#include "io/binary_format.h"
+#include "io/crc32.h"
+#include "miner/miner.h"
+#include "util/macros.h"
+#include "util/rng.h"
+
+namespace tpm {
+namespace {
+
+IntervalDatabase MakeDb(uint32_t sequences, uint32_t symbols) {
+  QuestConfig config;
+  config.num_sequences = sequences;
+  config.avg_intervals_per_sequence = 8.0;
+  config.num_symbols = symbols;
+  config.seed = 7;
+  auto db = GenerateQuest(config);
+  TPM_CHECK_OK(db.status());
+  return std::move(db).ValueOrDie();
+}
+
+void BM_EndpointConversion(benchmark::State& state) {
+  const IntervalDatabase db = MakeDb(1000, 200);
+  for (auto _ : state) {
+    EndpointDatabase edb = EndpointDatabase::FromDatabase(db);
+    benchmark::DoNotOptimize(edb);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(db.TotalIntervals()));
+}
+BENCHMARK(BM_EndpointConversion);
+
+void BM_CoincidenceConversion(benchmark::State& state) {
+  const IntervalDatabase db = MakeDb(1000, 200);
+  for (auto _ : state) {
+    CoincidenceDatabase cdb = CoincidenceDatabase::FromDatabase(db);
+    benchmark::DoNotOptimize(cdb);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(db.TotalIntervals()));
+}
+BENCHMARK(BM_CoincidenceConversion);
+
+void BM_EndpointContainment(benchmark::State& state) {
+  const IntervalDatabase db = MakeDb(1000, 50);
+  const EndpointDatabase edb = EndpointDatabase::FromDatabase(db);
+  auto pattern = EndpointPattern::Parse("<{E0+}{E1+}{E0-}{E1-}>", db.dict());
+  TPM_CHECK_OK(pattern.status());
+  for (auto _ : state) {
+    SupportCount support = CountSupport(edb, *pattern);
+    benchmark::DoNotOptimize(support);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(edb.size()));
+}
+BENCHMARK(BM_EndpointContainment);
+
+void BM_CoincidenceContainment(benchmark::State& state) {
+  const IntervalDatabase db = MakeDb(1000, 50);
+  const CoincidenceDatabase cdb = CoincidenceDatabase::FromDatabase(db);
+  auto pattern = CoincidencePattern::Parse("<(E0)(E0 E1)(E1)>", db.dict());
+  TPM_CHECK_OK(pattern.status());
+  for (auto _ : state) {
+    SupportCount support = CountSupport(cdb, *pattern);
+    benchmark::DoNotOptimize(support);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(cdb.size()));
+}
+BENCHMARK(BM_CoincidenceContainment);
+
+void BM_QuestGeneration(benchmark::State& state) {
+  QuestConfig config;
+  config.num_sequences = 1000;
+  config.num_symbols = 200;
+  for (auto _ : state) {
+    config.seed = static_cast<uint64_t>(state.iterations());
+    auto db = GenerateQuest(config);
+    benchmark::DoNotOptimize(db);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 1000);
+}
+BENCHMARK(BM_QuestGeneration);
+
+void BM_BinaryRoundTrip(benchmark::State& state) {
+  const IntervalDatabase db = MakeDb(1000, 200);
+  for (auto _ : state) {
+    const std::string buffer = SerializeBinary(db);
+    auto back = ParseBinary(buffer);
+    TPM_CHECK_OK(back.status());
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(db.TotalIntervals()));
+}
+BENCHMARK(BM_BinaryRoundTrip);
+
+void BM_Crc32(benchmark::State& state) {
+  std::string data(1 << 20, 'x');
+  Rng rng(1);
+  for (char& c : data) c = static_cast<char>(rng.Next());
+  for (auto _ : state) {
+    uint32_t crc = Crc32(data.data(), data.size());
+    benchmark::DoNotOptimize(crc);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_Crc32);
+
+void BM_MinePTPMinerE(benchmark::State& state) {
+  const IntervalDatabase db = MakeDb(500, 200);
+  MinerOptions options;
+  options.min_support = 0.01;
+  for (auto _ : state) {
+    auto result = MakePTPMinerE()->Mine(db, options);
+    TPM_CHECK_OK(result.status());
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_MinePTPMinerE);
+
+void BM_MinePTPMinerC(benchmark::State& state) {
+  const IntervalDatabase db = MakeDb(500, 200);
+  MinerOptions options;
+  // The coincidence language is dense; micro-benchmark a bounded slice of
+  // the search (full-scale behaviour is measured by the figure benches).
+  options.min_support = 0.05;
+  options.max_items = 5;
+  for (auto _ : state) {
+    auto result = MakePTPMinerC()->Mine(db, options);
+    TPM_CHECK_OK(result.status());
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_MinePTPMinerC);
+
+}  // namespace
+}  // namespace tpm
+
+BENCHMARK_MAIN();

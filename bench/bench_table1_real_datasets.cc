@@ -1,0 +1,98 @@
+// Table 1: real-dataset practicability study.
+//
+// Reproduction target: the paper applies P-TPMiner to real datasets to show
+// the discovered patterns are meaningful. The original corpora (ASL, library
+// lending, stock intervals) are simulated here per DESIGN.md §4; the table
+// reports dataset statistics, mining cost for both pattern languages, and
+// renders the strongest non-trivial patterns of each domain.
+
+#include <cstdio>
+
+#include "analysis/postprocess.h"
+#include "analysis/profile.h"
+#include "analysis/render.h"
+#include "bench_util.h"
+#include "datagen/realistic.h"
+#include "util/logging.h"
+#include "util/macros.h"
+
+using namespace tpm;
+using namespace tpm::bench;
+
+namespace {
+
+void Study(const std::string& name, const IntervalDatabase& db, double minsup,
+           uint32_t max_items) {
+  const DatabaseStats stats = db.ComputeStats();
+  std::printf("--- %s ---\n", name.c_str());
+  std::printf("stats       : %s\n", stats.ToString().c_str());
+  const RelationHistogram hist = ComputeRelationHistogram(db, 2000);
+  std::printf("concurrency : %.1f%% of interval pairs share time\n",
+              100.0 * hist.ConcurrencyFraction());
+
+  MinerOptions options;
+  options.min_support = minsup;
+  options.max_items = max_items;
+  options.time_budget_seconds = 120.0;
+
+  auto ep = MakePTPMinerE()->Mine(db, options);
+  TPM_CHECK_OK(ep.status());
+  auto cp = MakePTPMinerC()->Mine(db, options);
+  TPM_CHECK_OK(cp.status());
+
+  std::printf("minsup      : %.1f%%\n", minsup * 100);
+  std::printf("endpoint    : %zu patterns in %.3fs%s\n", ep->patterns.size(),
+              ep->stats.build_seconds + ep->stats.mine_seconds,
+              ep->stats.truncated ? " (truncated)" : "");
+  std::printf("coincidence : %zu patterns in %.3fs%s\n", cp->patterns.size(),
+              cp->stats.build_seconds + cp->stats.mine_seconds,
+              cp->stats.truncated ? " (truncated)" : "");
+
+  auto closed = FilterClosed(ep->patterns);
+  closed = FilterMinIntervals(std::move(closed), 2);
+  closed = TopKBySupport(std::move(closed), 5);
+  std::printf("top endpoint patterns:\n");
+  for (const auto& [pattern, support] : closed) {
+    std::printf("  %5.1f%%  %s\n", 100.0 * support / static_cast<double>(db.size()),
+                DescribeArrangement(pattern, db.dict()).c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  SetLogLevel(LogLevel::kWarning);
+  const double scale = BenchScale();
+
+  PrintBanner("Table 1: practicability on (simulated) real datasets",
+              "patterns discovered on domain data are interpretable and the "
+              "miner handles heterogeneous regimes (overlap-heavy, "
+              "long-duration, dense-state)",
+              "ASL-like / library-like / stock-like generators, see "
+              "DESIGN.md substitutions");
+
+  {
+    AslConfig config;
+    config.num_utterances = static_cast<uint32_t>(800 * scale);
+    auto db = GenerateAslLike(config);
+    TPM_CHECK_OK(db.status());
+    Study("ASL-like gesture corpus", *db, 0.10, 8);
+  }
+  {
+    LibraryConfig config;
+    config.num_borrowers = static_cast<uint32_t>(2000 * scale);
+    auto db = GenerateLibraryLike(config);
+    TPM_CHECK_OK(db.status());
+    Study("Library lending log", *db, 0.10, 6);
+  }
+  {
+    StockConfig config;
+    config.num_stocks = static_cast<uint32_t>(100 * scale);
+    config.num_days = 240;
+    auto db = GenerateStockLike(config);
+    TPM_CHECK_OK(db.status());
+    Study("Stock state intervals", *db, 0.30, 6);
+  }
+  return 0;
+}

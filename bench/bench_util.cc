@@ -1,0 +1,136 @@
+#include "bench_util.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+
+#include "util/string_util.h"
+
+namespace tpm {
+namespace bench {
+
+std::string Cell::SecondsStr() const {
+  if (dnf) return "DNF";
+  return StringPrintf("%.3f", seconds);
+}
+
+namespace {
+
+Cell MakeCell(const std::string& algo, const std::string& config,
+              const MiningStats& stats, uint64_t patterns) {
+  Cell c;
+  c.algo = algo;
+  c.config = config;
+  c.seconds = stats.build_seconds + stats.mine_seconds;
+  c.patterns = patterns;
+  c.memory_bytes = stats.peak_logical_bytes;
+  c.candidates = stats.candidates_checked;
+  c.states = stats.states_created;
+  c.dnf = stats.truncated;
+  return c;
+}
+
+}  // namespace
+
+Cell RunEndpoint(EndpointMiner* miner, const IntervalDatabase& db,
+                 MinerOptions options, const std::string& config,
+                 double budget_seconds) {
+  options.time_budget_seconds = budget_seconds;
+  auto result = miner->Mine(db, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "bench: %s failed: %s\n", miner->name().c_str(),
+                 result.status().ToString().c_str());
+    Cell c;
+    c.algo = miner->name();
+    c.config = config;
+    c.dnf = true;
+    return c;
+  }
+  return MakeCell(miner->name(), config, result->stats, result->patterns.size());
+}
+
+Cell RunCoincidence(CoincidenceMiner* miner, const IntervalDatabase& db,
+                    MinerOptions options, const std::string& config,
+                    double budget_seconds) {
+  options.time_budget_seconds = budget_seconds;
+  auto result = miner->Mine(db, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "bench: %s failed: %s\n", miner->name().c_str(),
+                 result.status().ToString().c_str());
+    Cell c;
+    c.algo = miner->name();
+    c.config = config;
+    c.dnf = true;
+    return c;
+  }
+  return MakeCell(miner->name(), config, result->stats, result->patterns.size());
+}
+
+void PrintBanner(const std::string& figure, const std::string& claim,
+                 const std::string& setup) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", figure.c_str());
+  std::printf("paper claim : %s\n", claim.c_str());
+  std::printf("setup       : %s\n", setup.c_str());
+  std::printf("================================================================\n");
+}
+
+void PrintTable(const std::vector<Cell>& cells) {
+  // Collect algorithms (stable order of first appearance) and configs.
+  std::vector<std::string> algos;
+  std::vector<std::string> configs;
+  for (const Cell& c : cells) {
+    if (std::find(algos.begin(), algos.end(), c.algo) == algos.end()) {
+      algos.push_back(c.algo);
+    }
+    if (std::find(configs.begin(), configs.end(), c.config) == configs.end()) {
+      configs.push_back(c.config);
+    }
+  }
+  auto find_cell = [&](const std::string& algo,
+                       const std::string& config) -> const Cell* {
+    for (const Cell& c : cells) {
+      if (c.algo == algo && c.config == config) return &c;
+    }
+    return nullptr;
+  };
+
+  std::printf("%-10s", "");
+  for (const std::string& a : algos) std::printf(" | %-21s", a.c_str());
+  std::printf("\n%-10s", "config");
+  for (size_t i = 0; i < algos.size(); ++i) std::printf(" | %9s %11s", "time(s)", "patterns");
+  std::printf("\n");
+  for (const std::string& cfg : configs) {
+    std::printf("%-10s", cfg.c_str());
+    for (const std::string& a : algos) {
+      const Cell* c = find_cell(a, cfg);
+      if (c == nullptr) {
+        std::printf(" | %9s %11s", "-", "-");
+      } else {
+        std::printf(" | %9s %11llu", c->SecondsStr().c_str(),
+                    static_cast<unsigned long long>(c->patterns));
+      }
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\ncsv: algo,config,seconds,patterns,memory_bytes,candidates,states,dnf\n");
+  for (const Cell& c : cells) {
+    std::printf("csv: %s,%s,%.4f,%llu,%zu,%llu,%llu,%d\n", c.algo.c_str(),
+                c.config.c_str(), c.seconds,
+                static_cast<unsigned long long>(c.patterns), c.memory_bytes,
+                static_cast<unsigned long long>(c.candidates),
+                static_cast<unsigned long long>(c.states), c.dnf ? 1 : 0);
+  }
+  std::printf("\n");
+}
+
+double BenchScale() {
+  const char* env = std::getenv("TPM_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  const double v = std::atof(env);
+  return v > 0.0 ? v : 1.0;
+}
+
+}  // namespace bench
+}  // namespace tpm

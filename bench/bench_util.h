@@ -1,0 +1,60 @@
+// Shared harness for the figure/table reproduction benchmarks.
+//
+// Each bench binary regenerates one figure or table of the paper's
+// evaluation (see EXPERIMENTS.md for the mapping and the recorded results).
+// Output is a self-describing aligned table; a trailing "csv:" block gives
+// machine-readable rows for plotting.
+
+#ifndef TPM_BENCH_BENCH_UTIL_H_
+#define TPM_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "miner/miner.h"
+
+namespace tpm {
+namespace bench {
+
+/// Outcome of one (algorithm, configuration) cell.
+struct Cell {
+  std::string algo;
+  std::string config;    // x-axis value, e.g. "1.0%" or "D=4k"
+  double seconds = 0.0;
+  uint64_t patterns = 0;
+  size_t memory_bytes = 0;
+  uint64_t candidates = 0;
+  uint64_t states = 0;
+  bool dnf = false;      // hit the per-run time budget
+
+  std::string SecondsStr() const;
+};
+
+/// Runs an endpoint miner once and captures the cell.
+Cell RunEndpoint(EndpointMiner* miner, const IntervalDatabase& db,
+                 MinerOptions options, const std::string& config,
+                 double budget_seconds);
+
+/// Runs a coincidence miner once and captures the cell.
+Cell RunCoincidence(CoincidenceMiner* miner, const IntervalDatabase& db,
+                    MinerOptions options, const std::string& config,
+                    double budget_seconds);
+
+/// Prints the experiment banner.
+void PrintBanner(const std::string& figure, const std::string& claim,
+                 const std::string& setup);
+
+/// Prints cells as an aligned table grouped by config, one column block per
+/// algorithm, followed by a csv block.
+void PrintTable(const std::vector<Cell>& cells);
+
+/// Reads TPM_BENCH_SCALE (default 1.0): multiplies dataset sizes so the
+/// suite can be shrunk for smoke runs or grown for slower machines.
+double BenchScale();
+
+}  // namespace bench
+}  // namespace tpm
+
+#endif  // TPM_BENCH_BENCH_UTIL_H_

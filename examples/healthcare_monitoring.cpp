@@ -1,0 +1,123 @@
+// Healthcare monitoring case study: mine the temporal signature of a
+// deteriorating patient from simulated ICU vital-sign episodes.
+//
+// Each sequence is one ICU stay; intervals are abnormal vital-sign episodes
+// (FEVER, TACHYCARDIA, HYPOTENSION, LOW_SPO2) and treatments (ANTIBIOTICS,
+// FLUID_BOLUS). A planted "sepsis pathway" — fever overlapping tachycardia,
+// followed by hypotension treated with a fluid bolus — is recovered by
+// P-TPMiner as endpoint patterns and turned into temporal rules.
+//
+//   $ ./examples/healthcare_monitoring
+
+#include <cstdio>
+
+#include "analysis/postprocess.h"
+#include "analysis/render.h"
+#include "analysis/rules.h"
+#include "core/database.h"
+#include "miner/miner.h"
+#include "util/rng.h"
+
+using namespace tpm;
+
+namespace {
+
+IntervalDatabase SimulateIcu(uint32_t num_stays, uint64_t seed) {
+  IntervalDatabase db;
+  const EventId fever = db.dict().Intern("FEVER");
+  const EventId tachy = db.dict().Intern("TACHYCARDIA");
+  const EventId hypo = db.dict().Intern("HYPOTENSION");
+  const EventId spo2 = db.dict().Intern("LOW_SPO2");
+  const EventId abx = db.dict().Intern("ANTIBIOTICS");
+  const EventId bolus = db.dict().Intern("FLUID_BOLUS");
+
+  Rng rng(seed);
+  for (uint32_t p = 0; p < num_stays; ++p) {
+    EventSequence s;
+    TimeT t = static_cast<TimeT>(rng.Uniform(12));  // hours since admission
+
+    const bool septic = rng.Bernoulli(0.45);
+    if (septic) {
+      // Fever, with tachycardia starting during it and outlasting it.
+      const TimeT f0 = t, f1 = t + 6 + static_cast<TimeT>(rng.Uniform(6));
+      s.Add(fever, f0, f1);
+      const TimeT t0 = f0 + 1 + static_cast<TimeT>(rng.Uniform(3));
+      const TimeT t1 = f1 + 2 + static_cast<TimeT>(rng.Uniform(5));
+      s.Add(tachy, t0, t1);
+      // Hypotension after fever subsides; bolus during hypotension.
+      if (rng.Bernoulli(0.8)) {
+        const TimeT h0 = f1 + 1 + static_cast<TimeT>(rng.Uniform(4));
+        const TimeT h1 = h0 + 3 + static_cast<TimeT>(rng.Uniform(4));
+        s.Add(hypo, h0, h1);
+        if (rng.Bernoulli(0.85)) {
+          s.Add(bolus, h0 + 1, h0 + 2);
+        }
+      }
+      // Antibiotics started while fever is ongoing.
+      if (rng.Bernoulli(0.7)) {
+        s.Add(abx, f0 + 2, f1 + 24);
+      }
+    } else {
+      // Non-septic noise: isolated episodes.
+      const uint32_t n = 1 + rng.Poisson(2.0);
+      for (uint32_t k = 0; k < n; ++k) {
+        const EventId what = static_cast<EventId>(rng.Uniform(6));
+        const TimeT dur = 1 + static_cast<TimeT>(rng.Uniform(6));
+        s.Add(what, t, t + dur);
+        t += dur + 2 + static_cast<TimeT>(rng.Uniform(8));
+      }
+    }
+    // Occasional desaturation anywhere.
+    if (rng.Bernoulli(0.3)) {
+      const TimeT d0 = t + static_cast<TimeT>(rng.Uniform(10));
+      s.Add(spo2, d0, d0 + 1 + static_cast<TimeT>(rng.Uniform(3)));
+    }
+    s.MergeSameSymbolConflicts();
+    db.AddSequence(std::move(s));
+  }
+  return db;
+}
+
+}  // namespace
+
+int main() {
+  IntervalDatabase db = SimulateIcu(/*num_stays=*/400, /*seed=*/2024);
+  std::printf("Simulated ICU database: %s\n\n",
+              db.ComputeStats().ToString().c_str());
+
+  MinerOptions options;
+  options.min_support = 0.12;
+  options.max_items = 8;
+
+  auto result = MakePTPMinerE()->Mine(db, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "mining failed: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Frequent endpoint patterns: %zu (%.3fs)\n",
+              result->patterns.size(), result->stats.mine_seconds);
+
+  // Closed multi-interval patterns, strongest first.
+  auto closed = FilterClosed(result->patterns);
+  closed = FilterMinIntervals(std::move(closed), 2);
+  closed = TopKBySupport(std::move(closed), 12);
+  std::printf("\nTop closed multi-episode patterns:\n");
+  for (const auto& [pattern, support] : closed) {
+    std::printf("  supp=%3u  %s\n", support,
+                DescribeArrangement(pattern, db.dict()).c_str());
+  }
+
+  // Temporal rules: "once Q has played out, P tends to follow".
+  auto rules = GenerateRules(result->patterns, /*min_confidence=*/0.4);
+  std::printf("\nTemporal rules (confidence >= 0.4):\n");
+  int shown = 0;
+  for (const TemporalRule& r : rules) {
+    if (r.consequent.NumIntervals() < 2) continue;
+    std::printf("  %s\n", r.ToString(db.dict()).c_str());
+    if (++shown >= 8) break;
+  }
+  if (shown == 0) std::printf("  (none above threshold)\n");
+
+  std::printf("\nStats: %s\n", result->stats.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Quickstart: build a tiny interval database by hand, mine both pattern
+// types with P-TPMiner, and render the results.
+//
+//   $ ./examples/quickstart
+
+#include <cstdio>
+
+#include "analysis/render.h"
+#include "core/database.h"
+#include "miner/miner.h"
+
+using namespace tpm;  // examples favour brevity; library code never does this
+
+int main() {
+  // 1. Build a database. Each sequence is one observed entity; an interval
+  //    is (symbol, start, finish) with inclusive endpoints.
+  IntervalDatabase db;
+  const EventId fever = db.dict().Intern("Fever");
+  const EventId rash = db.dict().Intern("Rash");
+  const EventId headache = db.dict().Intern("Headache");
+
+  {
+    EventSequence s;                 // patient 1: fever overlaps rash
+    s.Add(fever, 0, 5);
+    s.Add(rash, 3, 9);
+    s.Add(headache, 1, 1);           // point event during fever
+    db.AddSequence(std::move(s));
+  }
+  {
+    EventSequence s;                 // patient 2: same story, shifted
+    s.Add(fever, 10, 16);
+    s.Add(rash, 12, 20);
+    s.Add(headache, 11, 11);
+    db.AddSequence(std::move(s));
+  }
+  {
+    EventSequence s;                 // patient 3: rash only, after a fever
+    s.Add(fever, 0, 2);
+    s.Add(rash, 5, 8);
+    db.AddSequence(std::move(s));
+  }
+
+  // 2. Mine endpoint temporal patterns (the fine-grained language).
+  MinerOptions options;
+  options.min_support = 2.0 / 3.0;  // pattern must appear in 2 of 3 patients
+
+  auto endpoint_result = MakePTPMinerE()->Mine(db, options);
+  if (!endpoint_result.ok()) {
+    std::fprintf(stderr, "mining failed: %s\n",
+                 endpoint_result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("== Endpoint temporal patterns (support >= 2/3) ==\n");
+  for (const auto& [pattern, support] : endpoint_result->patterns) {
+    std::printf("%-38s supp=%u   %s\n", pattern.ToString(db.dict()).c_str(),
+                support, DescribeArrangement(pattern, db.dict()).c_str());
+  }
+
+  // 3. The richest pattern, drawn as a timeline.
+  const auto& patterns = endpoint_result->patterns;
+  size_t best = 0;
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    if (patterns[i].pattern.num_items() > patterns[best].pattern.num_items()) {
+      best = i;
+    }
+  }
+  if (!patterns.empty()) {
+    std::printf("\nLargest pattern as a timeline (ordinal slices):\n%s",
+                RenderTimeline(patterns[best].pattern, db.dict()).c_str());
+  }
+
+  // 4. Mine coincidence patterns (the coarse-grained language). With three
+  //    sequences and three symbols the language is dense, so cap the number
+  //    of phases to keep the tour readable.
+  options.max_length = 2;
+  auto coin_result = MakePTPMinerC()->Mine(db, options);
+  if (!coin_result.ok()) {
+    std::fprintf(stderr, "mining failed: %s\n",
+                 coin_result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\n== Coincidence temporal patterns (support >= 2/3) ==\n");
+  for (const auto& [pattern, support] : coin_result->patterns) {
+    std::printf("%-30s supp=%u   %s\n", pattern.ToString(db.dict()).c_str(),
+                support, DescribeArrangement(pattern, db.dict()).c_str());
+  }
+
+  std::printf("\nStats: %s\n", endpoint_result->stats.ToString().c_str());
+  return 0;
+}

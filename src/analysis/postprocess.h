@@ -1,0 +1,51 @@
+// Post-processing of mining results: pattern-on-pattern containment,
+// closed/maximal filtering, top-k selection.
+
+#ifndef TPM_ANALYSIS_POSTPROCESS_H_
+#define TPM_ANALYSIS_POSTPROCESS_H_
+
+#include <vector>
+
+#include "core/pattern.h"
+#include "miner/options.h"
+
+namespace tpm {
+
+/// \brief True iff `sub` is a sub-pattern of `super`: every occurrence of
+/// `super` in any sequence induces an occurrence of `sub`.
+///
+/// Endpoint language: decided exactly by matching `sub` against the canonical
+/// interval realization of `super`.
+bool IsSubPattern(const EndpointPattern& sub, const EndpointPattern& super);
+
+/// \brief Coincidence language: decided by an embedding that additionally
+/// requires each shared-symbol run of `sub` to land inside a single run of
+/// `super` (sufficient for the implication above; see DESIGN.md §2.3).
+bool IsSubPattern(const CoincidencePattern& sub, const CoincidencePattern& super);
+
+/// Keeps only closed patterns: those with no proper super-pattern of equal
+/// support in the result set.
+template <typename PatternT>
+std::vector<MinedPattern<PatternT>> FilterClosed(
+    std::vector<MinedPattern<PatternT>> patterns);
+
+/// Keeps only maximal patterns: those with no proper super-pattern in the
+/// result set at all.
+template <typename PatternT>
+std::vector<MinedPattern<PatternT>> FilterMaximal(
+    std::vector<MinedPattern<PatternT>> patterns);
+
+/// Returns the k highest-support patterns (ties broken lexicographically),
+/// sorted by descending support.
+template <typename PatternT>
+std::vector<MinedPattern<PatternT>> TopKBySupport(
+    std::vector<MinedPattern<PatternT>> patterns, size_t k);
+
+/// Returns patterns with at least `min_intervals` intervals (endpoint
+/// language) — used by case studies to skip trivial singletons.
+std::vector<MinedPattern<EndpointPattern>> FilterMinIntervals(
+    std::vector<MinedPattern<EndpointPattern>> patterns, uint32_t min_intervals);
+
+}  // namespace tpm
+
+#endif  // TPM_ANALYSIS_POSTPROCESS_H_

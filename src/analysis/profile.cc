@@ -1,0 +1,116 @@
+#include "analysis/profile.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace tpm {
+
+double RelationHistogram::ConcurrencyFraction() const {
+  if (total_pairs == 0) return 0.0;
+  const uint64_t disjoint = counts[static_cast<int>(AllenRelation::kBefore)] +
+                            counts[static_cast<int>(AllenRelation::kBeforeInv)];
+  return 1.0 - static_cast<double>(disjoint) / static_cast<double>(total_pairs);
+}
+
+std::string RelationHistogram::ToString() const {
+  std::vector<int> order(kNumAllenRelations);
+  for (int i = 0; i < kNumAllenRelations; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [this](int a, int b) { return counts[a] > counts[b]; });
+  std::string out = StringPrintf("relation mix over %llu pairs (concurrency %.1f%%):\n",
+                                 static_cast<unsigned long long>(total_pairs),
+                                 100.0 * ConcurrencyFraction());
+  for (int idx : order) {
+    if (counts[idx] == 0) continue;
+    out += StringPrintf("  %-14s %6.2f%%  (%llu)\n",
+                        AllenRelationName(static_cast<AllenRelation>(idx)),
+                        100.0 * Fraction(static_cast<AllenRelation>(idx)),
+                        static_cast<unsigned long long>(counts[idx]));
+  }
+  return out;
+}
+
+RelationHistogram ComputeRelationHistogram(const IntervalDatabase& db,
+                                           size_t max_pairs_per_sequence) {
+  RelationHistogram h;
+  for (const EventSequence& seq : db.sequences()) {
+    size_t pairs = 0;
+    const auto& ivs = seq.intervals();
+    for (size_t i = 0; i < ivs.size() && (max_pairs_per_sequence == 0 ||
+                                          pairs < max_pairs_per_sequence);
+         ++i) {
+      for (size_t j = i + 1; j < ivs.size(); ++j) {
+        ++h.counts[static_cast<int>(ComputeRelation(ivs[i], ivs[j]))];
+        ++h.total_pairs;
+        if (max_pairs_per_sequence != 0 && ++pairs >= max_pairs_per_sequence) {
+          break;
+        }
+      }
+    }
+  }
+  return h;
+}
+
+std::vector<SymbolProfile> ComputeSymbolProfiles(const IntervalDatabase& db) {
+  std::vector<SymbolProfile> profiles(db.dict().size());
+  std::vector<double> duration_sum(db.dict().size(), 0.0);
+  std::vector<uint64_t> point_count(db.dict().size(), 0);
+  std::vector<uint32_t> last_seen(db.dict().size(), ~0u);
+
+  for (uint32_t s = 0; s < db.size(); ++s) {
+    for (const Interval& iv : db[s].intervals()) {
+      if (iv.event >= profiles.size()) continue;
+      SymbolProfile& p = profiles[iv.event];
+      p.event = iv.event;
+      ++p.occurrences;
+      duration_sum[iv.event] += static_cast<double>(iv.Duration());
+      if (iv.IsPoint()) ++point_count[iv.event];
+      if (last_seen[iv.event] != s) {
+        last_seen[iv.event] = s;
+        ++p.sequence_support;
+      }
+    }
+  }
+  for (size_t e = 0; e < profiles.size(); ++e) {
+    if (profiles[e].occurrences > 0) {
+      profiles[e].avg_duration =
+          duration_sum[e] / static_cast<double>(profiles[e].occurrences);
+      profiles[e].point_fraction =
+          static_cast<double>(point_count[e]) /
+          static_cast<double>(profiles[e].occurrences);
+    }
+  }
+  std::sort(profiles.begin(), profiles.end(),
+            [](const SymbolProfile& a, const SymbolProfile& b) {
+              if (a.sequence_support != b.sequence_support) {
+                return a.sequence_support > b.sequence_support;
+              }
+              return a.event < b.event;
+            });
+  return profiles;
+}
+
+std::string ProfileReport(const IntervalDatabase& db, size_t top_symbols) {
+  std::string out = db.ComputeStats().ToString() + "\n";
+  const auto profiles = ComputeSymbolProfiles(db);
+  out += StringPrintf("top %zu symbols by sequence support:\n",
+                      std::min(top_symbols, profiles.size()));
+  for (size_t i = 0; i < profiles.size() && i < top_symbols; ++i) {
+    const SymbolProfile& p = profiles[i];
+    if (p.occurrences == 0) break;
+    out += StringPrintf("  %-20s support=%u occurrences=%llu avg_dur=%.1f%s\n",
+                        db.dict().Name(p.event).c_str(), p.sequence_support,
+                        static_cast<unsigned long long>(p.occurrences),
+                        p.avg_duration,
+                        p.point_fraction > 0.0
+                            ? StringPrintf(" points=%.0f%%",
+                                           100.0 * p.point_fraction)
+                                  .c_str()
+                            : "");
+  }
+  out += ComputeRelationHistogram(db).ToString();
+  return out;
+}
+
+}  // namespace tpm

@@ -1,0 +1,60 @@
+// Dataset profiling: symbol statistics and the distribution of pairwise
+// Allen relations. Used by the real-dataset study (Table 1) to characterize
+// workloads, and generally useful for choosing minsup / window parameters.
+
+#ifndef TPM_ANALYSIS_PROFILE_H_
+#define TPM_ANALYSIS_PROFILE_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "core/allen.h"
+#include "core/database.h"
+
+namespace tpm {
+
+/// \brief Distribution of Allen relations over intra-sequence interval pairs.
+struct RelationHistogram {
+  std::array<uint64_t, kNumAllenRelations> counts{};
+  uint64_t total_pairs = 0;
+
+  double Fraction(AllenRelation r) const {
+    return total_pairs == 0
+               ? 0.0
+               : static_cast<double>(counts[static_cast<int>(r)]) /
+                     static_cast<double>(total_pairs);
+  }
+
+  /// Fraction of pairs whose intervals share at least one instant (every
+  /// relation except before/after) — the "overlap density" of a dataset.
+  double ConcurrencyFraction() const;
+
+  /// Multi-line human-readable rendering, most common relation first.
+  std::string ToString() const;
+};
+
+/// Counts ComputeRelation(a, b) over all ordered-by-position pairs (a before
+/// b in canonical order) within each sequence. `max_pairs_per_sequence`
+/// bounds quadratic blowup on long sequences (0 = unlimited).
+RelationHistogram ComputeRelationHistogram(const IntervalDatabase& db,
+                                           size_t max_pairs_per_sequence = 10000);
+
+/// \brief Per-symbol usage statistics.
+struct SymbolProfile {
+  EventId event = 0;
+  uint64_t occurrences = 0;       ///< total intervals
+  SupportCount sequence_support = 0;  ///< sequences containing the symbol
+  double avg_duration = 0.0;
+  double point_fraction = 0.0;    ///< fraction of occurrences that are points
+};
+
+/// Profiles every symbol, sorted by descending sequence support.
+std::vector<SymbolProfile> ComputeSymbolProfiles(const IntervalDatabase& db);
+
+/// Full human-readable report: database stats, top symbols, relation mix.
+std::string ProfileReport(const IntervalDatabase& db, size_t top_symbols = 10);
+
+}  // namespace tpm
+
+#endif  // TPM_ANALYSIS_PROFILE_H_

@@ -1,0 +1,103 @@
+#include "analysis/render.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "core/allen.h"
+#include "util/string_util.h"
+
+namespace tpm {
+
+namespace {
+
+// Names intervals, numbering repeated symbols: "A", or "A#1"/"A#2" when a
+// symbol occurs more than once in the pattern.
+std::vector<std::string> NameIntervals(const std::vector<Interval>& intervals,
+                                       const Dictionary& dict) {
+  std::map<EventId, int> total;
+  for (const Interval& iv : intervals) ++total[iv.event];
+  std::map<EventId, int> seen;
+  std::vector<std::string> names;
+  names.reserve(intervals.size());
+  for (const Interval& iv : intervals) {
+    const int n = ++seen[iv.event];
+    if (total[iv.event] > 1) {
+      names.push_back(StringPrintf("%s#%d", dict.Name(iv.event).c_str(), n));
+    } else {
+      names.push_back(dict.Name(iv.event));
+    }
+  }
+  return names;
+}
+
+}  // namespace
+
+std::string DescribeArrangement(const EndpointPattern& pattern,
+                                const Dictionary& dict, bool all_pairs) {
+  const std::vector<Interval> ivs = pattern.ToCanonicalIntervals();
+  if (ivs.empty()) return "(empty)";
+  if (ivs.size() == 1) {
+    return dict.Name(ivs[0].event) + (ivs[0].IsPoint() ? " (point)" : "");
+  }
+  const std::vector<std::string> names = NameIntervals(ivs, dict);
+  std::vector<std::string> parts;
+  for (size_t i = 0; i < ivs.size(); ++i) {
+    for (size_t j = i + 1; j < ivs.size(); ++j) {
+      const AllenRelation r = ComputeRelation(ivs[i], ivs[j]);
+      // In chain form, only adjacent 'before' pairs are kept; transitive
+      // before/after pairs add noise without information.
+      if (!all_pairs && r == AllenRelation::kBefore && j != i + 1) continue;
+      parts.push_back(names[i] + " " + AllenRelationName(r) + " " + names[j]);
+    }
+  }
+  return Join(parts, "; ");
+}
+
+std::string DescribeArrangement(const CoincidencePattern& pattern,
+                                const Dictionary& dict) {
+  if (pattern.empty()) return "(empty)";
+  std::vector<std::string> phases;
+  for (uint32_t c = 0; c < pattern.num_coincidences(); ++c) {
+    std::vector<std::string> syms;
+    for (uint32_t i = pattern.coin_begin(c); i < pattern.coin_end(c); ++i) {
+      syms.push_back(dict.Name(pattern.item(i)));
+    }
+    phases.push_back("[" + Join(syms, ",") + "]");
+  }
+  return Join(phases, " then ");
+}
+
+std::string RenderTimeline(const EndpointPattern& pattern, const Dictionary& dict) {
+  const std::vector<Interval> ivs = pattern.ToCanonicalIntervals();
+  if (ivs.empty()) return "(empty)\n";
+  const std::vector<std::string> names = NameIntervals(ivs, dict);
+  size_t width = 0;
+  for (const std::string& n : names) width = std::max(width, n.size());
+  const int slices = static_cast<int>(pattern.num_slices());
+
+  std::string out;
+  for (size_t i = 0; i < ivs.size(); ++i) {
+    out += names[i];
+    out.append(width - names[i].size() + 1, ' ');
+    for (int s = 0; s < slices; ++s) {
+      const TimeT t = static_cast<TimeT>(s);
+      char c = '.';
+      if (ivs[i].IsPoint() && t == ivs[i].start) {
+        c = '*';
+      } else if (t == ivs[i].start) {
+        c = '[';
+      } else if (t == ivs[i].finish) {
+        c = ']';
+      } else if (t > ivs[i].start && t < ivs[i].finish) {
+        c = '=';
+      }
+      out += c;
+      out += ' ';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace tpm

@@ -1,0 +1,32 @@
+// Human-readable rendering of mined patterns.
+
+#ifndef TPM_ANALYSIS_RENDER_H_
+#define TPM_ANALYSIS_RENDER_H_
+
+#include <string>
+
+#include "core/database.h"
+#include "core/pattern.h"
+
+namespace tpm {
+
+/// \brief Describes an endpoint pattern as pairwise Allen relations, e.g.
+/// "Fever overlaps Tachycardia; Tachycardia before Hypotension".
+/// Repeated symbols are numbered ("A#1", "A#2"). Pairs in the `before`
+/// relation with no other structure are elided after the first chain link to
+/// keep output readable; pass `all_pairs` to list every pair.
+std::string DescribeArrangement(const EndpointPattern& pattern,
+                                const Dictionary& dict, bool all_pairs = false);
+
+/// \brief Describes a coincidence pattern by its phases, e.g.
+/// "[A] then [A,B] then [B]".
+std::string DescribeArrangement(const CoincidencePattern& pattern,
+                                const Dictionary& dict);
+
+/// \brief ASCII timeline of an endpoint pattern's canonical realization:
+/// one row per interval, columns are ordinal time slices.
+std::string RenderTimeline(const EndpointPattern& pattern, const Dictionary& dict);
+
+}  // namespace tpm
+
+#endif  // TPM_ANALYSIS_RENDER_H_

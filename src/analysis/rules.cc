@@ -1,0 +1,59 @@
+#include "analysis/rules.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/string_util.h"
+
+namespace tpm {
+
+std::string TemporalRule::ToString(const Dictionary& dict) const {
+  return StringPrintf("%s => %s  (supp=%u conf=%.2f)",
+                      antecedent.ToString(dict).c_str(),
+                      consequent.ToString(dict).c_str(), support, confidence);
+}
+
+std::vector<TemporalRule> GenerateRules(
+    const std::vector<MinedPattern<EndpointPattern>>& patterns,
+    double min_confidence) {
+  // Index supports for antecedent lookups.
+  std::unordered_map<EndpointPattern, SupportCount, EndpointPatternHash> supp;
+  supp.reserve(patterns.size());
+  for (const auto& mp : patterns) supp.emplace(mp.pattern, mp.support);
+
+  std::vector<TemporalRule> rules;
+  for (const auto& mp : patterns) {
+    const EndpointPattern& p = mp.pattern;
+    if (p.num_slices() < 2) continue;
+    // Walk slice prefixes; a prefix is a candidate antecedent when the
+    // open-interval balance returns to zero at a slice boundary.
+    int open = 0;
+    for (uint32_t s = 0; s + 1 < p.num_slices(); ++s) {
+      for (uint32_t i = p.slice_begin(s); i < p.slice_end(s); ++i) {
+        open += IsFinish(p.item(i)) ? -1 : 1;
+      }
+      if (open != 0) continue;
+      std::vector<EndpointCode> items(p.items().begin(),
+                                      p.items().begin() + p.slice_end(s));
+      std::vector<uint32_t> offsets(p.offsets().begin(),
+                                    p.offsets().begin() + s + 2);
+      EndpointPattern prefix(std::move(items), std::move(offsets));
+      auto it = supp.find(prefix);
+      if (it == supp.end()) continue;  // result set was filtered/truncated
+      const double confidence =
+          static_cast<double>(mp.support) / static_cast<double>(it->second);
+      if (confidence >= min_confidence) {
+        rules.push_back(TemporalRule{std::move(prefix), p, mp.support, confidence});
+      }
+    }
+  }
+  std::sort(rules.begin(), rules.end(), [](const TemporalRule& a,
+                                           const TemporalRule& b) {
+    if (a.confidence != b.confidence) return a.confidence > b.confidence;
+    if (a.support != b.support) return a.support > b.support;
+    return a.consequent < b.consequent;
+  });
+  return rules;
+}
+
+}  // namespace tpm

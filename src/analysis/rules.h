@@ -1,0 +1,40 @@
+// Temporal association rules derived from mined endpoint patterns.
+//
+// A rule "Q => P" reads: sequences exhibiting the arrangement Q tend to
+// exhibit the full arrangement P (Q is a complete prefix of P). Confidence
+// is supp(P) / supp(Q); both supports come from the mining result, so rule
+// generation needs no additional database scans.
+
+#ifndef TPM_ANALYSIS_RULES_H_
+#define TPM_ANALYSIS_RULES_H_
+
+#include <string>
+#include <vector>
+
+#include "core/pattern.h"
+#include "miner/options.h"
+
+namespace tpm {
+
+struct TemporalRule {
+  EndpointPattern antecedent;  ///< complete slice-prefix Q
+  EndpointPattern consequent;  ///< full pattern P
+  SupportCount support = 0;    ///< supp(P)
+  double confidence = 0.0;     ///< supp(P) / supp(Q)
+
+  std::string ToString(const Dictionary& dict) const;
+};
+
+/// \brief Generates all rules with confidence >= `min_confidence` from a
+/// complete mining result (the result must contain every frequent pattern,
+/// which all miners in this library guarantee).
+///
+/// For each pattern P, every slice-prefix of P that is itself a complete
+/// pattern (all intervals closed) becomes a candidate antecedent.
+std::vector<TemporalRule> GenerateRules(
+    const std::vector<MinedPattern<EndpointPattern>>& patterns,
+    double min_confidence);
+
+}  // namespace tpm
+
+#endif  // TPM_ANALYSIS_RULES_H_

@@ -1,0 +1,45 @@
+// Top-k pattern mining: find the k highest-support patterns without the
+// user guessing a support threshold.
+//
+// Implemented as threshold back-off on top of P-TPMiner: start at a high
+// absolute support and halve it until at least k patterns exist (or the
+// floor of 1 is reached), then keep the k best. The geometric schedule costs
+// at most a small constant factor over mining at the final threshold, and
+// every intermediate run is cheap because high thresholds prune brutally.
+
+#ifndef TPM_ANALYSIS_TOPK_H_
+#define TPM_ANALYSIS_TOPK_H_
+
+#include "core/database.h"
+#include "miner/options.h"
+#include "util/result.h"
+
+namespace tpm {
+
+struct TopKStats {
+  /// Absolute support threshold of the final (accepted) run.
+  SupportCount final_threshold = 0;
+  /// Number of mining rounds performed.
+  uint32_t rounds = 0;
+  /// Support of the k-th pattern (the effective cut).
+  SupportCount kth_support = 0;
+};
+
+/// Mines the k highest-support endpoint patterns (ties broken
+/// lexicographically). `options.min_support` is ignored; all other options
+/// (max_items, max_window, ...) apply. `min_items` skips trivial patterns
+/// below that size when ranking (0 = keep all).
+Result<EndpointMiningResult> MineTopKEndpoint(const IntervalDatabase& db,
+                                              size_t k, MinerOptions options,
+                                              uint32_t min_items = 0,
+                                              TopKStats* stats = nullptr);
+
+/// Coincidence-language counterpart.
+Result<CoincidenceMiningResult> MineTopKCoincidence(const IntervalDatabase& db,
+                                                    size_t k, MinerOptions options,
+                                                    uint32_t min_items = 0,
+                                                    TopKStats* stats = nullptr);
+
+}  // namespace tpm
+
+#endif  // TPM_ANALYSIS_TOPK_H_

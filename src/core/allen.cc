@@ -1,0 +1,103 @@
+#include "core/allen.h"
+
+namespace tpm {
+
+const char* AllenRelationName(AllenRelation r) {
+  switch (r) {
+    case AllenRelation::kBefore:
+      return "before";
+    case AllenRelation::kMeets:
+      return "meets";
+    case AllenRelation::kOverlaps:
+      return "overlaps";
+    case AllenRelation::kStarts:
+      return "starts";
+    case AllenRelation::kDuring:
+      return "during";
+    case AllenRelation::kFinishes:
+      return "finishes";
+    case AllenRelation::kEquals:
+      return "equals";
+    case AllenRelation::kBeforeInv:
+      return "after";
+    case AllenRelation::kMeetsInv:
+      return "met-by";
+    case AllenRelation::kOverlapsInv:
+      return "overlapped-by";
+    case AllenRelation::kStartsInv:
+      return "started-by";
+    case AllenRelation::kDuringInv:
+      return "contains";
+    case AllenRelation::kFinishesInv:
+      return "finished-by";
+  }
+  return "?";
+}
+
+AllenRelation Inverse(AllenRelation r) {
+  switch (r) {
+    case AllenRelation::kEquals:
+      return AllenRelation::kEquals;
+    case AllenRelation::kBefore:
+      return AllenRelation::kBeforeInv;
+    case AllenRelation::kMeets:
+      return AllenRelation::kMeetsInv;
+    case AllenRelation::kOverlaps:
+      return AllenRelation::kOverlapsInv;
+    case AllenRelation::kStarts:
+      return AllenRelation::kStartsInv;
+    case AllenRelation::kDuring:
+      return AllenRelation::kDuringInv;
+    case AllenRelation::kFinishes:
+      return AllenRelation::kFinishesInv;
+    case AllenRelation::kBeforeInv:
+      return AllenRelation::kBefore;
+    case AllenRelation::kMeetsInv:
+      return AllenRelation::kMeets;
+    case AllenRelation::kOverlapsInv:
+      return AllenRelation::kOverlaps;
+    case AllenRelation::kStartsInv:
+      return AllenRelation::kStarts;
+    case AllenRelation::kFinishesInv:
+      return AllenRelation::kFinishes;
+    case AllenRelation::kDuringInv:
+      return AllenRelation::kDuring;
+  }
+  return AllenRelation::kEquals;
+}
+
+AllenRelation ComputeRelation(const Interval& a, const Interval& b) {
+  // Endpoint-alignment cases come before touching cases so that point
+  // events behave like their endpoint-slice reading: a point at b's start
+  // *starts* b (rather than *meets* it), a point at b's finish *finishes* b.
+  if (a.start == b.start && a.finish == b.finish) return AllenRelation::kEquals;
+  if (a.start == b.start) {
+    return a.finish < b.finish ? AllenRelation::kStarts : AllenRelation::kStartsInv;
+  }
+  if (a.finish == b.finish) {
+    return a.start > b.start ? AllenRelation::kFinishes : AllenRelation::kFinishesInv;
+  }
+  if (a.finish < b.start) return AllenRelation::kBefore;
+  if (b.finish < a.start) return AllenRelation::kBeforeInv;
+  if (a.finish == b.start) return AllenRelation::kMeets;
+  if (b.finish == a.start) return AllenRelation::kMeetsInv;
+  if (a.start < b.start) {
+    return a.finish < b.finish ? AllenRelation::kOverlaps : AllenRelation::kDuringInv;
+  }
+  return a.finish < b.finish ? AllenRelation::kDuring : AllenRelation::kOverlapsInv;
+}
+
+AllenRelation RelationFromEndpointOrder(int as, int af, int bs, int bf) {
+  // Reuse the timestamp logic by treating ordinal positions as times.
+  Interval a(0, as, af);
+  Interval b(0, bs, bf);
+  return ComputeRelation(a, b);
+}
+
+bool IsCanonical(AllenRelation r) {
+  return static_cast<uint8_t>(r) <= static_cast<uint8_t>(AllenRelation::kEquals);
+}
+
+std::string ToString(AllenRelation r) { return AllenRelationName(r); }
+
+}  // namespace tpm

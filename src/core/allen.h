@@ -1,0 +1,60 @@
+// Allen's interval algebra: the 13 qualitative relations between intervals.
+//
+// Endpoint temporal patterns encode a full arrangement of intervals; this
+// module recovers the pairwise Allen relations from endpoint order, both for
+// concrete intervals and for pattern rendering ("A overlaps B").
+
+#ifndef TPM_CORE_ALLEN_H_
+#define TPM_CORE_ALLEN_H_
+
+#include <string>
+
+#include "core/interval.h"
+
+namespace tpm {
+
+/// The 13 Allen relations. Inverse relations carry the `Inv` suffix
+/// (e.g. kBeforeInv == "after").
+enum class AllenRelation : uint8_t {
+  kBefore = 0,    ///< A.finish <  B.start
+  kMeets,         ///< A.finish == B.start
+  kOverlaps,      ///< A.start < B.start < A.finish < B.finish
+  kStarts,        ///< A.start == B.start, A.finish < B.finish
+  kDuring,        ///< B.start < A.start, A.finish < B.finish
+  kFinishes,      ///< A.finish == B.finish, A.start > B.start
+  kEquals,        ///< identical endpoints
+  kBeforeInv,     ///< after
+  kMeetsInv,      ///< met-by
+  kOverlapsInv,   ///< overlapped-by
+  kStartsInv,     ///< started-by
+  kDuringInv,     ///< contains
+  kFinishesInv,   ///< finished-by
+};
+
+/// Number of distinct relations.
+constexpr int kNumAllenRelations = 13;
+
+/// Canonical lower-case name ("overlaps", "met-by", ...).
+const char* AllenRelationName(AllenRelation r);
+
+/// The inverse relation (before <-> after, equals <-> equals).
+AllenRelation Inverse(AllenRelation r);
+
+/// Computes the relation of `a` to `b` from concrete timestamps.
+/// Total: exactly one relation holds for any pair of intervals
+/// (point events included, using closed-interval endpoint comparisons).
+AllenRelation ComputeRelation(const Interval& a, const Interval& b);
+
+/// \brief Computes the relation from *ordinal* endpoint positions, as they
+/// occur in an endpoint pattern: `as`/`af` are the slice indices of A's start
+/// and finish, likewise `bs`/`bf`. Equal index == simultaneous.
+AllenRelation RelationFromEndpointOrder(int as, int af, int bs, int bf);
+
+/// True for the 7 "canonical" (non-inverse) relations.
+bool IsCanonical(AllenRelation r);
+
+std::string ToString(AllenRelation r);
+
+}  // namespace tpm
+
+#endif  // TPM_CORE_ALLEN_H_

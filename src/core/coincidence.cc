@@ -1,0 +1,171 @@
+#include "core/coincidence.h"
+
+#include <algorithm>
+
+namespace tpm {
+
+CoincidenceSequence CoincidenceSequence::FromEventSequence(
+    const EventSequence& seq) {
+  CoincidenceSequence out;
+  out.seg_offsets_.push_back(0);
+  if (seq.empty()) return out;
+
+  // 1. Distinct endpoint times, and which times host point events.
+  std::vector<TimeT> times;
+  times.reserve(seq.size() * 2);
+  for (const Interval& iv : seq.intervals()) {
+    times.push_back(iv.start);
+    times.push_back(iv.finish);
+  }
+  std::sort(times.begin(), times.end());
+  times.erase(std::unique(times.begin(), times.end()), times.end());
+
+  std::vector<bool> has_point(times.size(), false);
+  auto time_index = [&times](TimeT t) {
+    return static_cast<size_t>(
+        std::lower_bound(times.begin(), times.end(), t) - times.begin());
+  };
+  for (const Interval& iv : seq.intervals()) {
+    if (iv.IsPoint()) has_point[time_index(iv.start)] = true;
+  }
+
+  // 2. Enumerate candidate segments in temporal order. A segment is either
+  //    the zero-length [t_i, t_i] (only when a point event occurs there) or
+  //    the open (t_i, t_{i+1}).
+  struct Segment {
+    size_t time_idx;  // left boundary index
+    bool zero_length;
+  };
+  std::vector<Segment> segments;
+  for (size_t i = 0; i < times.size(); ++i) {
+    if (has_point[i]) segments.push_back({i, true});
+    if (i + 1 < times.size()) segments.push_back({i, false});
+  }
+
+  // 3. Compute alive sets. Intervals and segments are both time-ordered, but
+  //    with few intervals per sequence an O(intervals * their segments) fill
+  //    is simplest and cache-friendly.
+  struct ItemTmp {
+    uint32_t seg;
+    EventId event;
+    uint32_t interval;
+  };
+  std::vector<ItemTmp> tmp;
+  // Map candidate segment -> kept segment id later; first collect items per
+  // candidate segment.
+  for (uint32_t k = 0; k < seq.size(); ++k) {
+    const Interval& iv = seq[k];
+    const size_t si = time_index(iv.start);
+    const size_t fi = time_index(iv.finish);
+    for (uint32_t g = 0; g < segments.size(); ++g) {
+      const Segment& sg = segments[g];
+      if (sg.zero_length) {
+        // Alive on [t,t] iff start <= t <= finish.
+        if (si <= sg.time_idx && sg.time_idx <= fi) {
+          tmp.push_back({g, iv.event, k});
+        }
+      } else {
+        // Alive on (t_i, t_{i+1}) iff start <= t_i and finish >= t_{i+1}.
+        if (si <= sg.time_idx && fi >= sg.time_idx + 1) {
+          tmp.push_back({g, iv.event, k});
+        }
+      }
+    }
+  }
+  std::sort(tmp.begin(), tmp.end(), [](const ItemTmp& a, const ItemTmp& b) {
+    if (a.seg != b.seg) return a.seg < b.seg;
+    return a.event < b.event;
+  });
+
+  // 4. Emit non-empty segments, renumbering densely.
+  std::vector<uint32_t> interval_first(seq.size(), ~0u);
+  std::vector<uint32_t> interval_last(seq.size(), 0);
+  uint32_t current_candidate = ~0u;
+  for (const ItemTmp& it : tmp) {
+    if (it.seg != current_candidate) {
+      if (!out.items_.empty()) {
+        out.seg_offsets_.push_back(static_cast<uint32_t>(out.items_.size()));
+      }
+      current_candidate = it.seg;
+      const Segment& sg = segments[it.seg];
+      out.seg_start_times_.push_back(times[sg.time_idx]);
+      out.seg_end_times_.push_back(
+          sg.zero_length ? times[sg.time_idx] : times[sg.time_idx + 1]);
+    }
+    const uint32_t seg_id = static_cast<uint32_t>(out.seg_offsets_.size()) - 1;
+    out.items_.push_back(it.event);
+    out.item_segment_.push_back(seg_id);
+    out.item_interval_.push_back(it.interval);
+    if (interval_first[it.interval] == ~0u) interval_first[it.interval] = seg_id;
+    interval_last[it.interval] = seg_id;
+  }
+  out.seg_offsets_.push_back(static_cast<uint32_t>(out.items_.size()));
+
+  out.alive_from_.reserve(out.items_.size());
+  out.alive_until_.reserve(out.items_.size());
+  for (uint32_t i = 0; i < out.items_.size(); ++i) {
+    out.alive_from_.push_back(interval_first[out.item_interval_[i]]);
+    out.alive_until_.push_back(interval_last[out.item_interval_[i]]);
+  }
+  return out;
+}
+
+uint32_t CoincidenceSequence::FindInSegment(uint32_t s, EventId event) const {
+  const uint32_t b = seg_begin(s);
+  const uint32_t e = seg_end(s);
+  if (e - b < 8) {
+    for (uint32_t i = b; i < e; ++i) {
+      if (items_[i] == event) return i;
+      if (items_[i] > event) return kNotFoundItem;
+    }
+    return kNotFoundItem;
+  }
+  auto first = items_.begin() + b;
+  auto last = items_.begin() + e;
+  auto it = std::lower_bound(first, last, event);
+  if (it != last && *it == event) return static_cast<uint32_t>(it - items_.begin());
+  return kNotFoundItem;
+}
+
+size_t CoincidenceSequence::MemoryBytes() const {
+  return items_.capacity() * sizeof(EventId) +
+         seg_offsets_.capacity() * sizeof(uint32_t) +
+         item_segment_.capacity() * sizeof(uint32_t) +
+         item_interval_.capacity() * sizeof(uint32_t) +
+         alive_from_.capacity() * sizeof(uint32_t) +
+         alive_until_.capacity() * sizeof(uint32_t) +
+         (seg_start_times_.capacity() + seg_end_times_.capacity()) * sizeof(TimeT);
+}
+
+std::string CoincidenceSequence::ToString(const Dictionary& dict) const {
+  std::string out = "<";
+  for (uint32_t s = 0; s < num_segments(); ++s) {
+    out += "(";
+    for (uint32_t i = seg_begin(s); i < seg_end(s); ++i) {
+      if (i > seg_begin(s)) out += " ";
+      out += dict.Name(items_[i]);
+    }
+    out += ")";
+  }
+  out += ">";
+  return out;
+}
+
+CoincidenceDatabase CoincidenceDatabase::FromDatabase(const IntervalDatabase& db) {
+  CoincidenceDatabase out;
+  out.sequences_.reserve(db.size());
+  for (const EventSequence& seq : db.sequences()) {
+    out.sequences_.push_back(CoincidenceSequence::FromEventSequence(seq));
+  }
+  out.dict_ = &db.dict();
+  out.num_symbols_ = db.dict().size();
+  return out;
+}
+
+size_t CoincidenceDatabase::MemoryBytes() const {
+  size_t total = sequences_.capacity() * sizeof(CoincidenceSequence);
+  for (const CoincidenceSequence& s : sequences_) total += s.MemoryBytes();
+  return total;
+}
+
+}  // namespace tpm

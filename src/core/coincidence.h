@@ -1,0 +1,111 @@
+// The coincidence representation (pattern type 2 substrate, CTMiner line).
+//
+// The timeline of a sequence is cut at every distinct endpoint time. Every
+// maximal segment between consecutive cuts is labeled with the set of symbols
+// whose intervals are *alive* on it; empty segments are dropped. Point events
+// contribute zero-length segments at their time (ordered before the open
+// segment starting at that time); an interval is alive on a zero-length
+// segment [t,t] iff start <= t <= finish (closed-interval semantics).
+//
+// Because same-symbol intervals never intersect or touch, each (segment,
+// symbol) pair is covered by exactly one interval, and an interval covers a
+// *contiguous* range of segments — so interval identity is recoverable from
+// the segment index alone. Each item stores the index of the last segment
+// its interval is alive on (`alive_until`), which is all a miner needs to
+// enforce run-continuity in O(1).
+
+#ifndef TPM_CORE_COINCIDENCE_H_
+#define TPM_CORE_COINCIDENCE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "core/sequence.h"
+#include "core/types.h"
+
+namespace tpm {
+
+/// \brief The coincidence view of one EventSequence (flattened segments).
+class CoincidenceSequence {
+ public:
+  CoincidenceSequence() = default;
+
+  /// Builds the coincidence view; the sequence must be valid.
+  static CoincidenceSequence FromEventSequence(const EventSequence& seq);
+
+  uint32_t num_segments() const {
+    return static_cast<uint32_t>(seg_offsets_.size()) - 1;
+  }
+  uint32_t num_items() const { return static_cast<uint32_t>(items_.size()); }
+
+  uint32_t seg_begin(uint32_t s) const { return seg_offsets_[s]; }
+  uint32_t seg_end(uint32_t s) const { return seg_offsets_[s + 1]; }
+  uint32_t seg_size(uint32_t s) const {
+    return seg_offsets_[s + 1] - seg_offsets_[s];
+  }
+
+  /// Symbol of flattened item `i` (segments are sorted by symbol).
+  EventId item(uint32_t i) const { return items_[i]; }
+
+  /// Segment containing item `i`.
+  uint32_t item_segment(uint32_t i) const { return item_segment_[i]; }
+
+  /// Index (within the source EventSequence) of the interval covering item `i`.
+  uint32_t item_interval(uint32_t i) const { return item_interval_[i]; }
+
+  /// First segment on which item `i`'s interval is alive.
+  uint32_t alive_from(uint32_t i) const { return alive_from_[i]; }
+
+  /// Last segment on which item `i`'s interval is alive.
+  uint32_t alive_until(uint32_t i) const { return alive_until_[i]; }
+
+  /// Start time of segment `s` (== end time for zero-length segments).
+  TimeT seg_start_time(uint32_t s) const { return seg_start_times_[s]; }
+
+  /// End time of segment `s`.
+  TimeT seg_end_time(uint32_t s) const { return seg_end_times_[s]; }
+
+  static constexpr uint32_t kNotFoundItem = ~0u;
+  /// Item index of `event` in segment `s`, or kNotFoundItem.
+  uint32_t FindInSegment(uint32_t s, EventId event) const;
+
+  size_t MemoryBytes() const;
+
+  /// Debug rendering "<(A)(A B)(B)>".
+  std::string ToString(const Dictionary& dict) const;
+
+ private:
+  std::vector<EventId> items_;          // flattened, segment-major, sorted in-segment
+  std::vector<uint32_t> seg_offsets_;   // size num_segments+1
+  std::vector<uint32_t> item_segment_;  // item -> segment
+  std::vector<uint32_t> item_interval_; // item -> source interval index
+  std::vector<uint32_t> alive_from_;    // item -> first segment of its interval
+  std::vector<uint32_t> alive_until_;   // item -> last segment of its interval
+  std::vector<TimeT> seg_start_times_;  // segment -> start time
+  std::vector<TimeT> seg_end_times_;    // segment -> end time
+};
+
+/// \brief The coincidence view of a whole database.
+class CoincidenceDatabase {
+ public:
+  static CoincidenceDatabase FromDatabase(const IntervalDatabase& db);
+
+  size_t size() const { return sequences_.size(); }
+  const CoincidenceSequence& operator[](size_t i) const { return sequences_[i]; }
+  const std::vector<CoincidenceSequence>& sequences() const { return sequences_; }
+
+  const Dictionary* dict() const { return dict_; }
+  size_t num_symbols() const { return num_symbols_; }
+
+  size_t MemoryBytes() const;
+
+ private:
+  std::vector<CoincidenceSequence> sequences_;
+  const Dictionary* dict_ = nullptr;
+  size_t num_symbols_ = 0;
+};
+
+}  // namespace tpm
+
+#endif  // TPM_CORE_COINCIDENCE_H_

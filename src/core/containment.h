@@ -1,0 +1,45 @@
+// Reference containment oracles.
+//
+// These are deliberately simple backtracking matchers, exponential in the
+// worst case. They define the semantics of both pattern languages; the
+// miners' projection machinery must agree with them exactly (enforced by the
+// cross-check tests and the BruteForceMiner). IEMiner also counts support
+// through these oracles, faithfully to its scan-based design.
+
+#ifndef TPM_CORE_CONTAINMENT_H_
+#define TPM_CORE_CONTAINMENT_H_
+
+#include "core/coincidence.h"
+#include "core/endpoint.h"
+#include "core/pattern.h"
+
+namespace tpm {
+
+/// \brief True iff `pattern` occurs in `seq` under partner-consistent
+/// endpoint matching (DESIGN.md §1.1).
+///
+/// The pattern must be structurally valid; it need not be complete
+/// (incomplete prefixes match exactly like the miners' internal nodes do).
+/// `max_window > 0` additionally requires the occurrence to fit within the
+/// window: time of the last matched slice minus time of the first matched
+/// slice must not exceed it.
+bool Contains(const EndpointSequence& seq, const EndpointPattern& pattern,
+              TimeT max_window = 0);
+
+/// \brief True iff `pattern` occurs in `seq` under run-identity coincidence
+/// matching (DESIGN.md §1.2). With `max_window > 0`, the end time of the
+/// last matched segment minus the start time of the first matched segment
+/// must not exceed the window.
+bool Contains(const CoincidenceSequence& seq, const CoincidencePattern& pattern,
+              TimeT max_window = 0);
+
+/// Number of sequences of `db` containing `pattern` (full scan).
+SupportCount CountSupport(const EndpointDatabase& db, const EndpointPattern& pattern,
+                          TimeT max_window = 0);
+SupportCount CountSupport(const CoincidenceDatabase& db,
+                          const CoincidencePattern& pattern,
+                          TimeT max_window = 0);
+
+}  // namespace tpm
+
+#endif  // TPM_CORE_CONTAINMENT_H_

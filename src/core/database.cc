@@ -1,0 +1,108 @@
+#include "core/database.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace tpm {
+
+EventId Dictionary::Intern(const std::string& name) {
+  auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+  EventId id = static_cast<EventId>(names_.size());
+  names_.push_back(name);
+  ids_.emplace(name, id);
+  return id;
+}
+
+Result<EventId> Dictionary::Lookup(const std::string& name) const {
+  auto it = ids_.find(name);
+  if (it == ids_.end()) {
+    return Status::NotFound("unknown event symbol '" + name + "'");
+  }
+  return it->second;
+}
+
+const std::string& Dictionary::Name(EventId id) const {
+  if (id < names_.size()) return names_[id];
+  fallback_ = StringPrintf("#%u", id);
+  return fallback_;
+}
+
+std::string DatabaseStats::ToString() const {
+  return StringPrintf(
+      "sequences=%zu intervals=%zu symbols=%zu avg_len=%.2f max_len=%zu "
+      "avg_dur=%.2f time=[%lld,%lld]",
+      num_sequences, num_intervals, num_symbols, avg_intervals_per_sequence,
+      max_intervals_per_sequence, avg_duration, static_cast<long long>(min_time),
+      static_cast<long long>(max_time));
+}
+
+void IntervalDatabase::AddSequence(EventSequence sequence) {
+  sequence.Normalize();
+  sequences_.push_back(std::move(sequence));
+}
+
+Status IntervalDatabase::Validate() const {
+  for (size_t i = 0; i < sequences_.size(); ++i) {
+    Status s = sequences_[i].Validate();
+    if (!s.ok()) return s.WithContext(StringPrintf("sequence %zu", i));
+  }
+  return Status::OK();
+}
+
+size_t IntervalDatabase::MergeSameSymbolConflicts() {
+  size_t total = 0;
+  for (EventSequence& seq : sequences_) total += seq.MergeSameSymbolConflicts();
+  return total;
+}
+
+size_t IntervalDatabase::TotalIntervals() const {
+  size_t total = 0;
+  for (const EventSequence& seq : sequences_) total += seq.size();
+  return total;
+}
+
+DatabaseStats IntervalDatabase::ComputeStats() const {
+  DatabaseStats st;
+  st.num_sequences = sequences_.size();
+  st.num_symbols = dict_.size();
+  double dur_sum = 0.0;
+  bool first = true;
+  for (const EventSequence& seq : sequences_) {
+    st.num_intervals += seq.size();
+    st.max_intervals_per_sequence =
+        std::max(st.max_intervals_per_sequence, seq.size());
+    for (const Interval& iv : seq.intervals()) {
+      dur_sum += static_cast<double>(iv.Duration());
+      if (first) {
+        st.min_time = iv.start;
+        st.max_time = iv.finish;
+        first = false;
+      } else {
+        st.min_time = std::min(st.min_time, iv.start);
+        st.max_time = std::max(st.max_time, iv.finish);
+      }
+    }
+  }
+  if (st.num_sequences > 0) {
+    st.avg_intervals_per_sequence =
+        static_cast<double>(st.num_intervals) / static_cast<double>(st.num_sequences);
+  }
+  if (st.num_intervals > 0) {
+    st.avg_duration = dur_sum / static_cast<double>(st.num_intervals);
+  }
+  return st;
+}
+
+SupportCount IntervalDatabase::AbsoluteSupport(double minsup) const {
+  if (minsup <= 0.0) return 1;
+  if (minsup <= 1.0) {
+    double abs = std::ceil(minsup * static_cast<double>(sequences_.size()));
+    return static_cast<SupportCount>(std::max(1.0, abs));
+  }
+  return static_cast<SupportCount>(minsup);
+}
+
+}  // namespace tpm

@@ -1,0 +1,111 @@
+// The endpoint representation (pattern type 1 substrate).
+//
+// An interval (e, s, f) becomes a start endpoint e+ at time s and a finish
+// endpoint e- at time f. All endpoints of a sequence are bucketed by time
+// into *slices*; within a slice they are sorted by EndpointCode. Because
+// same-symbol intervals never intersect or touch (EventSequence::Validate),
+// every (time, code) pair is unique and FIFO partner pairing is unambiguous.
+//
+// The EndpointSequence stores the flattened slice structure plus a *partner
+// index*: for every endpoint item, the item index of the other endpoint of
+// the same interval. Partner indices are what let miners enforce
+// partner-consistent containment in O(1) per check.
+
+#ifndef TPM_CORE_ENDPOINT_H_
+#define TPM_CORE_ENDPOINT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "core/sequence.h"
+#include "core/types.h"
+
+namespace tpm {
+
+/// \brief The endpoint view of one EventSequence (flattened slice layout).
+class EndpointSequence {
+ public:
+  EndpointSequence() = default;
+
+  /// Builds the endpoint view. The sequence must be valid
+  /// (canonical order, no same-symbol conflicts); Build assumes it.
+  static EndpointSequence FromEventSequence(const EventSequence& seq);
+
+  /// Number of slices (distinct time points).
+  uint32_t num_slices() const { return static_cast<uint32_t>(slice_times_.size()); }
+
+  /// Total number of endpoint items (2 * number of intervals).
+  uint32_t num_items() const { return static_cast<uint32_t>(items_.size()); }
+
+  /// Item index range [begin, end) of slice `s`.
+  uint32_t slice_begin(uint32_t s) const { return slice_offsets_[s]; }
+  uint32_t slice_end(uint32_t s) const { return slice_offsets_[s + 1]; }
+  uint32_t slice_size(uint32_t s) const {
+    return slice_offsets_[s + 1] - slice_offsets_[s];
+  }
+
+  /// The endpoint code of item `i`.
+  EndpointCode item(uint32_t i) const { return items_[i]; }
+
+  /// The slice containing item `i`.
+  uint32_t item_slice(uint32_t i) const { return item_slice_[i]; }
+
+  /// Item index of the partner endpoint (other end of the same interval).
+  /// For a start this is >= i (same slice for point events); for a finish
+  /// it is <= i.
+  uint32_t partner(uint32_t i) const { return partner_[i]; }
+
+  /// Time of slice `s`.
+  TimeT slice_time(uint32_t s) const { return slice_times_[s]; }
+
+  /// \brief Finds the item index of `code` within slice `s`, or
+  /// kNotFoundItem. Slices are sorted by code, so this is a binary search
+  /// (slices are tiny; linear fallback below 8 items).
+  static constexpr uint32_t kNotFoundItem = ~0u;
+  uint32_t FindInSlice(uint32_t s, EndpointCode code) const;
+
+  /// Approximate heap footprint in bytes (for memory accounting).
+  size_t MemoryBytes() const;
+
+  /// Debug rendering "<{A+}{B+ A-}{B-}>" using the dictionary.
+  std::string ToString(const Dictionary& dict) const;
+
+ private:
+  std::vector<EndpointCode> items_;      // flattened, slice-major, sorted in-slice
+  std::vector<uint32_t> slice_offsets_;  // size num_slices+1
+  std::vector<uint32_t> item_slice_;     // item -> slice index
+  std::vector<uint32_t> partner_;        // item -> partner item
+  std::vector<TimeT> slice_times_;       // slice -> time
+};
+
+/// Renders an endpoint code like "Fever+" / "Fever-".
+std::string EndpointToString(EndpointCode code, const Dictionary& dict);
+
+/// \brief The endpoint view of a whole database, built once before mining.
+class EndpointDatabase {
+ public:
+  /// Builds endpoint views for all sequences. The database must Validate().
+  static EndpointDatabase FromDatabase(const IntervalDatabase& db);
+
+  size_t size() const { return sequences_.size(); }
+  const EndpointSequence& operator[](size_t i) const { return sequences_[i]; }
+  const std::vector<EndpointSequence>& sequences() const { return sequences_; }
+
+  /// The dictionary of the source database (not owned).
+  const Dictionary* dict() const { return dict_; }
+
+  /// Number of distinct symbols in the source database.
+  size_t num_symbols() const { return num_symbols_; }
+
+  size_t MemoryBytes() const;
+
+ private:
+  std::vector<EndpointSequence> sequences_;
+  const Dictionary* dict_ = nullptr;
+  size_t num_symbols_ = 0;
+};
+
+}  // namespace tpm
+
+#endif  // TPM_CORE_ENDPOINT_H_

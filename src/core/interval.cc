@@ -1,0 +1,12 @@
+#include "core/interval.h"
+
+#include "util/string_util.h"
+
+namespace tpm {
+
+std::string Interval::ToString() const {
+  return StringPrintf("(%u,[%lld,%lld])", event, static_cast<long long>(start),
+                      static_cast<long long>(finish));
+}
+
+}  // namespace tpm

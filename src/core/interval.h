@@ -1,0 +1,53 @@
+// Event intervals: the atomic unit of interval-based data.
+
+#ifndef TPM_CORE_INTERVAL_H_
+#define TPM_CORE_INTERVAL_H_
+
+#include <string>
+
+#include "core/types.h"
+
+namespace tpm {
+
+/// \brief One event interval `(event, start, finish)`, `start <= finish`.
+///
+/// `start == finish` denotes a *point event*; the endpoint representation
+/// treats it as a slice containing both `e+` and `e-`.
+struct Interval {
+  EventId event = 0;
+  TimeT start = 0;
+  TimeT finish = 0;
+
+  Interval() = default;
+  Interval(EventId e, TimeT s, TimeT f) : event(e), start(s), finish(f) {}
+
+  /// True for zero-duration events.
+  bool IsPoint() const { return start == finish; }
+
+  /// Duration `finish - start` (0 for point events).
+  TimeT Duration() const { return finish - start; }
+
+  /// True when the closed intervals [start,finish] share at least one time
+  /// instant (touching endpoints count as intersecting).
+  bool Intersects(const Interval& other) const {
+    return start <= other.finish && other.start <= finish;
+  }
+
+  /// Canonical order: by (start, finish, event). This is the storage order of
+  /// sequences and the order all representations are derived from.
+  friend bool operator<(const Interval& a, const Interval& b) {
+    if (a.start != b.start) return a.start < b.start;
+    if (a.finish != b.finish) return a.finish < b.finish;
+    return a.event < b.event;
+  }
+  friend bool operator==(const Interval& a, const Interval& b) {
+    return a.event == b.event && a.start == b.start && a.finish == b.finish;
+  }
+
+  /// Debug rendering "(3,[5,9])".
+  std::string ToString() const;
+};
+
+}  // namespace tpm
+
+#endif  // TPM_CORE_INTERVAL_H_

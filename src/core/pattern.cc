@@ -1,0 +1,301 @@
+#include "core/pattern.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/endpoint.h"
+#include "util/string_util.h"
+
+namespace tpm {
+
+namespace {
+
+// 64-bit FNV-1a over a byte range, used for pattern hashing.
+size_t HashBytes(const void* data, size_t n, size_t seed) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  size_t h = seed ^ 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+template <typename T>
+bool LexLess(const std::vector<T>& ai, const std::vector<uint32_t>& ao,
+             const std::vector<T>& bi, const std::vector<uint32_t>& bo) {
+  if (ai != bi) {
+    return std::lexicographical_compare(ai.begin(), ai.end(), bi.begin(), bi.end());
+  }
+  return std::lexicographical_compare(ao.begin(), ao.end(), bo.begin(), bo.end());
+}
+
+}  // namespace
+
+EndpointPattern::EndpointPattern(
+    const std::vector<std::vector<EndpointCode>>& slices) {
+  offsets_.push_back(0);
+  for (const auto& slice : slices) {
+    items_.insert(items_.end(), slice.begin(), slice.end());
+    offsets_.push_back(static_cast<uint32_t>(items_.size()));
+  }
+}
+
+uint32_t EndpointPattern::NumIntervals() const {
+  uint32_t n = 0;
+  for (EndpointCode c : items_) {
+    if (!IsFinish(c)) ++n;
+  }
+  return n;
+}
+
+Status EndpointPattern::Validate() const {
+  if (offsets_.empty()) {
+    if (!items_.empty()) return Status::Internal("items without offsets");
+    return Status::OK();
+  }
+  if (offsets_.front() != 0 || offsets_.back() != items_.size()) {
+    return Status::Internal("offset array malformed");
+  }
+  // open[e] == true while an interval of e is open across slices.
+  std::unordered_map<EventId, bool> open;
+  for (uint32_t s = 0; s < num_slices(); ++s) {
+    const uint32_t b = slice_begin(s);
+    const uint32_t e = slice_end(s);
+    if (b == e) return Status::InvalidArgument("empty slice in pattern");
+    for (uint32_t i = b; i < e; ++i) {
+      if (i > b && items_[i] <= items_[i - 1]) {
+        return Status::InvalidArgument(
+            "slice not sorted/duplicate-free in pattern");
+      }
+    }
+    // Same-slice {e+, e-} pairs are point events: the codes are adjacent in
+    // the canonical order, so detect them while scanning.
+    for (uint32_t i = b; i < e; ++i) {
+      const EndpointCode c = items_[i];
+      const EventId ev = EndpointEvent(c);
+      if (!IsFinish(c)) {
+        const bool point = (i + 1 < e && items_[i + 1] == PartnerCode(c));
+        if (open[ev]) {
+          return Status::InvalidArgument(
+              "start endpoint for a symbol that is already open");
+        }
+        if (point) {
+          ++i;  // consume the finish of the point event; symbol stays closed
+        } else {
+          open[ev] = true;
+        }
+      } else {
+        if (!open[ev]) {
+          return Status::InvalidArgument(
+              "finish endpoint for a symbol that is not open");
+        }
+        open[ev] = false;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+bool EndpointPattern::IsComplete() const {
+  int64_t balance = 0;
+  std::unordered_map<EventId, int> open;
+  for (EndpointCode c : items_) {
+    open[EndpointEvent(c)] += IsFinish(c) ? -1 : 1;
+    balance += IsFinish(c) ? -1 : 1;
+  }
+  if (balance != 0) return false;
+  for (const auto& [ev, n] : open) {
+    if (n != 0) return false;
+  }
+  return true;
+}
+
+std::vector<Interval> EndpointPattern::ToCanonicalIntervals() const {
+  std::vector<Interval> out;
+  // FIFO pairing: per symbol, a stack of open interval indices (depth is at
+  // most 1 for valid patterns, but be robust).
+  std::unordered_map<EventId, std::vector<size_t>> open;
+  for (uint32_t s = 0; s < num_slices(); ++s) {
+    for (uint32_t i = slice_begin(s); i < slice_end(s); ++i) {
+      const EndpointCode c = items_[i];
+      const EventId ev = EndpointEvent(c);
+      if (!IsFinish(c)) {
+        open[ev].push_back(out.size());
+        out.emplace_back(ev, static_cast<TimeT>(s), static_cast<TimeT>(s));
+      } else {
+        auto& stack = open[ev];
+        if (!stack.empty()) {
+          out[stack.front()].finish = static_cast<TimeT>(s);
+          stack.erase(stack.begin());
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string EndpointPattern::ToString(const Dictionary& dict) const {
+  std::string out = "<";
+  for (uint32_t s = 0; s < num_slices(); ++s) {
+    out += "{";
+    for (uint32_t i = slice_begin(s); i < slice_end(s); ++i) {
+      if (i > slice_begin(s)) out += " ";
+      out += EndpointToString(items_[i], dict);
+    }
+    out += "}";
+  }
+  out += ">";
+  return out;
+}
+
+Result<EndpointPattern> EndpointPattern::Parse(const std::string& text,
+                                               const Dictionary& dict) {
+  std::string_view s = Trim(text);
+  if (s.size() < 2 || s.front() != '<' || s.back() != '>') {
+    return Status::InvalidArgument("pattern must be wrapped in <...>: " + text);
+  }
+  s = s.substr(1, s.size() - 2);
+  std::vector<std::vector<EndpointCode>> slices;
+  size_t pos = 0;
+  while (pos < s.size()) {
+    while (pos < s.size() && std::isspace(static_cast<unsigned char>(s[pos]))) ++pos;
+    if (pos >= s.size()) break;
+    if (s[pos] != '{') {
+      return Status::InvalidArgument("expected '{' in pattern: " + text);
+    }
+    const size_t close = s.find('}', pos);
+    if (close == std::string_view::npos) {
+      return Status::InvalidArgument("unterminated slice in pattern: " + text);
+    }
+    std::vector<EndpointCode> slice;
+    for (std::string_view tok : Split(s.substr(pos + 1, close - pos - 1), ' ')) {
+      tok = Trim(tok);
+      if (tok.empty()) continue;
+      const char sign = tok.back();
+      if (sign != '+' && sign != '-') {
+        return Status::InvalidArgument("endpoint must end in +/-: " +
+                                       std::string(tok));
+      }
+      Result<EventId> id = dict.Lookup(std::string(tok.substr(0, tok.size() - 1)));
+      if (!id.ok()) return id.status();
+      slice.push_back(sign == '+' ? MakeStart(*id) : MakeFinish(*id));
+    }
+    if (slice.empty()) {
+      return Status::InvalidArgument("empty slice in pattern: " + text);
+    }
+    std::sort(slice.begin(), slice.end());
+    slices.push_back(std::move(slice));
+    pos = close + 1;
+  }
+  EndpointPattern p(slices);
+  Status st = p.Validate();
+  if (!st.ok()) return st;
+  return p;
+}
+
+bool operator<(const EndpointPattern& a, const EndpointPattern& b) {
+  return LexLess(a.items_, a.offsets_, b.items_, b.offsets_);
+}
+
+size_t EndpointPattern::Hash() const {
+  size_t h = HashBytes(items_.data(), items_.size() * sizeof(EndpointCode), 17);
+  return HashBytes(offsets_.data(), offsets_.size() * sizeof(uint32_t), h);
+}
+
+CoincidencePattern::CoincidencePattern(
+    const std::vector<std::vector<EventId>>& coincidences) {
+  offsets_.push_back(0);
+  for (const auto& c : coincidences) {
+    items_.insert(items_.end(), c.begin(), c.end());
+    offsets_.push_back(static_cast<uint32_t>(items_.size()));
+  }
+}
+
+Status CoincidencePattern::Validate() const {
+  if (offsets_.empty()) {
+    if (!items_.empty()) return Status::Internal("items without offsets");
+    return Status::OK();
+  }
+  if (offsets_.front() != 0 || offsets_.back() != items_.size()) {
+    return Status::Internal("offset array malformed");
+  }
+  for (uint32_t c = 0; c < num_coincidences(); ++c) {
+    const uint32_t b = coin_begin(c);
+    const uint32_t e = coin_end(c);
+    if (b == e) return Status::InvalidArgument("empty coincidence in pattern");
+    for (uint32_t i = b; i < e; ++i) {
+      if (i > b && items_[i] <= items_[i - 1]) {
+        return Status::InvalidArgument(
+            "coincidence not sorted/duplicate-free in pattern");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::string CoincidencePattern::ToString(const Dictionary& dict) const {
+  std::string out = "<";
+  for (uint32_t c = 0; c < num_coincidences(); ++c) {
+    out += "(";
+    for (uint32_t i = coin_begin(c); i < coin_end(c); ++i) {
+      if (i > coin_begin(c)) out += " ";
+      out += dict.Name(items_[i]);
+    }
+    out += ")";
+  }
+  out += ">";
+  return out;
+}
+
+Result<CoincidencePattern> CoincidencePattern::Parse(const std::string& text,
+                                                     const Dictionary& dict) {
+  std::string_view s = Trim(text);
+  if (s.size() < 2 || s.front() != '<' || s.back() != '>') {
+    return Status::InvalidArgument("pattern must be wrapped in <...>: " + text);
+  }
+  s = s.substr(1, s.size() - 2);
+  std::vector<std::vector<EventId>> coins;
+  size_t pos = 0;
+  while (pos < s.size()) {
+    while (pos < s.size() && std::isspace(static_cast<unsigned char>(s[pos]))) ++pos;
+    if (pos >= s.size()) break;
+    if (s[pos] != '(') {
+      return Status::InvalidArgument("expected '(' in pattern: " + text);
+    }
+    const size_t close = s.find(')', pos);
+    if (close == std::string_view::npos) {
+      return Status::InvalidArgument("unterminated coincidence: " + text);
+    }
+    std::vector<EventId> coin;
+    for (std::string_view tok : Split(s.substr(pos + 1, close - pos - 1), ' ')) {
+      tok = Trim(tok);
+      if (tok.empty()) continue;
+      Result<EventId> id = dict.Lookup(std::string(tok));
+      if (!id.ok()) return id.status();
+      coin.push_back(*id);
+    }
+    if (coin.empty()) {
+      return Status::InvalidArgument("empty coincidence in pattern: " + text);
+    }
+    std::sort(coin.begin(), coin.end());
+    coins.push_back(std::move(coin));
+    pos = close + 1;
+  }
+  CoincidencePattern p(coins);
+  Status st = p.Validate();
+  if (!st.ok()) return st;
+  return p;
+}
+
+bool operator<(const CoincidencePattern& a, const CoincidencePattern& b) {
+  return LexLess(a.items_, a.offsets_, b.items_, b.offsets_);
+}
+
+size_t CoincidencePattern::Hash() const {
+  size_t h = HashBytes(items_.data(), items_.size() * sizeof(EventId), 29);
+  return HashBytes(offsets_.data(), offsets_.size() * sizeof(uint32_t), h);
+}
+
+}  // namespace tpm

@@ -1,0 +1,138 @@
+// Pattern value types for both pattern languages.
+//
+// Patterns are immutable snapshots produced by miners (or parsed in tests).
+// Both kinds share the flattened slice layout of their source representation.
+
+#ifndef TPM_CORE_PATTERN_H_
+#define TPM_CORE_PATTERN_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "core/interval.h"
+#include "core/types.h"
+#include "util/result.h"
+
+namespace tpm {
+
+/// \brief An endpoint temporal pattern: an ordered list of slices, each a
+/// sorted set of endpoint codes. See DESIGN.md §1.1 for validity rules.
+class EndpointPattern {
+ public:
+  EndpointPattern() = default;
+
+  /// Builds from explicit slices; does not validate (see Validate()).
+  explicit EndpointPattern(const std::vector<std::vector<EndpointCode>>& slices);
+
+  /// Builds from the flattened representation used by miners.
+  EndpointPattern(std::vector<EndpointCode> items, std::vector<uint32_t> offsets)
+      : items_(std::move(items)), offsets_(std::move(offsets)) {}
+
+  uint32_t num_slices() const {
+    return offsets_.empty() ? 0 : static_cast<uint32_t>(offsets_.size()) - 1;
+  }
+  uint32_t num_items() const { return static_cast<uint32_t>(items_.size()); }
+  bool empty() const { return items_.empty(); }
+
+  uint32_t slice_begin(uint32_t s) const { return offsets_[s]; }
+  uint32_t slice_end(uint32_t s) const { return offsets_[s + 1]; }
+  EndpointCode item(uint32_t i) const { return items_[i]; }
+
+  const std::vector<EndpointCode>& items() const { return items_; }
+  const std::vector<uint32_t>& offsets() const { return offsets_; }
+
+  /// Number of intervals the pattern describes (= number of start endpoints).
+  uint32_t NumIntervals() const;
+
+  /// \brief Structural validity: non-empty sorted duplicate-free slices;
+  /// finishes only close open symbols; starts never re-open; same-slice
+  /// +/- pairs are point events. Does NOT require completeness.
+  Status Validate() const;
+
+  /// True when every opened symbol is closed (only complete patterns are
+  /// reported by miners).
+  bool IsComplete() const;
+
+  /// \brief Reconstructs the arrangement as concrete intervals on an ordinal
+  /// time axis (slice indices as times, FIFO pairing for repeated symbols).
+  /// Requires a valid complete pattern.
+  std::vector<Interval> ToCanonicalIntervals() const;
+
+  /// Rendering like "<{A+}{B+}{A- B-}>".
+  std::string ToString(const Dictionary& dict) const;
+
+  /// Parses the ToString format; symbols must already be in `dict`
+  /// (tests intern them first). Validates the result.
+  static Result<EndpointPattern> Parse(const std::string& text,
+                                       const Dictionary& dict);
+
+  friend bool operator==(const EndpointPattern& a, const EndpointPattern& b) {
+    return a.items_ == b.items_ && a.offsets_ == b.offsets_;
+  }
+  /// Lexicographic order for stable reporting.
+  friend bool operator<(const EndpointPattern& a, const EndpointPattern& b);
+
+  size_t Hash() const;
+
+ private:
+  std::vector<EndpointCode> items_;
+  std::vector<uint32_t> offsets_;  // num_slices+1 (empty pattern: empty)
+};
+
+/// \brief A coincidence temporal pattern: an ordered list of non-empty sorted
+/// symbol sets. See DESIGN.md §1.2 for run semantics.
+class CoincidencePattern {
+ public:
+  CoincidencePattern() = default;
+  explicit CoincidencePattern(const std::vector<std::vector<EventId>>& coincidences);
+  CoincidencePattern(std::vector<EventId> items, std::vector<uint32_t> offsets)
+      : items_(std::move(items)), offsets_(std::move(offsets)) {}
+
+  uint32_t num_coincidences() const {
+    return offsets_.empty() ? 0 : static_cast<uint32_t>(offsets_.size()) - 1;
+  }
+  uint32_t num_items() const { return static_cast<uint32_t>(items_.size()); }
+  bool empty() const { return items_.empty(); }
+
+  uint32_t coin_begin(uint32_t c) const { return offsets_[c]; }
+  uint32_t coin_end(uint32_t c) const { return offsets_[c + 1]; }
+  EventId item(uint32_t i) const { return items_[i]; }
+
+  const std::vector<EventId>& items() const { return items_; }
+  const std::vector<uint32_t>& offsets() const { return offsets_; }
+
+  /// Structural validity: non-empty, sorted, duplicate-free coincidences.
+  Status Validate() const;
+
+  /// Rendering like "<(A)(A B)(B)>".
+  std::string ToString(const Dictionary& dict) const;
+
+  /// Parses the ToString format (see EndpointPattern::Parse).
+  static Result<CoincidencePattern> Parse(const std::string& text,
+                                          const Dictionary& dict);
+
+  friend bool operator==(const CoincidencePattern& a, const CoincidencePattern& b) {
+    return a.items_ == b.items_ && a.offsets_ == b.offsets_;
+  }
+  friend bool operator<(const CoincidencePattern& a, const CoincidencePattern& b);
+
+  size_t Hash() const;
+
+ private:
+  std::vector<EventId> items_;
+  std::vector<uint32_t> offsets_;
+};
+
+struct EndpointPatternHash {
+  size_t operator()(const EndpointPattern& p) const { return p.Hash(); }
+};
+struct CoincidencePatternHash {
+  size_t operator()(const CoincidencePattern& p) const { return p.Hash(); }
+};
+
+}  // namespace tpm
+
+#endif  // TPM_CORE_PATTERN_H_

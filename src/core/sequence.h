@@ -1,0 +1,68 @@
+// Interval sequences and their validation.
+
+#ifndef TPM_CORE_SEQUENCE_H_
+#define TPM_CORE_SEQUENCE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/interval.h"
+#include "util/status.h"
+
+namespace tpm {
+
+/// \brief One interval sequence: the intervals observed for one entity
+/// (a patient, a stock, a signer...), canonically sorted.
+class EventSequence {
+ public:
+  EventSequence() = default;
+  explicit EventSequence(std::vector<Interval> intervals);
+
+  /// Appends an interval (invalidates canonical order until Normalize()).
+  void Add(const Interval& interval) { intervals_.push_back(interval); }
+  void Add(EventId e, TimeT start, TimeT finish) {
+    intervals_.emplace_back(e, start, finish);
+  }
+
+  /// Sorts into canonical (start, finish, event) order and drops exact
+  /// duplicate intervals.
+  void Normalize();
+
+  /// \brief Checks the library-wide well-formedness contract:
+  ///  * every interval has start <= finish;
+  ///  * no two intervals with the same symbol intersect or touch
+  ///    (closed-interval semantics), which makes endpoint pairing and
+  ///    coincidence interval-identity unambiguous.
+  ///
+  /// Requires canonical order (call Normalize() first if in doubt).
+  Status Validate() const;
+
+  /// \brief Repairs same-symbol conflicts by merging intersecting/touching
+  /// same-symbol intervals into their union. Returns number of merges.
+  /// Leaves the sequence normalized and valid.
+  size_t MergeSameSymbolConflicts();
+
+  const std::vector<Interval>& intervals() const { return intervals_; }
+  size_t size() const { return intervals_.size(); }
+  bool empty() const { return intervals_.empty(); }
+  const Interval& operator[](size_t i) const { return intervals_[i]; }
+
+  /// Earliest start among intervals (0 when empty).
+  TimeT MinTime() const;
+  /// Latest finish among intervals (0 when empty).
+  TimeT MaxTime() const;
+
+  friend bool operator==(const EventSequence& a, const EventSequence& b) {
+    return a.intervals_ == b.intervals_;
+  }
+
+  /// Debug rendering "{(1,[0,5]) (2,[3,9])}".
+  std::string ToString() const;
+
+ private:
+  std::vector<Interval> intervals_;
+};
+
+}  // namespace tpm
+
+#endif  // TPM_CORE_SEQUENCE_H_

@@ -1,0 +1,64 @@
+// QUEST-style synthetic interval data generator.
+//
+// Follows the classic IBM QUEST recipe adapted to interval events, as used
+// throughout the TPMiner/CTMiner evaluation lineage: a pool of "potential
+// patterns" (small interval arrangements) is planted into sequences together
+// with Zipf-skewed noise intervals. Dataset names follow the paper
+// convention: D<k>C<c>N<n> = |D| thousand sequences, c intervals/sequence on
+// average, n distinct symbols.
+
+#ifndef TPM_DATAGEN_QUEST_H_
+#define TPM_DATAGEN_QUEST_H_
+
+#include <string>
+
+#include "core/database.h"
+#include "util/result.h"
+
+namespace tpm {
+
+struct QuestConfig {
+  /// |D|: number of sequences.
+  uint32_t num_sequences = 10000;
+  /// C: average number of intervals per sequence (Poisson, min 1).
+  double avg_intervals_per_sequence = 8.0;
+  /// N: number of distinct event symbols.
+  uint32_t num_symbols = 1000;
+
+  /// Number of potential patterns in the planted pool.
+  uint32_t num_potential_patterns = 50;
+  /// Average number of intervals per potential pattern (min 2).
+  double avg_pattern_intervals = 3.0;
+  /// Probability that a sequence embeds one pattern from the pool.
+  double pattern_injection_prob = 0.5;
+  /// Probability that each planted interval is dropped (corruption),
+  /// mirroring QUEST's corruption level.
+  double corruption_prob = 0.15;
+
+  /// Zipf skew for noise symbol selection (0 = uniform).
+  double symbol_zipf_theta = 0.6;
+  /// Zipf skew for choosing patterns from the pool.
+  double pattern_zipf_theta = 0.8;
+
+  /// Mean interval duration (exponential, >= 1 tick).
+  double avg_duration = 20.0;
+  /// Mean gap between consecutive interval starts (exponential).
+  double avg_gap = 10.0;
+  /// Probability that a noise interval is a point event.
+  double point_event_prob = 0.05;
+
+  uint64_t seed = 42;
+  /// Symbols are named "<prefix>0" ... "<prefix>N-1".
+  std::string symbol_prefix = "E";
+
+  /// Conventional name like "D10kC8N1000".
+  std::string Name() const;
+};
+
+/// Generates a database. The result always satisfies Validate(): planted and
+/// noise intervals are merged per symbol when they would conflict.
+Result<IntervalDatabase> GenerateQuest(const QuestConfig& config);
+
+}  // namespace tpm
+
+#endif  // TPM_DATAGEN_QUEST_H_

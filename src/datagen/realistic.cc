@@ -1,0 +1,307 @@
+#include "datagen/realistic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace tpm {
+
+// ---------------------------------------------------------------------------
+// ASL-like
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Utterance archetypes: each couples a syntactic frame (a sign sequence)
+// with grammatical markers that scope over parts of the frame. These mirror
+// the marker/sign containment structure reported for the ASL corpus.
+struct AslArchetype {
+  const char* name;
+  std::vector<const char*> signs;    // sequential manual signs
+  std::vector<const char*> markers;  // non-manual markers spanning the frame
+  double weight;
+};
+
+const std::vector<AslArchetype>& AslArchetypes() {
+  static const std::vector<AslArchetype> kArchetypes = {
+      {"wh-question",
+       {"SIGN_WHO", "SIGN_BUY", "SIGN_CAR"},
+       {"BROW_FURROW", "HEAD_TILT_FWD"},
+       0.22},
+      {"yn-question",
+       {"SIGN_YOU", "SIGN_LIKE", "SIGN_COFFEE"},
+       {"BROW_RAISE", "HEAD_TILT_FWD"},
+       0.20},
+      {"negation",
+       {"SIGN_ME", "SIGN_WANT", "SIGN_GO"},
+       {"HEAD_SHAKE", "FROWN"},
+       0.18},
+      {"conditional",
+       {"SIGN_IF", "SIGN_RAIN", "SIGN_STAY", "SIGN_HOME"},
+       {"BROW_RAISE", "PAUSE_HOLD"},
+       0.15},
+      {"topicalization",
+       {"SIGN_BOOK", "SIGN_ME", "SIGN_READ"},
+       {"BROW_RAISE", "HEAD_TILT_BACK"},
+       0.15},
+      {"plain-statement",
+       {"SIGN_ME", "SIGN_FINISH", "SIGN_WORK"},
+       {"BLINK"},
+       0.10},
+  };
+  return kArchetypes;
+}
+
+}  // namespace
+
+Result<IntervalDatabase> GenerateAslLike(const AslConfig& config) {
+  if (config.num_utterances == 0) {
+    return Status::InvalidArgument("num_utterances must be > 0");
+  }
+  IntervalDatabase db;
+  Rng rng(config.seed);
+  const auto& archetypes = AslArchetypes();
+
+  // Extra idiosyncratic signs so the alphabet reaches corpus scale.
+  std::vector<EventId> filler_signs;
+  for (int i = 0; i < 160; ++i) {
+    filler_signs.push_back(db.dict().Intern(StringPrintf("SIGN_X%03d", i)));
+  }
+  const EventId blink = db.dict().Intern("BLINK");
+
+  for (uint32_t u = 0; u < config.num_utterances; ++u) {
+    // Weighted archetype choice.
+    double r = rng.NextDouble();
+    const AslArchetype* arch = &archetypes.back();
+    for (const AslArchetype& a : archetypes) {
+      if (r < a.weight) {
+        arch = &a;
+        break;
+      }
+      r -= a.weight;
+    }
+
+    EventSequence seq;
+    // Manual signs: sequential, 200-600ms each (time unit = 10ms ticks),
+    // with small inter-sign gaps; occasionally a sign is dropped/substituted.
+    TimeT cursor = static_cast<TimeT>(rng.Uniform(20));
+    std::vector<std::pair<TimeT, TimeT>> sign_spans;
+    for (const char* sign : arch->signs) {
+      if (rng.Bernoulli(0.08)) continue;  // omission noise
+      const TimeT dur = 20 + static_cast<TimeT>(rng.Uniform(40));
+      const EventId e = rng.Bernoulli(0.05)
+                            ? filler_signs[rng.Uniform(filler_signs.size())]
+                            : db.dict().Intern(sign);
+      seq.Add(e, cursor, cursor + dur);
+      sign_spans.emplace_back(cursor, cursor + dur);
+      cursor += dur + 2 + static_cast<TimeT>(rng.Uniform(10));
+    }
+    if (sign_spans.empty()) {
+      const TimeT dur = 30;
+      seq.Add(filler_signs[rng.Uniform(filler_signs.size())], cursor, cursor + dur);
+      sign_spans.emplace_back(cursor, cursor + dur);
+      cursor += dur;
+    }
+
+    // Non-manual markers scope over the signed frame: they start slightly
+    // before the first scoped sign and end slightly after the last one
+    // (contains/overlaps/finished-by arrangements).
+    const TimeT frame_start = sign_spans.front().first;
+    const TimeT frame_end = sign_spans.back().second;
+    for (const char* marker : arch->markers) {
+      if (rng.Bernoulli(0.12)) continue;  // marker omission noise
+      const TimeT lead = static_cast<TimeT>(rng.Uniform(6));
+      const TimeT lag = static_cast<TimeT>(rng.Uniform(6));
+      TimeT ms = frame_start > lead ? frame_start - lead : 0;
+      TimeT me = frame_end + lag;
+      if (rng.Bernoulli(0.25) && sign_spans.size() >= 2) {
+        // Sometimes the marker scopes only a suffix of the frame.
+        ms = sign_spans[sign_spans.size() / 2].first - (lead > 2 ? 2 : lead);
+      }
+      seq.Add(db.dict().Intern(marker), ms, me);
+    }
+
+    // Blinks are near-instantaneous point events between signs.
+    if (rng.Bernoulli(0.5)) {
+      const TimeT t = frame_end + 1 + static_cast<TimeT>(rng.Uniform(8));
+      seq.Add(blink, t, t);
+    }
+
+    // Background filler signs after the frame.
+    const uint32_t extra = rng.Poisson(2.0);
+    for (uint32_t k = 0; k < extra; ++k) {
+      cursor += 5 + static_cast<TimeT>(rng.Uniform(20));
+      const TimeT dur = 15 + static_cast<TimeT>(rng.Uniform(40));
+      seq.Add(filler_signs[rng.Uniform(filler_signs.size())], cursor, cursor + dur);
+      cursor += dur;
+    }
+
+    seq.MergeSameSymbolConflicts();
+    db.AddSequence(std::move(seq));
+  }
+  return db;
+}
+
+// ---------------------------------------------------------------------------
+// Library-lending-like
+// ---------------------------------------------------------------------------
+
+Result<IntervalDatabase> GenerateLibraryLike(const LibraryConfig& config) {
+  if (config.num_borrowers == 0 || config.num_categories == 0) {
+    return Status::InvalidArgument("borrowers and categories must be > 0");
+  }
+  IntervalDatabase db;
+  Rng rng(config.seed);
+  for (uint32_t c = 0; c < config.num_categories; ++c) {
+    db.dict().Intern(StringPrintf("CAT_%03u", c));
+  }
+  const ZipfSampler category_zipf(config.num_categories, 0.9);
+
+  // Category affinity graph: categories borrowed together (e.g. a novel and
+  // its sequel genre). cat -> companion borrowed with overlapping spans.
+  std::vector<EventId> companion(config.num_categories);
+  for (uint32_t c = 0; c < config.num_categories; ++c) {
+    companion[c] = static_cast<EventId>((c + 1 + rng.Uniform(5)) % config.num_categories);
+  }
+
+  for (uint32_t b = 0; b < config.num_borrowers; ++b) {
+    EventSequence seq;
+    // Interest profile: 2-4 favourite categories.
+    const uint32_t num_fav = 2 + static_cast<uint32_t>(rng.Uniform(3));
+    std::vector<EventId> favs;
+    while (favs.size() < num_fav) {
+      EventId c = static_cast<EventId>(category_zipf.Sample(&rng));
+      if (std::find(favs.begin(), favs.end(), c) == favs.end()) favs.push_back(c);
+    }
+
+    TimeT day = static_cast<TimeT>(rng.Uniform(60));
+    const uint32_t visits = 4 + rng.Poisson(8.0);
+    for (uint32_t v = 0; v < visits && day < config.horizon_days; ++v) {
+      // A visit borrows 1-3 items, usually from favourites.
+      const uint32_t borrow = 1 + static_cast<uint32_t>(rng.Uniform(3));
+      for (uint32_t k = 0; k < borrow; ++k) {
+        EventId cat = rng.Bernoulli(0.7)
+                          ? favs[rng.Uniform(favs.size())]
+                          : static_cast<EventId>(category_zipf.Sample(&rng));
+        const TimeT len = 7 + static_cast<TimeT>(rng.Uniform(54));  // 7-60 days
+        seq.Add(cat, day + static_cast<TimeT>(k), day + static_cast<TimeT>(k) + len);
+        // Companion borrow with an overlapping span (the co-read pattern).
+        if (rng.Bernoulli(0.35)) {
+          const TimeT off = 1 + static_cast<TimeT>(rng.Uniform(10));
+          const TimeT len2 = 7 + static_cast<TimeT>(rng.Uniform(40));
+          seq.Add(companion[cat], day + off, day + off + len2);
+        }
+      }
+      // Next visit after the typical renewal cycle (with seasonal jitter).
+      day += 10 + static_cast<TimeT>(rng.Uniform(35));
+    }
+
+    seq.MergeSameSymbolConflicts();
+    db.AddSequence(std::move(seq));
+  }
+  return db;
+}
+
+// ---------------------------------------------------------------------------
+// Stock-state
+// ---------------------------------------------------------------------------
+
+Result<IntervalDatabase> GenerateStockLike(const StockConfig& config) {
+  if (config.num_stocks == 0 || config.num_days < 10) {
+    return Status::InvalidArgument("need stocks > 0 and days >= 10");
+  }
+  IntervalDatabase db;
+  Rng rng(config.seed);
+  const EventId up = db.dict().Intern("UP");
+  const EventId down = db.dict().Intern("DOWN");
+  const EventId flat = db.dict().Intern("FLAT");
+  const EventId hivol = db.dict().Intern("HIGH_VOLUME");
+  const EventId bull = db.dict().Intern("BULL_MARKET");
+  const EventId bear = db.dict().Intern("BEAR_MARKET");
+  const EventId earnings = db.dict().Intern("EARNINGS_WINDOW");
+
+  // Common market factor: regime-switching drift shared by all stocks.
+  std::vector<double> market(config.num_days);
+  std::vector<int> regime(config.num_days);  // +1 bull, -1 bear, 0 neutral
+  {
+    int state = 0;
+    for (uint32_t d = 0; d < config.num_days; ++d) {
+      if (d % 20 == 0 || rng.Bernoulli(0.03)) {
+        const double r = rng.NextDouble();
+        state = r < 0.35 ? 1 : (r < 0.7 ? -1 : 0);
+      }
+      regime[d] = state;
+      market[d] = 0.002 * state + rng.Normal(0.0, 0.01);
+    }
+  }
+
+  // Helper: append run-length intervals of a day-indexed state slice
+  // [w0, w1) with times local to the window. A run of days [a, b] becomes
+  // the interval [2a, 2b+1] on a half-day tick axis, which leaves a 1-tick
+  // gap before any adjacent same-symbol run (the non-touching contract).
+  auto emit_runs = [](EventSequence* seq, const std::vector<int>& states,
+                      int value, EventId symbol, uint32_t w0, uint32_t w1) {
+    uint32_t start = 0;
+    bool in_run = false;
+    for (uint32_t d = w0; d <= w1; ++d) {
+      const bool on = d < w1 && states[d] == value;
+      if (on && !in_run) {
+        start = d;
+        in_run = true;
+      } else if (!on && in_run) {
+        seq->Add(symbol, 2 * static_cast<TimeT>(start - w0),
+                 2 * static_cast<TimeT>(d - 1 - w0) + 1);
+        in_run = false;
+      }
+    }
+  };
+
+  const uint32_t window = std::max(5u, config.window_days);
+  for (uint32_t s = 0; s < config.num_stocks; ++s) {
+    const double beta = 0.5 + rng.NextDouble();  // market sensitivity
+    double price = 50.0 + rng.NextDouble() * 100.0;
+
+    std::vector<int> trend(config.num_days);
+    std::vector<int> vol_state(config.num_days);
+    double base_vol = 1.0;
+    for (uint32_t d = 0; d < config.num_days; ++d) {
+      const double ret = beta * market[d] + rng.Normal(0.0005, 0.015);
+      price *= (1.0 + ret);
+      trend[d] = ret > 0.004 ? 1 : (ret < -0.004 ? -1 : 0);
+      // Volume spikes cluster on big moves (the HIGH_VOLUME-during-DOWN
+      // pattern the case study looks for).
+      base_vol = 0.8 * base_vol + 0.2 * (1.0 + 40.0 * std::abs(ret));
+      vol_state[d] = base_vol > 1.6 ? 1 : 0;
+    }
+
+    const uint32_t earnings_phase = static_cast<uint32_t>(rng.Uniform(63));
+    for (uint32_t w0 = 0; w0 + window <= config.num_days; w0 += window) {
+      const uint32_t w1 = w0 + window;
+      EventSequence seq;
+      emit_runs(&seq, trend, 1, up, w0, w1);
+      emit_runs(&seq, trend, -1, down, w0, w1);
+      emit_runs(&seq, trend, 0, flat, w0, w1);
+      emit_runs(&seq, vol_state, 1, hivol, w0, w1);
+      emit_runs(&seq, regime, 1, bull, w0, w1);
+      emit_runs(&seq, regime, -1, bear, w0, w1);
+
+      // Quarterly earnings windows (shared phase per stock), clipped.
+      for (uint32_t d = earnings_phase; d + 3 < config.num_days; d += 63) {
+        if (d >= w0 && d + 2 < w1) {
+          seq.Add(earnings, 2 * static_cast<TimeT>(d - w0),
+                  2 * static_cast<TimeT>(d + 2 - w0) + 1);
+        }
+      }
+
+      seq.MergeSameSymbolConflicts();
+      if (!seq.empty()) db.AddSequence(std::move(seq));
+    }
+  }
+  return db;
+}
+
+}  // namespace tpm

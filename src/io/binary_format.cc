@@ -1,0 +1,118 @@
+#include "io/binary_format.h"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "io/crc32.h"
+#include "io/varint.h"
+#include "util/macros.h"
+#include "util/string_util.h"
+
+namespace tpm {
+
+namespace {
+constexpr char kMagic[4] = {'T', 'P', 'M', 'B'};
+constexpr uint64_t kVersion = 1;
+}  // namespace
+
+std::string SerializeBinary(const IntervalDatabase& db) {
+  std::string out;
+  out.append(kMagic, 4);
+  PutVarint64(&out, kVersion);
+  PutVarint64(&out, db.dict().size());
+  for (const std::string& name : db.dict().names()) {
+    PutVarint64(&out, name.size());
+    out.append(name);
+  }
+  PutVarint64(&out, db.size());
+  for (const EventSequence& seq : db.sequences()) {
+    PutVarint64(&out, seq.size());
+    TimeT prev_start = 0;
+    for (const Interval& iv : seq.intervals()) {
+      PutVarint64(&out, iv.event);
+      PutSignedVarint64(&out, iv.start - prev_start);
+      PutVarint64(&out, static_cast<uint64_t>(iv.Duration()));
+      prev_start = iv.start;
+    }
+  }
+  const uint32_t crc = Crc32(out.data(), out.size());
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((crc >> (8 * i)) & 0xff));
+  }
+  return out;
+}
+
+Result<IntervalDatabase> ParseBinary(const std::string& buffer) {
+  if (buffer.size() < 8 || std::memcmp(buffer.data(), kMagic, 4) != 0) {
+    return Status::Corruption("not a TPMB file (bad magic)");
+  }
+  const size_t body_size = buffer.size() - 4;
+  uint32_t stored_crc = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored_crc |= static_cast<uint32_t>(
+                      static_cast<uint8_t>(buffer[body_size + i]))
+                  << (8 * i);
+  }
+  if (Crc32(buffer.data(), body_size) != stored_crc) {
+    return Status::Corruption("TPMB checksum mismatch (truncated or corrupt)");
+  }
+
+  VarintReader r(buffer.data() + 4, body_size - 4);
+  TPM_ASSIGN_OR_RETURN(uint64_t version, r.GetVarint64());
+  if (version != kVersion) {
+    return Status::NotImplemented(
+        StringPrintf("TPMB version %llu unsupported",
+                     static_cast<unsigned long long>(version)));
+  }
+  IntervalDatabase db;
+  TPM_ASSIGN_OR_RETURN(uint64_t dict_count, r.GetVarint64());
+  for (uint64_t i = 0; i < dict_count; ++i) {
+    TPM_ASSIGN_OR_RETURN(std::string name, r.GetLengthPrefixedString());
+    db.dict().Intern(name);
+  }
+  TPM_ASSIGN_OR_RETURN(uint64_t seq_count, r.GetVarint64());
+  for (uint64_t s = 0; s < seq_count; ++s) {
+    TPM_ASSIGN_OR_RETURN(uint64_t n, r.GetVarint64());
+    EventSequence seq;
+    TimeT prev_start = 0;
+    for (uint64_t k = 0; k < n; ++k) {
+      TPM_ASSIGN_OR_RETURN(uint64_t event, r.GetVarint64());
+      TPM_ASSIGN_OR_RETURN(int64_t delta, r.GetSignedVarint64());
+      TPM_ASSIGN_OR_RETURN(uint64_t duration, r.GetVarint64());
+      if (event >= dict_count) {
+        return Status::Corruption("event id out of dictionary range");
+      }
+      const TimeT start = prev_start + delta;
+      seq.Add(static_cast<EventId>(event), start,
+              start + static_cast<TimeT>(duration));
+      prev_start = start;
+    }
+    seq.Normalize();
+    db.AddSequence(std::move(seq));
+  }
+  if (r.remaining() != 0) {
+    return Status::Corruption("trailing bytes after TPMB payload");
+  }
+  TPM_RETURN_NOT_OK(db.Validate());
+  return db;
+}
+
+Status WriteBinaryFile(const IntervalDatabase& db, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  const std::string buffer = SerializeBinary(db);
+  out.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+  if (!out) return Status::IOError("write failed for '" + path + "'");
+  return Status::OK();
+}
+
+Result<IntervalDatabase> ReadBinaryFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open '" + path + "' for reading");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseBinary(buf.str());
+}
+
+}  // namespace tpm

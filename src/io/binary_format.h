@@ -1,0 +1,36 @@
+// Compact binary serialization of temporal databases.
+//
+// Layout (all integers varint unless noted):
+//   magic   "TPMB" (4 raw bytes)
+//   version u32 varint (currently 1)
+//   dict    count, then length-prefixed symbol names
+//   seqs    count, then per sequence: interval count, then per interval
+//           (event, start-delta from previous start [zigzag], duration)
+//   crc     CRC-32 of everything above, 4 raw little-endian bytes
+//
+// Delta + varint encoding typically shrinks databases ~4x vs text and the
+// trailing CRC turns truncation/bit-rot into a Corruption status instead of
+// silently wrong mining inputs.
+
+#ifndef TPM_IO_BINARY_FORMAT_H_
+#define TPM_IO_BINARY_FORMAT_H_
+
+#include <string>
+
+#include "core/database.h"
+#include "util/result.h"
+
+namespace tpm {
+
+/// Serializes to an in-memory buffer.
+std::string SerializeBinary(const IntervalDatabase& db);
+
+/// Parses a buffer produced by SerializeBinary; verifies magic and CRC.
+Result<IntervalDatabase> ParseBinary(const std::string& buffer);
+
+Status WriteBinaryFile(const IntervalDatabase& db, const std::string& path);
+Result<IntervalDatabase> ReadBinaryFile(const std::string& path);
+
+}  // namespace tpm
+
+#endif  // TPM_IO_BINARY_FORMAT_H_

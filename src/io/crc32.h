@@ -1,0 +1,17 @@
+// CRC-32 (IEEE polynomial) for binary-file integrity checking.
+
+#ifndef TPM_IO_CRC32_H_
+#define TPM_IO_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tpm {
+
+/// Computes CRC-32 (IEEE 802.3, reflected) of `data`. `seed` allows chaining:
+/// pass a previous result to continue a running checksum.
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+}  // namespace tpm
+
+#endif  // TPM_IO_CRC32_H_

@@ -1,0 +1,40 @@
+#include "io/loader.h"
+
+#include "io/binary_format.h"
+
+namespace tpm {
+
+namespace {
+
+std::string Extension(const std::string& path) {
+  const size_t dot = path.find_last_of('.');
+  const size_t slash = path.find_last_of('/');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return "";
+  }
+  return path.substr(dot + 1);
+}
+
+}  // namespace
+
+Result<IntervalDatabase> LoadDatabase(const std::string& path,
+                                      const TextReadOptions& options) {
+  const std::string ext = Extension(path);
+  if (ext == "tisd" || ext == "txt") return ReadTisdFile(path, options);
+  if (ext == "csv") return ReadCsvFile(path, options);
+  if (ext == "tpmb" || ext == "bin") return ReadBinaryFile(path);
+  return Status::InvalidArgument("unknown database extension '." + ext +
+                                 "' (use .tisd/.txt/.csv/.tpmb/.bin)");
+}
+
+Status SaveDatabase(const IntervalDatabase& db, const std::string& path) {
+  const std::string ext = Extension(path);
+  if (ext == "tisd" || ext == "txt") return WriteTisdFile(db, path);
+  if (ext == "csv") return WriteCsvFile(db, path);
+  if (ext == "tpmb" || ext == "bin") return WriteBinaryFile(db, path);
+  return Status::InvalidArgument("unknown database extension '." + ext +
+                                 "' (use .tisd/.txt/.csv/.tpmb/.bin)");
+}
+
+}  // namespace tpm

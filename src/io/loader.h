@@ -1,0 +1,24 @@
+// Convenience facade: load/save by file extension.
+
+#ifndef TPM_IO_LOADER_H_
+#define TPM_IO_LOADER_H_
+
+#include <string>
+
+#include "core/database.h"
+#include "io/text_format.h"
+#include "util/result.h"
+
+namespace tpm {
+
+/// Loads a database, dispatching on extension: .tisd/.txt (TISD),
+/// .csv (CSV), .tpmb/.bin (binary).
+Result<IntervalDatabase> LoadDatabase(const std::string& path,
+                                      const TextReadOptions& options = {});
+
+/// Saves a database, dispatching on extension like LoadDatabase.
+Status SaveDatabase(const IntervalDatabase& db, const std::string& path);
+
+}  // namespace tpm
+
+#endif  // TPM_IO_LOADER_H_

@@ -1,0 +1,191 @@
+#include "io/text_format.h"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/macros.h"
+#include "util/string_util.h"
+
+namespace tpm {
+
+namespace {
+
+// Accumulates intervals grouped by string sequence id, preserving
+// first-appearance order of sequences.
+class DatabaseBuilder {
+ public:
+  explicit DatabaseBuilder(const TextReadOptions& options) : options_(options) {}
+
+  Status Add(std::string_view sid, std::string_view symbol, std::string_view start,
+             std::string_view finish, size_t line_no) {
+    TPM_ASSIGN_OR_RETURN(int64_t s, ParseInt64(start));
+    TPM_ASSIGN_OR_RETURN(int64_t f, ParseInt64(finish));
+    if (s > f) {
+      return Status::InvalidArgument(
+          StringPrintf("line %zu: start %lld > finish %lld", line_no,
+                       static_cast<long long>(s), static_cast<long long>(f)));
+    }
+    const std::string key(sid);
+    auto [it, inserted] = index_.emplace(key, sequences_.size());
+    if (inserted) sequences_.emplace_back();
+    const EventId e = db_.dict().Intern(std::string(symbol));
+    sequences_[it->second].Add(e, s, f);
+    return Status::OK();
+  }
+
+  Result<IntervalDatabase> Finish() {
+    for (EventSequence& seq : sequences_) {
+      if (options_.merge_conflicts) {
+        seq.MergeSameSymbolConflicts();
+      } else {
+        seq.Normalize();
+      }
+      db_.AddSequence(std::move(seq));
+    }
+    TPM_RETURN_NOT_OK(db_.Validate().WithContext(
+        "input violates the same-symbol non-intersection contract (pass "
+        "merge_conflicts to repair)"));
+    return std::move(db_);
+  }
+
+ private:
+  const TextReadOptions& options_;
+  IntervalDatabase db_;
+  std::vector<EventSequence> sequences_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+}  // namespace
+
+Result<IntervalDatabase> ReadTisd(std::istream& in, const TextReadOptions& options) {
+  DatabaseBuilder builder(options);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view v = Trim(line);
+    if (v.empty() || v.front() == '#') continue;
+    // Whitespace-separated fields.
+    std::vector<std::string_view> fields;
+    size_t i = 0;
+    while (i < v.size()) {
+      while (i < v.size() && std::isspace(static_cast<unsigned char>(v[i]))) ++i;
+      size_t j = i;
+      while (j < v.size() && !std::isspace(static_cast<unsigned char>(v[j]))) ++j;
+      if (j > i) fields.push_back(v.substr(i, j - i));
+      i = j;
+    }
+    if (fields.size() != 4) {
+      return Status::InvalidArgument(StringPrintf(
+          "line %zu: expected 4 fields <seq> <symbol> <start> <finish>, got %zu",
+          line_no, fields.size()));
+    }
+    TPM_RETURN_NOT_OK(
+        builder.Add(fields[0], fields[1], fields[2], fields[3], line_no));
+  }
+  return builder.Finish();
+}
+
+Result<IntervalDatabase> ReadTisdString(const std::string& text,
+                                        const TextReadOptions& options) {
+  std::istringstream in(text);
+  return ReadTisd(in, options);
+}
+
+Result<IntervalDatabase> ReadTisdFile(const std::string& path,
+                                      const TextReadOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open '" + path + "' for reading");
+  return ReadTisd(in, options);
+}
+
+Status WriteTisd(const IntervalDatabase& db, std::ostream& out) {
+  out << "# TISD: <sequence> <symbol> <start> <finish>\n";
+  for (size_t s = 0; s < db.size(); ++s) {
+    for (const Interval& iv : db[s].intervals()) {
+      out << s << ' ' << db.dict().Name(iv.event) << ' ' << iv.start << ' '
+          << iv.finish << '\n';
+    }
+  }
+  if (!out) return Status::IOError("write failed");
+  return Status::OK();
+}
+
+Status WriteTisdFile(const IntervalDatabase& db, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  return WriteTisd(db, out);
+}
+
+Result<IntervalDatabase> ReadCsv(std::istream& in, const TextReadOptions& options) {
+  DatabaseBuilder builder(options);
+  std::string line;
+  size_t line_no = 0;
+  int col_seq = -1, col_event = -1, col_start = -1, col_finish = -1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    std::string_view v = line;
+    if (Trim(v).empty()) continue;
+    std::vector<std::string_view> fields = Split(v, ',');
+    if (line_no == 1 || col_seq < 0) {
+      // Header row: locate columns by name.
+      for (int i = 0; i < static_cast<int>(fields.size()); ++i) {
+        std::string_view h = Trim(fields[i]);
+        if (h == "sequence") col_seq = i;
+        if (h == "event") col_event = i;
+        if (h == "start") col_start = i;
+        if (h == "finish") col_finish = i;
+      }
+      if (col_seq < 0 || col_event < 0 || col_start < 0 || col_finish < 0) {
+        return Status::InvalidArgument(
+            "CSV header must contain sequence,event,start,finish columns");
+      }
+      continue;
+    }
+    const int needed =
+        std::max(std::max(col_seq, col_event), std::max(col_start, col_finish));
+    if (static_cast<int>(fields.size()) <= needed) {
+      return Status::InvalidArgument(
+          StringPrintf("line %zu: too few CSV fields", line_no));
+    }
+    TPM_RETURN_NOT_OK(builder.Add(Trim(fields[col_seq]), Trim(fields[col_event]),
+                                  fields[col_start], fields[col_finish], line_no));
+  }
+  if (col_seq < 0) return Status::InvalidArgument("empty CSV input");
+  return builder.Finish();
+}
+
+Result<IntervalDatabase> ReadCsvString(const std::string& text,
+                                       const TextReadOptions& options) {
+  std::istringstream in(text);
+  return ReadCsv(in, options);
+}
+
+Result<IntervalDatabase> ReadCsvFile(const std::string& path,
+                                     const TextReadOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open '" + path + "' for reading");
+  return ReadCsv(in, options);
+}
+
+Status WriteCsv(const IntervalDatabase& db, std::ostream& out) {
+  out << "sequence,event,start,finish\n";
+  for (size_t s = 0; s < db.size(); ++s) {
+    for (const Interval& iv : db[s].intervals()) {
+      out << s << ',' << db.dict().Name(iv.event) << ',' << iv.start << ','
+          << iv.finish << '\n';
+    }
+  }
+  if (!out) return Status::IOError("write failed");
+  return Status::OK();
+}
+
+Status WriteCsvFile(const IntervalDatabase& db, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  return WriteCsv(db, out);
+}
+
+}  // namespace tpm

@@ -1,0 +1,56 @@
+// Text serialization of temporal databases.
+//
+// Two dialects share one reader core:
+//  * TISD ("temporal interval sequence data"): whitespace-separated
+//      <sequence-id> <symbol> <start> <finish>
+//    lines, '#' comments, blank lines ignored. The canonical interchange
+//    format of this library.
+//  * CSV: "sequence,event,start,finish" with a mandatory header row.
+//
+// Sequence ids may be arbitrary strings; sequences are emitted in first-
+// appearance order. Symbols are interned in first-appearance order.
+
+#ifndef TPM_IO_TEXT_FORMAT_H_
+#define TPM_IO_TEXT_FORMAT_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "core/database.h"
+#include "util/result.h"
+
+namespace tpm {
+
+struct TextReadOptions {
+  /// Repair same-symbol conflicts by merging instead of failing validation.
+  bool merge_conflicts = false;
+};
+
+/// Parses TISD from a stream/string.
+Result<IntervalDatabase> ReadTisd(std::istream& in,
+                                  const TextReadOptions& options = {});
+Result<IntervalDatabase> ReadTisdString(const std::string& text,
+                                        const TextReadOptions& options = {});
+/// Loads TISD from a file path.
+Result<IntervalDatabase> ReadTisdFile(const std::string& path,
+                                      const TextReadOptions& options = {});
+
+/// Writes TISD; sequence ids are the 0-based indices.
+Status WriteTisd(const IntervalDatabase& db, std::ostream& out);
+Status WriteTisdFile(const IntervalDatabase& db, const std::string& path);
+
+/// Parses CSV with header "sequence,event,start,finish" (any column order).
+Result<IntervalDatabase> ReadCsv(std::istream& in,
+                                 const TextReadOptions& options = {});
+Result<IntervalDatabase> ReadCsvString(const std::string& text,
+                                       const TextReadOptions& options = {});
+Result<IntervalDatabase> ReadCsvFile(const std::string& path,
+                                     const TextReadOptions& options = {});
+
+/// Writes CSV with the canonical header.
+Status WriteCsv(const IntervalDatabase& db, std::ostream& out);
+Status WriteCsvFile(const IntervalDatabase& db, const std::string& path);
+
+}  // namespace tpm
+
+#endif  // TPM_IO_TEXT_FORMAT_H_

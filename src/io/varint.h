@@ -1,0 +1,68 @@
+// LEB128 varint + zigzag encoding for the binary database format.
+
+#ifndef TPM_IO_VARINT_H_
+#define TPM_IO_VARINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/macros.h"
+#include "util/result.h"
+
+namespace tpm {
+
+/// Appends an unsigned LEB128 varint to `out`.
+inline void PutVarint64(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+/// Zigzag-encodes a signed value then writes it as a varint.
+inline void PutSignedVarint64(std::string* out, int64_t v) {
+  PutVarint64(out, (static_cast<uint64_t>(v) << 1) ^
+                       static_cast<uint64_t>(v >> 63));
+}
+
+/// Cursor over an input buffer for decoding.
+struct VarintReader {
+  const uint8_t* pos;
+  const uint8_t* end;
+
+  VarintReader(const void* data, size_t size)
+      : pos(static_cast<const uint8_t*>(data)),
+        end(static_cast<const uint8_t*>(data) + size) {}
+
+  size_t remaining() const { return static_cast<size_t>(end - pos); }
+
+  Result<uint64_t> GetVarint64() {
+    uint64_t v = 0;
+    int shift = 0;
+    while (pos < end && shift <= 63) {
+      const uint8_t byte = *pos++;
+      v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) return v;
+      shift += 7;
+    }
+    return Status::Corruption("truncated or oversized varint");
+  }
+
+  Result<int64_t> GetSignedVarint64() {
+    TPM_ASSIGN_OR_RETURN(uint64_t z, GetVarint64());
+    return static_cast<int64_t>((z >> 1) ^ (~(z & 1) + 1));
+  }
+
+  Result<std::string> GetLengthPrefixedString() {
+    TPM_ASSIGN_OR_RETURN(uint64_t len, GetVarint64());
+    if (len > remaining()) return Status::Corruption("truncated string");
+    std::string s(reinterpret_cast<const char*>(pos), len);
+    pos += len;
+    return s;
+  }
+};
+
+}  // namespace tpm
+
+#endif  // TPM_IO_VARINT_H_

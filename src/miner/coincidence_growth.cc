@@ -1,0 +1,482 @@
+#include "miner/coincidence_growth.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "core/coincidence.h"
+#include "miner/cooccurrence.h"
+#include "util/macros.h"
+#include "util/memory.h"
+#include "util/timer.h"
+
+namespace tpm {
+
+namespace {
+
+constexpr uint32_t kNoItem = ~0u;
+
+// Occurrence states, stored struct-of-arrays per sequence to avoid per-state
+// heap allocations (state counts dominate mining cost on dense data).
+//
+// A state consists of:
+//   item           last matched data item (kNoItem at the root)
+//   bounds[0..L)   for each symbol of the pattern's LAST coincidence: the
+//                  last segment on which the matched interval is alive
+//   bounds[L..L+P) the same for the PREVIOUS coincidence
+//
+// Interval identity is equivalent to segment containment in the alive range
+// (same-symbol intervals never touch), so these bounds carry exactly the
+// information run-continuity checks need — and unlike raw item positions
+// they expose a clean dominance order (larger bound = strictly more
+// permissive), which keeps the state set small (pareto fronts instead of
+// full occurrence enumerations).
+struct SeqProj {
+  uint32_t seq = 0;
+  std::vector<uint32_t> items;    // one entry per state
+  std::vector<uint32_t> anchors;  // first matched segment (windowing)
+  std::vector<uint32_t> bounds;   // stride entries per state
+
+  size_t NumStates(uint32_t stride) const {
+    return stride == 0 ? items.size() : bounds.size() / stride;
+  }
+  size_t Bytes() const {
+    return sizeof(SeqProj) + items.capacity() * sizeof(uint32_t) +
+           anchors.capacity() * sizeof(uint32_t) +
+           bounds.capacity() * sizeof(uint32_t);
+  }
+};
+
+using ProjectedDb = std::vector<SeqProj>;
+
+struct Bucket {
+  EventId symbol = 0;
+  bool i_ext = false;
+  ProjectedDb proj;
+  size_t bytes = 0;
+
+  SeqProj& For(uint32_t seq) {
+    if (proj.empty() || proj.back().seq != seq) {
+      proj.push_back(SeqProj{seq, {}, {}, {}});
+    }
+    return proj.back();
+  }
+};
+
+class Engine {
+ public:
+  Engine(const IntervalDatabase& db, const MinerOptions& options,
+         const CoincidenceGrowthConfig& config)
+      : db_(db),
+        options_(options),
+        config_(config),
+        minsup_(db.AbsoluteSupport(options.min_support)) {
+    if (config_.force_disable_prunings) {
+      pair_pruning_ = false;
+      postfix_pruning_ = false;
+    } else {
+      pair_pruning_ = options_.pair_pruning;
+      postfix_pruning_ = options_.postfix_pruning;
+    }
+  }
+
+  Result<CoincidenceMiningResult> Run() {
+    CoincidenceMiningResult result;
+    WallTimer build_timer;
+    cdb_ = CoincidenceDatabase::FromDatabase(db_);
+    cooc_ = CooccurrenceTable::Build(db_, minsup_);
+    tracker_.Allocate(cdb_.MemoryBytes() + cooc_.MemoryBytes());
+    num_symbols_ = db_.dict().size();
+    seen_epoch_.assign(num_symbols_, 0);
+    result.stats.build_seconds = build_timer.ElapsedSeconds();
+
+    WallTimer mine_timer;
+    ProjectedDb root;
+    root.reserve(cdb_.size());
+    for (uint32_t s = 0; s < cdb_.size(); ++s) {
+      if (cdb_[s].num_items() == 0) continue;
+      SeqProj sp;
+      sp.seq = s;
+      sp.items.push_back(kNoItem);
+      sp.anchors.push_back(kNoItem);
+      root.push_back(std::move(sp));
+    }
+    std::vector<uint8_t> allowed(num_symbols_, 1);
+    if (postfix_pruning_ || pair_pruning_) {
+      for (EventId e = 0; e < num_symbols_; ++e) {
+        allowed[e] = cooc_.IsFrequentSymbol(e) ? 1 : 0;
+      }
+    }
+    out_ = &result;
+    Expand(root, allowed);
+    result.stats.mine_seconds = mine_timer.ElapsedSeconds();
+    result.stats.patterns_found = result.patterns.size();
+    result.stats.truncated = truncated_;
+    result.stats.peak_logical_bytes = tracker_.peak_bytes();
+    result.stats.peak_rss_bytes = ReadPeakRssBytes();
+    return result;
+  }
+
+ private:
+  uint32_t Stride() const {
+    return static_cast<uint32_t>(last_syms_.size() + prev_syms_.size());
+  }
+
+  void Expand(const ProjectedDb& proj, const std::vector<uint8_t>& allowed) {
+    if (truncated_) return;
+    if (options_.time_budget_seconds > 0.0 &&
+        total_timer_.ElapsedSeconds() > options_.time_budget_seconds) {
+      truncated_ = true;
+      return;
+    }
+    ++out_->stats.nodes_expanded;
+
+    if (!pat_items_.empty()) {
+      EmitPattern(static_cast<SupportCount>(proj.size()));
+      if (truncated_) return;
+    }
+    if (options_.max_items > 0 && pat_items_.size() >= options_.max_items) return;
+
+    const bool allow_s_ext = options_.max_length == 0 ||
+                             pat_offsets_.size() < options_.max_length ||
+                             pat_items_.empty();
+    const bool at_root = pat_items_.empty();
+    const EventId last_symbol = at_root ? 0 : pat_items_.back();
+    const uint32_t stride = Stride();
+    const uint32_t num_last = static_cast<uint32_t>(last_syms_.size());
+
+    std::vector<Bucket> buckets;
+    std::unordered_map<uint64_t, int32_t> bucket_index;
+    std::vector<SupportCount> postfix_count;
+    if (postfix_pruning_) postfix_count.assign(num_symbols_, 0);
+    size_t copies_bytes = 0;
+
+    auto bucket_for = [&](EventId symbol, bool i_ext) -> Bucket* {
+      const uint64_t key = (static_cast<uint64_t>(symbol) << 1) | (i_ext ? 1 : 0);
+      auto it = bucket_index.find(key);
+      if (it != bucket_index.end()) {
+        return it->second < 0 ? nullptr : &buckets[it->second];
+      }
+      ++out_->stats.candidates_checked;
+      if ((postfix_pruning_ || pair_pruning_) && !allowed[symbol]) {
+        bucket_index.emplace(key, -1);
+        return nullptr;
+      }
+      if (pair_pruning_ && !InPattern(symbol)) {
+        for (EventId a : pattern_symbols_) {
+          if (!cooc_.IsFrequentPair(a, symbol)) {
+            bucket_index.emplace(key, -1);
+            return nullptr;
+          }
+        }
+      }
+      bucket_index.emplace(key, static_cast<int32_t>(buckets.size()));
+      buckets.push_back(Bucket{symbol, i_ext, {}, 0});
+      return &buckets.back();
+    };
+
+    for (const SeqProj& sp : proj) {
+      const CoincidenceSequence& cs = cdb_[sp.seq];
+      const size_t num_states = at_root ? sp.items.size() : sp.NumStates(stride);
+
+      uint32_t min_item = ~0u;
+      for (size_t k = 0; k < sp.items.size(); ++k) {
+        min_item = std::min(min_item, sp.items[k] == kNoItem ? 0 : sp.items[k] + 1);
+      }
+
+      // CTMiner mode: materialize the postfix copy and scan it.
+      std::vector<std::pair<uint32_t, EventId>> copy;
+      if (config_.physical_projection) {
+        copy.reserve(cs.num_items() - min_item);
+        for (uint32_t p = min_item; p < cs.num_items(); ++p) {
+          copy.emplace_back(p, cs.item(p));
+        }
+        copies_bytes += copy.capacity() * sizeof(copy[0]);
+      }
+      auto item_at = [&](uint32_t p) -> EventId {
+        if (config_.physical_projection) return copy[p - min_item].second;
+        return cs.item(p);
+      };
+
+      if (postfix_pruning_) {
+        ++epoch_;
+        for (uint32_t p = min_item; p < cs.num_items(); ++p) {
+          const EventId ev = item_at(p);
+          if (seen_epoch_[ev] != epoch_) {
+            seen_epoch_[ev] = epoch_;
+            ++postfix_count[ev];
+          }
+        }
+      }
+
+      static const uint32_t kEmptyBounds[1] = {0};
+      for (size_t st = 0; st < num_states; ++st) {
+        const uint32_t item = sp.items[st];
+        const uint32_t anchor = sp.anchors[st];
+        const uint32_t* bnd =
+            stride == 0 ? kEmptyBounds : &sp.bounds[st * stride];
+        const uint32_t st_seg = item == kNoItem ? kNoItem : cs.item_segment(item);
+
+        // I-extensions: same segment, strictly larger symbol.
+        if (item != kNoItem) {
+          const uint32_t end = cs.seg_end(st_seg);
+          for (uint32_t p = item + 1; p < end; ++p) {
+            const EventId y = item_at(p);
+            if (y <= last_symbol) continue;
+            const int32_t k = IndexOf(prev_syms_, y);
+            if (k >= 0 && st_seg > bnd[num_last + k]) continue;  // run broken
+            if (Bucket* b = bucket_for(y, /*i_ext=*/true)) {
+              SeqProj& dst = b->For(sp.seq);
+              dst.items.push_back(p);
+              dst.anchors.push_back(anchor);  // same segment: window unchanged
+              // Child layout: last' = last + [y], prev' = prev.
+              dst.bounds.insert(dst.bounds.end(), bnd, bnd + num_last);
+              dst.bounds.push_back(cs.alive_until(p));
+              dst.bounds.insert(dst.bounds.end(), bnd + num_last, bnd + stride);
+              ++out_->stats.states_created;
+            }
+          }
+        }
+
+        // S-extensions: any later segment.
+        if (allow_s_ext) {
+          const uint32_t from = item == kNoItem ? 0 : cs.seg_end(st_seg);
+          for (uint32_t p = from; p < cs.num_items(); ++p) {
+            const EventId y = item_at(p);
+            const uint32_t p_seg = cs.item_segment(p);
+            if (options_.max_window > 0 && anchor != kNoItem &&
+                cs.seg_end_time(p_seg) - cs.seg_start_time(anchor) >
+                    options_.max_window) {
+              break;  // segment end times only grow
+            }
+            const int32_t k = IndexOf(last_syms_, y);
+            if (k >= 0 && p_seg > bnd[k]) continue;  // run broken
+            if (Bucket* b = bucket_for(y, /*i_ext=*/false)) {
+              SeqProj& dst = b->For(sp.seq);
+              dst.items.push_back(p);
+              dst.anchors.push_back(
+                  options_.max_window > 0
+                      ? (anchor == kNoItem ? p_seg : anchor)
+                      : 0);
+              // Child layout: last' = [y], prev' = last.
+              dst.bounds.push_back(cs.alive_until(p));
+              dst.bounds.insert(dst.bounds.end(), bnd, bnd + num_last);
+              ++out_->stats.states_created;
+            }
+          }
+        }
+      }
+    }
+
+    std::vector<uint8_t> child_allowed = allowed;
+    if (postfix_pruning_) {
+      for (EventId e = 0; e < num_symbols_; ++e) {
+        if (postfix_count[e] < minsup_) child_allowed[e] = 0;
+      }
+    }
+
+    std::sort(buckets.begin(), buckets.end(), [](const Bucket& a, const Bucket& b) {
+      if (a.i_ext != b.i_ext) return a.i_ext > b.i_ext;
+      return a.symbol < b.symbol;
+    });
+
+    size_t bucket_bytes = copies_bytes;
+    for (Bucket& b : buckets) {
+      // Child stride: i-ext has L+1 last bounds + P prev bounds; s-ext has
+      // 1 last bound + L prev bounds.
+      const uint32_t child_stride =
+          b.i_ext ? stride + 1 : 1 + num_last;
+      for (SeqProj& sp : b.proj) CollapseStates(&sp, child_stride, b.i_ext);
+      for (const SeqProj& sp : b.proj) b.bytes += sp.Bytes();
+      bucket_bytes += b.bytes;
+    }
+    tracker_.Allocate(bucket_bytes);
+
+    for (Bucket& b : buckets) {
+      if (truncated_) break;
+      if (b.proj.size() < minsup_) continue;
+      ApplyExtension(b.symbol, b.i_ext);
+      Expand(b.proj, child_allowed);
+      UndoExtension(b.i_ext);
+    }
+    tracker_.Release(bucket_bytes);
+  }
+
+  // Removes duplicate and dominated states. State s1 dominates s2 when its
+  // bounds are pointwise >= and either (a) both items sit in the same
+  // segment with item1 <= item2 (every i- and s-extension of s2 is then
+  // available to s1), or (b) item1 <= item2 and s2 has no i-extension
+  // future at all (its item is the last of its segment), so only
+  // s-extensions matter and those only compare segments.
+  void CollapseStates(SeqProj* sp, uint32_t stride, bool /*i_ext*/) {
+    const CoincidenceSequence& cs = cdb_[sp->seq];
+    const size_t n = sp->NumStates(stride);
+    if (n <= 1) return;
+
+    // Order by item; dominance never looks backwards that way.
+    std::vector<uint32_t> order(n);
+    for (uint32_t i = 0; i < n; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+      return sp->items[a] < sp->items[b];
+    });
+
+    std::vector<uint32_t> kept;  // indices into original arrays
+    kept.reserve(n);
+    // Quadratic pareto filter with a safety cap: beyond the cap only exact
+    // duplicates are removed (soundness is unaffected, only speed).
+    const size_t kPairwiseCap = 768;
+    for (uint32_t idx : order) {
+      const uint32_t item = sp->items[idx];
+      const uint32_t* bnd = &sp->bounds[static_cast<size_t>(idx) * stride];
+      const uint32_t seg = cs.item_segment(item);
+      const bool s_ext_only = item + 1 >= cs.seg_end(seg);
+      bool dominated = false;
+      for (uint32_t kidx : kept) {
+        const uint32_t kitem = sp->items[kidx];
+        if (kitem > item) break;  // kept is item-sorted; no dominator beyond
+        // A later (or equal) anchor is strictly more permissive under the
+        // window constraint; without a window all anchors are zero and the
+        // check is vacuous.
+        if (sp->anchors[kidx] < sp->anchors[idx]) continue;
+        const uint32_t* kbnd = &sp->bounds[static_cast<size_t>(kidx) * stride];
+        const bool same_seg = cs.item_segment(kitem) == seg;
+        if (!same_seg && !s_ext_only) continue;
+        bool ge = true;
+        for (uint32_t j = 0; j < stride; ++j) {
+          if (kbnd[j] < bnd[j]) {
+            ge = false;
+            break;
+          }
+        }
+        if (ge) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated) {
+        kept.push_back(idx);
+        if (kept.size() > kPairwiseCap) {
+          // Give up on pareto filtering for pathological cases; keep rest.
+          for (auto it = std::find(order.begin(), order.end(), idx) + 1;
+               it != order.end(); ++it) {
+            kept.push_back(*it);
+          }
+          break;
+        }
+      }
+    }
+
+    if (kept.size() == n) return;
+    std::vector<uint32_t> new_items;
+    std::vector<uint32_t> new_anchors;
+    std::vector<uint32_t> new_bounds;
+    new_items.reserve(kept.size());
+    new_anchors.reserve(kept.size());
+    new_bounds.reserve(kept.size() * stride);
+    for (uint32_t idx : kept) {
+      new_items.push_back(sp->items[idx]);
+      new_anchors.push_back(sp->anchors[idx]);
+      const uint32_t* bnd = &sp->bounds[static_cast<size_t>(idx) * stride];
+      new_bounds.insert(new_bounds.end(), bnd, bnd + stride);
+    }
+    sp->items = std::move(new_items);
+    sp->anchors = std::move(new_anchors);
+    sp->bounds = std::move(new_bounds);
+  }
+
+  static int32_t IndexOf(const std::vector<EventId>& v, EventId y) {
+    for (size_t i = 0; i < v.size(); ++i) {
+      if (v[i] == y) return static_cast<int32_t>(i);
+      if (v[i] > y) return -1;
+    }
+    return -1;
+  }
+
+  void ApplyExtension(EventId symbol, bool i_ext) {
+    if (!i_ext) {
+      pat_offsets_.push_back(static_cast<uint32_t>(pat_items_.size()));
+      prev_syms_saved_.push_back(prev_syms_);
+      prev_syms_ = last_syms_;
+      last_syms_.clear();
+    }
+    pat_items_.push_back(symbol);
+    last_syms_.push_back(symbol);
+    symbol_added_.push_back(!InPattern(symbol));
+    if (symbol_added_.back()) pattern_symbols_.push_back(symbol);
+  }
+
+  void UndoExtension(bool i_ext) {
+    pat_items_.pop_back();
+    last_syms_.pop_back();
+    if (symbol_added_.back()) pattern_symbols_.pop_back();
+    symbol_added_.pop_back();
+    if (!i_ext) {
+      pat_offsets_.pop_back();
+      last_syms_ = prev_syms_;
+      prev_syms_ = prev_syms_saved_.back();
+      prev_syms_saved_.pop_back();
+    }
+  }
+
+  bool InPattern(EventId ev) const {
+    for (EventId e : pattern_symbols_) {
+      if (e == ev) return true;
+    }
+    return false;
+  }
+
+  void EmitPattern(SupportCount support) {
+    std::vector<uint32_t> offsets = pat_offsets_;
+    offsets.push_back(static_cast<uint32_t>(pat_items_.size()));
+    out_->patterns.push_back(MinedPattern<CoincidencePattern>{
+        CoincidencePattern(pat_items_, offsets), support});
+    tracker_.Allocate(pat_items_.size() * sizeof(EventId) +
+                      offsets.size() * sizeof(uint32_t));
+    if (options_.max_patterns > 0 &&
+        out_->patterns.size() >= options_.max_patterns) {
+      truncated_ = true;
+    }
+  }
+
+  const IntervalDatabase& db_;
+  const MinerOptions& options_;
+  const CoincidenceGrowthConfig& config_;
+  const SupportCount minsup_;
+  bool pair_pruning_ = false;
+  bool postfix_pruning_ = false;
+
+  CoincidenceDatabase cdb_;
+  CooccurrenceTable cooc_;
+  size_t num_symbols_ = 0;
+
+  std::vector<EventId> pat_items_;
+  std::vector<uint32_t> pat_offsets_;
+  std::vector<EventId> last_syms_;
+  std::vector<EventId> prev_syms_;
+  std::vector<std::vector<EventId>> prev_syms_saved_;
+  std::vector<EventId> pattern_symbols_;
+  std::vector<uint8_t> symbol_added_;
+
+  std::vector<uint32_t> seen_epoch_;
+  uint32_t epoch_ = 0;
+
+  MemoryTracker tracker_;
+  WallTimer total_timer_;
+  bool truncated_ = false;
+  CoincidenceMiningResult* out_ = nullptr;
+};
+
+}  // namespace
+
+Result<CoincidenceMiningResult> MineCoincidenceGrowth(
+    const IntervalDatabase& db, const MinerOptions& options,
+    const CoincidenceGrowthConfig& config) {
+  TPM_RETURN_NOT_OK(db.Validate());
+  if (options.min_support <= 0.0) {
+    return Status::InvalidArgument("min_support must be positive");
+  }
+  Engine engine(db, options, config);
+  return engine.Run();
+}
+
+}  // namespace tpm

@@ -1,0 +1,33 @@
+// The coincidence prefix-growth engine.
+//
+// One engine powers two miners:
+//  * P-TPMiner/C — pseudo-projection + pair/postfix pruning.
+//  * CTMiner     — the physical-projection baseline without pruning,
+//    reproducing the cost profile of the CIKM 2010 algorithm.
+//
+// See DESIGN.md §1.2 for the run-identity containment semantics the
+// projection maintains.
+
+#ifndef TPM_MINER_COINCIDENCE_GROWTH_H_
+#define TPM_MINER_COINCIDENCE_GROWTH_H_
+
+#include "core/database.h"
+#include "miner/options.h"
+#include "util/result.h"
+
+namespace tpm {
+
+struct CoincidenceGrowthConfig {
+  /// Materialize postfix copies at every node (CTMiner behaviour).
+  bool physical_projection = false;
+  /// Ignore MinerOptions pruning toggles and disable all prunings.
+  bool force_disable_prunings = false;
+};
+
+Result<CoincidenceMiningResult> MineCoincidenceGrowth(
+    const IntervalDatabase& db, const MinerOptions& options,
+    const CoincidenceGrowthConfig& config);
+
+}  // namespace tpm
+
+#endif  // TPM_MINER_COINCIDENCE_GROWTH_H_

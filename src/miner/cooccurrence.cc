@@ -1,0 +1,67 @@
+#include "miner/cooccurrence.h"
+
+#include <algorithm>
+
+namespace tpm {
+
+CooccurrenceTable CooccurrenceTable::Build(const IntervalDatabase& db,
+                                           SupportCount min_support) {
+  CooccurrenceTable t;
+  t.min_support_ = min_support;
+  t.symbol_support_.assign(db.dict().size(), 0);
+
+  // Pass 1: per-symbol sequence frequencies.
+  std::vector<EventId> present;
+  for (const EventSequence& seq : db.sequences()) {
+    present.clear();
+    for (const Interval& iv : seq.intervals()) present.push_back(iv.event);
+    std::sort(present.begin(), present.end());
+    present.erase(std::unique(present.begin(), present.end()), present.end());
+    for (EventId e : present) {
+      if (e < t.symbol_support_.size()) ++t.symbol_support_[e];
+    }
+  }
+
+  // Dense ids for frequent symbols.
+  t.dense_id_.assign(db.dict().size(), kNone);
+  for (EventId e = 0; e < t.symbol_support_.size(); ++e) {
+    if (t.symbol_support_[e] >= min_support) t.dense_id_[e] = t.num_frequent_++;
+  }
+  if (t.num_frequent_ == 0) return t;
+
+  // Pass 2: pairwise counts among frequent symbols (upper triangle mirrored).
+  t.pair_counts_.assign(static_cast<size_t>(t.num_frequent_) * t.num_frequent_, 0);
+  std::vector<uint32_t> dense;
+  for (const EventSequence& seq : db.sequences()) {
+    dense.clear();
+    for (const Interval& iv : seq.intervals()) {
+      const uint32_t d = t.dense_id_[iv.event];
+      if (d != kNone) dense.push_back(d);
+    }
+    std::sort(dense.begin(), dense.end());
+    dense.erase(std::unique(dense.begin(), dense.end()), dense.end());
+    for (size_t i = 0; i < dense.size(); ++i) {
+      for (size_t j = i; j < dense.size(); ++j) {
+        ++t.pair_counts_[static_cast<size_t>(dense[i]) * t.num_frequent_ + dense[j]];
+      }
+    }
+  }
+  return t;
+}
+
+SupportCount CooccurrenceTable::PairSupport(EventId a, EventId b) const {
+  if (a >= dense_id_.size() || b >= dense_id_.size()) return 0;
+  uint32_t da = dense_id_[a];
+  uint32_t db = dense_id_[b];
+  if (da == kNone || db == kNone) return 0;
+  if (da > db) std::swap(da, db);
+  return pair_counts_[static_cast<size_t>(da) * num_frequent_ + db];
+}
+
+size_t CooccurrenceTable::MemoryBytes() const {
+  return symbol_support_.capacity() * sizeof(SupportCount) +
+         dense_id_.capacity() * sizeof(uint32_t) +
+         pair_counts_.capacity() * sizeof(SupportCount);
+}
+
+}  // namespace tpm

@@ -1,0 +1,479 @@
+#include "miner/endpoint_growth.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "core/endpoint.h"
+#include "miner/cooccurrence.h"
+#include "util/logging.h"
+#include "util/macros.h"
+#include "util/memory.h"
+#include "util/timer.h"
+
+namespace tpm {
+
+namespace {
+
+// Sentinel: root state that has matched nothing yet.
+constexpr uint32_t kNoItem = ~0u;
+
+// One partial embedding of the current prefix pattern in one sequence.
+// `req[k]` is the data item index of the finish endpoint that must close
+// the k-th open symbol of the pattern (open symbols are a property of the
+// pattern, so the layout of `req` is identical across states of a node).
+struct OccState {
+  uint32_t item = kNoItem;     // last matched data item (kNoItem at root)
+  uint32_t anchor = kNoItem;   // slice of the first matched item (windowing)
+  std::vector<uint32_t> req;   // partner obligations, aligned with open list
+
+  friend bool operator==(const OccState& a, const OccState& b) {
+    return a.item == b.item && a.anchor == b.anchor && a.req == b.req;
+  }
+  friend bool operator<(const OccState& a, const OccState& b) {
+    if (a.item != b.item) return a.item < b.item;
+    if (a.anchor != b.anchor) return a.anchor < b.anchor;
+    return a.req < b.req;
+  }
+
+  size_t Bytes() const { return sizeof(OccState) + req.capacity() * sizeof(uint32_t); }
+};
+
+struct SeqProj {
+  uint32_t seq = 0;
+  std::vector<OccState> states;
+};
+
+using ProjectedDb = std::vector<SeqProj>;
+
+// Candidate extension bucket: the child's projected database under
+// construction during the parent scan.
+struct Bucket {
+  EndpointCode code = 0;
+  bool i_ext = false;
+  ProjectedDb proj;
+  size_t bytes = 0;
+
+  void Push(uint32_t seq, OccState state) {
+    if (proj.empty() || proj.back().seq != seq) {
+      proj.push_back(SeqProj{seq, {}});
+    }
+    bytes += state.Bytes();
+    proj.back().states.push_back(std::move(state));
+  }
+
+  // Sorts/dedups states per sequence; returns support.
+  SupportCount Finalize() {
+    for (SeqProj& sp : proj) {
+      std::sort(sp.states.begin(), sp.states.end());
+      sp.states.erase(std::unique(sp.states.begin(), sp.states.end()),
+                      sp.states.end());
+    }
+    return static_cast<SupportCount>(proj.size());
+  }
+};
+
+class Engine {
+ public:
+  Engine(const IntervalDatabase& db, const MinerOptions& options,
+         const EndpointGrowthConfig& config)
+      : db_(db),
+        options_(options),
+        config_(config),
+        minsup_(db.AbsoluteSupport(options.min_support)) {
+    if (config_.force_disable_prunings) {
+      pair_pruning_ = false;
+      postfix_pruning_ = false;
+      validity_pruning_ = false;
+    } else {
+      pair_pruning_ = options_.pair_pruning;
+      postfix_pruning_ = options_.postfix_pruning;
+      validity_pruning_ = options_.validity_pruning;
+    }
+  }
+
+  Result<EndpointMiningResult> Run() {
+    EndpointMiningResult result;
+    WallTimer build_timer;
+    edb_ = EndpointDatabase::FromDatabase(db_);
+    cooc_ = CooccurrenceTable::Build(db_, minsup_);
+    tracker_.Allocate(edb_.MemoryBytes() + cooc_.MemoryBytes());
+    num_symbols_ = db_.dict().size();
+    seen_epoch_.assign(num_symbols_, 0);
+    result.stats.build_seconds = build_timer.ElapsedSeconds();
+
+    WallTimer mine_timer;
+    // Root projection: one virgin state per non-empty sequence.
+    ProjectedDb root;
+    root.reserve(edb_.size());
+    for (uint32_t s = 0; s < edb_.size(); ++s) {
+      if (edb_[s].num_items() == 0) continue;
+      SeqProj sp;
+      sp.seq = s;
+      sp.states.push_back(OccState{});
+      root.push_back(std::move(sp));
+    }
+    std::vector<uint8_t> allowed(num_symbols_, 1);
+    if (postfix_pruning_ || pair_pruning_) {
+      for (EventId e = 0; e < num_symbols_; ++e) {
+        allowed[e] = cooc_.IsFrequentSymbol(e) ? 1 : 0;
+      }
+    }
+    out_ = &result;
+    Expand(root, allowed);
+    result.stats.mine_seconds = mine_timer.ElapsedSeconds();
+    result.stats.patterns_found = result.patterns.size();
+    result.stats.truncated = truncated_;
+    result.stats.peak_logical_bytes = tracker_.peak_bytes();
+    result.stats.peak_rss_bytes = ReadPeakRssBytes();
+    return result;
+  }
+
+ private:
+  // Returns slice index of a state's last matched item, or kNoItem at root.
+  uint32_t StateSlice(const EndpointSequence& es, const OccState& st) const {
+    return st.item == kNoItem ? kNoItem : es.item_slice(st.item);
+  }
+
+  void Expand(const ProjectedDb& proj, const std::vector<uint8_t>& allowed) {
+    if (truncated_) return;
+    if (options_.time_budget_seconds > 0.0 &&
+        total_timer_.ElapsedSeconds() > options_.time_budget_seconds) {
+      truncated_ = true;
+      return;
+    }
+    ++out_->stats.nodes_expanded;
+
+    // Report the pattern at this node when it is complete and non-empty.
+    if (!pat_items_.empty() && open_events_.empty()) {
+      EmitPattern(static_cast<SupportCount>(proj.size()));
+      if (truncated_) return;
+    }
+    if (options_.max_items > 0 && pat_items_.size() >= options_.max_items) return;
+
+    const bool allow_s_ext =
+        options_.max_length == 0 || pat_offsets_.size() < options_.max_length ||
+        pat_items_.empty();
+    const EndpointCode last_code = pat_items_.empty() ? 0 : pat_items_.back();
+
+    // ---- Candidate scan ------------------------------------------------
+    std::vector<Bucket> buckets;
+    std::unordered_map<uint64_t, int32_t> bucket_index;  // key -> idx or -1
+    std::vector<SupportCount> postfix_count;
+    if (postfix_pruning_) postfix_count.assign(num_symbols_, 0);
+    size_t copies_bytes = 0;
+
+    auto bucket_for = [&](EndpointCode code, bool i_ext) -> Bucket* {
+      const uint64_t key = (static_cast<uint64_t>(code) << 1) | (i_ext ? 1 : 0);
+      auto it = bucket_index.find(key);
+      if (it != bucket_index.end()) {
+        return it->second < 0 ? nullptr : &buckets[it->second];
+      }
+      ++out_->stats.candidates_checked;
+      // Admission checks for extensions introducing a new symbol.
+      const EventId ev = EndpointEvent(code);
+      if (!IsFinish(code)) {
+        if (postfix_pruning_ || pair_pruning_) {
+          if (!allowed[ev]) {
+            bucket_index.emplace(key, -1);
+            return nullptr;
+          }
+        }
+        if (pair_pruning_ && !InPattern(ev)) {
+          for (EventId a : pattern_symbols_) {
+            if (!cooc_.IsFrequentPair(a, ev)) {
+              bucket_index.emplace(key, -1);
+              return nullptr;
+            }
+          }
+        }
+      }
+      bucket_index.emplace(key, static_cast<int32_t>(buckets.size()));
+      buckets.push_back(Bucket{code, i_ext, {}, 0});
+      return &buckets.back();
+    };
+
+    for (const SeqProj& sp : proj) {
+      const EndpointSequence& es = edb_[sp.seq];
+      uint32_t min_item = ~0u;
+      for (const OccState& st : sp.states) {
+        min_item = std::min(min_item, st.item == kNoItem ? 0 : st.item + 1);
+      }
+
+      // TPrefixSpan mode: physically materialize this node's postfix and
+      // scan the copy. The copy stores (global item index, code) pairs.
+      std::vector<std::pair<uint32_t, EndpointCode>> copy;
+      if (config_.physical_projection) {
+        copy.reserve(es.num_items() - min_item);
+        for (uint32_t p = min_item; p < es.num_items(); ++p) {
+          copy.emplace_back(p, es.item(p));
+        }
+        copies_bytes += copy.capacity() * sizeof(copy[0]);
+      }
+      auto item_at = [&](uint32_t p) -> EndpointCode {
+        if (config_.physical_projection) return copy[p - min_item].second;
+        return es.item(p);
+      };
+
+      // Postfix symbol counting for the children's allowed set.
+      if (postfix_pruning_) {
+        ++epoch_;
+        for (uint32_t p = min_item; p < es.num_items(); ++p) {
+          const EventId ev = EndpointEvent(item_at(p));
+          if (seen_epoch_[ev] != epoch_) {
+            seen_epoch_[ev] = epoch_;
+            ++postfix_count[ev];
+          }
+        }
+      }
+
+      for (const OccState& st : sp.states) {
+        const uint32_t st_slice = StateSlice(es, st);
+        // --- Finish-endpoint candidates straight from obligations. ---
+        if (validity_pruning_) {
+          for (size_t k = 0; k < open_events_.size(); ++k) {
+            const uint32_t q = st.req[k];
+            const uint32_t q_slice = es.item_slice(q);
+            const EndpointCode fcode = MakeFinish(open_events_[k]);
+            if (q_slice == st_slice && q > st.item && fcode > last_code) {
+              // i-extension close within the last slice.
+              if (Bucket* b = bucket_for(fcode, /*i_ext=*/true)) {
+                PushClose(b, sp.seq, st, k, q);
+              }
+            } else if (allow_s_ext && st_slice != kNoItem && q_slice > st_slice &&
+                       !ViolatesWindow(es, st, q_slice)) {
+              if (Bucket* b = bucket_for(fcode, /*i_ext=*/false)) {
+                PushClose(b, sp.seq, st, k, q);
+              }
+            }
+          }
+        }
+
+        // --- I-extensions: same slice, larger code. ---
+        if (st.item != kNoItem) {
+          const uint32_t end = es.slice_end(st_slice);
+          for (uint32_t p = st.item + 1; p < end; ++p) {
+            const EndpointCode c = item_at(p);
+            const EventId ev = EndpointEvent(c);
+            if (!IsFinish(c)) {
+              if (c <= last_code || InOpen(ev)) continue;
+              if (Bucket* b = bucket_for(c, /*i_ext=*/true)) {
+                PushOpen(b, sp.seq, st, p, es);
+              }
+            } else if (!validity_pruning_) {
+              // Scan-based close: accept only the obligated position.
+              const int32_t k = OpenIndex(ev);
+              if (k >= 0 && st.req[k] == p && c > last_code) {
+                if (Bucket* b = bucket_for(c, /*i_ext=*/true)) {
+                  PushClose(b, sp.seq, st, k, p);
+                }
+              }
+            }
+            // Same-slice matches share the anchor slice's time, so the
+            // window can never be violated by an i-extension.
+          }
+        }
+
+        // --- S-extensions: any later slice. ---
+        if (allow_s_ext) {
+          const uint32_t from =
+              st.item == kNoItem ? 0 : es.slice_end(st_slice);
+          for (uint32_t p = std::max(from, min_item); p < es.num_items(); ++p) {
+            const EndpointCode c = item_at(p);
+            const EventId ev = EndpointEvent(c);
+            if (ViolatesWindow(es, st, es.item_slice(p))) break;  // monotone
+            if (!IsFinish(c)) {
+              if (InOpen(ev)) continue;
+              if (Bucket* b = bucket_for(c, /*i_ext=*/false)) {
+                PushOpen(b, sp.seq, st, p, es);
+              }
+            } else if (!validity_pruning_) {
+              const int32_t k = OpenIndex(ev);
+              if (k >= 0 && st.req[k] == p) {
+                if (Bucket* b = bucket_for(c, /*i_ext=*/false)) {
+                  PushClose(b, sp.seq, st, k, p);
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+
+    // ---- Children ------------------------------------------------------
+    std::vector<uint8_t> child_allowed = allowed;
+    if (postfix_pruning_) {
+      for (EventId e = 0; e < num_symbols_; ++e) {
+        if (postfix_count[e] < minsup_) child_allowed[e] = 0;
+      }
+    }
+
+    size_t bucket_bytes = copies_bytes;
+    for (const Bucket& b : buckets) bucket_bytes += b.bytes;
+    tracker_.Allocate(bucket_bytes);
+
+    // Deterministic child order.
+    std::sort(buckets.begin(), buckets.end(), [](const Bucket& a, const Bucket& b) {
+      if (a.i_ext != b.i_ext) return a.i_ext > b.i_ext;
+      return a.code < b.code;
+    });
+
+    for (Bucket& b : buckets) {
+      if (truncated_) break;
+      const SupportCount support = b.Finalize();
+      if (support < minsup_) continue;
+      ApplyExtension(b.code, b.i_ext);
+      Expand(b.proj, child_allowed);
+      UndoExtension(b.i_ext);
+    }
+    tracker_.Release(bucket_bytes);
+  }
+
+  // Appends `code` to the pattern as an i- or s-extension and updates the
+  // open list / pattern symbol set.
+  void ApplyExtension(EndpointCode code, bool i_ext) {
+    if (!i_ext) pat_offsets_.push_back(static_cast<uint32_t>(pat_items_.size()));
+    pat_items_.push_back(code);
+    const EventId ev = EndpointEvent(code);
+    if (!IsFinish(code)) {
+      open_events_.push_back(ev);
+      symbol_added_.push_back(!InPattern(ev));
+      if (symbol_added_.back()) pattern_symbols_.push_back(ev);
+    } else {
+      const int32_t k = OpenIndex(ev);
+      TPM_CHECK(k >= 0);
+      closed_stack_.push_back({static_cast<uint32_t>(k), ev});
+      open_events_.erase(open_events_.begin() + k);
+      symbol_added_.push_back(false);
+    }
+  }
+
+  void UndoExtension(bool i_ext) {
+    const EndpointCode code = pat_items_.back();
+    pat_items_.pop_back();
+    if (!i_ext) pat_offsets_.pop_back();
+    if (!IsFinish(code)) {
+      open_events_.pop_back();
+      if (symbol_added_.back()) pattern_symbols_.pop_back();
+    } else {
+      const auto [k, closed_ev] = closed_stack_.back();
+      closed_stack_.pop_back();
+      open_events_.insert(open_events_.begin() + k, closed_ev);
+    }
+    symbol_added_.pop_back();
+  }
+
+  // True when matching an item in slice `slice` from `st` would overflow the
+  // time-window constraint.
+  bool ViolatesWindow(const EndpointSequence& es, const OccState& st,
+                      uint32_t slice) const {
+    if (options_.max_window <= 0 || st.anchor == kNoItem) return false;
+    return es.slice_time(slice) - es.slice_time(st.anchor) > options_.max_window;
+  }
+
+  // Pushes the child state for opening a new interval: matched item p.
+  void PushOpen(Bucket* b, uint32_t seq, const OccState& st, uint32_t p,
+                const EndpointSequence& es) {
+    OccState ns;
+    ns.item = p;
+    // Anchors only matter (and only enter state identity) under a window
+    // constraint; leaving them unset otherwise lets more states dedup.
+    if (options_.max_window > 0) {
+      ns.anchor = st.anchor == kNoItem ? es.item_slice(p) : st.anchor;
+    }
+    ns.req = st.req;
+    ns.req.push_back(es.partner(p));
+    ++out_->stats.states_created;
+    b->Push(seq, std::move(ns));
+  }
+
+  // Pushes the child state for closing open symbol k at data item q.
+  void PushClose(Bucket* b, uint32_t seq, const OccState& st, size_t k,
+                 uint32_t q) {
+    OccState ns;
+    ns.item = q;
+    ns.anchor = st.anchor;
+    ns.req = st.req;
+    ns.req.erase(ns.req.begin() + static_cast<ptrdiff_t>(k));
+    ++out_->stats.states_created;
+    b->Push(seq, std::move(ns));
+  }
+
+  bool InOpen(EventId ev) const {
+    for (EventId e : open_events_) {
+      if (e == ev) return true;
+    }
+    return false;
+  }
+
+  int32_t OpenIndex(EventId ev) const {
+    for (size_t i = 0; i < open_events_.size(); ++i) {
+      if (open_events_[i] == ev) return static_cast<int32_t>(i);
+    }
+    return -1;
+  }
+
+  bool InPattern(EventId ev) const {
+    for (EventId e : pattern_symbols_) {
+      if (e == ev) return true;
+    }
+    return false;
+  }
+
+  void EmitPattern(SupportCount support) {
+    std::vector<uint32_t> offsets = pat_offsets_;
+    offsets.push_back(static_cast<uint32_t>(pat_items_.size()));
+    out_->patterns.push_back(
+        MinedPattern<EndpointPattern>{EndpointPattern(pat_items_, offsets), support});
+    tracker_.Allocate(pat_items_.size() * sizeof(EndpointCode) +
+                      offsets.size() * sizeof(uint32_t));
+    if (options_.max_patterns > 0 &&
+        out_->patterns.size() >= options_.max_patterns) {
+      truncated_ = true;
+    }
+  }
+
+  const IntervalDatabase& db_;
+  const MinerOptions& options_;
+  const EndpointGrowthConfig& config_;
+  const SupportCount minsup_;
+  bool pair_pruning_ = false;
+  bool postfix_pruning_ = false;
+  bool validity_pruning_ = false;
+
+  EndpointDatabase edb_;
+  CooccurrenceTable cooc_;
+  size_t num_symbols_ = 0;
+
+  // DFS pattern stack.
+  std::vector<EndpointCode> pat_items_;
+  std::vector<uint32_t> pat_offsets_;  // begin index of each slice
+  std::vector<EventId> open_events_;   // open symbols, in opening order
+  std::vector<EventId> pattern_symbols_;
+  std::vector<uint8_t> symbol_added_;  // per pattern item: added new symbol?
+  std::vector<std::pair<uint32_t, EventId>> closed_stack_;
+
+  // Scratch for per-sequence symbol dedup.
+  std::vector<uint32_t> seen_epoch_;
+  uint32_t epoch_ = 0;
+
+  MemoryTracker tracker_;
+  WallTimer total_timer_;
+  bool truncated_ = false;
+  EndpointMiningResult* out_ = nullptr;
+};
+
+}  // namespace
+
+Result<EndpointMiningResult> MineEndpointGrowth(const IntervalDatabase& db,
+                                                const MinerOptions& options,
+                                                const EndpointGrowthConfig& config) {
+  TPM_RETURN_NOT_OK(db.Validate());
+  if (options.min_support <= 0.0) {
+    return Status::InvalidArgument("min_support must be positive");
+  }
+  Engine engine(db, options, config);
+  return engine.Run();
+}
+
+}  // namespace tpm

@@ -1,0 +1,37 @@
+// The endpoint prefix-growth engine.
+//
+// One engine powers two miners:
+//  * P-TPMiner/E  — pseudo-projection (occurrence states) + pair/postfix/
+//    validity pruning; the paper's contribution.
+//  * TPrefixSpan  — the physical-projection baseline: every node copies its
+//    postfixes before scanning and uses no pruning, reproducing the cost
+//    profile of Wu & Chen's algorithm.
+//
+// See DESIGN.md §2.1 for the search-space definition and §1.1 for the
+// containment semantics the projection maintains.
+
+#ifndef TPM_MINER_ENDPOINT_GROWTH_H_
+#define TPM_MINER_ENDPOINT_GROWTH_H_
+
+#include "core/database.h"
+#include "miner/options.h"
+#include "util/result.h"
+
+namespace tpm {
+
+/// Engine-level configuration distinguishing the two public miners.
+struct EndpointGrowthConfig {
+  /// Materialize postfix copies at every node (TPrefixSpan behaviour).
+  bool physical_projection = false;
+  /// Ignore MinerOptions pruning toggles and disable all prunings.
+  bool force_disable_prunings = false;
+};
+
+/// Runs the prefix-growth search. The database must be valid.
+Result<EndpointMiningResult> MineEndpointGrowth(const IntervalDatabase& db,
+                                                const MinerOptions& options,
+                                                const EndpointGrowthConfig& config);
+
+}  // namespace tpm
+
+#endif  // TPM_MINER_ENDPOINT_GROWTH_H_

@@ -1,0 +1,60 @@
+// Abstract miner interfaces and the miner registry used by benches/examples.
+
+#ifndef TPM_MINER_MINER_H_
+#define TPM_MINER_MINER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "miner/options.h"
+#include "util/result.h"
+
+namespace tpm {
+
+/// \brief A miner of endpoint temporal patterns.
+class EndpointMiner {
+ public:
+  virtual ~EndpointMiner() = default;
+
+  /// Runs the miner. The database must Validate(); miners check this and
+  /// return InvalidArgument otherwise.
+  virtual Result<EndpointMiningResult> Mine(const IntervalDatabase& db,
+                                            const MinerOptions& options) = 0;
+
+  /// Stable identifier used in bench output ("P-TPMiner/E", "TPrefixSpan"...).
+  virtual std::string name() const = 0;
+};
+
+/// \brief A miner of coincidence temporal patterns.
+class CoincidenceMiner {
+ public:
+  virtual ~CoincidenceMiner() = default;
+
+  virtual Result<CoincidenceMiningResult> Mine(const IntervalDatabase& db,
+                                               const MinerOptions& options) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+// Factories. Each returns a fresh, stateless miner instance.
+
+/// The paper's contribution, endpoint backend (all prunings per options).
+std::unique_ptr<EndpointMiner> MakePTPMinerE();
+/// The paper's contribution, coincidence backend.
+std::unique_ptr<CoincidenceMiner> MakePTPMinerC();
+/// Baseline: physical-projection prefix growth (Wu & Chen style).
+std::unique_ptr<EndpointMiner> MakeTPrefixSpan();
+/// Baseline: level-wise generate-and-test (IEMiner style).
+std::unique_ptr<EndpointMiner> MakeLevelwiseMiner();
+/// Baseline: coincidence prefix growth with physical projection (CTMiner).
+std::unique_ptr<CoincidenceMiner> MakeCTMiner();
+/// Test oracle: exhaustive BFS with oracle containment. Tiny inputs only.
+std::unique_ptr<EndpointMiner> MakeBruteForceEndpointMiner();
+/// Test oracle, coincidence language.
+std::unique_ptr<CoincidenceMiner> MakeBruteForceCoincidenceMiner();
+
+}  // namespace tpm
+
+#endif  // TPM_MINER_MINER_H_

@@ -1,0 +1,43 @@
+#include "miner/options.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace tpm {
+
+const char* PatternTypeName(PatternType t) {
+  switch (t) {
+    case PatternType::kEndpoint:
+      return "endpoint";
+    case PatternType::kCoincidence:
+      return "coincidence";
+  }
+  return "?";
+}
+
+std::string MiningStats::ToString() const {
+  return StringPrintf(
+      "build=%.3fs mine=%.3fs patterns=%llu nodes=%llu candidates=%llu "
+      "states=%llu peak_logical=%s peak_rss=%s%s",
+      build_seconds, mine_seconds,
+      static_cast<unsigned long long>(patterns_found),
+      static_cast<unsigned long long>(nodes_expanded),
+      static_cast<unsigned long long>(candidates_checked),
+      static_cast<unsigned long long>(states_created),
+      HumanBytes(peak_logical_bytes).c_str(), HumanBytes(peak_rss_bytes).c_str(),
+      truncated ? " TRUNCATED" : "");
+}
+
+template <typename PatternT>
+void MiningResult<PatternT>::SortCanonically() {
+  std::sort(patterns.begin(), patterns.end(),
+            [](const MinedPattern<PatternT>& a, const MinedPattern<PatternT>& b) {
+              return a.pattern < b.pattern;
+            });
+}
+
+template struct MiningResult<EndpointPattern>;
+template struct MiningResult<CoincidencePattern>;
+
+}  // namespace tpm

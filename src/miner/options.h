@@ -1,0 +1,95 @@
+// Mining options, statistics, and result containers shared by every miner.
+
+#ifndef TPM_MINER_OPTIONS_H_
+#define TPM_MINER_OPTIONS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/pattern.h"
+#include "core/types.h"
+
+namespace tpm {
+
+/// Which pattern language a miner speaks.
+enum class PatternType { kEndpoint, kCoincidence };
+
+const char* PatternTypeName(PatternType t);
+
+/// \brief Options accepted by every miner. Fields a miner does not support
+/// are ignored (each miner documents which prunings it honors).
+struct MinerOptions {
+  /// Minimum support: a fraction of |D| when in (0, 1], an absolute sequence
+  /// count when > 1.
+  double min_support = 0.01;
+
+  /// Maximum number of items (endpoints / symbols) per pattern; 0 = unlimited.
+  uint32_t max_items = 0;
+
+  /// Maximum number of slices/coincidences per pattern; 0 = unlimited.
+  uint32_t max_length = 0;
+
+  /// Time-window constraint; 0 = unlimited. An occurrence only counts when
+  /// it fits within this many time units (endpoint language: last matched
+  /// slice time minus first matched slice time; coincidence language: last
+  /// matched segment end minus first matched segment start).
+  TimeT max_window = 0;
+
+  /// Stop after reporting this many patterns (safety valve for benches);
+  /// 0 = unlimited. When hit, MiningStats::truncated is set.
+  uint64_t max_patterns = 0;
+
+  /// Wall-clock budget in seconds; mining stops (truncated) when exceeded.
+  /// 0 = unlimited. Checked at node granularity.
+  double time_budget_seconds = 0.0;
+
+  // --- P-TPMiner pruning toggles (see DESIGN.md §2.1) ---
+  bool pair_pruning = true;
+  bool postfix_pruning = true;
+  bool validity_pruning = true;
+};
+
+/// \brief Counters every miner fills in; the benchmark harness prints them.
+struct MiningStats {
+  double build_seconds = 0.0;      ///< representation construction
+  double mine_seconds = 0.0;       ///< pattern search
+  uint64_t patterns_found = 0;     ///< complete frequent patterns reported
+  uint64_t nodes_expanded = 0;     ///< search-tree nodes / candidates kept
+  uint64_t candidates_checked = 0; ///< extension candidates considered
+  uint64_t states_created = 0;     ///< occurrence states / projected entries
+  size_t peak_logical_bytes = 0;   ///< MemoryTracker high-water mark
+  uint64_t peak_rss_bytes = 0;     ///< OS VmHWM after mining
+  bool truncated = false;          ///< true when a cap or budget stopped mining
+
+  std::string ToString() const;
+};
+
+/// A mined pattern with its absolute support.
+template <typename PatternT>
+struct MinedPattern {
+  PatternT pattern;
+  SupportCount support = 0;
+
+  friend bool operator==(const MinedPattern& a, const MinedPattern& b) {
+    return a.support == b.support && a.pattern == b.pattern;
+  }
+};
+
+/// \brief Result of one mining run.
+template <typename PatternT>
+struct MiningResult {
+  std::vector<MinedPattern<PatternT>> patterns;
+  MiningStats stats;
+
+  /// Sorts patterns lexicographically for stable comparison across miners.
+  void SortCanonically();
+};
+
+using EndpointMiningResult = MiningResult<EndpointPattern>;
+using CoincidenceMiningResult = MiningResult<CoincidencePattern>;
+
+}  // namespace tpm
+
+#endif  // TPM_MINER_OPTIONS_H_

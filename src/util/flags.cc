@@ -1,0 +1,101 @@
+#include "util/flags.h"
+
+#include "util/macros.h"
+#include "util/string_util.h"
+
+namespace tpm {
+
+void FlagParser::AddString(const std::string& name, std::string* out,
+                           const std::string& help) {
+  flags_.push_back(Flag{name, Kind::kString, out, help});
+}
+void FlagParser::AddInt64(const std::string& name, int64_t* out,
+                          const std::string& help) {
+  flags_.push_back(Flag{name, Kind::kInt64, out, help});
+}
+void FlagParser::AddDouble(const std::string& name, double* out,
+                           const std::string& help) {
+  flags_.push_back(Flag{name, Kind::kDouble, out, help});
+}
+void FlagParser::AddBool(const std::string& name, bool* out,
+                         const std::string& help) {
+  flags_.push_back(Flag{name, Kind::kBool, out, help});
+}
+
+const FlagParser::Flag* FlagParser::Find(const std::string& name) const {
+  for (const Flag& f : flags_) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+Status FlagParser::Assign(const Flag& flag, const std::string& value) {
+  switch (flag.kind) {
+    case Kind::kString:
+      *static_cast<std::string*>(flag.out) = value;
+      return Status::OK();
+    case Kind::kInt64: {
+      TPM_ASSIGN_OR_RETURN(int64_t v, ParseInt64(value));
+      *static_cast<int64_t*>(flag.out) = v;
+      return Status::OK();
+    }
+    case Kind::kDouble: {
+      TPM_ASSIGN_OR_RETURN(double v, ParseDouble(value));
+      *static_cast<double*>(flag.out) = v;
+      return Status::OK();
+    }
+    case Kind::kBool: {
+      if (value == "true" || value == "1" || value == "") {
+        *static_cast<bool*>(flag.out) = true;
+      } else if (value == "false" || value == "0") {
+        *static_cast<bool*>(flag.out) = false;
+      } else {
+        return Status::InvalidArgument("bad boolean value '" + value + "'");
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<std::vector<std::string>> FlagParser::Parse(int argc,
+                                                   const char* const* argv) {
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      positional.push_back(arg);
+      continue;
+    }
+    const size_t eq = arg.find('=');
+    const std::string name = arg.substr(2, eq == std::string::npos
+                                               ? std::string::npos
+                                               : eq - 2);
+    const Flag* flag = Find(name);
+    if (flag == nullptr) {
+      return Status::InvalidArgument("unknown flag --" + name + "\n" + Usage());
+    }
+    if (eq != std::string::npos) {
+      TPM_RETURN_NOT_OK(Assign(*flag, arg.substr(eq + 1))
+                            .WithContext("flag --" + name));
+    } else if (flag->kind == Kind::kBool) {
+      TPM_RETURN_NOT_OK(Assign(*flag, ""));
+    } else {
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument("flag --" + name + " needs a value");
+      }
+      TPM_RETURN_NOT_OK(Assign(*flag, argv[++i]).WithContext("flag --" + name));
+    }
+  }
+  return positional;
+}
+
+std::string FlagParser::Usage() const {
+  std::string out;
+  for (const Flag& f : flags_) {
+    out += StringPrintf("  --%-18s %s\n", f.name.c_str(), f.help.c_str());
+  }
+  return out;
+}
+
+}  // namespace tpm

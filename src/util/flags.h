@@ -1,0 +1,49 @@
+// Minimal command-line flag parser for the tpm CLI and ad-hoc tools.
+//
+// Supports --name=value, --name value, boolean --name / --name=false, and
+// collects remaining positional arguments. Unknown flags are errors.
+
+#ifndef TPM_UTIL_FLAGS_H_
+#define TPM_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace tpm {
+
+class FlagParser {
+ public:
+  /// Registers flags. `out` must outlive Parse(); defaults are whatever the
+  /// pointees hold when Parse runs.
+  void AddString(const std::string& name, std::string* out, const std::string& help);
+  void AddInt64(const std::string& name, int64_t* out, const std::string& help);
+  void AddDouble(const std::string& name, double* out, const std::string& help);
+  void AddBool(const std::string& name, bool* out, const std::string& help);
+
+  /// Parses argv[1..); returns positional (non-flag) arguments in order.
+  Result<std::vector<std::string>> Parse(int argc, const char* const* argv);
+
+  /// One help line per registered flag.
+  std::string Usage() const;
+
+ private:
+  enum class Kind { kString, kInt64, kDouble, kBool };
+  struct Flag {
+    std::string name;
+    Kind kind;
+    void* out;
+    std::string help;
+  };
+
+  Status Assign(const Flag& flag, const std::string& value);
+  const Flag* Find(const std::string& name) const;
+
+  std::vector<Flag> flags_;
+};
+
+}  // namespace tpm
+
+#endif  // TPM_UTIL_FLAGS_H_

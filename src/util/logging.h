@@ -1,0 +1,51 @@
+// Minimal leveled logger writing to stderr.
+//
+// TPM_LOG(INFO) << "loaded " << n << " sequences";
+// Level is process-global; benches silence INFO to keep output clean.
+
+#ifndef TPM_UTIL_LOGGING_H_
+#define TPM_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace tpm {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+/// Sets the minimum level that is emitted (thread-safe, relaxed).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+const char* LogLevelName(LogLevel level);
+
+namespace internal {
+
+/// One log statement: accumulates a line, emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace tpm
+
+#define TPM_LOG(level)                                                    \
+  ::tpm::internal::LogMessage(::tpm::LogLevel::k##level, __FILE__, __LINE__)
+
+#endif  // TPM_UTIL_LOGGING_H_

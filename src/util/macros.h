@@ -1,0 +1,54 @@
+// Error-propagation and checking macros (Arrow idiom).
+
+#ifndef TPM_UTIL_MACROS_H_
+#define TPM_UTIL_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/status.h"
+
+/// Evaluates `expr` (a Status expression); returns it from the enclosing
+/// function if it is an error.
+#define TPM_RETURN_NOT_OK(expr)                 \
+  do {                                          \
+    ::tpm::Status _tpm_status = (expr);         \
+    if (!_tpm_status.ok()) return _tpm_status;  \
+  } while (false)
+
+#define TPM_CONCAT_IMPL(x, y) x##y
+#define TPM_CONCAT(x, y) TPM_CONCAT_IMPL(x, y)
+
+/// Evaluates `rexpr` (a Result<T> expression); on error returns the status
+/// from the enclosing function, otherwise move-assigns the value into `lhs`.
+#define TPM_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  TPM_ASSIGN_OR_RETURN_IMPL(TPM_CONCAT(_tpm_result_, __LINE__), \
+                            lhs, rexpr)
+
+#define TPM_ASSIGN_OR_RETURN_IMPL(result_name, lhs, rexpr) \
+  auto&& result_name = (rexpr);                            \
+  if (!result_name.ok()) return result_name.status();      \
+  lhs = std::move(result_name).ValueOrDie()
+
+/// Aborts the process when `condition` is false. For invariants whose
+/// violation means the library itself is broken (never for user input).
+#define TPM_CHECK(condition)                                                 \
+  do {                                                                       \
+    if (!(condition)) {                                                      \
+      std::fprintf(stderr, "TPM_CHECK failed at %s:%d: %s\n", __FILE__,      \
+                   __LINE__, #condition);                                    \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (false)
+
+#define TPM_CHECK_OK(expr)                                                  \
+  do {                                                                      \
+    ::tpm::Status _tpm_status = (expr);                                     \
+    if (!_tpm_status.ok()) {                                                \
+      std::fprintf(stderr, "TPM_CHECK_OK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, _tpm_status.ToString().c_str());               \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (false)
+
+#endif  // TPM_UTIL_MACROS_H_

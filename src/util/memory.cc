@@ -1,0 +1,34 @@
+#include "util/memory.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace tpm {
+
+namespace {
+
+// Parses "<key>:   <number> kB" lines from /proc/self/status.
+uint64_t ReadStatusKb(const char* key) {
+  FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  uint64_t kb = 0;
+  const size_t key_len = std::strlen(key);
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, key, key_len) == 0 && line[key_len] == ':') {
+      unsigned long long v = 0;
+      if (std::sscanf(line + key_len + 1, " %llu", &v) == 1) kb = v;
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
+}  // namespace
+
+uint64_t ReadPeakRssBytes() { return ReadStatusKb("VmHWM") * 1024; }
+
+uint64_t ReadCurrentRssBytes() { return ReadStatusKb("VmRSS") * 1024; }
+
+}  // namespace tpm

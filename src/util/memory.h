@@ -1,0 +1,62 @@
+// Memory accounting for the memory-usage experiment (Fig 1(d)).
+//
+// Two complementary views:
+//  * MemoryTracker — logical byte counters that miners update explicitly for
+//    their dominant structures (projected databases, pattern stores). Exact,
+//    comparable across algorithms, independent of allocator slack.
+//  * ReadPeakRssBytes/ReadCurrentRssBytes — the OS view via /proc/self/status,
+//    reported alongside for sanity.
+
+#ifndef TPM_UTIL_MEMORY_H_
+#define TPM_UTIL_MEMORY_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace tpm {
+
+/// \brief Tracks logical bytes in use and the high-water mark.
+///
+/// Thread-compatible: miners are single-threaded per tracker.
+class MemoryTracker {
+ public:
+  MemoryTracker() = default;
+
+  /// Records an allocation of `bytes`.
+  void Allocate(size_t bytes) {
+    current_ += bytes;
+    if (current_ > peak_) peak_ = current_;
+  }
+
+  /// Records a release of `bytes`. Releasing more than allocated clamps to 0
+  /// (and is a caller bug caught by tests in debug builds).
+  void Release(size_t bytes) { current_ = bytes > current_ ? 0 : current_ - bytes; }
+
+  /// Bytes currently accounted for.
+  size_t current_bytes() const { return current_; }
+
+  /// Highest value current_bytes() ever reached.
+  size_t peak_bytes() const { return peak_; }
+
+  /// Resets both counters to zero.
+  void Reset() {
+    current_ = 0;
+    peak_ = 0;
+  }
+
+ private:
+  size_t current_ = 0;
+  size_t peak_ = 0;
+};
+
+/// Peak resident set size of this process in bytes (VmHWM), or 0 if
+/// /proc is unavailable.
+uint64_t ReadPeakRssBytes();
+
+/// Current resident set size in bytes (VmRSS), or 0 if unavailable.
+uint64_t ReadCurrentRssBytes();
+
+}  // namespace tpm
+
+#endif  // TPM_UTIL_MEMORY_H_

@@ -1,0 +1,69 @@
+// Result<T>: value-or-Status, the return type for fallible producers.
+// Mirrors arrow::Result / absl::StatusOr in miniature.
+
+#ifndef TPM_UTIL_RESULT_H_
+#define TPM_UTIL_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "util/status.h"
+
+namespace tpm {
+
+/// \brief Holds either a successfully produced T or the Status explaining
+/// why no T could be produced.
+///
+/// \code
+///   Result<IntervalDatabase> r = LoadTisd(path);
+///   if (!r.ok()) return r.status();
+///   IntervalDatabase db = std::move(r).ValueOrDie();
+/// \endcode
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Constructs from a value (implicit so `return value;` works).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  /// Constructs from a non-OK status (implicit so `return status;` works).
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : repr_(std::move(status)) {
+    assert(!std::get<Status>(repr_).ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The error; Status::OK() if a value is held.
+  Status status() const& {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// Access to the held value; undefined behaviour if !ok().
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// Returns the value, or `fallback` when this holds an error.
+  T ValueOr(T fallback) const& { return ok() ? ValueOrDie() : std::move(fallback); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace tpm
+
+#endif  // TPM_UTIL_RESULT_H_

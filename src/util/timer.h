@@ -1,0 +1,53 @@
+// Wall-clock and CPU timers used by the benchmark harnesses.
+
+#ifndef TPM_UTIL_TIMER_H_
+#define TPM_UTIL_TIMER_H_
+
+#include <chrono>
+#include <ctime>
+#include <cstdint>
+
+namespace tpm {
+
+/// Monotonic wall-clock stopwatch. Starts running on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction/Reset, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Process CPU-time stopwatch (user+system across all threads).
+class CpuTimer {
+ public:
+  CpuTimer() : start_(Now()) {}
+
+  void Reset() { start_ = Now(); }
+
+  double ElapsedSeconds() const { return Now() - start_; }
+
+ private:
+  static double Now() {
+    timespec ts;
+    clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+  double start_;
+};
+
+}  // namespace tpm
+
+#endif  // TPM_UTIL_TIMER_H_

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "analysis/postprocess.h"
+#include "analysis/render.h"
+#include "analysis/rules.h"
+#include "testing/test_util.h"
+
+namespace tpm {
+namespace {
+
+class AnalysisTest : public ::testing::Test {
+ protected:
+  void SetUp() override { testing::InternLetters(&dict_, 5); }
+
+  EndpointPattern EP(const std::string& text) {
+    auto r = EndpointPattern::Parse(text, dict_);
+    EXPECT_TRUE(r.ok()) << r.status();
+    return *r;
+  }
+  CoincidencePattern CP(const std::string& text) {
+    auto r = CoincidencePattern::Parse(text, dict_);
+    EXPECT_TRUE(r.ok()) << r.status();
+    return *r;
+  }
+
+  Dictionary dict_;
+};
+
+TEST_F(AnalysisTest, EndpointSubPattern) {
+  const auto overlap = EP("<{A+}{B+}{A-}{B-}>");
+  EXPECT_TRUE(IsSubPattern(EP("<{A+}{A-}>"), overlap));
+  EXPECT_TRUE(IsSubPattern(EP("<{B+}{B-}>"), overlap));
+  EXPECT_TRUE(IsSubPattern(overlap, overlap));
+  // "A before B" is NOT implied by "A overlaps B".
+  EXPECT_FALSE(IsSubPattern(EP("<{A+}{A-}{B+}{B-}>"), overlap));
+  // "A equals B" is not implied either.
+  EXPECT_FALSE(IsSubPattern(EP("<{A+ B+}{A- B-}>"), overlap));
+  // Larger can't embed into smaller.
+  EXPECT_FALSE(IsSubPattern(EP("<{A+}{B+}{C+}{A-}{B-}{C-}>"), overlap));
+}
+
+TEST_F(AnalysisTest, CoincidenceSubPattern) {
+  const auto p = CP("<(A)(A B)(B)>");
+  EXPECT_TRUE(IsSubPattern(CP("<(A)(B)>"), p));
+  EXPECT_TRUE(IsSubPattern(CP("<(A B)>"), p));
+  EXPECT_TRUE(IsSubPattern(CP("<(A)(A)>"), p));  // single A run in super
+  EXPECT_FALSE(IsSubPattern(CP("<(B)(A)>"), p));
+  // (A)(B)(A): second A coincidence has no match after (B).
+  EXPECT_FALSE(IsSubPattern(CP("<(A)(B)(A)>"), p));
+}
+
+TEST_F(AnalysisTest, CoincidenceSubPatternRespectsRuns) {
+  // super: two separate A runs separated by a B-only coincidence.
+  const auto super = CP("<(A)(B)(A)>");
+  // sub (A)(A) requires one run of A spanning both matches; the two A
+  // coincidences of super are distinct runs, so this must NOT hold.
+  EXPECT_FALSE(IsSubPattern(CP("<(A)(A)>"), super));
+  EXPECT_TRUE(IsSubPattern(CP("<(A)(B)>"), super));
+  EXPECT_TRUE(IsSubPattern(CP("<(B)(A)>"), super));
+}
+
+TEST_F(AnalysisTest, FilterClosedDropsEqualSupportSubPatterns) {
+  std::vector<MinedPattern<EndpointPattern>> patterns = {
+      {EP("<{A+}{A-}>"), 10},
+      {EP("<{B+}{B-}>"), 8},
+      {EP("<{A+}{B+}{A-}{B-}>"), 8},  // closes over <{B+}{B-}>
+  };
+  auto closed = FilterClosed(patterns);
+  ASSERT_EQ(closed.size(), 2u);
+  // <{B+}{B-}> must be dropped (same support as its super-pattern);
+  // <{A+}{A-}> survives (support 10 > 8).
+  for (const auto& mp : closed) {
+    EXPECT_NE(mp.pattern, EP("<{B+}{B-}>"));
+  }
+}
+
+TEST_F(AnalysisTest, FilterMaximalKeepsOnlyTops) {
+  std::vector<MinedPattern<EndpointPattern>> patterns = {
+      {EP("<{A+}{A-}>"), 10},
+      {EP("<{B+}{B-}>"), 8},
+      {EP("<{A+}{B+}{A-}{B-}>"), 5},
+      {EP("<{C+}{C-}>"), 4},
+  };
+  auto maximal = FilterMaximal(patterns);
+  ASSERT_EQ(maximal.size(), 2u);  // the overlap pattern and the lone C
+}
+
+TEST_F(AnalysisTest, TopKBySupport) {
+  std::vector<MinedPattern<EndpointPattern>> patterns = {
+      {EP("<{A+}{A-}>"), 3},
+      {EP("<{B+}{B-}>"), 9},
+      {EP("<{C+}{C-}>"), 5},
+  };
+  auto top = TopKBySupport(patterns, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].support, 9u);
+  EXPECT_EQ(top[1].support, 5u);
+  EXPECT_EQ(TopKBySupport(patterns, 99).size(), 3u);
+}
+
+TEST_F(AnalysisTest, FilterMinIntervals) {
+  std::vector<MinedPattern<EndpointPattern>> patterns = {
+      {EP("<{A+}{A-}>"), 3},
+      {EP("<{A+}{B+}{A-}{B-}>"), 2},
+  };
+  auto filtered = FilterMinIntervals(patterns, 2);
+  ASSERT_EQ(filtered.size(), 1u);
+  EXPECT_EQ(filtered[0].pattern.NumIntervals(), 2u);
+}
+
+TEST_F(AnalysisTest, DescribeArrangement) {
+  EXPECT_EQ(DescribeArrangement(EP("<{A+}{B+}{A-}{B-}>"), dict_),
+            "A overlaps B");
+  EXPECT_EQ(DescribeArrangement(EP("<{A+}{A-}{B+}{B-}>"), dict_),
+            "A before B");
+  EXPECT_EQ(DescribeArrangement(EP("<{A+ B+}{A- B-}>"), dict_), "A equals B");
+  EXPECT_EQ(DescribeArrangement(EP("<{A+}{A-}>"), dict_), "A");
+  EXPECT_EQ(DescribeArrangement(EP("<{A+ A-}>"), dict_), "A (point)");
+  // Repeated symbols get numbered.
+  EXPECT_EQ(DescribeArrangement(EP("<{A+}{A-}{A+}{A-}>"), dict_),
+            "A#1 before A#2");
+  EXPECT_EQ(DescribeArrangement(CP("<(A)(A B)>"), dict_), "[A] then [A,B]");
+}
+
+TEST_F(AnalysisTest, DescribeElidesTransitiveBefores) {
+  const auto chain = EP("<{A+}{A-}{B+}{B-}{C+}{C-}>");
+  EXPECT_EQ(DescribeArrangement(chain, dict_), "A before B; B before C");
+  EXPECT_NE(DescribeArrangement(chain, dict_, /*all_pairs=*/true)
+                .find("A before C"),
+            std::string::npos);
+}
+
+TEST_F(AnalysisTest, RenderTimelineShape) {
+  const std::string timeline = RenderTimeline(EP("<{A+}{B+}{A-}{B-}>"), dict_);
+  // Two rows, with open/close markers in the right columns.
+  EXPECT_NE(timeline.find("A [ = ] ."), std::string::npos);
+  EXPECT_NE(timeline.find("B . [ = ]"), std::string::npos);
+}
+
+TEST_F(AnalysisTest, GenerateRules) {
+  // supp(A)=10, supp(A before B)=6 -> rule A => A before B at conf 0.6.
+  std::vector<MinedPattern<EndpointPattern>> patterns = {
+      {EP("<{A+}{A-}>"), 10},
+      {EP("<{A+}{A-}{B+}{B-}>"), 6},
+      {EP("<{B+}{B-}>"), 7},
+  };
+  auto rules = GenerateRules(patterns, 0.5);
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_EQ(rules[0].antecedent, EP("<{A+}{A-}>"));
+  EXPECT_DOUBLE_EQ(rules[0].confidence, 0.6);
+  EXPECT_EQ(rules[0].support, 6u);
+  EXPECT_NE(rules[0].ToString(dict_).find("=>"), std::string::npos);
+
+  // Threshold above 0.6 removes it.
+  EXPECT_TRUE(GenerateRules(patterns, 0.7).empty());
+}
+
+TEST_F(AnalysisTest, RulesSkipIncompletePrefixes) {
+  // The overlap pattern has NO complete proper slice-prefix (A stays open
+  // until slice 2), so no rule can be formed from it.
+  std::vector<MinedPattern<EndpointPattern>> patterns = {
+      {EP("<{A+}{B+}{A-}{B-}>"), 5},
+      {EP("<{A+}{A-}>"), 9},
+  };
+  EXPECT_TRUE(GenerateRules(patterns, 0.0).empty());
+}
+
+}  // namespace
+}  // namespace tpm

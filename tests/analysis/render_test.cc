@@ -1,0 +1,76 @@
+#include "analysis/render.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace tpm {
+namespace {
+
+class RenderTest : public ::testing::Test {
+ protected:
+  void SetUp() override { testing::InternLetters(&dict_, 5); }
+
+  EndpointPattern EP(const std::string& text) {
+    auto r = EndpointPattern::Parse(text, dict_);
+    EXPECT_TRUE(r.ok()) << r.status();
+    return *r;
+  }
+
+  Dictionary dict_;
+};
+
+TEST_F(RenderTest, AllCanonicalRelationsRender) {
+  EXPECT_EQ(DescribeArrangement(EP("<{A+}{A-}{B+}{B-}>"), dict_), "A before B");
+  EXPECT_EQ(DescribeArrangement(EP("<{A+}{A- B+}{B-}>"), dict_), "A meets B");
+  EXPECT_EQ(DescribeArrangement(EP("<{A+}{B+}{A-}{B-}>"), dict_), "A overlaps B");
+  EXPECT_EQ(DescribeArrangement(EP("<{A+ B+}{A-}{B-}>"), dict_), "A starts B");
+  EXPECT_EQ(DescribeArrangement(EP("<{B+}{A+}{A-}{B-}>"), dict_), "B contains A");
+  EXPECT_EQ(DescribeArrangement(EP("<{B+}{A+}{A- B-}>"), dict_), "B finished-by A");
+  EXPECT_EQ(DescribeArrangement(EP("<{A+ B+}{A- B-}>"), dict_), "A equals B");
+}
+
+TEST_F(RenderTest, PointInsideInterval) {
+  EXPECT_EQ(DescribeArrangement(EP("<{A+}{B+ B-}{A-}>"), dict_),
+            "A contains B");
+}
+
+TEST_F(RenderTest, ThreeIntervalArrangement) {
+  const std::string desc =
+      DescribeArrangement(EP("<{A+}{B+}{A-}{C+}{B-}{C-}>"), dict_);
+  EXPECT_NE(desc.find("A overlaps B"), std::string::npos);
+  EXPECT_NE(desc.find("B overlaps C"), std::string::npos);
+  // Transitive 'before' pairs are elided by default...
+  EXPECT_EQ(desc.find("A before C"), std::string::npos);
+  // ...but listed in all-pairs mode.
+  const std::string all = DescribeArrangement(
+      EP("<{A+}{B+}{A-}{C+}{B-}{C-}>"), dict_, /*all_pairs=*/true);
+  EXPECT_NE(all.find("A before C"), std::string::npos);
+}
+
+TEST_F(RenderTest, TimelinePointEventMarker) {
+  const std::string t = RenderTimeline(EP("<{A+}{B+ B-}{A-}>"), dict_);
+  EXPECT_NE(t.find("A [ = ]"), std::string::npos);
+  EXPECT_NE(t.find("B . * ."), std::string::npos);
+}
+
+TEST_F(RenderTest, TimelineRepeatedSymbolsNumbered) {
+  const std::string t = RenderTimeline(EP("<{A+}{A-}{A+}{A-}>"), dict_);
+  EXPECT_NE(t.find("A#1"), std::string::npos);
+  EXPECT_NE(t.find("A#2"), std::string::npos);
+}
+
+TEST_F(RenderTest, EmptyPattern) {
+  EXPECT_EQ(DescribeArrangement(EndpointPattern(), dict_), "(empty)");
+  EXPECT_EQ(DescribeArrangement(CoincidencePattern(), dict_), "(empty)");
+  EXPECT_EQ(RenderTimeline(EndpointPattern(), dict_), "(empty)\n");
+}
+
+TEST_F(RenderTest, CoincidenceDescribe) {
+  auto p = CoincidencePattern::Parse("<(A B)(B)(C)>", dict_);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(DescribeArrangement(*p, dict_), "[A,B] then [B] then [C]");
+}
+
+}  // namespace
+}  // namespace tpm

@@ -1,0 +1,103 @@
+#include "core/allen.h"
+
+#include <gtest/gtest.h>
+
+namespace tpm {
+namespace {
+
+TEST(AllenTest, AllThirteenRelations) {
+  const Interval b(1, 10, 20);
+  EXPECT_EQ(ComputeRelation({0, 1, 5}, b), AllenRelation::kBefore);
+  EXPECT_EQ(ComputeRelation({0, 1, 10}, b), AllenRelation::kMeets);
+  EXPECT_EQ(ComputeRelation({0, 5, 15}, b), AllenRelation::kOverlaps);
+  EXPECT_EQ(ComputeRelation({0, 10, 15}, b), AllenRelation::kStarts);
+  EXPECT_EQ(ComputeRelation({0, 12, 18}, b), AllenRelation::kDuring);
+  EXPECT_EQ(ComputeRelation({0, 15, 20}, b), AllenRelation::kFinishes);
+  EXPECT_EQ(ComputeRelation({0, 10, 20}, b), AllenRelation::kEquals);
+  EXPECT_EQ(ComputeRelation({0, 25, 30}, b), AllenRelation::kBeforeInv);
+  EXPECT_EQ(ComputeRelation({0, 20, 30}, b), AllenRelation::kMeetsInv);
+  EXPECT_EQ(ComputeRelation({0, 15, 25}, b), AllenRelation::kOverlapsInv);
+  EXPECT_EQ(ComputeRelation({0, 10, 25}, b), AllenRelation::kStartsInv);
+  EXPECT_EQ(ComputeRelation({0, 5, 25}, b), AllenRelation::kDuringInv);
+  EXPECT_EQ(ComputeRelation({0, 5, 20}, b), AllenRelation::kFinishesInv);
+}
+
+TEST(AllenTest, InverseIsInvolution) {
+  for (int i = 0; i < kNumAllenRelations; ++i) {
+    const auto r = static_cast<AllenRelation>(i);
+    EXPECT_EQ(Inverse(Inverse(r)), r);
+  }
+  EXPECT_EQ(Inverse(AllenRelation::kEquals), AllenRelation::kEquals);
+  EXPECT_EQ(Inverse(AllenRelation::kBefore), AllenRelation::kBeforeInv);
+}
+
+TEST(AllenTest, RelationIsAntisymmetric) {
+  // relation(a,b) must equal Inverse(relation(b,a)) for every arrangement.
+  const Interval cases[] = {
+      {0, 1, 5}, {0, 1, 10}, {0, 5, 15}, {0, 10, 15}, {0, 12, 18},
+      {0, 15, 20}, {0, 10, 20}, {0, 25, 30}, {0, 3, 3}, {0, 10, 10},
+  };
+  const Interval b(1, 10, 20);
+  for (const Interval& a : cases) {
+    EXPECT_EQ(ComputeRelation(a, b), Inverse(ComputeRelation(b, a)))
+        << a.ToString();
+  }
+}
+
+TEST(AllenTest, PointEvents) {
+  const Interval b(1, 10, 20);
+  EXPECT_EQ(ComputeRelation({0, 3, 3}, b), AllenRelation::kBefore);
+  EXPECT_EQ(ComputeRelation({0, 10, 10}, b), AllenRelation::kStarts);
+  EXPECT_EQ(ComputeRelation({0, 15, 15}, b), AllenRelation::kDuring);
+  EXPECT_EQ(ComputeRelation({0, 20, 20}, b), AllenRelation::kFinishes);
+  // Two identical points are equal.
+  EXPECT_EQ(ComputeRelation({0, 5, 5}, {1, 5, 5}), AllenRelation::kEquals);
+}
+
+TEST(AllenTest, ExactlyOneRelationHolds) {
+  // Exhaustive over a small grid: the relation function must be total and
+  // consistent with its definition cases.
+  for (TimeT as = 0; as <= 4; ++as) {
+    for (TimeT af = as; af <= 4; ++af) {
+      for (TimeT bs = 0; bs <= 4; ++bs) {
+        for (TimeT bf = bs; bf <= 4; ++bf) {
+          const AllenRelation r = ComputeRelation({0, as, af}, {1, bs, bf});
+          // Spot-check the definition for each returned value.
+          switch (r) {
+            case AllenRelation::kBefore:
+              EXPECT_LT(af, bs);
+              break;
+            case AllenRelation::kMeets:
+              EXPECT_EQ(af, bs);
+              break;
+            case AllenRelation::kEquals:
+              EXPECT_EQ(as, bs);
+              EXPECT_EQ(af, bf);
+              break;
+            default:
+              break;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(AllenTest, NamesAreCanonical) {
+  EXPECT_STREQ(AllenRelationName(AllenRelation::kOverlaps), "overlaps");
+  EXPECT_STREQ(AllenRelationName(AllenRelation::kDuringInv), "contains");
+  EXPECT_STREQ(AllenRelationName(AllenRelation::kBeforeInv), "after");
+  EXPECT_TRUE(IsCanonical(AllenRelation::kEquals));
+  EXPECT_FALSE(IsCanonical(AllenRelation::kMeetsInv));
+}
+
+TEST(AllenTest, RelationFromEndpointOrder) {
+  // A opens at slice 0, closes slice 2; B opens slice 1, closes slice 3.
+  EXPECT_EQ(RelationFromEndpointOrder(0, 2, 1, 3), AllenRelation::kOverlaps);
+  EXPECT_EQ(RelationFromEndpointOrder(0, 1, 2, 3), AllenRelation::kBefore);
+  EXPECT_EQ(RelationFromEndpointOrder(0, 3, 1, 2), AllenRelation::kDuringInv);
+  EXPECT_EQ(RelationFromEndpointOrder(0, 2, 0, 2), AllenRelation::kEquals);
+}
+
+}  // namespace
+}  // namespace tpm

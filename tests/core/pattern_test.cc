@@ -1,0 +1,137 @@
+#include "core/pattern.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace tpm {
+namespace {
+
+class PatternTest : public ::testing::Test {
+ protected:
+  void SetUp() override { testing::InternLetters(&dict_, 4); }
+  Dictionary dict_;
+};
+
+TEST_F(PatternTest, ParseRoundTrip) {
+  const std::string text = "<{A+}{B+}{A- B-}>";
+  auto p = EndpointPattern::Parse(text, dict_);
+  ASSERT_TRUE(p.ok()) << p.status();
+  EXPECT_EQ(p->ToString(dict_), text);
+  EXPECT_EQ(p->num_slices(), 3u);
+  EXPECT_EQ(p->num_items(), 4u);
+  EXPECT_EQ(p->NumIntervals(), 2u);
+  EXPECT_TRUE(p->IsComplete());
+  EXPECT_TRUE(p->Validate().ok());
+}
+
+TEST_F(PatternTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(EndpointPattern::Parse("no-brackets", dict_).ok());
+  EXPECT_FALSE(EndpointPattern::Parse("<{A*}>", dict_).ok());
+  EXPECT_FALSE(EndpointPattern::Parse("<{Z+}{Z-}>", dict_).ok());  // unknown
+  EXPECT_FALSE(EndpointPattern::Parse("<{}>", dict_).ok());        // empty slice
+  EXPECT_FALSE(EndpointPattern::Parse("<{A+", dict_).ok());        // unterminated
+}
+
+TEST_F(PatternTest, ValidateRejectsDanglingFinish) {
+  auto p = EndpointPattern::Parse("<{A-}>", dict_);
+  EXPECT_FALSE(p.ok());
+}
+
+TEST_F(PatternTest, ValidateRejectsReopening) {
+  auto p = EndpointPattern::Parse("<{A+}{A+}{A-}{A-}>", dict_);
+  EXPECT_FALSE(p.ok());
+}
+
+TEST_F(PatternTest, IncompleteIsValidButNotComplete) {
+  EndpointPattern p(
+      std::vector<std::vector<EndpointCode>>{{MakeStart(0)}, {MakeStart(1)}});
+  EXPECT_TRUE(p.Validate().ok());
+  EXPECT_FALSE(p.IsComplete());
+}
+
+TEST_F(PatternTest, PointEventInOneSlice) {
+  auto p = EndpointPattern::Parse("<{A+ A-}>", dict_);
+  ASSERT_TRUE(p.ok()) << p.status();
+  EXPECT_TRUE(p->IsComplete());
+  auto ivs = p->ToCanonicalIntervals();
+  ASSERT_EQ(ivs.size(), 1u);
+  EXPECT_TRUE(ivs[0].IsPoint());
+}
+
+TEST_F(PatternTest, ToCanonicalIntervalsReconstructsArrangement) {
+  auto p = EndpointPattern::Parse("<{A+}{B+}{A-}{B-}>", dict_);
+  ASSERT_TRUE(p.ok());
+  auto ivs = p->ToCanonicalIntervals();
+  ASSERT_EQ(ivs.size(), 2u);
+  // A spans slices 0..2, B spans 1..3: overlaps.
+  EXPECT_EQ(ivs[0], Interval(*dict_.Lookup("A"), 0, 2));
+  EXPECT_EQ(ivs[1], Interval(*dict_.Lookup("B"), 1, 3));
+}
+
+TEST_F(PatternTest, RepeatedSymbolFifoReconstruction) {
+  auto p = EndpointPattern::Parse("<{A+}{A-}{A+}{A-}>", dict_);
+  ASSERT_TRUE(p.ok()) << p.status();
+  auto ivs = p->ToCanonicalIntervals();
+  ASSERT_EQ(ivs.size(), 2u);
+  EXPECT_EQ(ivs[0].finish, 1);
+  EXPECT_EQ(ivs[1].start, 2);
+}
+
+TEST_F(PatternTest, EqualityAndHash) {
+  auto p1 = *EndpointPattern::Parse("<{A+}{A-}>", dict_);
+  auto p2 = *EndpointPattern::Parse("<{A+}{A-}>", dict_);
+  auto p3 = *EndpointPattern::Parse("<{A+ A-}>", dict_);
+  EXPECT_EQ(p1, p2);
+  EXPECT_EQ(p1.Hash(), p2.Hash());
+  EXPECT_FALSE(p1 == p3);
+  // Same items, different slicing must hash differently (offsets matter).
+  EXPECT_NE(p1.Hash(), p3.Hash());
+}
+
+TEST_F(PatternTest, LexicographicOrder) {
+  auto a = *EndpointPattern::Parse("<{A+}{A-}>", dict_);
+  auto b = *EndpointPattern::Parse("<{B+}{B-}>", dict_);
+  EXPECT_LT(a, b);
+  EXPECT_FALSE(b < a);
+}
+
+TEST_F(PatternTest, CoincidenceParseRoundTrip) {
+  const std::string text = "<(A)(A B)(B)>";
+  auto p = CoincidencePattern::Parse(text, dict_);
+  ASSERT_TRUE(p.ok()) << p.status();
+  EXPECT_EQ(p->ToString(dict_), text);
+  EXPECT_EQ(p->num_coincidences(), 3u);
+  EXPECT_EQ(p->num_items(), 4u);
+  EXPECT_TRUE(p->Validate().ok());
+}
+
+TEST_F(PatternTest, CoincidenceValidateRejectsDuplicatesInCoincidence) {
+  CoincidencePattern p({{0, 0}});
+  EXPECT_FALSE(p.Validate().ok());
+  CoincidencePattern unsorted({{1, 0}});
+  EXPECT_FALSE(unsorted.Validate().ok());
+}
+
+TEST_F(PatternTest, CoincidenceEqualityHashOrder) {
+  auto a = *CoincidencePattern::Parse("<(A)(B)>", dict_);
+  auto b = *CoincidencePattern::Parse("<(A B)>", dict_);
+  auto a2 = *CoincidencePattern::Parse("<(A)(B)>", dict_);
+  EXPECT_EQ(a, a2);
+  EXPECT_EQ(a.Hash(), a2.Hash());
+  EXPECT_NE(a.Hash(), b.Hash());
+  EXPECT_TRUE(a < b || b < a);
+}
+
+TEST_F(PatternTest, EmptyPatterns) {
+  EndpointPattern e;
+  EXPECT_TRUE(e.Validate().ok());
+  EXPECT_TRUE(e.IsComplete());
+  EXPECT_EQ(e.num_slices(), 0u);
+  CoincidencePattern c;
+  EXPECT_TRUE(c.Validate().ok());
+  EXPECT_EQ(c.num_coincidences(), 0u);
+}
+
+}  // namespace
+}  // namespace tpm

@@ -1,0 +1,197 @@
+// Property-based sweeps over randomized inputs: representation round-trips,
+// pattern parse/print identity, self-containment of canonical realizations,
+// and structural invariants of both representations.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "core/coincidence.h"
+#include "core/containment.h"
+#include "core/endpoint.h"
+#include "testing/test_util.h"
+#include "util/rng.h"
+
+namespace tpm {
+namespace {
+
+using testing::RandomTinyDatabase;
+
+class PropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PropertyTest, EndpointRepresentationIsLossless) {
+  IntervalDatabase db = RandomTinyDatabase(GetParam(), 20, 5, 4.0, 30);
+  for (const EventSequence& seq : db.sequences()) {
+    const EndpointSequence es = EndpointSequence::FromEventSequence(seq);
+    ASSERT_EQ(es.num_items(), seq.size() * 2);
+    // Rebuild intervals from starts + partner wiring.
+    std::vector<Interval> rebuilt;
+    for (uint32_t i = 0; i < es.num_items(); ++i) {
+      if (IsFinish(es.item(i))) continue;
+      const uint32_t q = es.partner(i);
+      EXPECT_EQ(es.partner(q), i);  // involution
+      EXPECT_EQ(es.item(q), PartnerCode(es.item(i)));
+      rebuilt.emplace_back(EndpointEvent(es.item(i)),
+                           es.slice_time(es.item_slice(i)),
+                           es.slice_time(es.item_slice(q)));
+    }
+    std::sort(rebuilt.begin(), rebuilt.end());
+    EXPECT_EQ(rebuilt, seq.intervals());
+  }
+}
+
+TEST_P(PropertyTest, SliceTimesStrictlyIncreaseAndItemsSorted) {
+  IntervalDatabase db = RandomTinyDatabase(GetParam() + 1, 20, 5, 4.0, 30);
+  for (const EventSequence& seq : db.sequences()) {
+    const EndpointSequence es = EndpointSequence::FromEventSequence(seq);
+    for (uint32_t s = 0; s + 1 < es.num_slices(); ++s) {
+      EXPECT_LT(es.slice_time(s), es.slice_time(s + 1));
+    }
+    for (uint32_t s = 0; s < es.num_slices(); ++s) {
+      for (uint32_t i = es.slice_begin(s) + 1; i < es.slice_end(s); ++i) {
+        EXPECT_LT(es.item(i - 1), es.item(i));
+        EXPECT_EQ(es.item_slice(i), s);
+      }
+    }
+  }
+}
+
+TEST_P(PropertyTest, CoincidenceStructureInvariants) {
+  IntervalDatabase db = RandomTinyDatabase(GetParam() + 2, 20, 5, 4.0, 30);
+  for (const EventSequence& seq : db.sequences()) {
+    const CoincidenceSequence cs = CoincidenceSequence::FromEventSequence(seq);
+    // Every interval covers a contiguous, correctly-bounded segment range,
+    // and per segment each symbol appears at most once.
+    std::map<uint32_t, std::set<uint32_t>> interval_segments;
+    for (uint32_t s = 0; s < cs.num_segments(); ++s) {
+      std::set<EventId> seen;
+      EXPECT_GT(cs.seg_size(s), 0u);  // empty segments were dropped
+      EXPECT_LE(cs.seg_start_time(s), cs.seg_end_time(s));
+      if (s + 1 < cs.num_segments()) {
+        EXPECT_LE(cs.seg_start_time(s), cs.seg_start_time(s + 1));
+        EXPECT_LE(cs.seg_end_time(s), cs.seg_end_time(s + 1));
+      }
+      for (uint32_t i = cs.seg_begin(s); i < cs.seg_end(s); ++i) {
+        EXPECT_TRUE(seen.insert(cs.item(i)).second)
+            << "symbol repeated within a segment";
+        EXPECT_EQ(cs.item_segment(i), s);
+        EXPECT_LE(cs.alive_from(i), s);
+        EXPECT_GE(cs.alive_until(i), s);
+        interval_segments[cs.item_interval(i)].insert(s);
+      }
+    }
+    for (const auto& [iv, segs] : interval_segments) {
+      // Contiguity: max - min + 1 == count.
+      EXPECT_EQ(*segs.rbegin() - *segs.begin() + 1, segs.size())
+          << "interval " << iv << " covers non-contiguous segments";
+    }
+  }
+}
+
+TEST_P(PropertyTest, PatternParsePrintRoundTrip) {
+  // Generate random valid endpoint patterns directly, then round-trip them.
+  Rng rng(GetParam() + 3);
+  Dictionary dict;
+  testing::InternLetters(&dict, 6);
+  for (int trial = 0; trial < 30; ++trial) {
+    // Build a random arrangement of 1-4 intervals and derive the pattern
+    // from its endpoint representation (guaranteed valid).
+    EventSequence seq;
+    const int n = 1 + static_cast<int>(rng.Uniform(4));
+    for (int k = 0; k < n; ++k) {
+      const EventId e = static_cast<EventId>(rng.Uniform(6));
+      const TimeT b = static_cast<TimeT>(rng.Uniform(12));
+      const TimeT len = static_cast<TimeT>(rng.Uniform(8));
+      seq.Add(e, b, b + len);
+    }
+    seq.MergeSameSymbolConflicts();
+    const EndpointSequence es = EndpointSequence::FromEventSequence(seq);
+    std::vector<std::vector<EndpointCode>> slices;
+    for (uint32_t s = 0; s < es.num_slices(); ++s) {
+      std::vector<EndpointCode> slice;
+      for (uint32_t i = es.slice_begin(s); i < es.slice_end(s); ++i) {
+        slice.push_back(es.item(i));
+      }
+      slices.push_back(std::move(slice));
+    }
+    const EndpointPattern pattern(slices);
+    ASSERT_TRUE(pattern.Validate().ok()) << pattern.ToString(dict);
+    auto back = EndpointPattern::Parse(pattern.ToString(dict), dict);
+    ASSERT_TRUE(back.ok()) << pattern.ToString(dict) << ": " << back.status();
+    EXPECT_EQ(*back, pattern);
+    EXPECT_EQ(back->Hash(), pattern.Hash());
+  }
+}
+
+TEST_P(PropertyTest, CanonicalRealizationContainsItsPattern) {
+  // For every valid complete pattern: realize it as concrete intervals and
+  // verify the realization contains the pattern (self-containment), plus the
+  // realization's derived pattern equals the original.
+  Rng rng(GetParam() + 4);
+  Dictionary dict;
+  testing::InternLetters(&dict, 5);
+  for (int trial = 0; trial < 30; ++trial) {
+    EventSequence seq;
+    const int n = 1 + static_cast<int>(rng.Uniform(4));
+    for (int k = 0; k < n; ++k) {
+      seq.Add(static_cast<EventId>(rng.Uniform(5)),
+              static_cast<TimeT>(rng.Uniform(10)),
+              static_cast<TimeT>(rng.Uniform(10)) + 10);
+    }
+    seq.MergeSameSymbolConflicts();
+    const EndpointSequence es = EndpointSequence::FromEventSequence(seq);
+    std::vector<std::vector<EndpointCode>> slices;
+    for (uint32_t s = 0; s < es.num_slices(); ++s) {
+      std::vector<EndpointCode> slice;
+      for (uint32_t i = es.slice_begin(s); i < es.slice_end(s); ++i) {
+        slice.push_back(es.item(i));
+      }
+      slices.push_back(std::move(slice));
+    }
+    const EndpointPattern pattern(slices);
+
+    EventSequence realization(pattern.ToCanonicalIntervals());
+    ASSERT_TRUE(realization.Validate().ok());
+    const EndpointSequence res = EndpointSequence::FromEventSequence(realization);
+    EXPECT_TRUE(Contains(res, pattern)) << pattern.ToString(dict);
+    // And the original sequence contains its own derived pattern.
+    EXPECT_TRUE(Contains(es, pattern)) << pattern.ToString(dict);
+  }
+}
+
+TEST_P(PropertyTest, ContainmentIsMonotoneUnderIntervalRemoval) {
+  // If seq contains P, it contains P minus any one interval.
+  IntervalDatabase db = RandomTinyDatabase(GetParam() + 5, 6, 3, 4.0, 12);
+  Rng rng(GetParam() + 6);
+  for (const EventSequence& seq : db.sequences()) {
+    if (seq.size() < 2) continue;
+    const EndpointSequence es = EndpointSequence::FromEventSequence(seq);
+    // Derive a pattern from a random sub-multiset of the sequence itself.
+    EventSequence sub;
+    for (const Interval& iv : seq.intervals()) {
+      if (rng.Bernoulli(0.7)) sub.Add(iv.event, iv.start, iv.finish);
+    }
+    sub.MergeSameSymbolConflicts();
+    if (sub.empty()) continue;
+    const EndpointSequence ses = EndpointSequence::FromEventSequence(sub);
+    std::vector<std::vector<EndpointCode>> slices;
+    for (uint32_t s = 0; s < ses.num_slices(); ++s) {
+      std::vector<EndpointCode> slice;
+      for (uint32_t i = ses.slice_begin(s); i < ses.slice_end(s); ++i) {
+        slice.push_back(ses.item(i));
+      }
+      slices.push_back(std::move(slice));
+    }
+    const EndpointPattern pattern(slices);
+    ASSERT_TRUE(Contains(es, pattern)) << seq.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertyTest,
+                         ::testing::Values(101, 202, 303, 404, 505, 606, 707,
+                                           808, 909, 1010));
+
+}  // namespace
+}  // namespace tpm

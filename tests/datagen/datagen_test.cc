@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "datagen/quest.h"
+#include "datagen/realistic.h"
+#include "io/binary_format.h"
+
+namespace tpm {
+namespace {
+
+TEST(QuestTest, GeneratesRequestedShape) {
+  QuestConfig config;
+  config.num_sequences = 500;
+  config.avg_intervals_per_sequence = 8.0;
+  config.num_symbols = 100;
+  config.seed = 1;
+  auto db = GenerateQuest(config);
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ(db->size(), 500u);
+  EXPECT_EQ(db->dict().size(), 100u);
+  const DatabaseStats st = db->ComputeStats();
+  // Pattern planting + merging perturb the mean; stay within a loose band.
+  EXPECT_GT(st.avg_intervals_per_sequence, 5.0);
+  EXPECT_LT(st.avg_intervals_per_sequence, 12.0);
+}
+
+TEST(QuestTest, AlwaysValid) {
+  for (uint64_t seed : {1ull, 2ull, 3ull}) {
+    QuestConfig config;
+    config.num_sequences = 200;
+    config.num_symbols = 20;  // small alphabet forces conflicts to repair
+    config.avg_intervals_per_sequence = 12.0;
+    config.seed = seed;
+    auto db = GenerateQuest(config);
+    ASSERT_TRUE(db.ok());
+    EXPECT_TRUE(db->Validate().ok()) << "seed " << seed;
+  }
+}
+
+TEST(QuestTest, DeterministicForSeed) {
+  QuestConfig config;
+  config.num_sequences = 100;
+  config.num_symbols = 30;
+  config.seed = 42;
+  auto a = GenerateQuest(config);
+  auto b = GenerateQuest(config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(SerializeBinary(*a), SerializeBinary(*b));
+  config.seed = 43;
+  auto c = GenerateQuest(config);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(SerializeBinary(*a), SerializeBinary(*c));
+}
+
+TEST(QuestTest, ZipfSkewConcentratesSymbols) {
+  QuestConfig config;
+  config.num_sequences = 400;
+  config.num_symbols = 100;
+  config.symbol_zipf_theta = 1.0;
+  config.pattern_injection_prob = 0.0;  // pure noise to isolate the skew
+  config.seed = 9;
+  auto db = GenerateQuest(config);
+  ASSERT_TRUE(db.ok());
+  std::vector<size_t> counts(100, 0);
+  for (const EventSequence& s : db->sequences()) {
+    for (const Interval& iv : s.intervals()) ++counts[iv.event];
+  }
+  const size_t head = counts[0] + counts[1] + counts[2];
+  size_t total = 0;
+  for (size_t c : counts) total += c;
+  EXPECT_GT(head, total / 5);  // top-3 symbols carry >20% of mass
+}
+
+TEST(QuestTest, InjectionPlantsCooccurrence) {
+  // With injection on, sequences sharing a planted pattern share symbol
+  // combos; compare max pairwise co-occurrence against a no-injection run.
+  auto pair_max = [](const IntervalDatabase& db) {
+    std::map<std::pair<EventId, EventId>, int> counts;
+    for (const EventSequence& s : db.sequences()) {
+      std::vector<EventId> syms;
+      for (const Interval& iv : s.intervals()) syms.push_back(iv.event);
+      std::sort(syms.begin(), syms.end());
+      syms.erase(std::unique(syms.begin(), syms.end()), syms.end());
+      for (size_t i = 0; i < syms.size(); ++i) {
+        for (size_t j = i + 1; j < syms.size(); ++j) {
+          ++counts[{syms[i], syms[j]}];
+        }
+      }
+    }
+    int mx = 0;
+    for (const auto& [k, v] : counts) mx = std::max(mx, v);
+    return mx;
+  };
+  QuestConfig config;
+  config.num_sequences = 400;
+  config.num_symbols = 200;
+  config.symbol_zipf_theta = 0.0;
+  config.seed = 11;
+  config.pattern_injection_prob = 0.8;
+  auto with = GenerateQuest(config);
+  config.pattern_injection_prob = 0.0;
+  auto without = GenerateQuest(config);
+  ASSERT_TRUE(with.ok());
+  ASSERT_TRUE(without.ok());
+  EXPECT_GT(pair_max(*with), 3 * std::max(1, pair_max(*without)));
+}
+
+TEST(QuestTest, RejectsBadConfig) {
+  QuestConfig config;
+  config.num_sequences = 0;
+  EXPECT_FALSE(GenerateQuest(config).ok());
+  config.num_sequences = 10;
+  config.avg_intervals_per_sequence = 0;
+  EXPECT_FALSE(GenerateQuest(config).ok());
+}
+
+TEST(QuestTest, NameFollowsConvention) {
+  QuestConfig config;
+  config.num_sequences = 10000;
+  config.avg_intervals_per_sequence = 8;
+  config.num_symbols = 1000;
+  EXPECT_EQ(config.Name(), "D10kC8N1000");
+  config.num_sequences = 2500;
+  EXPECT_EQ(config.Name(), "D2500C8N1000");
+}
+
+TEST(AslTest, ShapeAndValidity) {
+  AslConfig config;
+  config.num_utterances = 200;
+  auto db = GenerateAslLike(config);
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ(db->size(), 200u);
+  EXPECT_TRUE(db->Validate().ok());
+  const DatabaseStats st = db->ComputeStats();
+  EXPECT_GT(st.num_symbols, 100u);   // filler signs + markers
+  EXPECT_GT(st.avg_intervals_per_sequence, 2.0);
+  EXPECT_LT(st.avg_intervals_per_sequence, 15.0);
+}
+
+TEST(AslTest, MarkersOverlapSigns) {
+  AslConfig config;
+  config.num_utterances = 300;
+  auto db = GenerateAslLike(config);
+  ASSERT_TRUE(db.ok());
+  // The grammatical-marker containment structure must be present: count
+  // sequences where a BROW_RAISE interval intersects some SIGN_ interval.
+  auto brow = db->dict().Lookup("BROW_RAISE");
+  ASSERT_TRUE(brow.ok());
+  int with_overlap = 0;
+  for (const EventSequence& s : db->sequences()) {
+    bool found = false;
+    for (const Interval& a : s.intervals()) {
+      if (a.event != *brow) continue;
+      for (const Interval& b : s.intervals()) {
+        if (db->dict().Name(b.event).rfind("SIGN_", 0) == 0 &&
+            a.Intersects(b)) {
+          found = true;
+        }
+      }
+    }
+    with_overlap += found ? 1 : 0;
+  }
+  EXPECT_GT(with_overlap, 60);  // >20% of utterances
+}
+
+TEST(LibraryTest, ShapeAndValidity) {
+  LibraryConfig config;
+  config.num_borrowers = 300;
+  config.num_categories = 40;
+  auto db = GenerateLibraryLike(config);
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ(db->size(), 300u);
+  EXPECT_TRUE(db->Validate().ok());
+  const DatabaseStats st = db->ComputeStats();
+  EXPECT_GT(st.avg_duration, 5.0);   // loans last days-weeks
+  EXPECT_LT(st.max_time, 2 * 730);
+}
+
+TEST(StockTest, WindowingProducesManySequences) {
+  StockConfig config;
+  config.num_stocks = 20;
+  config.num_days = 100;
+  config.window_days = 20;
+  auto db = GenerateStockLike(config);
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ(db->size(), 20u * 5u);
+  EXPECT_TRUE(db->Validate().ok());
+  EXPECT_EQ(db->dict().size(), 7u);
+}
+
+TEST(StockTest, RejectsDegenerateConfig) {
+  StockConfig config;
+  config.num_stocks = 0;
+  EXPECT_FALSE(GenerateStockLike(config).ok());
+  config.num_stocks = 5;
+  config.num_days = 3;
+  EXPECT_FALSE(GenerateStockLike(config).ok());
+}
+
+TEST(RealisticTest, AllDeterministic) {
+  AslConfig a;
+  a.num_utterances = 50;
+  EXPECT_EQ(SerializeBinary(*GenerateAslLike(a)), SerializeBinary(*GenerateAslLike(a)));
+  LibraryConfig l;
+  l.num_borrowers = 50;
+  EXPECT_EQ(SerializeBinary(*GenerateLibraryLike(l)),
+            SerializeBinary(*GenerateLibraryLike(l)));
+  StockConfig s;
+  s.num_stocks = 5;
+  s.num_days = 60;
+  EXPECT_EQ(SerializeBinary(*GenerateStockLike(s)),
+            SerializeBinary(*GenerateStockLike(s)));
+}
+
+}  // namespace
+}  // namespace tpm

@@ -1,0 +1,223 @@
+// End-to-end pipelines: generate -> persist -> reload -> mine -> post-process,
+// plus support-correctness spot checks of the fast miner against the oracle
+// containment scan on generated data.
+
+#include <gtest/gtest.h>
+
+#include "analysis/postprocess.h"
+#include "analysis/render.h"
+#include "analysis/rules.h"
+#include "core/containment.h"
+#include "datagen/quest.h"
+#include "datagen/realistic.h"
+#include "io/loader.h"
+#include "miner/miner.h"
+#include "testing/test_util.h"
+
+namespace tpm {
+namespace {
+
+TEST(IntegrationTest, GenerateSaveReloadMineMatches) {
+  QuestConfig config;
+  config.num_sequences = 300;
+  config.num_symbols = 40;
+  config.seed = 21;
+  auto db = GenerateQuest(config);
+  ASSERT_TRUE(db.ok());
+
+  const std::string path = ::testing::TempDir() + "/integration.tpmb";
+  ASSERT_TRUE(SaveDatabase(*db, path).ok());
+  auto reloaded = LoadDatabase(path);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status();
+
+  MinerOptions options;
+  options.min_support = 0.05;
+  auto a = MakePTPMinerE()->Mine(*db, options);
+  auto b = MakePTPMinerE()->Mine(*reloaded, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(tpm::testing::Render(*a, db->dict()),
+            tpm::testing::Render(*b, reloaded->dict()));
+}
+
+TEST(IntegrationTest, MinedSupportsMatchOracleCounts) {
+  QuestConfig config;
+  config.num_sequences = 150;
+  config.num_symbols = 25;
+  config.seed = 31;
+  auto db = GenerateQuest(config);
+  ASSERT_TRUE(db.ok());
+
+  MinerOptions options;
+  options.min_support = 0.08;
+  auto result = MakePTPMinerE()->Mine(*db, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->patterns.empty());
+
+  const EndpointDatabase edb = EndpointDatabase::FromDatabase(*db);
+  for (const auto& mp : result->patterns) {
+    EXPECT_EQ(mp.support, CountSupport(edb, mp.pattern))
+        << mp.pattern.ToString(db->dict());
+  }
+}
+
+TEST(IntegrationTest, CoincidenceSupportsMatchOracleCounts) {
+  QuestConfig config;
+  config.num_sequences = 120;
+  config.num_symbols = 25;
+  config.seed = 33;
+  auto db = GenerateQuest(config);
+  ASSERT_TRUE(db.ok());
+
+  MinerOptions options;
+  options.min_support = 0.15;
+  options.max_items = 5;
+  auto result = MakePTPMinerC()->Mine(*db, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->patterns.empty());
+
+  const CoincidenceDatabase cdb = CoincidenceDatabase::FromDatabase(*db);
+  for (const auto& mp : result->patterns) {
+    EXPECT_EQ(mp.support, CountSupport(cdb, mp.pattern))
+        << mp.pattern.ToString(db->dict());
+  }
+}
+
+TEST(IntegrationTest, AprioriPropertyHolds) {
+  // Every reported pattern's sub-patterns (remove one whole interval) must
+  // also be reported, with support >= the super-pattern's support.
+  QuestConfig config;
+  config.num_sequences = 200;
+  config.num_symbols = 30;
+  config.seed = 41;
+  auto db = GenerateQuest(config);
+  ASSERT_TRUE(db.ok());
+
+  MinerOptions options;
+  options.min_support = 0.06;
+  auto result = MakePTPMinerE()->Mine(*db, options);
+  ASSERT_TRUE(result.ok());
+
+  std::unordered_map<EndpointPattern, SupportCount, EndpointPatternHash> index;
+  for (const auto& mp : result->patterns) index.emplace(mp.pattern, mp.support);
+
+  for (const auto& mp : result->patterns) {
+    if (mp.pattern.NumIntervals() < 2) continue;
+    // Remove the interval whose start appears first.
+    const auto& items = mp.pattern.items();
+    // Find first start and its matching finish (FIFO).
+    uint32_t start_pos = 0;
+    EventId ev = EndpointEvent(items[0]);
+    uint32_t finish_pos = 0;
+    int depth = 0;
+    for (uint32_t i = 0; i < items.size(); ++i) {
+      if (EndpointEvent(items[i]) != ev) continue;
+      if (!IsFinish(items[i])) {
+        ++depth;
+      } else if (--depth == 0) {
+        finish_pos = i;
+        break;
+      }
+    }
+    ASSERT_GT(finish_pos, start_pos);
+    std::vector<std::vector<EndpointCode>> slices;
+    for (uint32_t s = 0; s < mp.pattern.num_slices(); ++s) {
+      std::vector<EndpointCode> sl;
+      for (uint32_t i = mp.pattern.slice_begin(s); i < mp.pattern.slice_end(s); ++i) {
+        if (i == start_pos || i == finish_pos) continue;
+        sl.push_back(items[i]);
+      }
+      if (!sl.empty()) slices.push_back(std::move(sl));
+    }
+    EndpointPattern sub(slices);
+    ASSERT_TRUE(sub.Validate().ok()) << mp.pattern.ToString(db->dict());
+    auto it = index.find(sub);
+    ASSERT_NE(it, index.end())
+        << "missing sub-pattern " << sub.ToString(db->dict()) << " of "
+        << mp.pattern.ToString(db->dict());
+    EXPECT_GE(it->second, mp.support);
+  }
+}
+
+TEST(IntegrationTest, RealisticDatasetsEndToEnd) {
+  AslConfig asl;
+  asl.num_utterances = 150;
+  auto db = GenerateAslLike(asl);
+  ASSERT_TRUE(db.ok());
+
+  MinerOptions options;
+  options.min_support = 0.15;
+  options.max_items = 6;
+  auto result = MakePTPMinerE()->Mine(*db, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->patterns.size(), 5u);
+
+  // The planted grammar must surface: some frequent pattern relates a
+  // marker to a sign with a non-'before' relation.
+  bool found_overlap_structure = false;
+  for (const auto& mp : result->patterns) {
+    if (mp.pattern.NumIntervals() < 2) continue;
+    const std::string desc = DescribeArrangement(mp.pattern, db->dict());
+    if (desc.find("contains") != std::string::npos ||
+        desc.find("overlaps") != std::string::npos ||
+        desc.find("during") != std::string::npos) {
+      found_overlap_structure = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found_overlap_structure);
+
+  // Post-processing pipeline holds its invariants.
+  auto closed = FilterClosed(result->patterns);
+  EXPECT_LE(closed.size(), result->patterns.size());
+  auto maximal = FilterMaximal(result->patterns);
+  EXPECT_LE(maximal.size(), closed.size());
+  auto rules = GenerateRules(result->patterns, 0.0);
+  for (const auto& r : rules) {
+    EXPECT_GT(r.confidence, 0.0);
+    EXPECT_LE(r.confidence, 1.0);
+  }
+}
+
+TEST(IntegrationTest, FirstLevelSupportsEqualSymbolFrequencies) {
+  QuestConfig config;
+  config.num_sequences = 100;
+  config.num_symbols = 15;
+  config.seed = 51;
+  auto db = GenerateQuest(config);
+  ASSERT_TRUE(db.ok());
+
+  MinerOptions options;
+  options.min_support = 0.05;
+  auto result = MakePTPMinerE()->Mine(*db, options);
+  ASSERT_TRUE(result.ok());
+
+  // The support of <{e+}{e-}> must equal the number of sequences holding a
+  // non-point interval of e (and symmetrically for the point shape).
+  for (EventId e = 0; e < db->dict().size(); ++e) {
+    SupportCount nonpoint = 0;
+    for (const EventSequence& s : db->sequences()) {
+      for (const Interval& iv : s.intervals()) {
+        if (iv.event == e && !iv.IsPoint()) {
+          ++nonpoint;
+          break;
+        }
+      }
+    }
+    SupportCount mined = 0;
+    for (const auto& mp : result->patterns) {
+      if (mp.pattern.num_items() == 2 && mp.pattern.num_slices() == 2 &&
+          mp.pattern.item(0) == MakeStart(e)) {
+        mined = mp.support;
+      }
+    }
+    if (nonpoint >= db->AbsoluteSupport(options.min_support)) {
+      EXPECT_EQ(mined, nonpoint) << "symbol " << db->dict().Name(e);
+    } else {
+      EXPECT_EQ(mined, 0u) << "symbol " << db->dict().Name(e);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tpm

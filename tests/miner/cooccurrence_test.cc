@@ -1,0 +1,67 @@
+#include "miner/cooccurrence.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace tpm {
+namespace {
+
+using testing::Seq;
+
+TEST(CooccurrenceTest, CountsSymbolAndPairSupports) {
+  IntervalDatabase db;
+  testing::InternLetters(&db.dict(), 4);
+  db.AddSequence(Seq(&db.dict(), {{'A', 0, 1}, {'B', 2, 3}}));
+  db.AddSequence(Seq(&db.dict(), {{'A', 0, 1}, {'B', 2, 3}, {'C', 4, 5}}));
+  db.AddSequence(Seq(&db.dict(), {{'A', 0, 1}}));
+  db.AddSequence(Seq(&db.dict(), {{'D', 0, 1}}));
+
+  CooccurrenceTable t = CooccurrenceTable::Build(db, /*min_support=*/2);
+  const EventId a = *db.dict().Lookup("A");
+  const EventId b = *db.dict().Lookup("B");
+  const EventId c = *db.dict().Lookup("C");
+  const EventId d = *db.dict().Lookup("D");
+
+  EXPECT_EQ(t.SymbolSupport(a), 3u);
+  EXPECT_EQ(t.SymbolSupport(b), 2u);
+  EXPECT_EQ(t.SymbolSupport(c), 1u);
+  EXPECT_TRUE(t.IsFrequentSymbol(a));
+  EXPECT_FALSE(t.IsFrequentSymbol(c));
+  EXPECT_FALSE(t.IsFrequentSymbol(d));
+
+  EXPECT_EQ(t.PairSupport(a, b), 2u);
+  EXPECT_EQ(t.PairSupport(b, a), 2u);  // symmetric
+  EXPECT_TRUE(t.IsFrequentPair(a, b));
+  // Pairs with infrequent symbols are not tabulated.
+  EXPECT_EQ(t.PairSupport(a, c), 0u);
+  // Diagonal = symbol support.
+  EXPECT_EQ(t.PairSupport(a, a), 3u);
+}
+
+TEST(CooccurrenceTest, RepeatedSymbolCountsOncePerSequence) {
+  IntervalDatabase db;
+  testing::InternLetters(&db.dict(), 2);
+  db.AddSequence(Seq(&db.dict(), {{'A', 0, 1}, {'A', 3, 4}, {'A', 6, 7}}));
+  CooccurrenceTable t = CooccurrenceTable::Build(db, 1);
+  EXPECT_EQ(t.SymbolSupport(*db.dict().Lookup("A")), 1u);
+}
+
+TEST(CooccurrenceTest, EmptyDatabase) {
+  IntervalDatabase db;
+  CooccurrenceTable t = CooccurrenceTable::Build(db, 1);
+  EXPECT_EQ(t.SymbolSupport(0), 0u);
+  EXPECT_FALSE(t.IsFrequentPair(0, 1));
+}
+
+TEST(CooccurrenceTest, OutOfRangeSymbolsAreSafe) {
+  IntervalDatabase db;
+  testing::InternLetters(&db.dict(), 1);
+  db.AddSequence(Seq(&db.dict(), {{'A', 0, 1}}));
+  CooccurrenceTable t = CooccurrenceTable::Build(db, 1);
+  EXPECT_EQ(t.SymbolSupport(999), 0u);
+  EXPECT_EQ(t.PairSupport(0, 999), 0u);
+}
+
+}  // namespace
+}  // namespace tpm

@@ -1,0 +1,182 @@
+// Golden tests: hand-computed expected pattern sets on small crafted
+// databases. These pin the *semantics*; the equivalence tests then transfer
+// them to every miner.
+
+#include <gtest/gtest.h>
+
+#include "miner/miner.h"
+#include "testing/test_util.h"
+
+namespace tpm {
+namespace {
+
+using testing::Render;
+using testing::Seq;
+
+TEST(GoldenTest, TwoOverlapSequences) {
+  IntervalDatabase db;
+  testing::InternLetters(&db.dict(), 2);
+  // Both sequences: A overlaps B.
+  db.AddSequence(Seq(&db.dict(), {{'A', 1, 5}, {'B', 3, 8}}));
+  db.AddSequence(Seq(&db.dict(), {{'A', 10, 14}, {'B', 12, 20}}));
+
+  MinerOptions options;
+  options.min_support = 2.0;  // absolute
+  auto result = MakePTPMinerE()->Mine(db, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  // Complete patterns only: A, B, and the full overlap arrangement (every
+  // reported pattern closes all of its intervals).
+  const std::vector<std::string> want = {
+      "<{A+}{A-}>@2",
+      "<{A+}{B+}{A-}{B-}>@2",
+      "<{B+}{B-}>@2",
+  };
+  EXPECT_EQ(Render(*result, db.dict()), want);
+}
+
+TEST(GoldenTest, SupportCountsDistinctSequencesNotOccurrences) {
+  IntervalDatabase db;
+  testing::InternLetters(&db.dict(), 1);
+  // One sequence with THREE disjoint A intervals: support of <{A+}{A-}> is 1.
+  db.AddSequence(Seq(&db.dict(), {{'A', 0, 1}, {'A', 3, 4}, {'A', 6, 7}}));
+  db.AddSequence(Seq(&db.dict(), {{'A', 0, 2}}));
+
+  MinerOptions options;
+  options.min_support = 2.0;
+  auto result = MakePTPMinerE()->Mine(db, options);
+  ASSERT_TRUE(result.ok());
+  const std::vector<std::string> want = {"<{A+}{A-}>@2"};
+  EXPECT_EQ(Render(*result, db.dict()), want);
+}
+
+TEST(GoldenTest, RepeatedSymbolSequentialPattern) {
+  IntervalDatabase db;
+  testing::InternLetters(&db.dict(), 1);
+  db.AddSequence(Seq(&db.dict(), {{'A', 0, 1}, {'A', 3, 4}}));
+  db.AddSequence(Seq(&db.dict(), {{'A', 5, 6}, {'A', 8, 9}}));
+
+  MinerOptions options;
+  options.min_support = 2.0;
+  auto result = MakePTPMinerE()->Mine(db, options);
+  ASSERT_TRUE(result.ok());
+  const std::vector<std::string> want = {
+      "<{A+}{A-}>@2",
+      "<{A+}{A-}{A+}{A-}>@2",  // A before A
+  };
+  EXPECT_EQ(Render(*result, db.dict()), want);
+}
+
+TEST(GoldenTest, PartnerConsistencyAtMiningLevel) {
+  IntervalDatabase db;
+  testing::InternLetters(&db.dict(), 2);
+  // Both sequences contain A,A,B such that NO single A overlaps B the
+  // "A+ B+ A-" way; a partner-oblivious miner would report it with supp 2.
+  db.AddSequence(Seq(&db.dict(), {{'A', 1, 2}, {'A', 4, 9}, {'B', 3, 5}}));
+  db.AddSequence(Seq(&db.dict(), {{'A', 0, 1}, {'A', 5, 8}, {'B', 2, 6}}));
+
+  MinerOptions options;
+  options.min_support = 2.0;
+  auto result = MakePTPMinerE()->Mine(db, options);
+  ASSERT_TRUE(result.ok());
+  for (const auto& mp : result->patterns) {
+    EXPECT_EQ(mp.pattern.ToString(db.dict()).find("<{A+}{B+}{A-}"),
+              std::string::npos)
+        << "partner-inconsistent pattern reported: "
+        << mp.pattern.ToString(db.dict());
+  }
+  // The true relations ARE found: B overlaps the second A.
+  bool found_b_overlaps_a = false;
+  for (const auto& mp : result->patterns) {
+    if (mp.pattern.ToString(db.dict()) == "<{B+}{A+}{B-}{A-}>") {
+      found_b_overlaps_a = (mp.support == 2);
+    }
+  }
+  EXPECT_TRUE(found_b_overlaps_a);
+}
+
+TEST(GoldenTest, PointEventsMineAsSingleSlicePatterns) {
+  IntervalDatabase db;
+  testing::InternLetters(&db.dict(), 2);
+  db.AddSequence(Seq(&db.dict(), {{'A', 0, 4}, {'B', 2, 2}}));
+  db.AddSequence(Seq(&db.dict(), {{'A', 1, 6}, {'B', 3, 3}}));
+
+  MinerOptions options;
+  options.min_support = 2.0;
+  auto result = MakePTPMinerE()->Mine(db, options);
+  ASSERT_TRUE(result.ok());
+  const std::vector<std::string> want = {
+      "<{A+}{A-}>@2",
+      "<{A+}{B+ B-}{A-}>@2",  // B (point) during A
+      "<{B+ B-}>@2",
+  };
+  EXPECT_EQ(Render(*result, db.dict()), want);
+}
+
+TEST(GoldenTest, SimultaneousEndpointsItemsetPattern) {
+  IntervalDatabase db;
+  testing::InternLetters(&db.dict(), 2);
+  // A and B start together, A finishes first: "A starts B".
+  db.AddSequence(Seq(&db.dict(), {{'A', 0, 3}, {'B', 0, 7}}));
+  db.AddSequence(Seq(&db.dict(), {{'A', 5, 8}, {'B', 5, 12}}));
+
+  MinerOptions options;
+  options.min_support = 2.0;
+  auto result = MakePTPMinerE()->Mine(db, options);
+  ASSERT_TRUE(result.ok());
+  const std::vector<std::string> want = {
+      "<{A+ B+}{A-}{B-}>@2",
+      "<{A+}{A-}>@2",
+      "<{B+}{B-}>@2",
+  };
+  EXPECT_EQ(Render(*result, db.dict()), want);
+}
+
+TEST(GoldenTest, CoincidenceGolden) {
+  IntervalDatabase db;
+  testing::InternLetters(&db.dict(), 2);
+  // Both: A overlaps B -> coincidence sequence (A)(A B)(B).
+  db.AddSequence(Seq(&db.dict(), {{'A', 1, 5}, {'B', 3, 8}}));
+  db.AddSequence(Seq(&db.dict(), {{'A', 10, 14}, {'B', 12, 20}}));
+
+  MinerOptions options;
+  options.min_support = 2.0;
+  auto result = MakePTPMinerC()->Mine(db, options);
+  ASSERT_TRUE(result.ok());
+  const std::vector<std::string> got = Render(*result, db.dict());
+  // Note the run-semantics patterns like <(A)(A)>: the single A interval is
+  // alive on two consecutive segments, i.e. "A persists across a state
+  // change" (here: B starting) — a real, distinct piece of information.
+  const std::vector<std::string> expected = {
+      "<(A B)(B)>@2",
+      "<(A B)>@2",
+      "<(A)(A B)(B)>@2",
+      "<(A)(A B)>@2",
+      "<(A)(A)(B)>@2",
+      "<(A)(A)>@2",
+      "<(A)(B)(B)>@2",
+      "<(A)(B)>@2",
+      "<(A)>@2",
+      "<(B)(B)>@2",
+      "<(B)>@2",
+  };
+  EXPECT_EQ(got, expected);
+}
+
+TEST(GoldenTest, FractionalMinsupRounding) {
+  IntervalDatabase db;
+  testing::InternLetters(&db.dict(), 2);
+  db.AddSequence(Seq(&db.dict(), {{'A', 0, 1}}));
+  db.AddSequence(Seq(&db.dict(), {{'A', 0, 1}}));
+  db.AddSequence(Seq(&db.dict(), {{'B', 0, 1}}));
+
+  MinerOptions options;
+  options.min_support = 0.5;  // ceil(1.5) = 2 sequences
+  auto result = MakePTPMinerE()->Mine(db, options);
+  ASSERT_TRUE(result.ok());
+  const std::vector<std::string> want = {"<{A+}{A-}>@2"};
+  EXPECT_EQ(Render(*result, db.dict()), want);
+}
+
+}  // namespace
+}  // namespace tpm

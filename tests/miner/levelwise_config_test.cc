@@ -1,0 +1,87 @@
+// Exercises the level-wise engine's candidate-reduction configurations
+// (frequent alphabet, Apriori check) individually — including the
+// coincidence-language level-wise miner, which the factory API exposes only
+// in its brute-force configuration.
+
+#include <gtest/gtest.h>
+
+#include "miner/levelwise.h"
+#include "miner/miner.h"
+#include "testing/test_util.h"
+
+namespace tpm {
+namespace {
+
+using testing::RandomTinyDatabase;
+using testing::Render;
+
+TEST(LevelwiseConfigTest, AllEndpointConfigsAgree) {
+  IntervalDatabase db = RandomTinyDatabase(71, 15, 4, 3.0, 15);
+  MinerOptions options;
+  options.min_support = 0.2;
+
+  auto reference = MakePTPMinerE()->Mine(db, options);
+  ASSERT_TRUE(reference.ok());
+  const auto expected = Render(*reference, db.dict());
+
+  for (int mask = 0; mask < 4; ++mask) {
+    LevelwiseConfig config;
+    config.frequent_alphabet = (mask & 1) != 0;
+    config.apriori_check = (mask & 2) != 0;
+    auto r = MineLevelwiseEndpoint(db, options, config);
+    ASSERT_TRUE(r.ok()) << r.status();
+    EXPECT_EQ(Render(*r, db.dict()), expected) << "config mask " << mask;
+  }
+}
+
+TEST(LevelwiseConfigTest, AllCoincidenceConfigsAgree) {
+  IntervalDatabase db = RandomTinyDatabase(72, 15, 4, 3.0, 15);
+  MinerOptions options;
+  options.min_support = 0.25;
+  options.max_items = 5;
+
+  auto reference = MakePTPMinerC()->Mine(db, options);
+  ASSERT_TRUE(reference.ok());
+  const auto expected = Render(*reference, db.dict());
+
+  for (int mask = 0; mask < 4; ++mask) {
+    LevelwiseConfig config;
+    config.frequent_alphabet = (mask & 1) != 0;
+    config.apriori_check = (mask & 2) != 0;
+    auto r = MineLevelwiseCoincidence(db, options, config);
+    ASSERT_TRUE(r.ok()) << r.status();
+    EXPECT_EQ(Render(*r, db.dict()), expected) << "config mask " << mask;
+  }
+}
+
+TEST(LevelwiseConfigTest, AprioriCheckReducesCandidates) {
+  IntervalDatabase db = RandomTinyDatabase(73, 40, 5, 4.0, 20);
+  MinerOptions options;
+  options.min_support = 0.15;
+
+  LevelwiseConfig with;
+  LevelwiseConfig without;
+  without.apriori_check = false;
+  auto a = MineLevelwiseEndpoint(db, options, with);
+  auto b = MineLevelwiseEndpoint(db, options, without);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(Render(*a, db.dict()), Render(*b, db.dict()));
+  EXPECT_LE(a->stats.candidates_checked, b->stats.candidates_checked);
+}
+
+TEST(LevelwiseConfigTest, WindowRespected) {
+  IntervalDatabase db = RandomTinyDatabase(74, 15, 3, 3.0, 20);
+  MinerOptions options;
+  options.min_support = 0.2;
+  options.max_window = 6;
+
+  auto reference = MakePTPMinerE()->Mine(db, options);
+  ASSERT_TRUE(reference.ok());
+  auto lw = MineLevelwiseEndpoint(db, options, LevelwiseConfig{});
+  ASSERT_TRUE(lw.ok());
+  EXPECT_EQ(Render(*lw, db.dict()), Render(*reference, db.dict()));
+}
+
+}  // namespace
+}  // namespace tpm

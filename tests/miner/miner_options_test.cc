@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "miner/miner.h"
+#include "testing/test_util.h"
+
+namespace tpm {
+namespace {
+
+using testing::RandomTinyDatabase;
+using testing::Seq;
+
+IntervalDatabase MediumDb() {
+  return RandomTinyDatabase(/*seed=*/77, /*num_sequences=*/60, /*alphabet=*/5,
+                            /*avg_intervals=*/4.0, /*horizon=*/25);
+}
+
+TEST(MinerOptionsTest, InvalidMinSupportRejected) {
+  IntervalDatabase db = MediumDb();
+  MinerOptions options;
+  options.min_support = 0.0;
+  EXPECT_TRUE(MakePTPMinerE()->Mine(db, options).status().IsInvalidArgument());
+  EXPECT_TRUE(MakePTPMinerC()->Mine(db, options).status().IsInvalidArgument());
+  EXPECT_TRUE(MakeLevelwiseMiner()->Mine(db, options).status().IsInvalidArgument());
+  options.min_support = -1.0;
+  EXPECT_TRUE(MakeTPrefixSpan()->Mine(db, options).status().IsInvalidArgument());
+}
+
+TEST(MinerOptionsTest, InvalidDatabaseRejected) {
+  IntervalDatabase db;
+  testing::InternLetters(&db.dict(), 1);
+  EventSequence s;
+  s.Add(0, 0, 5);
+  s.Add(0, 3, 8);  // same-symbol overlap
+  s.Normalize();
+  db.AddSequence(std::move(s));
+  MinerOptions options;
+  EXPECT_TRUE(MakePTPMinerE()->Mine(db, options).status().IsInvalidArgument());
+  EXPECT_TRUE(MakePTPMinerC()->Mine(db, options).status().IsInvalidArgument());
+}
+
+TEST(MinerOptionsTest, EmptyDatabaseYieldsNoPatterns) {
+  IntervalDatabase db;
+  MinerOptions options;
+  options.min_support = 1.0;
+  auto r = MakePTPMinerE()->Mine(db, options);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->patterns.empty());
+  auto rc = MakePTPMinerC()->Mine(db, options);
+  ASSERT_TRUE(rc.ok());
+  EXPECT_TRUE(rc->patterns.empty());
+}
+
+TEST(MinerOptionsTest, MaxItemsCapsPatternSize) {
+  IntervalDatabase db = MediumDb();
+  MinerOptions options;
+  options.min_support = 0.1;
+  options.max_items = 4;
+  auto r = MakePTPMinerE()->Mine(db, options);
+  ASSERT_TRUE(r.ok());
+  for (const auto& mp : r->patterns) {
+    EXPECT_LE(mp.pattern.num_items(), 4u);
+  }
+  // The capped result is exactly the uncapped result filtered by size.
+  MinerOptions uncapped = options;
+  uncapped.max_items = 0;
+  auto full = MakePTPMinerE()->Mine(db, uncapped);
+  ASSERT_TRUE(full.ok());
+  size_t small_count = 0;
+  for (const auto& mp : full->patterns) {
+    if (mp.pattern.num_items() <= 4) ++small_count;
+  }
+  EXPECT_EQ(r->patterns.size(), small_count);
+}
+
+TEST(MinerOptionsTest, MaxLengthCapsSlices) {
+  IntervalDatabase db = MediumDb();
+  MinerOptions options;
+  options.min_support = 0.1;
+  options.max_length = 2;
+  auto r = MakePTPMinerE()->Mine(db, options);
+  ASSERT_TRUE(r.ok());
+  for (const auto& mp : r->patterns) {
+    EXPECT_LE(mp.pattern.num_slices(), 2u);
+  }
+  auto rc = MakePTPMinerC()->Mine(db, options);
+  ASSERT_TRUE(rc.ok());
+  for (const auto& mp : rc->patterns) {
+    EXPECT_LE(mp.pattern.num_coincidences(), 2u);
+  }
+}
+
+TEST(MinerOptionsTest, MaxPatternsTruncates) {
+  IntervalDatabase db = MediumDb();
+  MinerOptions options;
+  options.min_support = 0.05;
+  options.max_patterns = 5;
+  auto r = MakePTPMinerE()->Mine(db, options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->patterns.size(), 5u);
+  EXPECT_TRUE(r->stats.truncated);
+}
+
+TEST(MinerOptionsTest, TimeBudgetTruncates) {
+  IntervalDatabase db = RandomTinyDatabase(5, 300, 6, 8.0, 40);
+  MinerOptions options;
+  options.min_support = 0.02;
+  options.time_budget_seconds = 1e-9;  // expire immediately
+  auto r = MakePTPMinerE()->Mine(db, options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->stats.truncated);
+}
+
+TEST(MinerOptionsTest, StatsArePopulated) {
+  IntervalDatabase db = MediumDb();
+  MinerOptions options;
+  options.min_support = 0.1;
+  auto r = MakePTPMinerE()->Mine(db, options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->stats.patterns_found, r->patterns.size());
+  EXPECT_GT(r->stats.nodes_expanded, 0u);
+  EXPECT_GT(r->stats.candidates_checked, 0u);
+  EXPECT_GT(r->stats.peak_logical_bytes, 0u);
+  EXPECT_GT(r->stats.peak_rss_bytes, 0u);
+  EXPECT_FALSE(r->stats.truncated);
+  EXPECT_FALSE(r->stats.ToString().empty());
+}
+
+TEST(MinerOptionsTest, DeterministicAcrossRuns) {
+  IntervalDatabase db = MediumDb();
+  MinerOptions options;
+  options.min_support = 0.08;
+  auto a = MakePTPMinerE()->Mine(db, options);
+  auto b = MakePTPMinerE()->Mine(db, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->patterns.size(), b->patterns.size());
+  for (size_t i = 0; i < a->patterns.size(); ++i) {
+    EXPECT_EQ(a->patterns[i], b->patterns[i]);  // identical order too
+  }
+}
+
+TEST(MinerOptionsTest, MinerNames) {
+  EXPECT_EQ(MakePTPMinerE()->name(), "P-TPMiner/E");
+  EXPECT_EQ(MakePTPMinerC()->name(), "P-TPMiner/C");
+  EXPECT_EQ(MakeTPrefixSpan()->name(), "TPrefixSpan");
+  EXPECT_EQ(MakeCTMiner()->name(), "CTMiner");
+  EXPECT_EQ(MakeLevelwiseMiner()->name(), "IEMiner-LW");
+  EXPECT_EQ(MakeBruteForceEndpointMiner()->name(), "BruteForce/E");
+  EXPECT_EQ(MakeBruteForceCoincidenceMiner()->name(), "BruteForce/C");
+}
+
+TEST(MinerOptionsTest, AllPatternsReportedAreCompleteAndValid) {
+  IntervalDatabase db = MediumDb();
+  MinerOptions options;
+  options.min_support = 0.08;
+  auto r = MakePTPMinerE()->Mine(db, options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->patterns.empty());
+  for (const auto& mp : r->patterns) {
+    EXPECT_TRUE(mp.pattern.Validate().ok());
+    EXPECT_TRUE(mp.pattern.IsComplete());
+    EXPECT_GE(mp.support, db.AbsoluteSupport(options.min_support));
+  }
+  auto rc = MakePTPMinerC()->Mine(db, options);
+  ASSERT_TRUE(rc.ok());
+  for (const auto& mp : rc->patterns) {
+    EXPECT_TRUE(mp.pattern.Validate().ok());
+  }
+}
+
+}  // namespace
+}  // namespace tpm

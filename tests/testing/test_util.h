@@ -1,0 +1,83 @@
+// Shared helpers for tests.
+
+#ifndef TPM_TESTS_TESTING_TEST_UTIL_H_
+#define TPM_TESTS_TESTING_TEST_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "core/pattern.h"
+#include "miner/options.h"
+#include "util/rng.h"
+
+namespace tpm {
+namespace testing {
+
+/// Interns "A".."Z"-style single-letter symbols so tests can write patterns
+/// and intervals symbolically.
+inline void InternLetters(Dictionary* dict, int count) {
+  for (int i = 0; i < count; ++i) {
+    dict->Intern(std::string(1, static_cast<char>('A' + i)));
+  }
+}
+
+/// Builds a sequence from (symbol-letter, start, finish) triples.
+inline EventSequence Seq(Dictionary* dict,
+                         std::initializer_list<std::tuple<char, TimeT, TimeT>> ivs) {
+  EventSequence s;
+  for (const auto& [c, b, e] : ivs) {
+    s.Add(dict->Intern(std::string(1, c)), b, e);
+  }
+  s.Normalize();
+  return s;
+}
+
+/// \brief Generates a small random valid database for property tests.
+///
+/// Uses a tiny alphabet and short horizon so same-symbol repetitions, point
+/// events, shared endpoints and all Allen relations occur with high
+/// probability — the stress regime for partner-consistency logic.
+inline IntervalDatabase RandomTinyDatabase(uint64_t seed, uint32_t num_sequences,
+                                           uint32_t alphabet, double avg_intervals,
+                                           TimeT horizon) {
+  IntervalDatabase db;
+  for (uint32_t i = 0; i < alphabet; ++i) {
+    db.dict().Intern(std::string(1, static_cast<char>('A' + i)));
+  }
+  Rng rng(seed);
+  for (uint32_t s = 0; s < num_sequences; ++s) {
+    EventSequence seq;
+    const uint32_t n = 1 + rng.Poisson(avg_intervals);
+    for (uint32_t k = 0; k < n; ++k) {
+      const EventId e = static_cast<EventId>(rng.Uniform(alphabet));
+      const TimeT b = static_cast<TimeT>(rng.Uniform(static_cast<uint64_t>(horizon)));
+      const TimeT len = rng.Bernoulli(0.2)
+                            ? 0
+                            : 1 + static_cast<TimeT>(rng.Uniform(
+                                      static_cast<uint64_t>(horizon) / 2));
+      seq.Add(e, b, b + len);
+    }
+    seq.MergeSameSymbolConflicts();
+    db.AddSequence(std::move(seq));
+  }
+  return db;
+}
+
+/// Renders a mining result as sorted "pattern@support" lines for comparison.
+template <typename PatternT>
+std::vector<std::string> Render(const MiningResult<PatternT>& result,
+                                const Dictionary& dict) {
+  std::vector<std::string> out;
+  out.reserve(result.patterns.size());
+  for (const auto& mp : result.patterns) {
+    out.push_back(mp.pattern.ToString(dict) + "@" + std::to_string(mp.support));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace testing
+}  // namespace tpm
+
+#endif  // TPM_TESTS_TESTING_TEST_UTIL_H_

@@ -1,0 +1,201 @@
+// Drives the tpm CLI through its library entry point.
+
+#include "cli.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+namespace tpm {
+namespace {
+
+int RunCli(std::initializer_list<const char*> args, std::string* output) {
+  std::vector<const char*> argv(args);
+  std::ostringstream out;
+  const int code =
+      TpmCliMain(static_cast<int>(argv.size()), argv.data(), out);
+  *output = out.str();
+  return code;
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void WriteSample(const std::string& path) {
+  std::ofstream f(path);
+  f << "p1 Fever 0 5\n"
+       "p1 Rash 3 9\n"
+       "p2 Fever 10 16\n"
+       "p2 Rash 12 20\n"
+       "p3 Rash 1 4\n";
+}
+
+TEST(CliTest, NoArgsFails) {
+  std::string out;
+  EXPECT_NE(RunCli({"tpm"}, &out), 0);
+}
+
+TEST(CliTest, HelpSucceeds) {
+  std::string out;
+  EXPECT_EQ(RunCli({"tpm", "help"}, &out), 0);
+  EXPECT_NE(out.find("commands:"), std::string::npos);
+}
+
+TEST(CliTest, UnknownCommandFails) {
+  std::string out;
+  EXPECT_NE(RunCli({"tpm", "frobnicate"}, &out), 0);
+}
+
+TEST(CliTest, StatsOnSample) {
+  const std::string db = TempPath("cli_sample.tisd");
+  WriteSample(db);
+  std::string out;
+  ASSERT_EQ(RunCli({"tpm", "stats", db.c_str()}, &out), 0);
+  EXPECT_NE(out.find("sequences=3"), std::string::npos);
+  EXPECT_NE(out.find("intervals=5"), std::string::npos);
+}
+
+TEST(CliTest, StatsMissingFileFails) {
+  std::string out;
+  EXPECT_NE(RunCli({"tpm", "stats", "/nonexistent/x.tisd"}, &out), 0);
+}
+
+TEST(CliTest, MineEndpointFindsOverlap) {
+  const std::string db = TempPath("cli_mine.tisd");
+  WriteSample(db);
+  std::string out;
+  ASSERT_EQ(
+      RunCli({"tpm", "mine", db.c_str(), "--minsup=2", "--describe"}, &out), 0);
+  EXPECT_NE(out.find("<{Fever+}{Rash+}{Fever-}{Rash-}>"), std::string::npos);
+  EXPECT_NE(out.find("Fever overlaps Rash"), std::string::npos);
+}
+
+TEST(CliTest, MineCoincidence) {
+  const std::string db = TempPath("cli_coin.tisd");
+  WriteSample(db);
+  std::string out;
+  ASSERT_EQ(RunCli({"tpm", "mine", db.c_str(), "--type=coincidence",
+                 "--minsup=2", "--algo=ctminer"},
+                &out),
+            0);
+  EXPECT_NE(out.find("<(Fever Rash)>"), std::string::npos);
+}
+
+TEST(CliTest, MineRejectsBadAlgo) {
+  const std::string db = TempPath("cli_bad.tisd");
+  WriteSample(db);
+  std::string out;
+  EXPECT_NE(RunCli({"tpm", "mine", db.c_str(), "--algo=quantum"}, &out), 0);
+  EXPECT_NE(RunCli({"tpm", "mine", db.c_str(), "--type=fancy"}, &out), 0);
+}
+
+TEST(CliTest, MineToOutputFile) {
+  const std::string db = TempPath("cli_out.tisd");
+  const std::string patterns = TempPath("cli_out.patterns");
+  WriteSample(db);
+  std::string out;
+  ASSERT_EQ(RunCli({"tpm", "mine", db.c_str(), "--minsup=2",
+                 ("--output=" + patterns).c_str()},
+                &out),
+            0);
+  std::ifstream f(patterns);
+  ASSERT_TRUE(f.good());
+  std::string contents((std::istreambuf_iterator<char>(f)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_NE(contents.find("<{Fever+}{Fever-}>"), std::string::npos);
+}
+
+TEST(CliTest, MineClosedAndTopFilters) {
+  const std::string db = TempPath("cli_filters.tisd");
+  WriteSample(db);
+  std::string all_out, closed_out, top_out;
+  ASSERT_EQ(RunCli({"tpm", "mine", db.c_str(), "--minsup=2"}, &all_out), 0);
+  ASSERT_EQ(RunCli({"tpm", "mine", db.c_str(), "--minsup=2", "--closed"},
+                &closed_out),
+            0);
+  ASSERT_EQ(RunCli({"tpm", "mine", db.c_str(), "--minsup=2", "--top=1"}, &top_out),
+            0);
+  auto count_lines = [](const std::string& s) {
+    size_t n = 0;
+    for (char c : s) n += (c == '\n');
+    return n;
+  };
+  EXPECT_LE(count_lines(closed_out), count_lines(all_out));
+  EXPECT_EQ(count_lines(top_out), 2u);  // one pattern + summary line
+}
+
+TEST(CliTest, GenerateConvertRoundTrip) {
+  const std::string tisd = TempPath("cli_gen.tisd");
+  const std::string tpmb = TempPath("cli_gen.tpmb");
+  std::string out;
+  ASSERT_EQ(RunCli({"tpm", "generate", "--kind=quest", "--sequences=50",
+                 "--symbols=10", ("--output=" + tisd).c_str()},
+                &out),
+            0);
+  EXPECT_NE(out.find("wrote 50 sequences"), std::string::npos);
+  ASSERT_EQ(RunCli({"tpm", "convert", tisd.c_str(), tpmb.c_str()}, &out), 0);
+  ASSERT_EQ(RunCli({"tpm", "stats", tpmb.c_str()}, &out), 0);
+  EXPECT_NE(out.find("sequences=50"), std::string::npos);
+}
+
+TEST(CliTest, GenerateAllKinds) {
+  for (const char* kind : {"asl", "library", "stock"}) {
+    const std::string path = TempPath(std::string("cli_gen_") + kind + ".tpmb");
+    std::string out;
+    ASSERT_EQ(RunCli({"tpm", "generate", ("--kind=" + std::string(kind)).c_str(),
+                   "--sequences=20", ("--output=" + path).c_str()},
+                  &out),
+              0)
+        << kind;
+  }
+  std::string out;
+  EXPECT_NE(RunCli({"tpm", "generate", "--kind=nope", "--output=/tmp/x.tisd"}, &out),
+            0);
+  EXPECT_NE(RunCli({"tpm", "generate", "--kind=quest"}, &out), 0);  // no output
+}
+
+TEST(CliTest, RulesCommand) {
+  const std::string db = TempPath("cli_rules.tisd");
+  WriteSample(db);
+  std::string out;
+  ASSERT_EQ(RunCli({"tpm", "rules", db.c_str(), "--minsup=2",
+                 "--min-confidence=0.1"},
+                &out),
+            0);
+  EXPECT_NE(out.find("rules from"), std::string::npos);
+}
+
+TEST(CliTest, MineWindowFlag) {
+  const std::string db = TempPath("cli_window.tisd");
+  WriteSample(db);
+  std::string wide, tight;
+  ASSERT_EQ(RunCli({"tpm", "mine", db.c_str(), "--minsup=2"}, &wide), 0);
+  ASSERT_EQ(RunCli({"tpm", "mine", db.c_str(), "--minsup=2", "--window=2"}, &tight),
+            0);
+  // Window 2 kills the overlap pattern (span 9+) but keeps nothing larger.
+  EXPECT_NE(wide.find("{Rash+}{Fever-}"), std::string::npos);
+  EXPECT_EQ(tight.find("{Rash+}{Fever-}"), std::string::npos);
+}
+
+TEST(CliTest, ProfileCommand) {
+  const std::string db = TempPath("cli_profile.tisd");
+  WriteSample(db);
+  std::string out;
+  ASSERT_EQ(RunCli({"tpm", "profile", db.c_str(), "--top=2"}, &out), 0);
+  EXPECT_NE(out.find("top 2 symbols"), std::string::npos);
+  EXPECT_NE(out.find("relation mix"), std::string::npos);
+  EXPECT_NE(out.find("overlaps"), std::string::npos);
+}
+
+TEST(CliTest, HelpFlagsForSubcommands) {
+  std::string out;
+  ASSERT_EQ(RunCli({"tpm", "mine", "--help"}, &out), 0);
+  EXPECT_NE(out.find("--minsup"), std::string::npos);
+  ASSERT_EQ(RunCli({"tpm", "generate", "--help"}, &out), 0);
+  EXPECT_NE(out.find("--kind"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tpm

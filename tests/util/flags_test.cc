@@ -1,0 +1,88 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace tpm {
+namespace {
+
+TEST(FlagParserTest, ParsesAllKindsAndPositionals) {
+  FlagParser parser;
+  std::string s = "default";
+  int64_t i = 1;
+  double d = 0.5;
+  bool b = false;
+  parser.AddString("name", &s, "a string");
+  parser.AddInt64("count", &i, "a count");
+  parser.AddDouble("ratio", &d, "a ratio");
+  parser.AddBool("verbose", &b, "a switch");
+
+  const char* argv[] = {"prog", "pos1", "--name=xyz", "--count", "42",
+                        "--ratio=0.25", "--verbose", "pos2"};
+  auto positional = parser.Parse(8, argv);
+  ASSERT_TRUE(positional.ok()) << positional.status();
+  EXPECT_EQ(*positional, (std::vector<std::string>{"pos1", "pos2"}));
+  EXPECT_EQ(s, "xyz");
+  EXPECT_EQ(i, 42);
+  EXPECT_DOUBLE_EQ(d, 0.25);
+  EXPECT_TRUE(b);
+}
+
+TEST(FlagParserTest, DefaultsSurviveWhenUnset) {
+  FlagParser parser;
+  int64_t i = 7;
+  parser.AddInt64("count", &i, "");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(parser.Parse(1, argv).ok());
+  EXPECT_EQ(i, 7);
+}
+
+TEST(FlagParserTest, BoolExplicitValues) {
+  FlagParser parser;
+  bool b = true;
+  parser.AddBool("flag", &b, "");
+  const char* argv[] = {"prog", "--flag=false"};
+  ASSERT_TRUE(parser.Parse(2, argv).ok());
+  EXPECT_FALSE(b);
+  const char* argv2[] = {"prog", "--flag=1"};
+  ASSERT_TRUE(parser.Parse(2, argv2).ok());
+  EXPECT_TRUE(b);
+  const char* argv3[] = {"prog", "--flag=maybe"};
+  EXPECT_FALSE(parser.Parse(2, argv3).ok());
+}
+
+TEST(FlagParserTest, UnknownFlagRejected) {
+  FlagParser parser;
+  const char* argv[] = {"prog", "--nope=1"};
+  auto r = parser.Parse(2, argv);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(FlagParserTest, MissingValueRejected) {
+  FlagParser parser;
+  int64_t i = 0;
+  parser.AddInt64("count", &i, "");
+  const char* argv[] = {"prog", "--count"};
+  EXPECT_FALSE(parser.Parse(2, argv).ok());
+}
+
+TEST(FlagParserTest, BadValueTypeRejected) {
+  FlagParser parser;
+  int64_t i = 0;
+  parser.AddInt64("count", &i, "");
+  const char* argv[] = {"prog", "--count=abc"};
+  auto r = parser.Parse(2, argv);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("--count"), std::string::npos);
+}
+
+TEST(FlagParserTest, UsageListsFlags) {
+  FlagParser parser;
+  std::string s;
+  parser.AddString("input", &s, "the input file");
+  EXPECT_NE(parser.Usage().find("--input"), std::string::npos);
+  EXPECT_NE(parser.Usage().find("the input file"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tpm

@@ -1,0 +1,43 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace tpm {
+namespace {
+
+TEST(LoggingTest, LevelRoundTrip) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, LevelNames) {
+  EXPECT_STREQ(LogLevelName(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(LogLevelName(LogLevel::kInfo), "INFO");
+  EXPECT_STREQ(LogLevelName(LogLevel::kWarning), "WARN");
+  EXPECT_STREQ(LogLevelName(LogLevel::kError), "ERROR");
+}
+
+TEST(LoggingTest, SuppressedLevelsDoNotCrashAndStreamEverything) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kOff);
+  // Streaming below the threshold must be cheap and safe for any type.
+  TPM_LOG(Debug) << "int " << 42 << " double " << 2.5 << " str " << "x";
+  TPM_LOG(Error) << "also suppressed at kOff";
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, EmittedMessageIncludesLocation) {
+  // Emission goes to stderr; here we only verify it does not crash while
+  // enabled and that the statement compiles in expression position.
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  TPM_LOG(Error) << "expected one ERROR line in test output";
+  SetLogLevel(original);
+}
+
+}  // namespace
+}  // namespace tpm

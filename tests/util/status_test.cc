@@ -1,0 +1,107 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include "util/macros.h"
+#include "util/result.h"
+
+namespace tpm {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad minsup");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.message(), "bad minsup");
+  EXPECT_EQ(s.ToString(), "invalid-argument: bad minsup");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingPredicates) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::NotImplemented("x").IsNotImplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::Cancelled("x").IsCancelled());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+}
+
+TEST(StatusTest, CopyAndMovePreserveState) {
+  Status s = Status::Corruption("bad crc");
+  Status copy = s;
+  EXPECT_TRUE(copy.IsCorruption());
+  EXPECT_EQ(copy.message(), "bad crc");
+  Status moved = std::move(s);
+  EXPECT_TRUE(moved.IsCorruption());
+  // Copy assignment back to OK.
+  moved = Status::OK();
+  EXPECT_TRUE(moved.ok());
+}
+
+TEST(StatusTest, WithContextPrefixes) {
+  Status s = Status::IOError("disk gone").WithContext("loading db");
+  EXPECT_EQ(s.message(), "loading db: disk gone");
+  EXPECT_TRUE(s.IsIOError());
+  EXPECT_TRUE(Status::OK().WithContext("nope").ok());
+}
+
+TEST(StatusTest, StatusCodeNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "ok");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kCorruption), "corruption");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotImplemented), "not-implemented");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+  EXPECT_EQ(r.ValueOr(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.ValueOr(7), 7);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  std::string v = std::move(r).ValueOrDie();
+  EXPECT_EQ(v, "payload");
+}
+
+namespace {
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+Status UseMacros(int x, int* out) {
+  TPM_ASSIGN_OR_RETURN(int h, Half(x));
+  TPM_RETURN_NOT_OK(Status::OK());
+  *out = h;
+  return Status::OK();
+}
+}  // namespace
+
+TEST(ResultTest, MacrosPropagate) {
+  int out = 0;
+  EXPECT_TRUE(UseMacros(8, &out).ok());
+  EXPECT_EQ(out, 4);
+  Status s = UseMacros(7, &out);
+  EXPECT_TRUE(s.IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace tpm

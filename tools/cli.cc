@@ -1,0 +1,335 @@
+#include "cli.h"
+
+#include <fstream>
+#include <iostream>
+#include <ostream>
+
+#include "analysis/postprocess.h"
+#include "analysis/profile.h"
+#include "analysis/render.h"
+#include "analysis/rules.h"
+#include "datagen/quest.h"
+#include "datagen/realistic.h"
+#include "io/loader.h"
+#include "miner/miner.h"
+#include "util/flags.h"
+#include "util/string_util.h"
+
+namespace tpm {
+
+namespace {
+
+constexpr char kUsage[] =
+    "usage: tpm <command> [flags]\n"
+    "\n"
+    "commands:\n"
+    "  stats <db>            print dataset statistics\n"
+    "  profile <db>          symbol profiles + Allen-relation mix\n"
+    "  mine <db> [flags]     mine temporal patterns\n"
+    "  rules <db> [flags]    mine endpoint patterns and derive rules\n"
+    "  generate [flags]      synthesize a dataset\n"
+    "  convert <in> <out>    transcode between .tisd/.csv/.tpmb\n"
+    "\n"
+    "run `tpm <command> --help` for command flags\n";
+
+int Fail(const Status& status) {
+  std::cerr << "tpm: " << status.ToString() << "\n";
+  return 1;
+}
+
+struct MineFlags {
+  std::string type = "endpoint";
+  std::string algo = "ptpminer";
+  double minsup = 0.01;
+  int64_t max_items = 0;
+  int64_t max_length = 0;
+  int64_t window = 0;
+  int64_t top = 0;
+  bool closed = false;
+  bool maximal = false;
+  bool describe = false;
+  bool merge_conflicts = false;
+  double budget = 0.0;
+  std::string output;
+  bool help = false;
+
+  void Register(FlagParser* p) {
+    p->AddString("type", &type, "pattern language: endpoint | coincidence");
+    p->AddString("algo", &algo,
+                 "ptpminer | tprefixspan | levelwise (endpoint) | ctminer "
+                 "(coincidence)");
+    p->AddDouble("minsup", &minsup, "min support: fraction (0,1] or count > 1");
+    p->AddInt64("max-items", &max_items, "max endpoints/symbols per pattern");
+    p->AddInt64("max-length", &max_length, "max slices/coincidences per pattern");
+    p->AddInt64("window", &window, "max occurrence time window (0 = off)");
+    p->AddInt64("top", &top, "keep only the K highest-support patterns");
+    p->AddBool("closed", &closed, "report closed patterns only");
+    p->AddBool("maximal", &maximal, "report maximal patterns only");
+    p->AddBool("describe", &describe, "render Allen-relation descriptions");
+    p->AddBool("merge-conflicts", &merge_conflicts,
+               "repair same-symbol conflicts on load");
+    p->AddDouble("budget", &budget, "wall-clock budget in seconds (0 = off)");
+    p->AddString("output", &output, "write patterns to this file instead of stdout");
+    p->AddBool("help", &help, "show this help");
+  }
+
+  MinerOptions ToOptions() const {
+    MinerOptions options;
+    options.min_support = minsup;
+    options.max_items = static_cast<uint32_t>(max_items);
+    options.max_length = static_cast<uint32_t>(max_length);
+    options.max_window = window;
+    options.time_budget_seconds = budget;
+    return options;
+  }
+};
+
+Result<IntervalDatabase> LoadForCli(const std::string& path, bool merge) {
+  TextReadOptions options;
+  options.merge_conflicts = merge;
+  return LoadDatabase(path, options);
+}
+
+int CmdStats(int argc, const char* const* argv, std::ostream& out) {
+  FlagParser parser;
+  bool merge = false;
+  parser.AddBool("merge-conflicts", &merge, "repair same-symbol conflicts");
+  auto positional = parser.Parse(argc, argv);
+  if (!positional.ok()) return Fail(positional.status());
+  if (positional->size() != 1) {
+    return Fail(Status::InvalidArgument("stats needs exactly one <db> path"));
+  }
+  auto db = LoadForCli((*positional)[0], merge);
+  if (!db.ok()) return Fail(db.status());
+  out << db->ComputeStats().ToString() << "\n";
+  return 0;
+}
+
+template <typename PatternT>
+int EmitPatterns(std::vector<MinedPattern<PatternT>> patterns,
+                 const Dictionary& dict, const MineFlags& flags,
+                 const MiningStats& stats, std::ostream& out) {
+  if (flags.closed) patterns = FilterClosed(std::move(patterns));
+  if (flags.maximal) patterns = FilterMaximal(std::move(patterns));
+  if (flags.top > 0) {
+    patterns = TopKBySupport(std::move(patterns), static_cast<size_t>(flags.top));
+  }
+
+  std::ostream* sink = &out;
+  std::ofstream file;
+  if (!flags.output.empty()) {
+    file.open(flags.output);
+    if (!file) return Fail(Status::IOError("cannot open " + flags.output));
+    sink = &file;
+  }
+  for (const auto& mp : patterns) {
+    *sink << mp.support << "\t" << mp.pattern.ToString(dict);
+    if (flags.describe) *sink << "\t" << DescribeArrangement(mp.pattern, dict);
+    *sink << "\n";
+  }
+  out << "# " << patterns.size() << " patterns, " << stats.ToString() << "\n";
+  return 0;
+}
+
+int CmdProfile(int argc, const char* const* argv, std::ostream& out) {
+  FlagParser parser;
+  bool merge = false;
+  int64_t top = 10;
+  parser.AddBool("merge-conflicts", &merge, "repair same-symbol conflicts");
+  parser.AddInt64("top", &top, "number of symbols to list");
+  auto positional = parser.Parse(argc, argv);
+  if (!positional.ok()) return Fail(positional.status());
+  if (positional->size() != 1) {
+    return Fail(Status::InvalidArgument("profile needs exactly one <db> path"));
+  }
+  auto db = LoadForCli((*positional)[0], merge);
+  if (!db.ok()) return Fail(db.status());
+  out << ProfileReport(*db, static_cast<size_t>(top));
+  return 0;
+}
+
+int CmdMine(int argc, const char* const* argv, std::ostream& out) {
+  FlagParser parser;
+  MineFlags flags;
+  flags.Register(&parser);
+  auto positional = parser.Parse(argc, argv);
+  if (!positional.ok()) return Fail(positional.status());
+  if (flags.help) {
+    out << "usage: tpm mine <db> [flags]\n" << parser.Usage();
+    return 0;
+  }
+  if (positional->size() != 1) {
+    return Fail(Status::InvalidArgument("mine needs exactly one <db> path"));
+  }
+  auto db = LoadForCli((*positional)[0], flags.merge_conflicts);
+  if (!db.ok()) return Fail(db.status());
+
+  const MinerOptions options = flags.ToOptions();
+  if (flags.type == "endpoint") {
+    std::unique_ptr<EndpointMiner> miner;
+    if (flags.algo == "ptpminer") {
+      miner = MakePTPMinerE();
+    } else if (flags.algo == "tprefixspan") {
+      miner = MakeTPrefixSpan();
+    } else if (flags.algo == "levelwise") {
+      miner = MakeLevelwiseMiner();
+    } else {
+      return Fail(Status::InvalidArgument("unknown endpoint --algo " + flags.algo));
+    }
+    auto result = miner->Mine(*db, options);
+    if (!result.ok()) return Fail(result.status());
+    result->SortCanonically();
+    return EmitPatterns(std::move(result->patterns), db->dict(), flags,
+                        result->stats, out);
+  }
+  if (flags.type == "coincidence") {
+    std::unique_ptr<CoincidenceMiner> miner;
+    if (flags.algo == "ptpminer") {
+      miner = MakePTPMinerC();
+    } else if (flags.algo == "ctminer") {
+      miner = MakeCTMiner();
+    } else {
+      return Fail(
+          Status::InvalidArgument("unknown coincidence --algo " + flags.algo));
+    }
+    auto result = miner->Mine(*db, options);
+    if (!result.ok()) return Fail(result.status());
+    result->SortCanonically();
+    return EmitPatterns(std::move(result->patterns), db->dict(), flags,
+                        result->stats, out);
+  }
+  return Fail(Status::InvalidArgument("unknown --type " + flags.type));
+}
+
+int CmdRules(int argc, const char* const* argv, std::ostream& out) {
+  FlagParser parser;
+  MineFlags flags;
+  flags.Register(&parser);
+  double min_confidence = 0.5;
+  parser.AddDouble("min-confidence", &min_confidence, "rule confidence floor");
+  auto positional = parser.Parse(argc, argv);
+  if (!positional.ok()) return Fail(positional.status());
+  if (flags.help) {
+    out << "usage: tpm rules <db> [flags]\n" << parser.Usage();
+    return 0;
+  }
+  if (positional->size() != 1) {
+    return Fail(Status::InvalidArgument("rules needs exactly one <db> path"));
+  }
+  auto db = LoadForCli((*positional)[0], flags.merge_conflicts);
+  if (!db.ok()) return Fail(db.status());
+
+  auto result = MakePTPMinerE()->Mine(*db, flags.ToOptions());
+  if (!result.ok()) return Fail(result.status());
+  auto rules = GenerateRules(result->patterns, min_confidence);
+  for (const TemporalRule& r : rules) {
+    out << r.ToString(db->dict()) << "\n";
+  }
+  out << "# " << rules.size() << " rules from " << result->patterns.size()
+      << " patterns\n";
+  return 0;
+}
+
+int CmdGenerate(int argc, const char* const* argv, std::ostream& out) {
+  FlagParser parser;
+  std::string kind = "quest";
+  std::string output;
+  int64_t sequences = 1000;
+  int64_t symbols = 200;
+  double avg_intervals = 8.0;
+  int64_t seed = 42;
+  bool help = false;
+  parser.AddString("kind", &kind, "quest | asl | library | stock");
+  parser.AddString("output", &output, "destination file (.tisd/.csv/.tpmb)");
+  parser.AddInt64("sequences", &sequences, "number of sequences (quest/library/asl)");
+  parser.AddInt64("symbols", &symbols, "alphabet size (quest/library)");
+  parser.AddDouble("avg-intervals", &avg_intervals, "intervals per sequence (quest)");
+  parser.AddInt64("seed", &seed, "generator seed");
+  parser.AddBool("help", &help, "show this help");
+  auto positional = parser.Parse(argc, argv);
+  if (!positional.ok()) return Fail(positional.status());
+  if (help) {
+    out << "usage: tpm generate [flags]\n" << parser.Usage();
+    return 0;
+  }
+  if (output.empty()) {
+    return Fail(Status::InvalidArgument("generate needs --output=<file>"));
+  }
+
+  Result<IntervalDatabase> db = Status::InvalidArgument("unknown --kind " + kind);
+  if (kind == "quest") {
+    QuestConfig config;
+    config.num_sequences = static_cast<uint32_t>(sequences);
+    config.num_symbols = static_cast<uint32_t>(symbols);
+    config.avg_intervals_per_sequence = avg_intervals;
+    config.seed = static_cast<uint64_t>(seed);
+    db = GenerateQuest(config);
+  } else if (kind == "asl") {
+    AslConfig config;
+    config.num_utterances = static_cast<uint32_t>(sequences);
+    config.seed = static_cast<uint64_t>(seed);
+    db = GenerateAslLike(config);
+  } else if (kind == "library") {
+    LibraryConfig config;
+    config.num_borrowers = static_cast<uint32_t>(sequences);
+    config.num_categories = static_cast<uint32_t>(symbols);
+    config.seed = static_cast<uint64_t>(seed);
+    db = GenerateLibraryLike(config);
+  } else if (kind == "stock") {
+    StockConfig config;
+    config.num_stocks = static_cast<uint32_t>(sequences);
+    config.seed = static_cast<uint64_t>(seed);
+    db = GenerateStockLike(config);
+  }
+  if (!db.ok()) return Fail(db.status());
+  Status st = SaveDatabase(*db, output);
+  if (!st.ok()) return Fail(st);
+  out << "wrote " << db->size() << " sequences (" << db->TotalIntervals()
+      << " intervals) to " << output << "\n";
+  return 0;
+}
+
+int CmdConvert(int argc, const char* const* argv, std::ostream& out) {
+  FlagParser parser;
+  bool merge = false;
+  parser.AddBool("merge-conflicts", &merge, "repair same-symbol conflicts");
+  auto positional = parser.Parse(argc, argv);
+  if (!positional.ok()) return Fail(positional.status());
+  if (positional->size() != 2) {
+    return Fail(Status::InvalidArgument("convert needs <in> and <out> paths"));
+  }
+  auto db = LoadForCli((*positional)[0], merge);
+  if (!db.ok()) return Fail(db.status());
+  Status st = SaveDatabase(*db, (*positional)[1]);
+  if (!st.ok()) return Fail(st);
+  out << "converted " << (*positional)[0] << " -> " << (*positional)[1] << " ("
+      << db->size() << " sequences)\n";
+  return 0;
+}
+
+}  // namespace
+
+int TpmCliMain(int argc, const char* const* argv, std::ostream& out) {
+  if (argc < 2) {
+    std::cerr << kUsage;
+    return 1;
+  }
+  const std::string command = argv[1];
+  // Shift so subcommand parsers see their own argv[0].
+  const int sub_argc = argc - 1;
+  const char* const* sub_argv = argv + 1;
+  if (command == "stats") return CmdStats(sub_argc, sub_argv, out);
+  if (command == "profile") return CmdProfile(sub_argc, sub_argv, out);
+  if (command == "mine") return CmdMine(sub_argc, sub_argv, out);
+  if (command == "rules") return CmdRules(sub_argc, sub_argv, out);
+  if (command == "generate") return CmdGenerate(sub_argc, sub_argv, out);
+  if (command == "convert") return CmdConvert(sub_argc, sub_argv, out);
+  if (command == "help" || command == "--help") {
+    out << kUsage;
+    return 0;
+  }
+  std::cerr << "tpm: unknown command '" << command << "'\n" << kUsage;
+  return 1;
+}
+
+}  // namespace tpm

@@ -1,0 +1,23 @@
+// The tpm command-line tool, as a library so tests can drive it.
+
+#ifndef TPM_TOOLS_CLI_H_
+#define TPM_TOOLS_CLI_H_
+
+#include <iosfwd>
+
+namespace tpm {
+
+/// Runs the CLI. `out` receives normal output (main() passes std::cout);
+/// errors go to stderr. Returns the process exit code.
+///
+/// Subcommands:
+///   tpm stats <db>                         dataset statistics
+///   tpm mine <db> [flags]                  mine patterns
+///   tpm rules <db> [flags]                 mine + derive temporal rules
+///   tpm generate [flags]                   synthesize a dataset
+///   tpm convert <in> <out>                 transcode between formats
+int TpmCliMain(int argc, const char* const* argv, std::ostream& out);
+
+}  // namespace tpm
+
+#endif  // TPM_TOOLS_CLI_H_

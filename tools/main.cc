@@ -1,0 +1,7 @@
+#include <iostream>
+
+#include "cli.h"
+
+int main(int argc, char** argv) {
+  return tpm::TpmCliMain(argc, argv, std::cout);
+}
