@@ -46,5 +46,6 @@ int main() {
         RunEndpoint(MakeLevelwiseMiner().get(), *db, options, cfg, kBudget));
   }
   PrintTable(cells);
+  WriteJsonRecords("fig1a_runtime_minsup", cells);
   return 0;
 }

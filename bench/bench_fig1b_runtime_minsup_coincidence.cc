@@ -42,5 +42,6 @@ int main() {
         RunCoincidence(MakeCTMiner().get(), *db, options, cfg, kBudget));
   }
   PrintTable(cells);
+  WriteJsonRecords("fig1b_runtime_minsup_coincidence", cells);
   return 0;
 }

@@ -46,5 +46,6 @@ int main() {
         RunCoincidence(MakeCTMiner().get(), *db, options, cfg, kBudget));
   }
   PrintTable(cells);
+  WriteJsonRecords("fig1c_scalability", cells);
   return 0;
 }

@@ -59,5 +59,6 @@ int main() {
   }
   std::printf("\n");
   PrintTable(cells);
+  WriteJsonRecords("fig1d_memory", cells);
   return 0;
 }

@@ -48,5 +48,6 @@ int main() {
         RunCoincidence(MakeCTMiner().get(), *db, options, cfg, kBudget));
   }
   PrintTable(cells);
+  WriteJsonRecords("fig1e_seq_length", cells);
   return 0;
 }

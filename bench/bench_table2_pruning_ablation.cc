@@ -72,5 +72,6 @@ int main() {
   }
   std::printf("\n");
   PrintTable(cells);
+  WriteJsonRecords("table2_pruning_ablation", cells);
   return 0;
 }

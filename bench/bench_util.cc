@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <fstream>
 #include <map>
 
 #include "util/string_util.h"
@@ -27,7 +28,24 @@ Cell MakeCell(const std::string& algo, const std::string& config,
   c.candidates = stats.candidates_checked;
   c.states = stats.states_created;
   c.dnf = stats.truncated;
+  c.metrics = stats.metrics;
   return c;
+}
+
+std::string JsonQuote(const std::string& s) {
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"' || ch == '\\') {
+      out += '\\';
+      out += ch;
+    } else if (static_cast<unsigned char>(ch) < 0x20) {
+      out += StringPrintf("\\u%04x", ch);
+    } else {
+      out += ch;
+    }
+  }
+  out += '"';
+  return out;
 }
 
 }  // namespace
@@ -123,6 +141,37 @@ void PrintTable(const std::vector<Cell>& cells) {
                 static_cast<unsigned long long>(c.states), c.dnf ? 1 : 0);
   }
   std::printf("\n");
+}
+
+void WriteJsonRecords(const std::string& name, const std::vector<Cell>& cells) {
+  const char* dir = std::getenv("TPM_BENCH_JSON_DIR");
+  const std::string path =
+      std::string(dir != nullptr ? dir : ".") + "/BENCH_" + name + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "bench: cannot open %s for writing (skipping)\n",
+                 path.c_str());
+    return;
+  }
+  out << "[\n";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    out << "  {\"algo\": " << JsonQuote(c.algo)
+        << ", \"config\": " << JsonQuote(c.config)
+        << ", \"seconds\": " << StringPrintf("%.6f", c.seconds)
+        << ", \"patterns\": " << c.patterns
+        << ", \"memory_bytes\": " << c.memory_bytes
+        << ", \"candidates\": " << c.candidates << ", \"states\": " << c.states
+        << ", \"dnf\": " << (c.dnf ? "true" : "false")
+        << ", \"metrics\": " << c.metrics.ToJson() << "}"
+        << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+  if (!out) {
+    std::fprintf(stderr, "bench: write failed for %s\n", path.c_str());
+    return;
+  }
+  std::printf("json: %s\n", path.c_str());
 }
 
 double BenchScale() {

@@ -14,6 +14,7 @@
 
 #include "core/database.h"
 #include "miner/miner.h"
+#include "obs/metrics.h"
 
 namespace tpm {
 namespace bench {
@@ -28,6 +29,7 @@ struct Cell {
   uint64_t candidates = 0;
   uint64_t states = 0;
   bool dnf = false;      // hit the per-run time budget
+  obs::MetricsSnapshot metrics;  // per-run registry delta (prune.*, search.*)
 
   std::string SecondsStr() const;
 };
@@ -49,6 +51,11 @@ void PrintBanner(const std::string& figure, const std::string& claim,
 /// Prints cells as an aligned table grouped by config, one column block per
 /// algorithm, followed by a csv block.
 void PrintTable(const std::vector<Cell>& cells);
+
+/// Writes cells (including each cell's metrics snapshot) as a JSON array to
+/// BENCH_<name>.json in TPM_BENCH_JSON_DIR (default: current directory).
+/// Failures only warn: record files must never break a bench run.
+void WriteJsonRecords(const std::string& name, const std::vector<Cell>& cells);
 
 /// Reads TPM_BENCH_SCALE (default 1.0): multiplies dataset sizes so the
 /// suite can be shrunk for smoke runs or grown for slower machines.

@@ -86,5 +86,13 @@ int main() {
   }
 
   std::printf("\nStats: %s\n", endpoint_result->stats.ToString().c_str());
+
+  // 5. Every mining run also carries a metrics snapshot: pruning-rule hit
+  //    counters, search-tree shape histograms, and more (docs/OBSERVABILITY.md
+  //    explains how to read them). Empty when built with TPM_OBS_DISABLED.
+  if (!endpoint_result->stats.metrics.Empty()) {
+    std::printf("\n== Metrics snapshot (endpoint run) ==\n%s",
+                endpoint_result->stats.metrics.ToString().c_str());
+  }
   return 0;
 }

@@ -6,8 +6,11 @@
 
 #include "io/crc32.h"
 #include "io/varint.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/macros.h"
 #include "util/string_util.h"
+#include "util/timer.h"
 
 namespace tpm {
 
@@ -40,10 +43,27 @@ std::string SerializeBinary(const IntervalDatabase& db) {
   for (int i = 0; i < 4; ++i) {
     out.push_back(static_cast<char>((crc >> (8 * i)) & 0xff));
   }
+  obs::MetricsRegistry::Global()
+      .GetCounter("io.binary.write_bytes")
+      ->Increment(out.size());
   return out;
 }
 
 Result<IntervalDatabase> ParseBinary(const std::string& buffer) {
+  TPM_TRACE_SPAN("io.binary.parse");
+  WallTimer parse_timer;
+  auto& reg = obs::MetricsRegistry::Global();
+  reg.GetCounter("io.binary.read_bytes")->Increment(buffer.size());
+  obs::Counter* parse_ns = reg.GetCounter("io.binary.parse_ns");
+  auto record_ns = [&] {
+    parse_ns->Increment(
+        static_cast<uint64_t>(parse_timer.ElapsedSeconds() * 1e9));
+  };
+  // Every return path below charges the elapsed time, including corrupt input.
+  struct NsGuard {
+    decltype(record_ns)& fn;
+    ~NsGuard() { fn(); }
+  } guard{record_ns};
   if (buffer.size() < 8 || std::memcmp(buffer.data(), kMagic, 4) != 0) {
     return Status::Corruption("not a TPMB file (bad magic)");
   }

@@ -1,6 +1,9 @@
 #include "io/loader.h"
 
 #include "io/binary_format.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/timer.h"
 
 namespace tpm {
 
@@ -20,19 +23,37 @@ std::string Extension(const std::string& path) {
 
 Result<IntervalDatabase> LoadDatabase(const std::string& path,
                                       const TextReadOptions& options) {
+  TPM_TRACE_SPAN("io.load");
+  WallTimer timer;
+  auto finish = [&](Result<IntervalDatabase> r) {
+    auto& reg = obs::MetricsRegistry::Global();
+    reg.GetCounter("io.load.calls")->Increment();
+    reg.GetCounter("io.load.ns")
+        ->Increment(static_cast<uint64_t>(timer.ElapsedSeconds() * 1e9));
+    return r;
+  };
   const std::string ext = Extension(path);
-  if (ext == "tisd" || ext == "txt") return ReadTisdFile(path, options);
-  if (ext == "csv") return ReadCsvFile(path, options);
-  if (ext == "tpmb" || ext == "bin") return ReadBinaryFile(path);
+  if (ext == "tisd" || ext == "txt") return finish(ReadTisdFile(path, options));
+  if (ext == "csv") return finish(ReadCsvFile(path, options));
+  if (ext == "tpmb" || ext == "bin") return finish(ReadBinaryFile(path));
   return Status::InvalidArgument("unknown database extension '." + ext +
                                  "' (use .tisd/.txt/.csv/.tpmb/.bin)");
 }
 
 Status SaveDatabase(const IntervalDatabase& db, const std::string& path) {
+  TPM_TRACE_SPAN("io.save");
+  WallTimer timer;
+  auto finish = [&](Status s) {
+    auto& reg = obs::MetricsRegistry::Global();
+    reg.GetCounter("io.save.calls")->Increment();
+    reg.GetCounter("io.save.ns")
+        ->Increment(static_cast<uint64_t>(timer.ElapsedSeconds() * 1e9));
+    return s;
+  };
   const std::string ext = Extension(path);
-  if (ext == "tisd" || ext == "txt") return WriteTisdFile(db, path);
-  if (ext == "csv") return WriteCsvFile(db, path);
-  if (ext == "tpmb" || ext == "bin") return WriteBinaryFile(db, path);
+  if (ext == "tisd" || ext == "txt") return finish(WriteTisdFile(db, path));
+  if (ext == "csv") return finish(WriteCsvFile(db, path));
+  if (ext == "tpmb" || ext == "bin") return finish(WriteBinaryFile(db, path));
   return Status::InvalidArgument("unknown database extension '." + ext +
                                  "' (use .tisd/.txt/.csv/.tpmb/.bin)");
 }

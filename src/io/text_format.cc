@@ -4,12 +4,37 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/macros.h"
 #include "util/string_util.h"
+#include "util/timer.h"
 
 namespace tpm {
 
 namespace {
+
+// Charges lines/bytes/elapsed-ns to the metrics registry on scope exit so
+// every return path (including parse errors) is attributed.
+class TextParseMetrics {
+ public:
+  ~TextParseMetrics() {
+    auto& reg = obs::MetricsRegistry::Global();
+    reg.GetCounter("io.text.read_lines")->Increment(lines_);
+    reg.GetCounter("io.text.read_bytes")->Increment(bytes_);
+    reg.GetCounter("io.text.parse_ns")
+        ->Increment(static_cast<uint64_t>(timer_.ElapsedSeconds() * 1e9));
+  }
+  void CountLine(const std::string& line) {
+    ++lines_;
+    bytes_ += line.size() + 1;  // + newline
+  }
+
+ private:
+  WallTimer timer_;
+  uint64_t lines_ = 0;
+  uint64_t bytes_ = 0;
+};
 
 // Accumulates intervals grouped by string sequence id, preserving
 // first-appearance order of sequences.
@@ -59,11 +84,14 @@ class DatabaseBuilder {
 }  // namespace
 
 Result<IntervalDatabase> ReadTisd(std::istream& in, const TextReadOptions& options) {
+  TPM_TRACE_SPAN("io.text.parse");
+  TextParseMetrics metrics;
   DatabaseBuilder builder(options);
   std::string line;
   size_t line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
+    metrics.CountLine(line);
     std::string_view v = Trim(line);
     if (v.empty() || v.front() == '#') continue;
     // Whitespace-separated fields.
@@ -101,6 +129,7 @@ Result<IntervalDatabase> ReadTisdFile(const std::string& path,
 }
 
 Status WriteTisd(const IntervalDatabase& db, std::ostream& out) {
+  TPM_TRACE_SPAN("io.text.write");
   out << "# TISD: <sequence> <symbol> <start> <finish>\n";
   for (size_t s = 0; s < db.size(); ++s) {
     for (const Interval& iv : db[s].intervals()) {
@@ -119,12 +148,15 @@ Status WriteTisdFile(const IntervalDatabase& db, const std::string& path) {
 }
 
 Result<IntervalDatabase> ReadCsv(std::istream& in, const TextReadOptions& options) {
+  TPM_TRACE_SPAN("io.text.parse");
+  TextParseMetrics metrics;
   DatabaseBuilder builder(options);
   std::string line;
   size_t line_no = 0;
   int col_seq = -1, col_event = -1, col_start = -1, col_finish = -1;
   while (std::getline(in, line)) {
     ++line_no;
+    metrics.CountLine(line);
     if (!line.empty() && line.back() == '\r') line.pop_back();
     std::string_view v = line;
     if (Trim(v).empty()) continue;
@@ -171,6 +203,7 @@ Result<IntervalDatabase> ReadCsvFile(const std::string& path,
 }
 
 Status WriteCsv(const IntervalDatabase& db, std::ostream& out) {
+  TPM_TRACE_SPAN("io.text.write");
   out << "sequence,event,start,finish\n";
   for (size_t s = 0; s < db.size(); ++s) {
     for (const Interval& iv : db[s].intervals()) {

@@ -6,6 +6,9 @@
 
 #include "core/coincidence.h"
 #include "miner/cooccurrence.h"
+#include "miner/miner_metrics.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/macros.h"
 #include "util/memory.h"
 #include "util/timer.h"
@@ -82,15 +85,21 @@ class Engine {
 
   Result<CoincidenceMiningResult> Run() {
     CoincidenceMiningResult result;
+    const obs::MetricsSnapshot obs_start =
+        obs::MetricsRegistry::Global().Snapshot();
     WallTimer build_timer;
-    cdb_ = CoincidenceDatabase::FromDatabase(db_);
-    cooc_ = CooccurrenceTable::Build(db_, minsup_);
+    {
+      TPM_TRACE_SPAN("coincidence.build");
+      cdb_ = CoincidenceDatabase::FromDatabase(db_);
+      cooc_ = CooccurrenceTable::Build(db_, minsup_);
+    }
     tracker_.Allocate(cdb_.MemoryBytes() + cooc_.MemoryBytes());
     num_symbols_ = db_.dict().size();
     seen_epoch_.assign(num_symbols_, 0);
     result.stats.build_seconds = build_timer.ElapsedSeconds();
 
     WallTimer mine_timer;
+    TPM_TRACE_SPAN("coincidence.grow");
     ProjectedDb root;
     root.reserve(cdb_.size());
     for (uint32_t s = 0; s < cdb_.size(); ++s) {
@@ -114,6 +123,8 @@ class Engine {
     result.stats.truncated = truncated_;
     result.stats.peak_logical_bytes = tracker_.peak_bytes();
     result.stats.peak_rss_bytes = ReadPeakRssBytes();
+    result.stats.metrics =
+        obs::MetricsRegistry::Global().Snapshot().Since(obs_start);
     return result;
   }
 
@@ -130,6 +141,10 @@ class Engine {
       return;
     }
     ++out_->stats.nodes_expanded;
+    om_.node_depth->Observe(pat_items_.size());
+    om_.projected_seqs->Observe(proj.size());
+    const uint64_t node_states_before = out_->stats.states_created;
+    const uint64_t node_cands_before = out_->stats.candidates_checked;
 
     if (!pat_items_.empty()) {
       EmitPattern(static_cast<SupportCount>(proj.size()));
@@ -159,12 +174,17 @@ class Engine {
       }
       ++out_->stats.candidates_checked;
       if ((postfix_pruning_ || pair_pruning_) && !allowed[symbol]) {
+        // Attribution mirrors endpoint_growth: the allowed set shrinks via
+        // postfix counting when enabled, else it is the pair table's
+        // frequent-symbol filter.
+        (postfix_pruning_ ? om_.postfix_hits : om_.pair_hits)->Increment();
         bucket_index.emplace(key, -1);
         return nullptr;
       }
       if (pair_pruning_ && !InPattern(symbol)) {
         for (EventId a : pattern_symbols_) {
           if (!cooc_.IsFrequentPair(a, symbol)) {
+            om_.pair_hits->Increment();
             bucket_index.emplace(key, -1);
             return nullptr;
           }
@@ -175,9 +195,11 @@ class Engine {
       return &buckets.back();
     };
 
+    size_t proj_states = 0;
     for (const SeqProj& sp : proj) {
       const CoincidenceSequence& cs = cdb_[sp.seq];
       const size_t num_states = at_root ? sp.items.size() : sp.NumStates(stride);
+      proj_states += num_states;
 
       uint32_t min_item = ~0u;
       for (size_t k = 0; k < sp.items.size(); ++k) {
@@ -267,6 +289,12 @@ class Engine {
         }
       }
     }
+
+    // Flush this node's scan tallies before recursion.
+    om_.projected_states->Observe(proj_states);
+    om_.states->Increment(out_->stats.states_created - node_states_before);
+    om_.candidates->Increment(out_->stats.candidates_checked -
+                              node_cands_before);
 
     std::vector<uint8_t> child_allowed = allowed;
     if (postfix_pruning_) {
@@ -430,6 +458,7 @@ class Engine {
     offsets.push_back(static_cast<uint32_t>(pat_items_.size()));
     out_->patterns.push_back(MinedPattern<CoincidencePattern>{
         CoincidencePattern(pat_items_, offsets), support});
+    om_.patterns->Increment();
     tracker_.Allocate(pat_items_.size() * sizeof(EventId) +
                       offsets.size() * sizeof(uint32_t));
     if (options_.max_patterns > 0 &&
@@ -459,6 +488,8 @@ class Engine {
 
   std::vector<uint32_t> seen_epoch_;
   uint32_t epoch_ = 0;
+
+  const MinerMetrics& om_ = MinerMetrics::Get();
 
   MemoryTracker tracker_;
   WallTimer total_timer_;

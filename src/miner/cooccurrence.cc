@@ -2,10 +2,14 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace tpm {
 
 CooccurrenceTable CooccurrenceTable::Build(const IntervalDatabase& db,
                                            SupportCount min_support) {
+  TPM_TRACE_SPAN("cooc.build");
   CooccurrenceTable t;
   t.min_support_ = min_support;
   t.symbol_support_.assign(db.dict().size(), 0);
@@ -27,6 +31,9 @@ CooccurrenceTable CooccurrenceTable::Build(const IntervalDatabase& db,
   for (EventId e = 0; e < t.symbol_support_.size(); ++e) {
     if (t.symbol_support_[e] >= min_support) t.dense_id_[e] = t.num_frequent_++;
   }
+  obs::MetricsRegistry::Global()
+      .GetGauge("cooc.frequent_symbols")
+      ->Set(t.num_frequent_);
   if (t.num_frequent_ == 0) return t;
 
   // Pass 2: pairwise counts among frequent symbols (upper triangle mirrored).

@@ -6,6 +6,9 @@
 
 #include "core/endpoint.h"
 #include "miner/cooccurrence.h"
+#include "miner/miner_metrics.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/macros.h"
 #include "util/memory.h"
@@ -94,15 +97,21 @@ class Engine {
 
   Result<EndpointMiningResult> Run() {
     EndpointMiningResult result;
+    const obs::MetricsSnapshot obs_start =
+        obs::MetricsRegistry::Global().Snapshot();
     WallTimer build_timer;
-    edb_ = EndpointDatabase::FromDatabase(db_);
-    cooc_ = CooccurrenceTable::Build(db_, minsup_);
+    {
+      TPM_TRACE_SPAN("endpoint.build");
+      edb_ = EndpointDatabase::FromDatabase(db_);
+      cooc_ = CooccurrenceTable::Build(db_, minsup_);
+    }
     tracker_.Allocate(edb_.MemoryBytes() + cooc_.MemoryBytes());
     num_symbols_ = db_.dict().size();
     seen_epoch_.assign(num_symbols_, 0);
     result.stats.build_seconds = build_timer.ElapsedSeconds();
 
     WallTimer mine_timer;
+    TPM_TRACE_SPAN("endpoint.grow");
     // Root projection: one virgin state per non-empty sequence.
     ProjectedDb root;
     root.reserve(edb_.size());
@@ -126,6 +135,8 @@ class Engine {
     result.stats.truncated = truncated_;
     result.stats.peak_logical_bytes = tracker_.peak_bytes();
     result.stats.peak_rss_bytes = ReadPeakRssBytes();
+    result.stats.metrics =
+        obs::MetricsRegistry::Global().Snapshot().Since(obs_start);
     return result;
   }
 
@@ -143,6 +154,16 @@ class Engine {
       return;
     }
     ++out_->stats.nodes_expanded;
+    om_.node_depth->Observe(pat_items_.size());
+    om_.projected_seqs->Observe(proj.size());
+    {
+      size_t proj_states = 0;
+      for (const SeqProj& sp : proj) proj_states += sp.states.size();
+      om_.projected_states->Observe(proj_states);
+    }
+    const uint64_t node_states_before = out_->stats.states_created;
+    const uint64_t node_cands_before = out_->stats.candidates_checked;
+    node_validity_closes_ = 0;
 
     // Report the pattern at this node when it is complete and non-empty.
     if (!pat_items_.empty() && open_events_.empty()) {
@@ -175,6 +196,10 @@ class Engine {
       if (!IsFinish(code)) {
         if (postfix_pruning_ || pair_pruning_) {
           if (!allowed[ev]) {
+            // The allowed set is narrowed by postfix counting when postfix
+            // pruning runs; otherwise it is the pair table's frequent-symbol
+            // filter — attribute the rejection accordingly.
+            (postfix_pruning_ ? om_.postfix_hits : om_.pair_hits)->Increment();
             bucket_index.emplace(key, -1);
             return nullptr;
           }
@@ -182,6 +207,7 @@ class Engine {
         if (pair_pruning_ && !InPattern(ev)) {
           for (EventId a : pattern_symbols_) {
             if (!cooc_.IsFrequentPair(a, ev)) {
+              om_.pair_hits->Increment();
               bucket_index.emplace(key, -1);
               return nullptr;
             }
@@ -239,11 +265,13 @@ class Engine {
               // i-extension close within the last slice.
               if (Bucket* b = bucket_for(fcode, /*i_ext=*/true)) {
                 PushClose(b, sp.seq, st, k, q);
+                ++node_validity_closes_;
               }
             } else if (allow_s_ext && st_slice != kNoItem && q_slice > st_slice &&
                        !ViolatesWindow(es, st, q_slice)) {
               if (Bucket* b = bucket_for(fcode, /*i_ext=*/false)) {
                 PushClose(b, sp.seq, st, k, q);
+                ++node_validity_closes_;
               }
             }
           }
@@ -299,6 +327,12 @@ class Engine {
         }
       }
     }
+
+    // Flush this node's scan tallies before recursion resets them.
+    om_.states->Increment(out_->stats.states_created - node_states_before);
+    om_.candidates->Increment(out_->stats.candidates_checked -
+                              node_cands_before);
+    om_.validity_hits->Increment(node_validity_closes_);
 
     // ---- Children ------------------------------------------------------
     std::vector<uint8_t> child_allowed = allowed;
@@ -425,6 +459,7 @@ class Engine {
     offsets.push_back(static_cast<uint32_t>(pat_items_.size()));
     out_->patterns.push_back(
         MinedPattern<EndpointPattern>{EndpointPattern(pat_items_, offsets), support});
+    om_.patterns->Increment();
     tracker_.Allocate(pat_items_.size() * sizeof(EndpointCode) +
                       offsets.size() * sizeof(uint32_t));
     if (options_.max_patterns > 0 &&
@@ -456,6 +491,9 @@ class Engine {
   // Scratch for per-sequence symbol dedup.
   std::vector<uint32_t> seen_epoch_;
   uint32_t epoch_ = 0;
+
+  const MinerMetrics& om_ = MinerMetrics::Get();
+  uint64_t node_validity_closes_ = 0;
 
   MemoryTracker tracker_;
   WallTimer total_timer_;

@@ -8,6 +8,9 @@
 #include "core/containment.h"
 #include "core/endpoint.h"
 #include "miner/cooccurrence.h"
+#include "miner/miner_metrics.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/macros.h"
 #include "util/memory.h"
 #include "util/timer.h"
@@ -76,8 +79,13 @@ class EndpointLevelwise {
   Result<EndpointMiningResult> Run() {
     EndpointMiningResult result;
     out_ = &result;
+    const obs::MetricsSnapshot obs_start =
+        obs::MetricsRegistry::Global().Snapshot();
     WallTimer build_timer;
-    edb_ = EndpointDatabase::FromDatabase(db_);
+    {
+      TPM_TRACE_SPAN("levelwise.build");
+      edb_ = EndpointDatabase::FromDatabase(db_);
+    }
     tracker_.Allocate(edb_.MemoryBytes());
     result.stats.build_seconds = build_timer.ElapsedSeconds();
 
@@ -110,6 +118,8 @@ class EndpointLevelwise {
     result.stats.truncated = truncated_;
     result.stats.peak_logical_bytes = tracker_.peak_bytes();
     result.stats.peak_rss_bytes = ReadPeakRssBytes();
+    result.stats.metrics =
+        obs::MetricsRegistry::Global().Snapshot().Since(obs_start);
     return result;
   }
 
@@ -118,11 +128,13 @@ class EndpointLevelwise {
   // ones, and returns the next level's candidates.
   std::vector<EndpointFrontierPat> ProcessLevel(
       std::vector<EndpointFrontierPat> level, const std::vector<EventId>& alphabet) {
+    TPM_TRACE_SPAN("levelwise.level");
     std::vector<EndpointFrontierPat> survivors;
     size_t level_bytes = 0;
     for (EndpointFrontierPat& cand : level) {
       if (CheckBudget()) break;
       ++out_->stats.candidates_checked;
+      om_.candidates->Increment();
       const EndpointPattern pattern = cand.ToPattern();
       SupportCount support = 0;
       for (const EndpointSequence& es : edb_.sequences()) {
@@ -130,9 +142,11 @@ class EndpointLevelwise {
       }
       if (support < minsup_) continue;
       ++out_->stats.nodes_expanded;
+      om_.node_depth->Observe(cand.items.size());
       frequent_.insert(pattern);
       if (cand.open.empty()) {
         out_->patterns.push_back(MinedPattern<EndpointPattern>{pattern, support});
+        om_.patterns->Increment();
         if (options_.max_patterns > 0 &&
             out_->patterns.size() >= options_.max_patterns) {
           truncated_ = true;
@@ -171,7 +185,10 @@ class EndpointLevelwise {
         c.open.erase(std::find(c.open.begin(), c.open.end(), ev));
       }
       if (!c.ToPattern().Validate().ok()) return;
-      if (config_.apriori_check && !PassesApriori(c)) return;
+      if (config_.apriori_check && !PassesApriori(c)) {
+        om_.apriori_hits->Increment();
+        return;
+      }
       next->push_back(std::move(c));
     };
 
@@ -246,6 +263,7 @@ class EndpointLevelwise {
   WallTimer timer_;
   bool truncated_ = false;
   EndpointMiningResult* out_ = nullptr;
+  const MinerMetrics& om_ = MinerMetrics::Get();
 };
 
 // ---------------------------------------------------------------------------
@@ -279,8 +297,13 @@ class CoincidenceLevelwise {
   Result<CoincidenceMiningResult> Run() {
     CoincidenceMiningResult result;
     out_ = &result;
+    const obs::MetricsSnapshot obs_start =
+        obs::MetricsRegistry::Global().Snapshot();
     WallTimer build_timer;
-    cdb_ = CoincidenceDatabase::FromDatabase(db_);
+    {
+      TPM_TRACE_SPAN("levelwise.build");
+      cdb_ = CoincidenceDatabase::FromDatabase(db_);
+    }
     tracker_.Allocate(cdb_.MemoryBytes());
     result.stats.build_seconds = build_timer.ElapsedSeconds();
 
@@ -305,17 +328,21 @@ class CoincidenceLevelwise {
     result.stats.truncated = truncated_;
     result.stats.peak_logical_bytes = tracker_.peak_bytes();
     result.stats.peak_rss_bytes = ReadPeakRssBytes();
+    result.stats.metrics =
+        obs::MetricsRegistry::Global().Snapshot().Since(obs_start);
     return result;
   }
 
  private:
   std::vector<CoinFrontierPat> ProcessLevel(std::vector<CoinFrontierPat> level,
                                             const std::vector<EventId>& alphabet) {
+    TPM_TRACE_SPAN("levelwise.level");
     std::vector<CoinFrontierPat> survivors;
     size_t level_bytes = 0;
     for (CoinFrontierPat& cand : level) {
       if (CheckBudget()) break;
       ++out_->stats.candidates_checked;
+      om_.candidates->Increment();
       const CoincidencePattern pattern = cand.ToPattern();
       SupportCount support = 0;
       for (const CoincidenceSequence& cs : cdb_.sequences()) {
@@ -323,8 +350,10 @@ class CoincidenceLevelwise {
       }
       if (support < minsup_) continue;
       ++out_->stats.nodes_expanded;
+      om_.node_depth->Observe(cand.items.size());
       frequent_.insert(pattern);
       out_->patterns.push_back(MinedPattern<CoincidencePattern>{pattern, support});
+      om_.patterns->Increment();
       if (options_.max_patterns > 0 &&
           out_->patterns.size() >= options_.max_patterns) {
         truncated_ = true;
@@ -335,6 +364,13 @@ class CoincidenceLevelwise {
     tracker_.Allocate(level_bytes);
 
     std::vector<CoinFrontierPat> next;
+    auto admit = [&](CoinFrontierPat c) {
+      if (config_.apriori_check && !PassesApriori(c)) {
+        om_.apriori_hits->Increment();
+        return;
+      }
+      next.push_back(std::move(c));
+    };
     for (const CoinFrontierPat& f : survivors) {
       if (truncated_) break;
       if (options_.max_items > 0 && f.items.size() >= options_.max_items) continue;
@@ -345,12 +381,12 @@ class CoincidenceLevelwise {
           CoinFrontierPat c = f;
           c.offsets.push_back(static_cast<uint32_t>(c.items.size()));
           c.items.push_back(e);
-          if (!config_.apriori_check || PassesApriori(c)) next.push_back(std::move(c));
+          admit(std::move(c));
         }
         if (e > f.items.back()) {
           CoinFrontierPat c = f;
           c.items.push_back(e);
-          if (!config_.apriori_check || PassesApriori(c)) next.push_back(std::move(c));
+          admit(std::move(c));
         }
       }
     }
@@ -393,6 +429,7 @@ class CoincidenceLevelwise {
   WallTimer timer_;
   bool truncated_ = false;
   CoincidenceMiningResult* out_ = nullptr;
+  const MinerMetrics& om_ = MinerMetrics::Get();
 };
 
 }  // namespace

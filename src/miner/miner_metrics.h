@@ -1,0 +1,53 @@
+// Cached global-registry handles for the mining hot paths. All miners share
+// one name space so pruning effectiveness is comparable across algorithms
+// (see docs/OBSERVABILITY.md for the taxonomy).
+
+#ifndef TPM_MINER_MINER_METRICS_H_
+#define TPM_MINER_MINER_METRICS_H_
+
+#include "obs/metrics.h"
+
+namespace tpm {
+
+struct MinerMetrics {
+  // Prune-rule hit counters: one admission/close the rule decided.
+  obs::Counter* pair_hits;      ///< candidates rejected by pair pruning
+  obs::Counter* postfix_hits;   ///< candidates rejected by postfix pruning
+  obs::Counter* validity_hits;  ///< closes driven directly by obligations
+  obs::Counter* apriori_hits;   ///< levelwise candidates failing Apriori
+
+  obs::Counter* candidates;  ///< extension candidates considered
+  obs::Counter* states;      ///< occurrence states / projected entries
+  obs::Counter* patterns;    ///< frequent patterns reported
+
+  obs::Histogram* node_depth;       ///< search.nodes: one observation per
+                                    ///< node, value = pattern item count
+  obs::Histogram* projected_seqs;   ///< sequences in a node's projection
+  obs::Histogram* projected_states; ///< states in a node's projection
+
+  static const MinerMetrics& Get() {
+    static const MinerMetrics m = [] {
+      auto& r = obs::MetricsRegistry::Global();
+      MinerMetrics mm;
+      mm.pair_hits = r.GetCounter("prune.pair.hits");
+      mm.postfix_hits = r.GetCounter("prune.postfix.hits");
+      mm.validity_hits = r.GetCounter("prune.validity.hits");
+      mm.apriori_hits = r.GetCounter("prune.apriori.hits");
+      mm.candidates = r.GetCounter("search.candidates");
+      mm.states = r.GetCounter("search.states");
+      mm.patterns = r.GetCounter("search.patterns");
+      mm.node_depth =
+          r.GetHistogram("search.nodes", obs::LinearBounds(0, 1, 17));
+      mm.projected_seqs =
+          r.GetHistogram("search.projected_seqs", obs::ExponentialBounds(1, 4.0, 10));
+      mm.projected_states = r.GetHistogram("search.projected_states",
+                                           obs::ExponentialBounds(1, 4.0, 12));
+      return mm;
+    }();
+    return m;
+  }
+};
+
+}  // namespace tpm
+
+#endif  // TPM_MINER_MINER_METRICS_H_

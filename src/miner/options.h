@@ -10,6 +10,7 @@
 
 #include "core/pattern.h"
 #include "core/types.h"
+#include "obs/metrics.h"
 
 namespace tpm {
 
@@ -62,6 +63,11 @@ struct MiningStats {
   size_t peak_logical_bytes = 0;   ///< MemoryTracker high-water mark
   uint64_t peak_rss_bytes = 0;     ///< OS VmHWM after mining
   bool truncated = false;          ///< true when a cap or budget stopped mining
+
+  /// Delta snapshot of the global metrics registry covering this run
+  /// (prune.* counters, search.* histograms, ...). Empty when the
+  /// observability subsystem is compiled out (TPM_OBS_DISABLED).
+  obs::MetricsSnapshot metrics;
 
   std::string ToString() const;
 };

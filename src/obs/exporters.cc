@@ -1,0 +1,163 @@
+// MetricsSnapshot renderers: human table, JSON, Prometheus text format.
+// Compiled in both modes; under TPM_OBS_DISABLED they render empty snapshots.
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+#include "util/string_util.h"
+
+namespace tpm {
+namespace obs {
+
+namespace {
+
+// JSON string escaping for metric names (conservative: control chars too).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StringPrintf("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Prometheus metric names allow [a-zA-Z0-9_:]; we map '.' and anything else
+// to '_' and prefix with "tpm_".
+std::string PromName(const std::string& name) {
+  std::string out = "tpm_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToString() const {
+  std::string out;
+  size_t width = 0;
+  for (const CounterSample& c : counters) width = std::max(width, c.name.size());
+  for (const GaugeSample& g : gauges) width = std::max(width, g.name.size());
+  for (const HistogramSample& h : histograms) width = std::max(width, h.name.size());
+  const int w = static_cast<int>(width);
+  for (const CounterSample& c : counters) {
+    out += StringPrintf("%-*s  %llu\n", w, c.name.c_str(),
+                        static_cast<unsigned long long>(c.value));
+  }
+  for (const GaugeSample& g : gauges) {
+    out += StringPrintf("%-*s  %lld\n", w, g.name.c_str(),
+                        static_cast<long long>(g.value));
+  }
+  for (const HistogramSample& h : histograms) {
+    out += StringPrintf("%-*s  count=%llu sum=%llu |", w, h.name.c_str(),
+                        static_cast<unsigned long long>(h.count),
+                        static_cast<unsigned long long>(h.sum));
+    for (size_t i = 0; i < h.counts.size(); ++i) {
+      if (h.counts[i] == 0) continue;
+      if (i < h.bounds.size()) {
+        out += StringPrintf(" <=%llu:%llu",
+                            static_cast<unsigned long long>(h.bounds[i]),
+                            static_cast<unsigned long long>(h.counts[i]));
+      } else {
+        out += StringPrintf(" +inf:%llu",
+                            static_cast<unsigned long long>(h.counts[i]));
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\n  \"counters\": {";
+  for (size_t i = 0; i < counters.size(); ++i) {
+    out += StringPrintf("%s\n    \"%s\": %llu", i == 0 ? "" : ",",
+                        JsonEscape(counters[i].name).c_str(),
+                        static_cast<unsigned long long>(counters[i].value));
+  }
+  out += counters.empty() ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    out += StringPrintf("%s\n    \"%s\": %lld", i == 0 ? "" : ",",
+                        JsonEscape(gauges[i].name).c_str(),
+                        static_cast<long long>(gauges[i].value));
+  }
+  out += gauges.empty() ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramSample& h = histograms[i];
+    out += StringPrintf("%s\n    \"%s\": {\"bounds\": [", i == 0 ? "" : ",",
+                        JsonEscape(h.name).c_str());
+    for (size_t j = 0; j < h.bounds.size(); ++j) {
+      out += StringPrintf("%s%llu", j == 0 ? "" : ", ",
+                          static_cast<unsigned long long>(h.bounds[j]));
+    }
+    out += "], \"counts\": [";
+    for (size_t j = 0; j < h.counts.size(); ++j) {
+      out += StringPrintf("%s%llu", j == 0 ? "" : ", ",
+                          static_cast<unsigned long long>(h.counts[j]));
+    }
+    out += StringPrintf("], \"count\": %llu, \"sum\": %llu}",
+                        static_cast<unsigned long long>(h.count),
+                        static_cast<unsigned long long>(h.sum));
+  }
+  out += histograms.empty() ? "}\n" : "\n  }\n";
+  out += "}";
+  return out;
+}
+
+std::string MetricsSnapshot::ToPrometheus() const {
+  std::string out;
+  for (const CounterSample& c : counters) {
+    const std::string name = PromName(c.name);
+    out += StringPrintf("# TYPE %s counter\n%s %llu\n", name.c_str(),
+                        name.c_str(), static_cast<unsigned long long>(c.value));
+  }
+  for (const GaugeSample& g : gauges) {
+    const std::string name = PromName(g.name);
+    out += StringPrintf("# TYPE %s gauge\n%s %lld\n", name.c_str(),
+                        name.c_str(), static_cast<long long>(g.value));
+  }
+  for (const HistogramSample& h : histograms) {
+    const std::string name = PromName(h.name);
+    out += StringPrintf("# TYPE %s histogram\n", name.c_str());
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += h.counts[i];
+      out += StringPrintf("%s_bucket{le=\"%llu\"} %llu\n", name.c_str(),
+                          static_cast<unsigned long long>(h.bounds[i]),
+                          static_cast<unsigned long long>(cumulative));
+    }
+    out += StringPrintf("%s_bucket{le=\"+Inf\"} %llu\n", name.c_str(),
+                        static_cast<unsigned long long>(h.count));
+    out += StringPrintf("%s_sum %llu\n", name.c_str(),
+                        static_cast<unsigned long long>(h.sum));
+    out += StringPrintf("%s_count %llu\n", name.c_str(),
+                        static_cast<unsigned long long>(h.count));
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace tpm

@@ -1,0 +1,255 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace tpm {
+namespace obs {
+
+// ---------------------------------------------------------------------------
+// Snapshot helpers (compiled in both modes)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+template <typename SampleT>
+const SampleT* FindByName(const std::vector<SampleT>& samples,
+                          const std::string& name) {
+  for (const SampleT& s : samples) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+uint64_t HistogramSample::BucketCount(uint64_t bound) const {
+  for (size_t i = 0; i < bounds.size(); ++i) {
+    if (bounds[i] == bound) return counts[i];
+  }
+  return 0;
+}
+
+const CounterSample* MetricsSnapshot::FindCounter(const std::string& name) const {
+  return FindByName(counters, name);
+}
+
+const GaugeSample* MetricsSnapshot::FindGauge(const std::string& name) const {
+  return FindByName(gauges, name);
+}
+
+const HistogramSample* MetricsSnapshot::FindHistogram(
+    const std::string& name) const {
+  return FindByName(histograms, name);
+}
+
+uint64_t MetricsSnapshot::CounterValue(const std::string& name) const {
+  const CounterSample* c = FindCounter(name);
+  return c == nullptr ? 0 : c->value;
+}
+
+MetricsSnapshot MetricsSnapshot::Since(const MetricsSnapshot& start) const {
+  MetricsSnapshot delta;
+  delta.counters.reserve(counters.size());
+  for (const CounterSample& c : counters) {
+    const CounterSample* base = start.FindCounter(c.name);
+    const uint64_t before = base == nullptr ? 0 : base->value;
+    delta.counters.push_back({c.name, c.value >= before ? c.value - before : 0});
+  }
+  delta.gauges = gauges;  // gauges report their end value
+  delta.histograms.reserve(histograms.size());
+  for (const HistogramSample& h : histograms) {
+    HistogramSample d = h;
+    const HistogramSample* base = start.FindHistogram(h.name);
+    if (base != nullptr && base->bounds == h.bounds) {
+      for (size_t i = 0; i < d.counts.size(); ++i) {
+        d.counts[i] -= std::min(d.counts[i], base->counts[i]);
+      }
+      d.count -= std::min(d.count, base->count);
+      d.sum -= std::min(d.sum, base->sum);
+    }
+    delta.histograms.push_back(std::move(d));
+  }
+  return delta;
+}
+
+bool MetricsSnapshot::Empty() const {
+  for (const CounterSample& c : counters) {
+    if (c.value != 0) return false;
+  }
+  for (const GaugeSample& g : gauges) {
+    if (g.value != 0) return false;
+  }
+  for (const HistogramSample& h : histograms) {
+    if (h.count != 0) return false;
+  }
+  return true;
+}
+
+std::vector<uint64_t> ExponentialBounds(uint64_t start, double factor,
+                                        size_t count) {
+  std::vector<uint64_t> bounds;
+  bounds.reserve(count);
+  double v = static_cast<double>(start);
+  uint64_t prev = 0;
+  for (size_t i = 0; i < count; ++i) {
+    uint64_t b = static_cast<uint64_t>(v);
+    if (b <= prev) b = prev + 1;  // keep strictly increasing
+    bounds.push_back(b);
+    prev = b;
+    v *= factor;
+  }
+  return bounds;
+}
+
+std::vector<uint64_t> LinearBounds(uint64_t start, uint64_t step, size_t count) {
+  std::vector<uint64_t> bounds;
+  bounds.reserve(count);
+  for (size_t i = 0; i < count; ++i) bounds.push_back(start + i * step);
+  return bounds;
+}
+
+// ---------------------------------------------------------------------------
+// Live registry
+// ---------------------------------------------------------------------------
+
+#ifndef TPM_OBS_DISABLED
+
+namespace internal {
+
+size_t ThisThreadShard() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kNumShards;
+  return shard;
+}
+
+}  // namespace internal
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const internal::ShardCell& cell : cells_) {
+    total += cell.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::Reset() {
+  for (internal::ShardCell& cell : cells_) {
+    cell.value.store(0, std::memory_order_relaxed);
+  }
+}
+
+Histogram::Histogram(std::vector<uint64_t> bounds) : bounds_(std::move(bounds)) {
+  for (Shard& shard : shards_) {
+    shard.counts = std::vector<std::atomic<uint64_t>>(bounds_.size() + 1);
+  }
+}
+
+void Histogram::Observe(uint64_t v) {
+  // First bucket whose (inclusive) upper bound admits v; overflow otherwise.
+  const size_t b = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  Shard& shard = shards_[internal::ThisThreadShard()];
+  shard.counts[b].fetch_add(1, std::memory_order_relaxed);
+  shard.sum.fetch_add(v, std::memory_order_relaxed);
+}
+
+void Histogram::Reset() {
+  for (Shard& shard : shards_) {
+    for (std::atomic<uint64_t>& c : shard.counts) {
+      c.store(0, std::memory_order_relaxed);
+    }
+    shard.sum.store(0, std::memory_order_relaxed);
+  }
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [n, counter] : counters_) {
+    if (n == name) return &counter;
+  }
+  counters_.emplace_back(std::piecewise_construct, std::forward_as_tuple(name),
+                         std::forward_as_tuple());
+  return &counters_.back().second;
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [n, gauge] : gauges_) {
+    if (n == name) return &gauge;
+  }
+  gauges_.emplace_back(std::piecewise_construct, std::forward_as_tuple(name),
+                       std::forward_as_tuple());
+  return &gauges_.back().second;
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<uint64_t> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [n, histogram] : histograms_) {
+    if (n == name) return &histogram;
+  }
+  histograms_.emplace_back(std::piecewise_construct,
+                           std::forward_as_tuple(name),
+                           std::forward_as_tuple(std::move(bounds)));
+  return &histograms_.back().second;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snap.counters.reserve(counters_.size());
+    for (const auto& [name, counter] : counters_) {
+      snap.counters.push_back({name, counter.Value()});
+    }
+    snap.gauges.reserve(gauges_.size());
+    for (const auto& [name, gauge] : gauges_) {
+      snap.gauges.push_back({name, gauge.Value()});
+    }
+    snap.histograms.reserve(histograms_.size());
+    for (const auto& [name, histogram] : histograms_) {
+      HistogramSample h;
+      h.name = name;
+      h.bounds = histogram.bounds_;
+      h.counts.assign(h.bounds.size() + 1, 0);
+      for (const Histogram::Shard& shard : histogram.shards_) {
+        for (size_t i = 0; i < shard.counts.size(); ++i) {
+          h.counts[i] += shard.counts[i].load(std::memory_order_relaxed);
+        }
+        h.sum += shard.sum.load(std::memory_order_relaxed);
+      }
+      for (uint64_t c : h.counts) h.count += c;
+      snap.histograms.push_back(std::move(h));
+    }
+  }
+  auto by_name = [](const auto& a, const auto& b) { return a.name < b.name; };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter.Reset();
+  for (auto& [name, gauge] : gauges_) gauge.Reset();
+  for (auto& [name, histogram] : histograms_) histogram.Reset();
+}
+
+#else  // TPM_OBS_DISABLED
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+#endif  // TPM_OBS_DISABLED
+
+}  // namespace obs
+}  // namespace tpm

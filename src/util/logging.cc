@@ -1,12 +1,48 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <cinttypes>
+#include <chrono>
 #include <cstdio>
+#include <ctime>
 
 namespace tpm {
 
 namespace {
+
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarning)};
+std::atomic<LogSink> g_log_sink{nullptr};
+
+// Small sequential per-thread id (1, 2, ...) — stable within a process and
+// much shorter than std::thread::id in log lines.
+uint32_t ThisThreadLogId() {
+  static std::atomic<uint32_t> next{1};
+  thread_local const uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+// Formats the current wall-clock time as ISO-8601 UTC with milliseconds,
+// e.g. "2026-01-02T03:04:05.678Z".
+void AppendIsoTimestamp(std::ostream& os) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm{};
+#if defined(_WIN32)
+  gmtime_s(&tm, &secs);
+#else
+  gmtime_r(&secs, &tm);
+#endif
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, static_cast<int>(ms));
+  os << buf;
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) {
@@ -15,6 +51,10 @@ void SetLogLevel(LogLevel level) {
 
 LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+}
+
+LogSink SetLogSink(LogSink sink) {
+  return g_log_sink.exchange(sink, std::memory_order_acq_rel);
 }
 
 const char* LogLevelName(LogLevel level) {
@@ -43,14 +83,22 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
     for (const char* p = file; *p; ++p) {
       if (*p == '/') base = p + 1;
     }
-    stream_ << "[" << LogLevelName(level_) << " " << base << ":" << line << "] ";
+    stream_ << "[";
+    AppendIsoTimestamp(stream_);
+    stream_ << " " << LogLevelName(level_) << " tid=" << ThisThreadLogId()
+            << " " << base << ":" << line << "] ";
   }
 }
 
 LogMessage::~LogMessage() {
   if (enabled_) {
     stream_ << "\n";
-    std::fputs(stream_.str().c_str(), stderr);
+    const std::string line = stream_.str();
+    if (LogSink sink = g_log_sink.load(std::memory_order_acquire)) {
+      sink(level_, line);
+    } else {
+      std::fputs(line.c_str(), stderr);
+    }
   }
 }
 

@@ -1,9 +1,13 @@
 #include "util/memory.h"
 
+#if defined(__linux__)
 #include <cstdio>
 #include <cstring>
+#endif
 
 namespace tpm {
+
+#if defined(__linux__)
 
 namespace {
 
@@ -30,5 +34,15 @@ uint64_t ReadStatusKb(const char* key) {
 uint64_t ReadPeakRssBytes() { return ReadStatusKb("VmHWM") * 1024; }
 
 uint64_t ReadCurrentRssBytes() { return ReadStatusKb("VmRSS") * 1024; }
+
+#else  // !__linux__
+
+// /proc/self/status is Linux-specific; report 0 ("unknown") elsewhere so
+// MiningStats stays portable.
+uint64_t ReadPeakRssBytes() { return 0; }
+
+uint64_t ReadCurrentRssBytes() { return 0; }
+
+#endif
 
 }  // namespace tpm

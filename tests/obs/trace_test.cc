@@ -1,0 +1,122 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace tpm {
+namespace obs {
+namespace {
+
+#ifdef TPM_OBS_DISABLED
+
+// Stub mode: the span macro compiles away and the ring records nothing.
+TEST(TraceTest, DisabledStubsRecordNothing) {
+  SetTraceEnabled(true);
+  {
+    TPM_TRACE_SPAN("stub");
+  }
+  EXPECT_TRUE(TraceEvents().empty());
+  std::ostringstream out;
+  WriteChromeTrace(out);
+  EXPECT_NE(out.str().find("\"traceEvents\""), std::string::npos);
+  SetTraceEnabled(false);
+}
+
+#else  // !TPM_OBS_DISABLED
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ClearTrace();
+    SetTraceEnabled(true);
+  }
+  void TearDown() override {
+    SetTraceEnabled(false);
+    ClearTrace();
+  }
+};
+
+TEST_F(TraceTest, RecordsNestedSpans) {
+  {
+    TPM_TRACE_SPAN("outer");
+    {
+      TPM_TRACE_SPAN("inner");
+    }
+  }
+  const std::vector<TraceEvent> events = TraceEvents();
+  ASSERT_EQ(events.size(), 2u);
+  // Inner closes first, so it is recorded first.
+  EXPECT_STREQ(events[0].name, "inner");
+  EXPECT_STREQ(events[1].name, "outer");
+  // The outer span starts no later and ends no earlier than the inner one.
+  EXPECT_LE(events[1].start_ns, events[0].start_ns);
+  EXPECT_GE(events[1].start_ns + events[1].dur_ns,
+            events[0].start_ns + events[0].dur_ns);
+}
+
+TEST_F(TraceTest, DisabledSpansAreDropped) {
+  SetTraceEnabled(false);
+  {
+    TPM_TRACE_SPAN("dropped");
+  }
+  EXPECT_TRUE(TraceEvents().empty());
+}
+
+TEST_F(TraceTest, SpanActiveAtDisableStillRecords) {
+  // Enablement is sampled at construction; the span's destructor records
+  // even if tracing was turned off mid-span.
+  {
+    TPM_TRACE_SPAN("straddler");
+    SetTraceEnabled(false);
+  }
+  ASSERT_EQ(TraceEvents().size(), 1u);
+}
+
+TEST_F(TraceTest, ClearTraceDropsEverything) {
+  {
+    TPM_TRACE_SPAN("gone");
+  }
+  ASSERT_FALSE(TraceEvents().empty());
+  ClearTrace();
+  EXPECT_TRUE(TraceEvents().empty());
+}
+
+TEST_F(TraceTest, ChromeTraceJsonShape) {
+  {
+    TPM_TRACE_SPAN("phase.one");
+  }
+  {
+    TPM_TRACE_SPAN("phase.two");
+  }
+  std::ostringstream out;
+  WriteChromeTrace(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"phase.one\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"phase.two\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  // Balanced braces/brackets as a cheap well-formedness check.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST_F(TraceTest, EventsCarryThreadIdAndDuration) {
+  {
+    TPM_TRACE_SPAN("timed");
+  }
+  const std::vector<TraceEvent> events = TraceEvents();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_GT(events[0].tid, 0u);
+}
+
+#endif  // TPM_OBS_DISABLED
+
+}  // namespace
+}  // namespace obs
+}  // namespace tpm

@@ -2,8 +2,24 @@
 
 #include <gtest/gtest.h>
 
+#include <mutex>
+#include <string>
+#include <vector>
+
 namespace tpm {
 namespace {
+
+// Captures lines for SetLogSink tests. Function-pointer sinks cannot carry
+// state, so the capture buffer is global to this file.
+std::mutex g_capture_mu;
+std::vector<std::string> g_captured;
+LogLevel g_captured_level = LogLevel::kOff;
+
+void CaptureSink(LogLevel level, const std::string& line) {
+  std::lock_guard<std::mutex> lock(g_capture_mu);
+  g_captured.push_back(line);
+  g_captured_level = level;
+}
 
 TEST(LoggingTest, LevelRoundTrip) {
   const LogLevel original = GetLogLevel();
@@ -37,6 +53,54 @@ TEST(LoggingTest, EmittedMessageIncludesLocation) {
   SetLogLevel(LogLevel::kError);
   TPM_LOG(Error) << "expected one ERROR line in test output";
   SetLogLevel(original);
+}
+
+TEST(LoggingTest, SinkReceivesFormattedLine) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kInfo);
+  g_captured.clear();
+  LogSink previous = SetLogSink(&CaptureSink);
+  TPM_LOG(Info) << "sink payload " << 7;
+  SetLogSink(previous);
+  SetLogLevel(original);
+
+  ASSERT_EQ(g_captured.size(), 1u);
+  EXPECT_EQ(g_captured_level, LogLevel::kInfo);
+  const std::string& line = g_captured[0];
+  EXPECT_NE(line.find("sink payload 7"), std::string::npos);
+  EXPECT_NE(line.find("logging_test.cc:"), std::string::npos);
+  EXPECT_EQ(line.back(), '\n');
+}
+
+TEST(LoggingTest, LineCarriesIsoTimestampAndThreadId) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kWarning);
+  g_captured.clear();
+  LogSink previous = SetLogSink(&CaptureSink);
+  TPM_LOG(Warning) << "stamped";
+  SetLogSink(previous);
+  SetLogLevel(original);
+
+  ASSERT_EQ(g_captured.size(), 1u);
+  const std::string& line = g_captured[0];
+  // "[2026-01-02T03:04:05.678Z WARN tid=N ..." — check the shape, not the
+  // wall-clock value.
+  ASSERT_GE(line.size(), 26u);
+  EXPECT_EQ(line[0], '[');
+  EXPECT_EQ(line[5], '-');
+  EXPECT_EQ(line[8], '-');
+  EXPECT_EQ(line[11], 'T');
+  EXPECT_EQ(line[14], ':');
+  EXPECT_EQ(line[17], ':');
+  EXPECT_EQ(line[20], '.');
+  EXPECT_EQ(line[24], 'Z');
+  EXPECT_NE(line.find(" WARN "), std::string::npos);
+  EXPECT_NE(line.find(" tid="), std::string::npos);
+}
+
+TEST(LoggingTest, RestoringNullSinkReturnsToStderr) {
+  LogSink previous = SetLogSink(&CaptureSink);
+  EXPECT_EQ(SetLogSink(previous), &CaptureSink);
 }
 
 }  // namespace

@@ -12,6 +12,8 @@
 #include "datagen/realistic.h"
 #include "io/loader.h"
 #include "miner/miner.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/flags.h"
 #include "util/string_util.h"
 
@@ -37,6 +39,56 @@ int Fail(const Status& status) {
   return 1;
 }
 
+// Observability flags shared by `mine` and `generate`: metrics snapshot and
+// Chrome-trace dumps.
+struct ObsFlags {
+  std::string metrics_out;
+  std::string metrics_format = "json";
+  std::string trace_out;
+
+  void Register(FlagParser* p) {
+    p->AddString("metrics-out", &metrics_out,
+                 "write a metrics snapshot to this file");
+    p->AddString("metrics-format", &metrics_format,
+                 "metrics snapshot format: json | prom");
+    p->AddString("trace-out", &trace_out,
+                 "write a Chrome trace_event JSON file (chrome://tracing)");
+  }
+
+  Status Validate() const {
+    if (metrics_format != "json" && metrics_format != "prom") {
+      return Status::InvalidArgument("--metrics-format must be json or prom (got " +
+                                     metrics_format + ")");
+    }
+    return Status::OK();
+  }
+
+  /// Call before the instrumented work so spans are captured.
+  void Begin() const {
+    if (!trace_out.empty()) {
+      obs::ClearTrace();
+      obs::SetTraceEnabled(true);
+    }
+  }
+
+  /// Writes the requested output files after the work completed.
+  Status Finish() const {
+    if (!metrics_out.empty()) {
+      const obs::MetricsSnapshot snap = obs::MetricsRegistry::Global().Snapshot();
+      std::ofstream f(metrics_out);
+      if (!f) return Status::IOError("cannot open " + metrics_out);
+      f << (metrics_format == "prom" ? snap.ToPrometheus() : snap.ToJson());
+      if (!f) return Status::IOError("write failed for " + metrics_out);
+    }
+    if (!trace_out.empty()) {
+      obs::SetTraceEnabled(false);
+      Status st = obs::WriteChromeTraceFile(trace_out);
+      if (!st.ok()) return st;
+    }
+    return Status::OK();
+  }
+};
+
 struct MineFlags {
   std::string type = "endpoint";
   std::string algo = "ptpminer";
@@ -51,6 +103,10 @@ struct MineFlags {
   bool merge_conflicts = false;
   double budget = 0.0;
   std::string output;
+  bool no_pair_pruning = false;
+  bool no_postfix_pruning = false;
+  bool no_validity_pruning = false;
+  ObsFlags obs;
   bool help = false;
 
   void Register(FlagParser* p) {
@@ -70,6 +126,13 @@ struct MineFlags {
                "repair same-symbol conflicts on load");
     p->AddDouble("budget", &budget, "wall-clock budget in seconds (0 = off)");
     p->AddString("output", &output, "write patterns to this file instead of stdout");
+    p->AddBool("no-pair-pruning", &no_pair_pruning,
+               "disable P-TPMiner pair pruning");
+    p->AddBool("no-postfix-pruning", &no_postfix_pruning,
+               "disable P-TPMiner postfix pruning");
+    p->AddBool("no-validity-pruning", &no_validity_pruning,
+               "disable P-TPMiner validity pruning");
+    obs.Register(p);
     p->AddBool("help", &help, "show this help");
   }
 
@@ -80,6 +143,9 @@ struct MineFlags {
     options.max_length = static_cast<uint32_t>(max_length);
     options.max_window = window;
     options.time_budget_seconds = budget;
+    options.pair_pruning = !no_pair_pruning;
+    options.postfix_pruning = !no_postfix_pruning;
+    options.validity_pruning = !no_validity_pruning;
     return options;
   }
 };
@@ -161,6 +227,8 @@ int CmdMine(int argc, const char* const* argv, std::ostream& out) {
   if (positional->size() != 1) {
     return Fail(Status::InvalidArgument("mine needs exactly one <db> path"));
   }
+  if (Status st = flags.obs.Validate(); !st.ok()) return Fail(st);
+  flags.obs.Begin();
   auto db = LoadForCli((*positional)[0], flags.merge_conflicts);
   if (!db.ok()) return Fail(db.status());
 
@@ -179,8 +247,11 @@ int CmdMine(int argc, const char* const* argv, std::ostream& out) {
     auto result = miner->Mine(*db, options);
     if (!result.ok()) return Fail(result.status());
     result->SortCanonically();
-    return EmitPatterns(std::move(result->patterns), db->dict(), flags,
-                        result->stats, out);
+    const int rc = EmitPatterns(std::move(result->patterns), db->dict(), flags,
+                                result->stats, out);
+    if (rc != 0) return rc;
+    if (Status st = flags.obs.Finish(); !st.ok()) return Fail(st);
+    return 0;
   }
   if (flags.type == "coincidence") {
     std::unique_ptr<CoincidenceMiner> miner;
@@ -195,8 +266,11 @@ int CmdMine(int argc, const char* const* argv, std::ostream& out) {
     auto result = miner->Mine(*db, options);
     if (!result.ok()) return Fail(result.status());
     result->SortCanonically();
-    return EmitPatterns(std::move(result->patterns), db->dict(), flags,
-                        result->stats, out);
+    const int rc = EmitPatterns(std::move(result->patterns), db->dict(), flags,
+                                result->stats, out);
+    if (rc != 0) return rc;
+    if (Status st = flags.obs.Finish(); !st.ok()) return Fail(st);
+    return 0;
   }
   return Fail(Status::InvalidArgument("unknown --type " + flags.type));
 }
@@ -238,6 +312,7 @@ int CmdGenerate(int argc, const char* const* argv, std::ostream& out) {
   int64_t symbols = 200;
   double avg_intervals = 8.0;
   int64_t seed = 42;
+  ObsFlags obs;
   bool help = false;
   parser.AddString("kind", &kind, "quest | asl | library | stock");
   parser.AddString("output", &output, "destination file (.tisd/.csv/.tpmb)");
@@ -245,6 +320,7 @@ int CmdGenerate(int argc, const char* const* argv, std::ostream& out) {
   parser.AddInt64("symbols", &symbols, "alphabet size (quest/library)");
   parser.AddDouble("avg-intervals", &avg_intervals, "intervals per sequence (quest)");
   parser.AddInt64("seed", &seed, "generator seed");
+  obs.Register(&parser);
   parser.AddBool("help", &help, "show this help");
   auto positional = parser.Parse(argc, argv);
   if (!positional.ok()) return Fail(positional.status());
@@ -255,35 +331,44 @@ int CmdGenerate(int argc, const char* const* argv, std::ostream& out) {
   if (output.empty()) {
     return Fail(Status::InvalidArgument("generate needs --output=<file>"));
   }
+  if (Status st = obs.Validate(); !st.ok()) return Fail(st);
+  obs.Begin();
 
   Result<IntervalDatabase> db = Status::InvalidArgument("unknown --kind " + kind);
-  if (kind == "quest") {
-    QuestConfig config;
-    config.num_sequences = static_cast<uint32_t>(sequences);
-    config.num_symbols = static_cast<uint32_t>(symbols);
-    config.avg_intervals_per_sequence = avg_intervals;
-    config.seed = static_cast<uint64_t>(seed);
-    db = GenerateQuest(config);
-  } else if (kind == "asl") {
-    AslConfig config;
-    config.num_utterances = static_cast<uint32_t>(sequences);
-    config.seed = static_cast<uint64_t>(seed);
-    db = GenerateAslLike(config);
-  } else if (kind == "library") {
-    LibraryConfig config;
-    config.num_borrowers = static_cast<uint32_t>(sequences);
-    config.num_categories = static_cast<uint32_t>(symbols);
-    config.seed = static_cast<uint64_t>(seed);
-    db = GenerateLibraryLike(config);
-  } else if (kind == "stock") {
-    StockConfig config;
-    config.num_stocks = static_cast<uint32_t>(sequences);
-    config.seed = static_cast<uint64_t>(seed);
-    db = GenerateStockLike(config);
+  {
+    TPM_TRACE_SPAN("datagen.generate");
+    if (kind == "quest") {
+      QuestConfig config;
+      config.num_sequences = static_cast<uint32_t>(sequences);
+      config.num_symbols = static_cast<uint32_t>(symbols);
+      config.avg_intervals_per_sequence = avg_intervals;
+      config.seed = static_cast<uint64_t>(seed);
+      db = GenerateQuest(config);
+    } else if (kind == "asl") {
+      AslConfig config;
+      config.num_utterances = static_cast<uint32_t>(sequences);
+      config.seed = static_cast<uint64_t>(seed);
+      db = GenerateAslLike(config);
+    } else if (kind == "library") {
+      LibraryConfig config;
+      config.num_borrowers = static_cast<uint32_t>(sequences);
+      config.num_categories = static_cast<uint32_t>(symbols);
+      config.seed = static_cast<uint64_t>(seed);
+      db = GenerateLibraryLike(config);
+    } else if (kind == "stock") {
+      StockConfig config;
+      config.num_stocks = static_cast<uint32_t>(sequences);
+      config.seed = static_cast<uint64_t>(seed);
+      db = GenerateStockLike(config);
+    }
   }
   if (!db.ok()) return Fail(db.status());
+  auto& reg = obs::MetricsRegistry::Global();
+  reg.GetGauge("datagen.sequences")->Set(db->size());
+  reg.GetGauge("datagen.intervals")->Set(db->TotalIntervals());
   Status st = SaveDatabase(*db, output);
   if (!st.ok()) return Fail(st);
+  if (Status obs_st = obs.Finish(); !obs_st.ok()) return Fail(obs_st);
   out << "wrote " << db->size() << " sequences (" << db->TotalIntervals()
       << " intervals) to " << output << "\n";
   return 0;
