@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1a_runtime_minsup.dir/bench_fig1a_runtime_minsup.cc.o"
+  "CMakeFiles/bench_fig1a_runtime_minsup.dir/bench_fig1a_runtime_minsup.cc.o.d"
+  "bench_fig1a_runtime_minsup"
+  "bench_fig1a_runtime_minsup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1a_runtime_minsup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1b_runtime_minsup_coincidence.dir/bench_fig1b_runtime_minsup_coincidence.cc.o"
+  "CMakeFiles/bench_fig1b_runtime_minsup_coincidence.dir/bench_fig1b_runtime_minsup_coincidence.cc.o.d"
+  "bench_fig1b_runtime_minsup_coincidence"
+  "bench_fig1b_runtime_minsup_coincidence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1b_runtime_minsup_coincidence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

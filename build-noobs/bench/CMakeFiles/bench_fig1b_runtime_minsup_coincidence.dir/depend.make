@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig1b_runtime_minsup_coincidence.
+# This may be replaced when dependencies are built.

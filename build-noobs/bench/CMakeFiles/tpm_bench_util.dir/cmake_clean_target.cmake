@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libtpm_bench_util.a"
+)

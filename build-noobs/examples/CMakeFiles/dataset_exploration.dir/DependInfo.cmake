@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/dataset_exploration.cpp" "examples/CMakeFiles/dataset_exploration.dir/dataset_exploration.cpp.o" "gcc" "examples/CMakeFiles/dataset_exploration.dir/dataset_exploration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-noobs/src/analysis/CMakeFiles/tpm_analysis.dir/DependInfo.cmake"
+  "/root/repo/build-noobs/src/miner/CMakeFiles/tpm_miner.dir/DependInfo.cmake"
+  "/root/repo/build-noobs/src/datagen/CMakeFiles/tpm_datagen.dir/DependInfo.cmake"
+  "/root/repo/build-noobs/src/io/CMakeFiles/tpm_io.dir/DependInfo.cmake"
+  "/root/repo/build-noobs/src/core/CMakeFiles/tpm_core.dir/DependInfo.cmake"
+  "/root/repo/build-noobs/src/util/CMakeFiles/tpm_util.dir/DependInfo.cmake"
+  "/root/repo/build-noobs/src/obs/CMakeFiles/tpm_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataset_exploration.dir/dataset_exploration.cpp.o"
+  "CMakeFiles/dataset_exploration.dir/dataset_exploration.cpp.o.d"
+  "dataset_exploration"
+  "dataset_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataset_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

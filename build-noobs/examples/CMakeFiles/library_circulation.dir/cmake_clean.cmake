@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/library_circulation.dir/library_circulation.cpp.o"
+  "CMakeFiles/library_circulation.dir/library_circulation.cpp.o.d"
+  "library_circulation"
+  "library_circulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/library_circulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

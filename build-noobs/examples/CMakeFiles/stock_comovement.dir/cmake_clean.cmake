@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stock_comovement.dir/stock_comovement.cpp.o"
+  "CMakeFiles/stock_comovement.dir/stock_comovement.cpp.o.d"
+  "stock_comovement"
+  "stock_comovement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stock_comovement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

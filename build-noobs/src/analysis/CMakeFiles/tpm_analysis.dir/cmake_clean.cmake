@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpm_analysis.dir/postprocess.cc.o"
+  "CMakeFiles/tpm_analysis.dir/postprocess.cc.o.d"
+  "CMakeFiles/tpm_analysis.dir/profile.cc.o"
+  "CMakeFiles/tpm_analysis.dir/profile.cc.o.d"
+  "CMakeFiles/tpm_analysis.dir/render.cc.o"
+  "CMakeFiles/tpm_analysis.dir/render.cc.o.d"
+  "CMakeFiles/tpm_analysis.dir/rules.cc.o"
+  "CMakeFiles/tpm_analysis.dir/rules.cc.o.d"
+  "CMakeFiles/tpm_analysis.dir/topk.cc.o"
+  "CMakeFiles/tpm_analysis.dir/topk.cc.o.d"
+  "libtpm_analysis.a"
+  "libtpm_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpm_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpm_core.dir/allen.cc.o"
+  "CMakeFiles/tpm_core.dir/allen.cc.o.d"
+  "CMakeFiles/tpm_core.dir/coincidence.cc.o"
+  "CMakeFiles/tpm_core.dir/coincidence.cc.o.d"
+  "CMakeFiles/tpm_core.dir/containment.cc.o"
+  "CMakeFiles/tpm_core.dir/containment.cc.o.d"
+  "CMakeFiles/tpm_core.dir/database.cc.o"
+  "CMakeFiles/tpm_core.dir/database.cc.o.d"
+  "CMakeFiles/tpm_core.dir/endpoint.cc.o"
+  "CMakeFiles/tpm_core.dir/endpoint.cc.o.d"
+  "CMakeFiles/tpm_core.dir/interval.cc.o"
+  "CMakeFiles/tpm_core.dir/interval.cc.o.d"
+  "CMakeFiles/tpm_core.dir/pattern.cc.o"
+  "CMakeFiles/tpm_core.dir/pattern.cc.o.d"
+  "CMakeFiles/tpm_core.dir/sequence.cc.o"
+  "CMakeFiles/tpm_core.dir/sequence.cc.o.d"
+  "libtpm_core.a"
+  "libtpm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtpm_core.a"
+)

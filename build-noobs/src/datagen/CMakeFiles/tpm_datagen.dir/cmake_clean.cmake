@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpm_datagen.dir/quest.cc.o"
+  "CMakeFiles/tpm_datagen.dir/quest.cc.o.d"
+  "CMakeFiles/tpm_datagen.dir/realistic.cc.o"
+  "CMakeFiles/tpm_datagen.dir/realistic.cc.o.d"
+  "libtpm_datagen.a"
+  "libtpm_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpm_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/binary_format.cc" "src/io/CMakeFiles/tpm_io.dir/binary_format.cc.o" "gcc" "src/io/CMakeFiles/tpm_io.dir/binary_format.cc.o.d"
+  "/root/repo/src/io/crc32.cc" "src/io/CMakeFiles/tpm_io.dir/crc32.cc.o" "gcc" "src/io/CMakeFiles/tpm_io.dir/crc32.cc.o.d"
+  "/root/repo/src/io/loader.cc" "src/io/CMakeFiles/tpm_io.dir/loader.cc.o" "gcc" "src/io/CMakeFiles/tpm_io.dir/loader.cc.o.d"
+  "/root/repo/src/io/text_format.cc" "src/io/CMakeFiles/tpm_io.dir/text_format.cc.o" "gcc" "src/io/CMakeFiles/tpm_io.dir/text_format.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-noobs/src/core/CMakeFiles/tpm_core.dir/DependInfo.cmake"
+  "/root/repo/build-noobs/src/obs/CMakeFiles/tpm_obs.dir/DependInfo.cmake"
+  "/root/repo/build-noobs/src/util/CMakeFiles/tpm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpm_io.dir/binary_format.cc.o"
+  "CMakeFiles/tpm_io.dir/binary_format.cc.o.d"
+  "CMakeFiles/tpm_io.dir/crc32.cc.o"
+  "CMakeFiles/tpm_io.dir/crc32.cc.o.d"
+  "CMakeFiles/tpm_io.dir/loader.cc.o"
+  "CMakeFiles/tpm_io.dir/loader.cc.o.d"
+  "CMakeFiles/tpm_io.dir/text_format.cc.o"
+  "CMakeFiles/tpm_io.dir/text_format.cc.o.d"
+  "libtpm_io.a"
+  "libtpm_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpm_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

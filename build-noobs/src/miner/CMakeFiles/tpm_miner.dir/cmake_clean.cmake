@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpm_miner.dir/coincidence_growth.cc.o"
+  "CMakeFiles/tpm_miner.dir/coincidence_growth.cc.o.d"
+  "CMakeFiles/tpm_miner.dir/cooccurrence.cc.o"
+  "CMakeFiles/tpm_miner.dir/cooccurrence.cc.o.d"
+  "CMakeFiles/tpm_miner.dir/endpoint_growth.cc.o"
+  "CMakeFiles/tpm_miner.dir/endpoint_growth.cc.o.d"
+  "CMakeFiles/tpm_miner.dir/levelwise.cc.o"
+  "CMakeFiles/tpm_miner.dir/levelwise.cc.o.d"
+  "CMakeFiles/tpm_miner.dir/miners.cc.o"
+  "CMakeFiles/tpm_miner.dir/miners.cc.o.d"
+  "CMakeFiles/tpm_miner.dir/options.cc.o"
+  "CMakeFiles/tpm_miner.dir/options.cc.o.d"
+  "libtpm_miner.a"
+  "libtpm_miner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpm_miner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

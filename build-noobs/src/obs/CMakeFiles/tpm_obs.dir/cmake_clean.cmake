@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpm_obs.dir/exporters.cc.o"
+  "CMakeFiles/tpm_obs.dir/exporters.cc.o.d"
+  "CMakeFiles/tpm_obs.dir/metrics.cc.o"
+  "CMakeFiles/tpm_obs.dir/metrics.cc.o.d"
+  "CMakeFiles/tpm_obs.dir/trace.cc.o"
+  "CMakeFiles/tpm_obs.dir/trace.cc.o.d"
+  "libtpm_obs.a"
+  "libtpm_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpm_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpm_util.dir/flags.cc.o"
+  "CMakeFiles/tpm_util.dir/flags.cc.o.d"
+  "CMakeFiles/tpm_util.dir/logging.cc.o"
+  "CMakeFiles/tpm_util.dir/logging.cc.o.d"
+  "CMakeFiles/tpm_util.dir/memory.cc.o"
+  "CMakeFiles/tpm_util.dir/memory.cc.o.d"
+  "CMakeFiles/tpm_util.dir/rng.cc.o"
+  "CMakeFiles/tpm_util.dir/rng.cc.o.d"
+  "CMakeFiles/tpm_util.dir/status.cc.o"
+  "CMakeFiles/tpm_util.dir/status.cc.o.d"
+  "CMakeFiles/tpm_util.dir/string_util.cc.o"
+  "CMakeFiles/tpm_util.dir/string_util.cc.o.d"
+  "libtpm_util.a"
+  "libtpm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_render_test.dir/analysis/render_test.cc.o"
+  "CMakeFiles/analysis_render_test.dir/analysis/render_test.cc.o.d"
+  "analysis_render_test"
+  "analysis_render_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_render_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

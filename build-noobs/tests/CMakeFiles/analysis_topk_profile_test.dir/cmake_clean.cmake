@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_topk_profile_test.dir/analysis/topk_profile_test.cc.o"
+  "CMakeFiles/analysis_topk_profile_test.dir/analysis/topk_profile_test.cc.o.d"
+  "analysis_topk_profile_test"
+  "analysis_topk_profile_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_topk_profile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_allen_test.dir/core/allen_test.cc.o"
+  "CMakeFiles/core_allen_test.dir/core/allen_test.cc.o.d"
+  "core_allen_test"
+  "core_allen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_allen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

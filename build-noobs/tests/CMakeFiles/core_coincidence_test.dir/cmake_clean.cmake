@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_coincidence_test.dir/core/coincidence_test.cc.o"
+  "CMakeFiles/core_coincidence_test.dir/core/coincidence_test.cc.o.d"
+  "core_coincidence_test"
+  "core_coincidence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_coincidence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_containment_test.dir/core/containment_test.cc.o"
+  "CMakeFiles/core_containment_test.dir/core/containment_test.cc.o.d"
+  "core_containment_test"
+  "core_containment_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_containment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_endpoint_test.dir/core/endpoint_test.cc.o"
+  "CMakeFiles/core_endpoint_test.dir/core/endpoint_test.cc.o.d"
+  "core_endpoint_test"
+  "core_endpoint_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_endpoint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

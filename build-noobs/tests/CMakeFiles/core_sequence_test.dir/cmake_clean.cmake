@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_sequence_test.dir/core/sequence_test.cc.o"
+  "CMakeFiles/core_sequence_test.dir/core/sequence_test.cc.o.d"
+  "core_sequence_test"
+  "core_sequence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_sequence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_fuzz_test.dir/io/fuzz_test.cc.o"
+  "CMakeFiles/io_fuzz_test.dir/io/fuzz_test.cc.o.d"
+  "io_fuzz_test"
+  "io_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miner_cooccurrence_test.dir/miner/cooccurrence_test.cc.o"
+  "CMakeFiles/miner_cooccurrence_test.dir/miner/cooccurrence_test.cc.o.d"
+  "miner_cooccurrence_test"
+  "miner_cooccurrence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miner_cooccurrence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

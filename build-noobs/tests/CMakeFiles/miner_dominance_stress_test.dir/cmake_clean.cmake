@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miner_dominance_stress_test.dir/miner/dominance_stress_test.cc.o"
+  "CMakeFiles/miner_dominance_stress_test.dir/miner/dominance_stress_test.cc.o.d"
+  "miner_dominance_stress_test"
+  "miner_dominance_stress_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miner_dominance_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miner_equivalence_test.dir/miner/equivalence_test.cc.o"
+  "CMakeFiles/miner_equivalence_test.dir/miner/equivalence_test.cc.o.d"
+  "miner_equivalence_test"
+  "miner_equivalence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miner_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

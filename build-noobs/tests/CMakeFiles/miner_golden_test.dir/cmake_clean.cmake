@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miner_golden_test.dir/miner/golden_test.cc.o"
+  "CMakeFiles/miner_golden_test.dir/miner/golden_test.cc.o.d"
+  "miner_golden_test"
+  "miner_golden_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miner_golden_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miner_levelwise_config_test.dir/miner/levelwise_config_test.cc.o"
+  "CMakeFiles/miner_levelwise_config_test.dir/miner/levelwise_config_test.cc.o.d"
+  "miner_levelwise_config_test"
+  "miner_levelwise_config_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miner_levelwise_config_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miner_options_test.dir/miner/miner_options_test.cc.o"
+  "CMakeFiles/miner_options_test.dir/miner/miner_options_test.cc.o.d"
+  "miner_options_test"
+  "miner_options_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miner_options_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

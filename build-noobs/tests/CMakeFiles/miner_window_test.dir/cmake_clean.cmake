@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miner_window_test.dir/miner/window_test.cc.o"
+  "CMakeFiles/miner_window_test.dir/miner/window_test.cc.o.d"
+  "miner_window_test"
+  "miner_window_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miner_window_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

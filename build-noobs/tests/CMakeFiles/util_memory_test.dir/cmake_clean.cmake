@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_memory_test.dir/util/memory_test.cc.o"
+  "CMakeFiles/util_memory_test.dir/util/memory_test.cc.o.d"
+  "util_memory_test"
+  "util_memory_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_memory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

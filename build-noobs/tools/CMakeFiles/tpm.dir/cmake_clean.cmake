@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpm.dir/main.cc.o"
+  "CMakeFiles/tpm.dir/main.cc.o.d"
+  "tpm"
+  "tpm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpm_cli.dir/cli.cc.o"
+  "CMakeFiles/tpm_cli.dir/cli.cc.o.d"
+  "libtpm_cli.a"
+  "libtpm_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpm_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/postprocess.cc" "src/analysis/CMakeFiles/tpm_analysis.dir/postprocess.cc.o" "gcc" "src/analysis/CMakeFiles/tpm_analysis.dir/postprocess.cc.o.d"
+  "/root/repo/src/analysis/profile.cc" "src/analysis/CMakeFiles/tpm_analysis.dir/profile.cc.o" "gcc" "src/analysis/CMakeFiles/tpm_analysis.dir/profile.cc.o.d"
+  "/root/repo/src/analysis/render.cc" "src/analysis/CMakeFiles/tpm_analysis.dir/render.cc.o" "gcc" "src/analysis/CMakeFiles/tpm_analysis.dir/render.cc.o.d"
+  "/root/repo/src/analysis/rules.cc" "src/analysis/CMakeFiles/tpm_analysis.dir/rules.cc.o" "gcc" "src/analysis/CMakeFiles/tpm_analysis.dir/rules.cc.o.d"
+  "/root/repo/src/analysis/topk.cc" "src/analysis/CMakeFiles/tpm_analysis.dir/topk.cc.o" "gcc" "src/analysis/CMakeFiles/tpm_analysis.dir/topk.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/core/CMakeFiles/tpm_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/miner/CMakeFiles/tpm_miner.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/tpm_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/obs/CMakeFiles/tpm_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/allen.cc" "src/core/CMakeFiles/tpm_core.dir/allen.cc.o" "gcc" "src/core/CMakeFiles/tpm_core.dir/allen.cc.o.d"
+  "/root/repo/src/core/coincidence.cc" "src/core/CMakeFiles/tpm_core.dir/coincidence.cc.o" "gcc" "src/core/CMakeFiles/tpm_core.dir/coincidence.cc.o.d"
+  "/root/repo/src/core/containment.cc" "src/core/CMakeFiles/tpm_core.dir/containment.cc.o" "gcc" "src/core/CMakeFiles/tpm_core.dir/containment.cc.o.d"
+  "/root/repo/src/core/database.cc" "src/core/CMakeFiles/tpm_core.dir/database.cc.o" "gcc" "src/core/CMakeFiles/tpm_core.dir/database.cc.o.d"
+  "/root/repo/src/core/endpoint.cc" "src/core/CMakeFiles/tpm_core.dir/endpoint.cc.o" "gcc" "src/core/CMakeFiles/tpm_core.dir/endpoint.cc.o.d"
+  "/root/repo/src/core/interval.cc" "src/core/CMakeFiles/tpm_core.dir/interval.cc.o" "gcc" "src/core/CMakeFiles/tpm_core.dir/interval.cc.o.d"
+  "/root/repo/src/core/pattern.cc" "src/core/CMakeFiles/tpm_core.dir/pattern.cc.o" "gcc" "src/core/CMakeFiles/tpm_core.dir/pattern.cc.o.d"
+  "/root/repo/src/core/sequence.cc" "src/core/CMakeFiles/tpm_core.dir/sequence.cc.o" "gcc" "src/core/CMakeFiles/tpm_core.dir/sequence.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/tpm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/quest.cc" "src/datagen/CMakeFiles/tpm_datagen.dir/quest.cc.o" "gcc" "src/datagen/CMakeFiles/tpm_datagen.dir/quest.cc.o.d"
+  "/root/repo/src/datagen/realistic.cc" "src/datagen/CMakeFiles/tpm_datagen.dir/realistic.cc.o" "gcc" "src/datagen/CMakeFiles/tpm_datagen.dir/realistic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/core/CMakeFiles/tpm_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/tpm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/miner/coincidence_growth.cc" "src/miner/CMakeFiles/tpm_miner.dir/coincidence_growth.cc.o" "gcc" "src/miner/CMakeFiles/tpm_miner.dir/coincidence_growth.cc.o.d"
+  "/root/repo/src/miner/cooccurrence.cc" "src/miner/CMakeFiles/tpm_miner.dir/cooccurrence.cc.o" "gcc" "src/miner/CMakeFiles/tpm_miner.dir/cooccurrence.cc.o.d"
+  "/root/repo/src/miner/endpoint_growth.cc" "src/miner/CMakeFiles/tpm_miner.dir/endpoint_growth.cc.o" "gcc" "src/miner/CMakeFiles/tpm_miner.dir/endpoint_growth.cc.o.d"
+  "/root/repo/src/miner/levelwise.cc" "src/miner/CMakeFiles/tpm_miner.dir/levelwise.cc.o" "gcc" "src/miner/CMakeFiles/tpm_miner.dir/levelwise.cc.o.d"
+  "/root/repo/src/miner/miners.cc" "src/miner/CMakeFiles/tpm_miner.dir/miners.cc.o" "gcc" "src/miner/CMakeFiles/tpm_miner.dir/miners.cc.o.d"
+  "/root/repo/src/miner/options.cc" "src/miner/CMakeFiles/tpm_miner.dir/options.cc.o" "gcc" "src/miner/CMakeFiles/tpm_miner.dir/options.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/core/CMakeFiles/tpm_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/obs/CMakeFiles/tpm_obs.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/tpm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

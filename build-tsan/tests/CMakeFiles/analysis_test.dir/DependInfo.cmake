@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/analysis_test.cc" "tests/CMakeFiles/analysis_test.dir/analysis/analysis_test.cc.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis/analysis_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/analysis/CMakeFiles/tpm_analysis.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/miner/CMakeFiles/tpm_miner.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/datagen/CMakeFiles/tpm_datagen.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/io/CMakeFiles/tpm_io.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/tpm_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/obs/CMakeFiles/tpm_obs.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/tpm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
