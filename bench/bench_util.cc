@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <cstdlib>
-#include <fstream>
 #include <map>
+#include <sstream>
 
+#include "io/atomic_write.h"
 #include "util/string_util.h"
 
 namespace tpm {
@@ -28,6 +29,7 @@ Cell MakeCell(const std::string& algo, const std::string& config,
   c.candidates = stats.candidates_checked;
   c.states = stats.states_created;
   c.dnf = stats.truncated;
+  c.stop_reason = stats.stop_reason;
   c.metrics = stats.metrics;
   return c;
 }
@@ -132,13 +134,16 @@ void PrintTable(const std::vector<Cell>& cells) {
     std::printf("\n");
   }
 
-  std::printf("\ncsv: algo,config,seconds,patterns,memory_bytes,candidates,states,dnf\n");
+  std::printf(
+      "\ncsv: algo,config,seconds,patterns,memory_bytes,candidates,states,dnf,"
+      "stop_reason\n");
   for (const Cell& c : cells) {
-    std::printf("csv: %s,%s,%.4f,%llu,%zu,%llu,%llu,%d\n", c.algo.c_str(),
+    std::printf("csv: %s,%s,%.4f,%llu,%zu,%llu,%llu,%d,%s\n", c.algo.c_str(),
                 c.config.c_str(), c.seconds,
                 static_cast<unsigned long long>(c.patterns), c.memory_bytes,
                 static_cast<unsigned long long>(c.candidates),
-                static_cast<unsigned long long>(c.states), c.dnf ? 1 : 0);
+                static_cast<unsigned long long>(c.states), c.dnf ? 1 : 0,
+                StopReasonName(c.stop_reason));
   }
   std::printf("\n");
 }
@@ -147,12 +152,7 @@ void WriteJsonRecords(const std::string& name, const std::vector<Cell>& cells) {
   const char* dir = std::getenv("TPM_BENCH_JSON_DIR");
   const std::string path =
       std::string(dir != nullptr ? dir : ".") + "/BENCH_" + name + ".json";
-  std::ofstream out(path);
-  if (!out) {
-    std::fprintf(stderr, "bench: cannot open %s for writing (skipping)\n",
-                 path.c_str());
-    return;
-  }
+  std::ostringstream out;
   out << "[\n";
   for (size_t i = 0; i < cells.size(); ++i) {
     const Cell& c = cells[i];
@@ -163,12 +163,13 @@ void WriteJsonRecords(const std::string& name, const std::vector<Cell>& cells) {
         << ", \"memory_bytes\": " << c.memory_bytes
         << ", \"candidates\": " << c.candidates << ", \"states\": " << c.states
         << ", \"dnf\": " << (c.dnf ? "true" : "false")
+        << ", \"stop_reason\": " << JsonQuote(StopReasonName(c.stop_reason))
         << ", \"metrics\": " << c.metrics.ToJson() << "}"
         << (i + 1 < cells.size() ? "," : "") << "\n";
   }
   out << "]\n";
-  if (!out) {
-    std::fprintf(stderr, "bench: write failed for %s\n", path.c_str());
+  if (Status st = WriteFileAtomic(path, out.str()); !st.ok()) {
+    std::fprintf(stderr, "bench: %s (skipping)\n", st.ToString().c_str());
     return;
   }
   std::printf("json: %s\n", path.c_str());

@@ -15,6 +15,7 @@
 #include "core/database.h"
 #include "miner/miner.h"
 #include "obs/metrics.h"
+#include "util/guard.h"
 
 namespace tpm {
 namespace bench {
@@ -28,7 +29,8 @@ struct Cell {
   size_t memory_bytes = 0;
   uint64_t candidates = 0;
   uint64_t states = 0;
-  bool dnf = false;      // hit the per-run time budget
+  bool dnf = false;      // truncated or failed before completing
+  StopReason stop_reason = StopReason::kNone;  // why, when dnf is true
   obs::MetricsSnapshot metrics;  // per-run registry delta (prune.*, search.*)
 
   std::string SecondsStr() const;

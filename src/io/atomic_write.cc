@@ -1,0 +1,75 @@
+#include "io/atomic_write.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "io/io_fault.h"
+#include "util/string_util.h"
+
+namespace tpm {
+
+namespace {
+
+Status Errno(const char* op, const std::string& path) {
+  return Status::IOError(StringPrintf("%s failed for '%s': %s", op,
+                                      path.c_str(), std::strerror(errno)));
+}
+
+}  // namespace
+
+Status WriteFileAtomic(const std::string& path, std::string_view contents) {
+  const std::string tmp = path + ".tmp";
+  // RAII cleanup: until the rename commits, any exit unlinks the temp file.
+  struct TmpGuard {
+    const std::string& tmp;
+    int fd = -1;
+    bool committed = false;
+    ~TmpGuard() {
+      if (fd >= 0) ::close(fd);
+      if (!committed) ::unlink(tmp.c_str());
+    }
+  } guard{tmp};
+
+  if (IoFaultPoint("io.open_write")) {
+    return Status::IOError("injected open failure for '" + tmp + "'");
+  }
+  guard.fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (guard.fd < 0) return Errno("open", tmp);
+
+  const char* data = contents.data();
+  size_t left = contents.size();
+  while (left > 0) {
+    if (IoFaultPoint("io.write")) {
+      return Status::IOError("injected write failure for '" + tmp + "'");
+    }
+    const ssize_t n = ::write(guard.fd, data, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write", tmp);
+    }
+    data += n;
+    left -= static_cast<size_t>(n);
+  }
+
+  if (IoFaultPoint("io.fsync")) {
+    return Status::IOError("injected fsync failure for '" + tmp + "'");
+  }
+  if (::fsync(guard.fd) != 0) return Errno("fsync", tmp);
+  if (::close(guard.fd) != 0) {
+    guard.fd = -1;
+    return Errno("close", tmp);
+  }
+  guard.fd = -1;
+
+  if (IoFaultPoint("io.rename")) {
+    return Status::IOError("injected rename failure for '" + path + "'");
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) return Errno("rename", path);
+  guard.committed = true;
+  return Status::OK();
+}
+
+}  // namespace tpm

@@ -1,0 +1,29 @@
+// Atomic whole-file writes: write-temp-then-rename.
+//
+// Every writer in the library funnels through WriteFileAtomic so a crash,
+// ENOSPC, or injected fault mid-write can never leave a torn or partial
+// output file: the content lands in `<path>.tmp`, is fsync'd, and only then
+// renamed over `path` (rename(2) is atomic on POSIX). On any failure the
+// temp file is unlinked before the error Status is returned — callers and CI
+// can assert that no `*.tmp` litter survives a failed write.
+//
+// Fault sites (see util/fault.h): io.open_write, io.write, io.fsync,
+// io.rename.
+
+#ifndef TPM_IO_ATOMIC_WRITE_H_
+#define TPM_IO_ATOMIC_WRITE_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace tpm {
+
+/// Atomically replaces `path` with `contents`. The temp file `<path>.tmp`
+/// exists only for the duration of the call.
+Status WriteFileAtomic(const std::string& path, std::string_view contents);
+
+}  // namespace tpm
+
+#endif  // TPM_IO_ATOMIC_WRITE_H_

@@ -4,7 +4,9 @@
 #include <fstream>
 #include <sstream>
 
+#include "io/atomic_write.h"
 #include "io/crc32.h"
+#include "io/io_fault.h"
 #include "io/varint.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -17,7 +19,29 @@ namespace tpm {
 namespace {
 constexpr char kMagic[4] = {'T', 'P', 'M', 'B'};
 constexpr uint64_t kVersion = 1;
+constexpr size_t kMagicBytes = 4;
+
+// Corruption diagnostic carrying the section being decoded and the absolute
+// byte offset within the file where decoding stopped. The "byte offset N"
+// phrasing is part of the error contract (fuzz_test parses it).
+Status CorruptAt(const char* section, size_t offset, const std::string& detail) {
+  return Status::Corruption(StringPrintf("%s (section %s, byte offset %zu)",
+                                         detail.c_str(), section, offset));
+}
 }  // namespace
+
+// Decodes a Result<T>-producing expression into `lhs`; a decode failure is
+// rewritten as Corruption pinned to `section` and the reader's file offset.
+#define TPM_BINARY_FIELD(lhs, rexpr, section)                                \
+  TPM_BINARY_FIELD_IMPL(TPM_CONCAT(_tpm_field_, __LINE__), lhs, rexpr,       \
+                        section)
+#define TPM_BINARY_FIELD_IMPL(result_name, lhs, rexpr, section)              \
+  auto&& result_name = (rexpr);                                              \
+  if (!result_name.ok()) {                                                   \
+    return CorruptAt(section, kMagicBytes + r.offset(),                      \
+                     result_name.status().message());                        \
+  }                                                                          \
+  lhs = std::move(result_name).ValueOrDie()
 
 std::string SerializeBinary(const IntervalDatabase& db) {
   std::string out;
@@ -64,8 +88,8 @@ Result<IntervalDatabase> ParseBinary(const std::string& buffer) {
     decltype(record_ns)& fn;
     ~NsGuard() { fn(); }
   } guard{record_ns};
-  if (buffer.size() < 8 || std::memcmp(buffer.data(), kMagic, 4) != 0) {
-    return Status::Corruption("not a TPMB file (bad magic)");
+  if (buffer.size() < 8 || std::memcmp(buffer.data(), kMagic, kMagicBytes) != 0) {
+    return CorruptAt("magic", 0, "not a TPMB file (bad magic)");
   }
   const size_t body_size = buffer.size() - 4;
   uint32_t stored_crc = 0;
@@ -75,33 +99,42 @@ Result<IntervalDatabase> ParseBinary(const std::string& buffer) {
                   << (8 * i);
   }
   if (Crc32(buffer.data(), body_size) != stored_crc) {
-    return Status::Corruption("TPMB checksum mismatch (truncated or corrupt)");
+    return CorruptAt("trailing CRC", body_size,
+                     "TPMB checksum mismatch (truncated or corrupt)");
   }
 
-  VarintReader r(buffer.data() + 4, body_size - 4);
-  TPM_ASSIGN_OR_RETURN(uint64_t version, r.GetVarint64());
+  VarintReader r(buffer.data() + kMagicBytes, body_size - kMagicBytes);
+  TPM_BINARY_FIELD(uint64_t version, r.GetVarint64(), "header varint");
   if (version != kVersion) {
     return Status::NotImplemented(
         StringPrintf("TPMB version %llu unsupported",
                      static_cast<unsigned long long>(version)));
   }
   IntervalDatabase db;
-  TPM_ASSIGN_OR_RETURN(uint64_t dict_count, r.GetVarint64());
+  TPM_BINARY_FIELD(uint64_t dict_count, r.GetVarint64(), "header varint");
   for (uint64_t i = 0; i < dict_count; ++i) {
-    TPM_ASSIGN_OR_RETURN(std::string name, r.GetLengthPrefixedString());
+    TPM_BINARY_FIELD(std::string name, r.GetLengthPrefixedString(),
+                     "header varint");
     db.dict().Intern(name);
   }
-  TPM_ASSIGN_OR_RETURN(uint64_t seq_count, r.GetVarint64());
+  TPM_BINARY_FIELD(uint64_t seq_count, r.GetVarint64(), "header varint");
   for (uint64_t s = 0; s < seq_count; ++s) {
-    TPM_ASSIGN_OR_RETURN(uint64_t n, r.GetVarint64());
+    if (IoFaultPoint("io.alloc")) {
+      return Status::ResourceExhausted(StringPrintf(
+          "injected allocation failure at record boundary %llu (fault site "
+          "io.alloc)",
+          static_cast<unsigned long long>(s)));
+    }
+    TPM_BINARY_FIELD(uint64_t n, r.GetVarint64(), "record");
     EventSequence seq;
     TimeT prev_start = 0;
     for (uint64_t k = 0; k < n; ++k) {
-      TPM_ASSIGN_OR_RETURN(uint64_t event, r.GetVarint64());
-      TPM_ASSIGN_OR_RETURN(int64_t delta, r.GetSignedVarint64());
-      TPM_ASSIGN_OR_RETURN(uint64_t duration, r.GetVarint64());
+      TPM_BINARY_FIELD(uint64_t event, r.GetVarint64(), "record");
+      TPM_BINARY_FIELD(int64_t delta, r.GetSignedVarint64(), "record");
+      TPM_BINARY_FIELD(uint64_t duration, r.GetVarint64(), "record");
       if (event >= dict_count) {
-        return Status::Corruption("event id out of dictionary range");
+        return CorruptAt("record", kMagicBytes + r.offset(),
+                         "event id out of dictionary range");
       }
       const TimeT start = prev_start + delta;
       seq.Add(static_cast<EventId>(event), start,
@@ -112,26 +145,31 @@ Result<IntervalDatabase> ParseBinary(const std::string& buffer) {
     db.AddSequence(std::move(seq));
   }
   if (r.remaining() != 0) {
-    return Status::Corruption("trailing bytes after TPMB payload");
+    return CorruptAt("record", kMagicBytes + r.offset(),
+                     "trailing bytes after TPMB payload");
   }
   TPM_RETURN_NOT_OK(db.Validate());
   return db;
 }
 
 Status WriteBinaryFile(const IntervalDatabase& db, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
-  const std::string buffer = SerializeBinary(db);
-  out.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
-  if (!out) return Status::IOError("write failed for '" + path + "'");
-  return Status::OK();
+  return WriteFileAtomic(path, SerializeBinary(db));
 }
 
 Result<IntervalDatabase> ReadBinaryFile(const std::string& path) {
+  if (IoFaultPoint("io.open_read")) {
+    return Status::IOError("injected open failure for '" + path + "'");
+  }
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open '" + path + "' for reading");
   std::ostringstream buf;
   buf << in.rdbuf();
+  if (IoFaultPoint("io.read")) {
+    return Status::IOError("injected short read for '" + path + "'");
+  }
+  if (!in.good() && !in.eof()) {
+    return Status::IOError("read failed for '" + path + "'");
+  }
   return ParseBinary(buf.str());
 }
 

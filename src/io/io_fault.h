@@ -1,0 +1,24 @@
+// Fault-point shim for the I/O layer: tests the site via TPM_FAULT_POINT and
+// charges the io.fault.injected counter when it fires, so injection runs are
+// visible in metrics snapshots (and CI can assert a fault actually landed).
+
+#ifndef TPM_IO_IO_FAULT_H_
+#define TPM_IO_IO_FAULT_H_
+
+#include "obs/metrics.h"
+#include "util/fault.h"
+
+namespace tpm {
+
+inline bool IoFaultPoint(const char* site) {
+  (void)site;  // unused when TPM_FAULT_DISABLED compiles the point out
+  if (TPM_FAULT_POINT(site)) {
+    obs::MetricsRegistry::Global().GetCounter("io.fault.injected")->Increment();
+    return true;
+  }
+  return false;
+}
+
+}  // namespace tpm
+
+#endif  // TPM_IO_IO_FAULT_H_

@@ -1,5 +1,7 @@
 #include "io/loader.h"
 
+#include <cctype>
+
 #include "io/binary_format.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -9,6 +11,10 @@ namespace tpm {
 
 namespace {
 
+constexpr const char* kSupportedExtensions =
+    ".tisd/.txt (TISD text), .csv (CSV), .tpmb/.bin (binary)";
+
+// Lower-cased extension of `path`'s basename, or "" when it has none.
 std::string Extension(const std::string& path) {
   const size_t dot = path.find_last_of('.');
   const size_t slash = path.find_last_of('/');
@@ -16,7 +22,22 @@ std::string Extension(const std::string& path) {
       (slash != std::string::npos && dot < slash)) {
     return "";
   }
-  return path.substr(dot + 1);
+  std::string ext = path.substr(dot + 1);
+  for (char& c : ext) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return ext;
+}
+
+Status UnknownExtension(const std::string& path, const std::string& ext) {
+  if (ext.empty()) {
+    return Status::InvalidArgument("'" + path +
+                                   "' has no file extension; supported: " +
+                                   kSupportedExtensions);
+  }
+  return Status::InvalidArgument("unknown database extension '." + ext +
+                                 "' for '" + path +
+                                 "'; supported: " + kSupportedExtensions);
 }
 
 }  // namespace
@@ -36,8 +57,7 @@ Result<IntervalDatabase> LoadDatabase(const std::string& path,
   if (ext == "tisd" || ext == "txt") return finish(ReadTisdFile(path, options));
   if (ext == "csv") return finish(ReadCsvFile(path, options));
   if (ext == "tpmb" || ext == "bin") return finish(ReadBinaryFile(path));
-  return Status::InvalidArgument("unknown database extension '." + ext +
-                                 "' (use .tisd/.txt/.csv/.tpmb/.bin)");
+  return UnknownExtension(path, ext);
 }
 
 Status SaveDatabase(const IntervalDatabase& db, const std::string& path) {
@@ -54,8 +74,7 @@ Status SaveDatabase(const IntervalDatabase& db, const std::string& path) {
   if (ext == "tisd" || ext == "txt") return finish(WriteTisdFile(db, path));
   if (ext == "csv") return finish(WriteCsvFile(db, path));
   if (ext == "tpmb" || ext == "bin") return finish(WriteBinaryFile(db, path));
-  return Status::InvalidArgument("unknown database extension '." + ext +
-                                 "' (use .tisd/.txt/.csv/.tpmb/.bin)");
+  return UnknownExtension(path, ext);
 }
 
 }  // namespace tpm

@@ -11,8 +11,9 @@
 
 namespace tpm {
 
-/// Loads a database, dispatching on extension: .tisd/.txt (TISD),
-/// .csv (CSV), .tpmb/.bin (binary).
+/// Loads a database, dispatching on extension (case-insensitive):
+/// .tisd/.txt (TISD), .csv (CSV), .tpmb/.bin (binary). A missing or unknown
+/// extension yields InvalidArgument enumerating the supported ones.
 Result<IntervalDatabase> LoadDatabase(const std::string& path,
                                       const TextReadOptions& options = {});
 

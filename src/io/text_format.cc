@@ -4,8 +4,11 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "io/atomic_write.h"
+#include "io/io_fault.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/logging.h"
 #include "util/macros.h"
 #include "util/string_util.h"
 #include "util/timer.h"
@@ -81,12 +84,47 @@ class DatabaseBuilder {
   std::unordered_map<std::string, size_t> index_;
 };
 
+// Per-line recovery for kSkipLine mode: counts dropped lines (charged to
+// io.recovered_lines on scope exit) and logs at most max_error_reports
+// diagnostics so a badly corrupted file cannot flood the log.
+class LineRecovery {
+ public:
+  explicit LineRecovery(const TextReadOptions& options) : options_(options) {}
+  ~LineRecovery() {
+    if (recovered_ > 0) {
+      obs::MetricsRegistry::Global()
+          .GetCounter("io.recovered_lines")
+          ->Increment(recovered_);
+    }
+  }
+
+  /// Returns true when the parse should swallow `error` and continue.
+  bool Recover(size_t line_no, const Status& error) {
+    if (options_.on_error != TextErrorMode::kSkipLine) return false;
+    ++recovered_;
+    if (recovered_ <= options_.max_error_reports) {
+      TPM_LOG(Warning) << "skipping malformed line " << line_no << ": "
+                       << error.message();
+      if (recovered_ == options_.max_error_reports) {
+        TPM_LOG(Warning) << "further malformed-line diagnostics suppressed "
+                         << "(io.recovered_lines has the full count)";
+      }
+    }
+    return true;
+  }
+
+ private:
+  const TextReadOptions& options_;
+  uint64_t recovered_ = 0;
+};
+
 }  // namespace
 
 Result<IntervalDatabase> ReadTisd(std::istream& in, const TextReadOptions& options) {
   TPM_TRACE_SPAN("io.text.parse");
   TextParseMetrics metrics;
   DatabaseBuilder builder(options);
+  LineRecovery recovery(options);
   std::string line;
   size_t line_no = 0;
   while (std::getline(in, line)) {
@@ -104,13 +142,15 @@ Result<IntervalDatabase> ReadTisd(std::istream& in, const TextReadOptions& optio
       if (j > i) fields.push_back(v.substr(i, j - i));
       i = j;
     }
+    Status st;
     if (fields.size() != 4) {
-      return Status::InvalidArgument(StringPrintf(
+      st = Status::InvalidArgument(StringPrintf(
           "line %zu: expected 4 fields <seq> <symbol> <start> <finish>, got %zu",
           line_no, fields.size()));
+    } else {
+      st = builder.Add(fields[0], fields[1], fields[2], fields[3], line_no);
     }
-    TPM_RETURN_NOT_OK(
-        builder.Add(fields[0], fields[1], fields[2], fields[3], line_no));
+    if (!st.ok() && !recovery.Recover(line_no, st)) return st;
   }
   return builder.Finish();
 }
@@ -123,6 +163,9 @@ Result<IntervalDatabase> ReadTisdString(const std::string& text,
 
 Result<IntervalDatabase> ReadTisdFile(const std::string& path,
                                       const TextReadOptions& options) {
+  if (IoFaultPoint("io.open_read")) {
+    return Status::IOError("injected open failure for '" + path + "'");
+  }
   std::ifstream in(path);
   if (!in) return Status::IOError("cannot open '" + path + "' for reading");
   return ReadTisd(in, options);
@@ -142,15 +185,16 @@ Status WriteTisd(const IntervalDatabase& db, std::ostream& out) {
 }
 
 Status WriteTisdFile(const IntervalDatabase& db, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
-  return WriteTisd(db, out);
+  std::ostringstream out;
+  TPM_RETURN_NOT_OK(WriteTisd(db, out));
+  return WriteFileAtomic(path, out.str());
 }
 
 Result<IntervalDatabase> ReadCsv(std::istream& in, const TextReadOptions& options) {
   TPM_TRACE_SPAN("io.text.parse");
   TextParseMetrics metrics;
   DatabaseBuilder builder(options);
+  LineRecovery recovery(options);
   std::string line;
   size_t line_no = 0;
   int col_seq = -1, col_event = -1, col_start = -1, col_finish = -1;
@@ -178,12 +222,15 @@ Result<IntervalDatabase> ReadCsv(std::istream& in, const TextReadOptions& option
     }
     const int needed =
         std::max(std::max(col_seq, col_event), std::max(col_start, col_finish));
+    Status st;
     if (static_cast<int>(fields.size()) <= needed) {
-      return Status::InvalidArgument(
+      st = Status::InvalidArgument(
           StringPrintf("line %zu: too few CSV fields", line_no));
+    } else {
+      st = builder.Add(Trim(fields[col_seq]), Trim(fields[col_event]),
+                       fields[col_start], fields[col_finish], line_no);
     }
-    TPM_RETURN_NOT_OK(builder.Add(Trim(fields[col_seq]), Trim(fields[col_event]),
-                                  fields[col_start], fields[col_finish], line_no));
+    if (!st.ok() && !recovery.Recover(line_no, st)) return st;
   }
   if (col_seq < 0) return Status::InvalidArgument("empty CSV input");
   return builder.Finish();
@@ -197,6 +244,9 @@ Result<IntervalDatabase> ReadCsvString(const std::string& text,
 
 Result<IntervalDatabase> ReadCsvFile(const std::string& path,
                                      const TextReadOptions& options) {
+  if (IoFaultPoint("io.open_read")) {
+    return Status::IOError("injected open failure for '" + path + "'");
+  }
   std::ifstream in(path);
   if (!in) return Status::IOError("cannot open '" + path + "' for reading");
   return ReadCsv(in, options);
@@ -216,9 +266,9 @@ Status WriteCsv(const IntervalDatabase& db, std::ostream& out) {
 }
 
 Status WriteCsvFile(const IntervalDatabase& db, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
-  return WriteCsv(db, out);
+  std::ostringstream out;
+  TPM_RETURN_NOT_OK(WriteCsv(db, out));
+  return WriteFileAtomic(path, out.str());
 }
 
 }  // namespace tpm

@@ -21,9 +21,21 @@
 
 namespace tpm {
 
+/// What a reader does when a single line fails to parse. Structural errors
+/// (missing CSV header, database-wide validation) always fail regardless.
+enum class TextErrorMode {
+  kFail,      ///< abort on the first malformed line (default)
+  kSkipLine,  ///< drop malformed lines, count them under io.recovered_lines
+};
+
 struct TextReadOptions {
   /// Repair same-symbol conflicts by merging instead of failing validation.
   bool merge_conflicts = false;
+  /// Per-line recovery policy.
+  TextErrorMode on_error = TextErrorMode::kFail;
+  /// In kSkipLine mode, at most this many per-line diagnostics are logged;
+  /// further skips are counted silently.
+  size_t max_error_reports = 5;
 };
 
 /// Parses TISD from a stream/string.

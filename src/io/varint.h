@@ -28,14 +28,19 @@ inline void PutSignedVarint64(std::string* out, int64_t v) {
 
 /// Cursor over an input buffer for decoding.
 struct VarintReader {
+  const uint8_t* begin;
   const uint8_t* pos;
   const uint8_t* end;
 
   VarintReader(const void* data, size_t size)
-      : pos(static_cast<const uint8_t*>(data)),
-        end(static_cast<const uint8_t*>(data) + size) {}
+      : begin(static_cast<const uint8_t*>(data)),
+        pos(begin),
+        end(begin + size) {}
 
   size_t remaining() const { return static_cast<size_t>(end - pos); }
+  /// Bytes consumed so far — after a decode error this is where decoding
+  /// stopped, which readers surface in Corruption diagnostics.
+  size_t offset() const { return static_cast<size_t>(pos - begin); }
 
   Result<uint64_t> GetVarint64() {
     uint64_t v = 0;

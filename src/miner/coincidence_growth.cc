@@ -85,6 +85,11 @@ class Engine {
 
   Result<CoincidenceMiningResult> Run() {
     CoincidenceMiningResult result;
+    if (MinerFaultPoint("miner.alloc")) {
+      return Status::ResourceExhausted(
+          "injected allocation failure building the coincidence "
+          "representation (fault site miner.alloc)");
+    }
     const obs::MetricsSnapshot obs_start =
         obs::MetricsRegistry::Global().Snapshot();
     WallTimer build_timer;
@@ -120,7 +125,9 @@ class Engine {
     Expand(root, allowed);
     result.stats.mine_seconds = mine_timer.ElapsedSeconds();
     result.stats.patterns_found = result.patterns.size();
-    result.stats.truncated = truncated_;
+    result.stats.truncated = guard_.stopped();
+    result.stats.stop_reason = guard_.reason();
+    RecordStopMetrics(guard_.reason());
     result.stats.peak_logical_bytes = tracker_.peak_bytes();
     result.stats.peak_rss_bytes = ReadPeakRssBytes();
     result.stats.metrics =
@@ -134,12 +141,7 @@ class Engine {
   }
 
   void Expand(const ProjectedDb& proj, const std::vector<uint8_t>& allowed) {
-    if (truncated_) return;
-    if (options_.time_budget_seconds > 0.0 &&
-        total_timer_.ElapsedSeconds() > options_.time_budget_seconds) {
-      truncated_ = true;
-      return;
-    }
+    if (guard_.ShouldStop()) return;
     ++out_->stats.nodes_expanded;
     om_.node_depth->Observe(pat_items_.size());
     om_.projected_seqs->Observe(proj.size());
@@ -148,7 +150,7 @@ class Engine {
 
     if (!pat_items_.empty()) {
       EmitPattern(static_cast<SupportCount>(proj.size()));
-      if (truncated_) return;
+      if (guard_.stopped()) return;
     }
     if (options_.max_items > 0 && pat_items_.size() >= options_.max_items) return;
 
@@ -321,7 +323,7 @@ class Engine {
     tracker_.Allocate(bucket_bytes);
 
     for (Bucket& b : buckets) {
-      if (truncated_) break;
+      if (guard_.stopped()) break;
       if (b.proj.size() < minsup_) continue;
       ApplyExtension(b.symbol, b.i_ext);
       Expand(b.proj, child_allowed);
@@ -461,10 +463,7 @@ class Engine {
     om_.patterns->Increment();
     tracker_.Allocate(pat_items_.size() * sizeof(EventId) +
                       offsets.size() * sizeof(uint32_t));
-    if (options_.max_patterns > 0 &&
-        out_->patterns.size() >= options_.max_patterns) {
-      truncated_ = true;
-    }
+    guard_.NotePattern(out_->patterns.size());
   }
 
   const IntervalDatabase& db_;
@@ -492,8 +491,7 @@ class Engine {
   const MinerMetrics& om_ = MinerMetrics::Get();
 
   MemoryTracker tracker_;
-  WallTimer total_timer_;
-  bool truncated_ = false;
+  ExecutionGuard guard_{options_.ToGuardLimits(), &tracker_};
   CoincidenceMiningResult* out_ = nullptr;
 };
 

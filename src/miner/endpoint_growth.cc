@@ -97,6 +97,11 @@ class Engine {
 
   Result<EndpointMiningResult> Run() {
     EndpointMiningResult result;
+    if (MinerFaultPoint("miner.alloc")) {
+      return Status::ResourceExhausted(
+          "injected allocation failure building the endpoint representation "
+          "(fault site miner.alloc)");
+    }
     const obs::MetricsSnapshot obs_start =
         obs::MetricsRegistry::Global().Snapshot();
     WallTimer build_timer;
@@ -132,7 +137,9 @@ class Engine {
     Expand(root, allowed);
     result.stats.mine_seconds = mine_timer.ElapsedSeconds();
     result.stats.patterns_found = result.patterns.size();
-    result.stats.truncated = truncated_;
+    result.stats.truncated = guard_.stopped();
+    result.stats.stop_reason = guard_.reason();
+    RecordStopMetrics(guard_.reason());
     result.stats.peak_logical_bytes = tracker_.peak_bytes();
     result.stats.peak_rss_bytes = ReadPeakRssBytes();
     result.stats.metrics =
@@ -147,12 +154,7 @@ class Engine {
   }
 
   void Expand(const ProjectedDb& proj, const std::vector<uint8_t>& allowed) {
-    if (truncated_) return;
-    if (options_.time_budget_seconds > 0.0 &&
-        total_timer_.ElapsedSeconds() > options_.time_budget_seconds) {
-      truncated_ = true;
-      return;
-    }
+    if (guard_.ShouldStop()) return;
     ++out_->stats.nodes_expanded;
     om_.node_depth->Observe(pat_items_.size());
     om_.projected_seqs->Observe(proj.size());
@@ -168,7 +170,7 @@ class Engine {
     // Report the pattern at this node when it is complete and non-empty.
     if (!pat_items_.empty() && open_events_.empty()) {
       EmitPattern(static_cast<SupportCount>(proj.size()));
-      if (truncated_) return;
+      if (guard_.stopped()) return;
     }
     if (options_.max_items > 0 && pat_items_.size() >= options_.max_items) return;
 
@@ -353,7 +355,7 @@ class Engine {
     });
 
     for (Bucket& b : buckets) {
-      if (truncated_) break;
+      if (guard_.stopped()) break;
       const SupportCount support = b.Finalize();
       if (support < minsup_) continue;
       ApplyExtension(b.code, b.i_ext);
@@ -462,10 +464,7 @@ class Engine {
     om_.patterns->Increment();
     tracker_.Allocate(pat_items_.size() * sizeof(EndpointCode) +
                       offsets.size() * sizeof(uint32_t));
-    if (options_.max_patterns > 0 &&
-        out_->patterns.size() >= options_.max_patterns) {
-      truncated_ = true;
-    }
+    guard_.NotePattern(out_->patterns.size());
   }
 
   const IntervalDatabase& db_;
@@ -496,8 +495,7 @@ class Engine {
   uint64_t node_validity_closes_ = 0;
 
   MemoryTracker tracker_;
-  WallTimer total_timer_;
-  bool truncated_ = false;
+  ExecutionGuard guard_{options_.ToGuardLimits(), &tracker_};
   EndpointMiningResult* out_ = nullptr;
 };
 

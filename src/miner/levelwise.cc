@@ -79,6 +79,11 @@ class EndpointLevelwise {
   Result<EndpointMiningResult> Run() {
     EndpointMiningResult result;
     out_ = &result;
+    if (MinerFaultPoint("miner.alloc")) {
+      return Status::ResourceExhausted(
+          "injected allocation failure building the level-wise endpoint "
+          "representation (fault site miner.alloc)");
+    }
     const obs::MetricsSnapshot obs_start =
         obs::MetricsRegistry::Global().Snapshot();
     WallTimer build_timer;
@@ -110,12 +115,14 @@ class EndpointLevelwise {
       frontier.push_back(std::move(p));
     }
 
-    while (!frontier.empty() && !truncated_) {
+    while (!frontier.empty() && !guard_.stopped()) {
       frontier = ProcessLevel(std::move(frontier), alphabet);
     }
     result.stats.mine_seconds = mine_timer.ElapsedSeconds();
     result.stats.patterns_found = result.patterns.size();
-    result.stats.truncated = truncated_;
+    result.stats.truncated = guard_.stopped();
+    result.stats.stop_reason = guard_.reason();
+    RecordStopMetrics(guard_.reason());
     result.stats.peak_logical_bytes = tracker_.peak_bytes();
     result.stats.peak_rss_bytes = ReadPeakRssBytes();
     result.stats.metrics =
@@ -147,10 +154,7 @@ class EndpointLevelwise {
       if (cand.open.empty()) {
         out_->patterns.push_back(MinedPattern<EndpointPattern>{pattern, support});
         om_.patterns->Increment();
-        if (options_.max_patterns > 0 &&
-            out_->patterns.size() >= options_.max_patterns) {
-          truncated_ = true;
-        }
+        guard_.NotePattern(out_->patterns.size());
       }
       level_bytes += cand.Bytes();
       survivors.push_back(std::move(cand));
@@ -159,7 +163,7 @@ class EndpointLevelwise {
 
     std::vector<EndpointFrontierPat> next;
     for (const EndpointFrontierPat& f : survivors) {
-      if (truncated_) break;
+      if (guard_.stopped()) break;
       GenerateExtensions(f, alphabet, &next);
     }
     tracker_.Release(level_bytes);
@@ -245,13 +249,7 @@ class EndpointLevelwise {
     return true;
   }
 
-  bool CheckBudget() {
-    if (options_.time_budget_seconds > 0.0 &&
-        timer_.ElapsedSeconds() > options_.time_budget_seconds) {
-      truncated_ = true;
-    }
-    return truncated_;
-  }
+  bool CheckBudget() { return guard_.ShouldStop(); }
 
   const IntervalDatabase& db_;
   const MinerOptions& options_;
@@ -260,8 +258,7 @@ class EndpointLevelwise {
   EndpointDatabase edb_;
   std::unordered_set<EndpointPattern, EndpointPatternHash> frequent_;
   MemoryTracker tracker_;
-  WallTimer timer_;
-  bool truncated_ = false;
+  ExecutionGuard guard_{options_.ToGuardLimits(), &tracker_};
   EndpointMiningResult* out_ = nullptr;
   const MinerMetrics& om_ = MinerMetrics::Get();
 };
@@ -297,6 +294,11 @@ class CoincidenceLevelwise {
   Result<CoincidenceMiningResult> Run() {
     CoincidenceMiningResult result;
     out_ = &result;
+    if (MinerFaultPoint("miner.alloc")) {
+      return Status::ResourceExhausted(
+          "injected allocation failure building the level-wise coincidence "
+          "representation (fault site miner.alloc)");
+    }
     const obs::MetricsSnapshot obs_start =
         obs::MetricsRegistry::Global().Snapshot();
     WallTimer build_timer;
@@ -320,12 +322,14 @@ class CoincidenceLevelwise {
     for (EventId e : alphabet) {
       frontier.push_back(CoinFrontierPat{{e}, {0}});
     }
-    while (!frontier.empty() && !truncated_) {
+    while (!frontier.empty() && !guard_.stopped()) {
       frontier = ProcessLevel(std::move(frontier), alphabet);
     }
     result.stats.mine_seconds = mine_timer.ElapsedSeconds();
     result.stats.patterns_found = result.patterns.size();
-    result.stats.truncated = truncated_;
+    result.stats.truncated = guard_.stopped();
+    result.stats.stop_reason = guard_.reason();
+    RecordStopMetrics(guard_.reason());
     result.stats.peak_logical_bytes = tracker_.peak_bytes();
     result.stats.peak_rss_bytes = ReadPeakRssBytes();
     result.stats.metrics =
@@ -354,10 +358,7 @@ class CoincidenceLevelwise {
       frequent_.insert(pattern);
       out_->patterns.push_back(MinedPattern<CoincidencePattern>{pattern, support});
       om_.patterns->Increment();
-      if (options_.max_patterns > 0 &&
-          out_->patterns.size() >= options_.max_patterns) {
-        truncated_ = true;
-      }
+      guard_.NotePattern(out_->patterns.size());
       level_bytes += cand.Bytes();
       survivors.push_back(std::move(cand));
     }
@@ -372,7 +373,7 @@ class CoincidenceLevelwise {
       next.push_back(std::move(c));
     };
     for (const CoinFrontierPat& f : survivors) {
-      if (truncated_) break;
+      if (guard_.stopped()) break;
       if (options_.max_items > 0 && f.items.size() >= options_.max_items) continue;
       const bool allow_s =
           options_.max_length == 0 || f.offsets.size() < options_.max_length;
@@ -411,13 +412,7 @@ class CoincidenceLevelwise {
     return true;
   }
 
-  bool CheckBudget() {
-    if (options_.time_budget_seconds > 0.0 &&
-        timer_.ElapsedSeconds() > options_.time_budget_seconds) {
-      truncated_ = true;
-    }
-    return truncated_;
-  }
+  bool CheckBudget() { return guard_.ShouldStop(); }
 
   const IntervalDatabase& db_;
   const MinerOptions& options_;
@@ -426,8 +421,7 @@ class CoincidenceLevelwise {
   CoincidenceDatabase cdb_;
   std::unordered_set<CoincidencePattern, CoincidencePatternHash> frequent_;
   MemoryTracker tracker_;
-  WallTimer timer_;
-  bool truncated_ = false;
+  ExecutionGuard guard_{options_.ToGuardLimits(), &tracker_};
   CoincidenceMiningResult* out_ = nullptr;
   const MinerMetrics& om_ = MinerMetrics::Get();
 };

@@ -5,7 +5,11 @@
 #ifndef TPM_MINER_MINER_METRICS_H_
 #define TPM_MINER_MINER_METRICS_H_
 
+#include <string>
+
 #include "obs/metrics.h"
+#include "util/fault.h"
+#include "util/guard.h"
 
 namespace tpm {
 
@@ -47,6 +51,28 @@ struct MinerMetrics {
     return m;
   }
 };
+
+/// Charges robust.stop.<reason> when a guard stopped a run. Off the hot
+/// path: called once per Mine() at exit.
+inline void RecordStopMetrics(StopReason reason) {
+  if (reason == StopReason::kNone) return;
+  obs::MetricsRegistry::Global()
+      .GetCounter(std::string("robust.stop.") + StopReasonName(reason))
+      ->Increment();
+}
+
+/// Fault-point shim for miner allocation sites; charges
+/// robust.fault.injected when it fires.
+inline bool MinerFaultPoint(const char* site) {
+  (void)site;  // unused when TPM_FAULT_DISABLED compiles the point out
+  if (TPM_FAULT_POINT(site)) {
+    obs::MetricsRegistry::Global()
+        .GetCounter("robust.fault.injected")
+        ->Increment();
+    return true;
+  }
+  return false;
+}
 
 }  // namespace tpm
 

@@ -26,7 +26,8 @@ std::string MiningStats::ToString() const {
       static_cast<unsigned long long>(candidates_checked),
       static_cast<unsigned long long>(states_created),
       HumanBytes(peak_logical_bytes).c_str(), HumanBytes(peak_rss_bytes).c_str(),
-      truncated ? " TRUNCATED" : "");
+      truncated ? StringPrintf(" TRUNCATED(%s)", StopReasonName(stop_reason)).c_str()
+                : "");
 }
 
 template <typename PatternT>

@@ -11,6 +11,7 @@
 #include "core/pattern.h"
 #include "core/types.h"
 #include "obs/metrics.h"
+#include "util/guard.h"
 
 namespace tpm {
 
@@ -43,8 +44,30 @@ struct MinerOptions {
   uint64_t max_patterns = 0;
 
   /// Wall-clock budget in seconds; mining stops (truncated) when exceeded.
-  /// 0 = unlimited. Checked at node granularity.
+  /// 0 = unlimited. Checked at node granularity with bounded latency
+  /// (ExecutionGuard amortizes the clock reads).
   double time_budget_seconds = 0.0;
+
+  /// Logical-byte budget (MemoryTracker view, the same accounting
+  /// MiningStats::peak_logical_bytes reports); mining stops (truncated,
+  /// StopReason::kMemory) when the miner's live structures exceed it.
+  /// A periodic RSS sample backstops gross untracked growth. 0 = unlimited.
+  size_t memory_budget_bytes = 0;
+
+  /// Cooperative cancellation: when set, the miner polls the token at node
+  /// granularity and stops (truncated, StopReason::kCancelled) once it
+  /// fires. The token must outlive the Mine() call. Not owned.
+  const CancellationToken* cancellation = nullptr;
+
+  /// Bundles the four budget fields for ExecutionGuard.
+  GuardLimits ToGuardLimits() const {
+    GuardLimits limits;
+    limits.time_budget_seconds = time_budget_seconds;
+    limits.memory_budget_bytes = memory_budget_bytes;
+    limits.max_patterns = max_patterns;
+    limits.cancellation = cancellation;
+    return limits;
+  }
 
   // --- P-TPMiner pruning toggles (see DESIGN.md §2.1) ---
   bool pair_pruning = true;
@@ -63,6 +86,7 @@ struct MiningStats {
   size_t peak_logical_bytes = 0;   ///< MemoryTracker high-water mark
   uint64_t peak_rss_bytes = 0;     ///< OS VmHWM after mining
   bool truncated = false;          ///< true when a cap or budget stopped mining
+  StopReason stop_reason = StopReason::kNone;  ///< which limit stopped mining
 
   /// Delta snapshot of the global metrics registry covering this run
   /// (prune.* counters, search.* histograms, ...). Empty when the

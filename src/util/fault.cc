@@ -1,0 +1,129 @@
+#include "util/fault.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <mutex>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace tpm {
+namespace fault {
+
+namespace {
+
+// The canonical site list. Keep sorted; every TPM_FAULT_POINT call site must
+// name an entry here (fault_test cross-checks the live binary) so the CI
+// matrix in ci.yml stays exhaustive.
+const char* const kSites[] = {
+    "io.alloc",       // allocation failure at a TPMB record boundary
+    "io.fsync",       // fsync(2) failure in the atomic file writer
+    "io.open_read",   // open-for-read failure in the file readers
+    "io.open_write",  // open-for-write failure in the atomic file writer
+    "io.read",        // short read while slurping a binary file
+    "io.rename",      // rename(2) failure committing an atomic write
+    "io.write",       // write failure in the atomic file writer
+    "miner.alloc",    // representation-build allocation failure in the miners
+};
+
+}  // namespace
+
+const std::vector<std::string>& RegisteredSites() {
+  static const std::vector<std::string> sites(std::begin(kSites),
+                                              std::end(kSites));
+  return sites;
+}
+
+bool IsRegisteredSite(const std::string& site) {
+  const auto& sites = RegisteredSites();
+  return std::binary_search(sites.begin(), sites.end(), site);
+}
+
+#ifndef TPM_FAULT_DISABLED
+
+namespace {
+
+struct FaultState {
+  std::mutex mu;
+  bool env_loaded = false;
+  std::string armed_site;  // empty = disarmed
+  uint64_t armed_nth = 0;
+  uint64_t hits = 0;
+  uint64_t injections = 0;
+};
+
+FaultState& State() {
+  static FaultState* state = new FaultState();  // leaked: alive for atexit paths
+  return *state;
+}
+
+// Parses "site:nth" ("nth" optional, default 1). Called under the lock.
+void LoadEnvLocked(FaultState& s) {
+  s.env_loaded = true;
+  const char* env = std::getenv("TPM_FAULT");
+  if (env == nullptr || env[0] == '\0') return;
+  const std::string spec(env);
+  const size_t colon = spec.find(':');
+  std::string site = spec.substr(0, colon);
+  uint64_t nth = 1;
+  if (colon != std::string::npos) {
+    auto parsed = ParseInt64(spec.substr(colon + 1));
+    if (!parsed.ok() || *parsed <= 0) {
+      TPM_LOG(Warning) << "ignoring malformed TPM_FAULT spec '" << spec
+                       << "' (want <site>:<nth> with nth >= 1)";
+      return;
+    }
+    nth = static_cast<uint64_t>(*parsed);
+  }
+  if (!IsRegisteredSite(site)) {
+    TPM_LOG(Warning) << "TPM_FAULT names unregistered site '" << site
+                     << "'; it will never fire (see `tpm faults`)";
+  }
+  s.armed_site = std::move(site);
+  s.armed_nth = nth;
+}
+
+}  // namespace
+
+void Arm(const std::string& site, uint64_t nth) {
+  FaultState& s = State();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.env_loaded = true;  // programmatic arming overrides TPM_FAULT
+  s.armed_site = site;
+  s.armed_nth = nth == 0 ? 1 : nth;
+  s.hits = 0;
+  s.injections = 0;
+}
+
+void Disarm() {
+  FaultState& s = State();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.env_loaded = true;
+  s.armed_site.clear();
+  s.armed_nth = 0;
+  s.hits = 0;
+  s.injections = 0;
+}
+
+bool ShouldFail(const char* site) {
+  FaultState& s = State();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (!s.env_loaded) LoadEnvLocked(s);
+  if (s.armed_site.empty() || s.armed_site != site) return false;
+  if (++s.hits != s.armed_nth) return false;
+  ++s.injections;
+  TPM_LOG(Warning) << "fault injected at site '" << site << "' (hit "
+                   << s.armed_nth << ")";
+  return true;
+}
+
+uint64_t InjectionCount() {
+  FaultState& s = State();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.injections;
+}
+
+#endif  // !TPM_FAULT_DISABLED
+
+}  // namespace fault
+}  // namespace tpm

@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <string>
+
 #include "datagen/quest.h"
 #include "io/binary_format.h"
 #include "io/text_format.h"
@@ -10,6 +13,30 @@
 
 namespace tpm {
 namespace {
+
+// Extracts the "byte offset N" a Corruption status reports, or npos when the
+// message carries none. The phrasing is part of the binary reader's error
+// contract (src/io/binary_format.cc).
+size_t CorruptionOffset(const Status& status) {
+  const std::string& msg = status.message();
+  const char kNeedle[] = "byte offset ";
+  const size_t at = msg.rfind(kNeedle);
+  if (at == std::string::npos) return std::string::npos;
+  return static_cast<size_t>(
+      std::strtoull(msg.c_str() + at + sizeof(kNeedle) - 1, nullptr, 10));
+}
+
+// Every Corruption from ParseBinary must pin a section and an offset that
+// lies within the parsed buffer.
+void ExpectWellFormedCorruption(const Status& status, size_t buffer_size) {
+  ASSERT_EQ(status.code(), StatusCode::kCorruption) << status.ToString();
+  EXPECT_NE(status.message().find("section "), std::string::npos)
+      << status.ToString();
+  const size_t offset = CorruptionOffset(status);
+  ASSERT_NE(offset, std::string::npos)
+      << "no byte offset in: " << status.ToString();
+  EXPECT_LE(offset, buffer_size) << status.ToString();
+}
 
 class IoFuzzTest : public ::testing::TestWithParam<uint64_t> {};
 
@@ -36,6 +63,8 @@ TEST_P(IoFuzzTest, MutatedBinaryNeverCrashes) {
       // unless it hit a byte whose change is CRC-compensated; accept but
       // require the database to be structurally valid.
       EXPECT_TRUE(parsed->Validate().ok());
+    } else if (parsed.status().code() == StatusCode::kCorruption) {
+      ExpectWellFormedCorruption(parsed.status(), mutated.size());
     }
   }
 }
@@ -52,7 +81,10 @@ TEST_P(IoFuzzTest, TruncatedBinaryNeverCrashes) {
   for (int trial = 0; trial < 100; ++trial) {
     const size_t len = rng.Uniform(original.size());
     auto parsed = ParseBinary(original.substr(0, len));
-    EXPECT_FALSE(parsed.ok());  // truncation must always be detected
+    ASSERT_FALSE(parsed.ok());  // truncation must always be detected
+    if (parsed.status().code() == StatusCode::kCorruption) {
+      ExpectWellFormedCorruption(parsed.status(), len);
+    }
   }
 }
 
@@ -68,6 +100,8 @@ TEST_P(IoFuzzTest, RandomGarbageBinary) {
     auto parsed = ParseBinary(garbage);
     if (parsed.ok()) {
       EXPECT_TRUE(parsed->Validate().ok());
+    } else if (parsed.status().code() == StatusCode::kCorruption) {
+      ExpectWellFormedCorruption(parsed.status(), garbage.size());
     }
   }
 }
@@ -112,6 +146,33 @@ TEST_P(IoFuzzTest, SemiStructuredTisdLines) {
     if (t.ok()) {
       EXPECT_TRUE(t->Validate().ok());
     }
+  }
+}
+
+TEST_P(IoFuzzTest, SkipLineRecoveryNeverFailsPerLine) {
+  // In kSkipLine mode the only acceptable failures are whole-database ones
+  // (same-symbol validation); any per-line garbage must be recovered.
+  Rng rng(GetParam() * 41 + 13);
+  const char* fields[] = {"s1", "A", "5", "-3", "x", "", "999999999999999999999",
+                          "3.5", "#"};
+  TextReadOptions options;
+  options.on_error = TextErrorMode::kSkipLine;
+  options.merge_conflicts = true;  // rule out validation failures too
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string text = "s0 A 1 2\n";  // one guaranteed-good line
+    const int lines = 1 + static_cast<int>(rng.Uniform(5));
+    for (int l = 0; l < lines; ++l) {
+      const int nf = static_cast<int>(rng.Uniform(6));
+      for (int f = 0; f < nf; ++f) {
+        text += fields[rng.Uniform(9)];
+        text += ' ';
+      }
+      text += '\n';
+    }
+    auto t = ReadTisdString(text, options);
+    ASSERT_TRUE(t.ok()) << t.status();
+    EXPECT_TRUE(t->Validate().ok());
+    EXPECT_GE(t->size(), 1u);
   }
 }
 

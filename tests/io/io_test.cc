@@ -10,6 +10,7 @@
 #include "io/text_format.h"
 #include "io/varint.h"
 #include "testing/test_util.h"
+#include "util/fault.h"
 
 namespace tpm {
 namespace {
@@ -203,6 +204,119 @@ TEST(LoaderTest, DispatchesOnExtension) {
   EXPECT_TRUE(LoadDatabase("x.unknown").status().IsInvalidArgument());
   EXPECT_TRUE(SaveDatabase(db, "x.unknown").IsInvalidArgument());
   EXPECT_TRUE(LoadDatabase(TempPath("does-not-exist.tisd")).status().IsIOError());
+}
+
+TEST(LoaderTest, ExtensionsAreCaseInsensitive) {
+  const IntervalDatabase db = SampleDb();
+  for (const char* name : {"up.TISD", "up.CSV", "up.TpMb", "up.BIN", "up.Txt"}) {
+    const std::string path = TempPath(name);
+    ASSERT_TRUE(SaveDatabase(db, path).ok()) << path;
+    auto back = LoadDatabase(path);
+    ASSERT_TRUE(back.ok()) << path << ": " << back.status();
+    EXPECT_TRUE(SameContents(db, *back)) << path;
+  }
+}
+
+TEST(LoaderTest, UnknownExtensionEnumeratesSupported) {
+  const Status st = LoadDatabase("x.parquet").status();
+  EXPECT_TRUE(st.IsInvalidArgument());
+  for (const char* ext : {".tisd", ".txt", ".csv", ".tpmb", ".bin"}) {
+    EXPECT_NE(st.message().find(ext), std::string::npos) << st.ToString();
+  }
+}
+
+TEST(LoaderTest, NoExtensionIsDiagnosedAsSuch) {
+  const IntervalDatabase db = SampleDb();
+  for (const std::string& path : {std::string("noext"), TempPath("noext"),
+                                  TempPath("dotted.dir") + "/noext"}) {
+    const Status st = LoadDatabase(path).status();
+    EXPECT_TRUE(st.IsInvalidArgument()) << path;
+    EXPECT_NE(st.message().find("no file extension"), std::string::npos)
+        << path << ": " << st.ToString();
+    EXPECT_TRUE(SaveDatabase(db, path).IsInvalidArgument()) << path;
+  }
+}
+
+TEST(RecoveryTest, SkipLineRecoversBadRows) {
+  TextReadOptions options;
+  options.on_error = TextErrorMode::kSkipLine;
+  auto db = ReadTisdString(
+      "s1 A 1\n"         // too few fields
+      "s1 A 0 5\n"       // good
+      "s1 B x 5\n"       // non-numeric
+      "s2 A 9 5\n"       // start > finish
+      "s2 B 1 2 3 4\n"   // too many fields
+      "s2 C 1 2\n",      // good
+      options);
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ(db->size(), 2u);
+  EXPECT_EQ(db->TotalIntervals(), 2u);
+}
+
+TEST(RecoveryTest, SkipLineRecoversBadCsvRows) {
+  TextReadOptions options;
+  options.on_error = TextErrorMode::kSkipLine;
+  auto db = ReadCsvString(
+      "sequence,event,start,finish\n"
+      "p1,Fever,0,5\n"
+      "p1,Rash,bad,9\n"
+      "p1,Rash\n"
+      "p2,Fever,1,2\n",
+      options);
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ(db->size(), 2u);
+  EXPECT_EQ(db->TotalIntervals(), 2u);
+}
+
+TEST(RecoveryTest, FailModeStillRejects) {
+  TextReadOptions options;
+  options.on_error = TextErrorMode::kFail;
+  EXPECT_FALSE(ReadTisdString("s1 A 1\n", options).ok());
+}
+
+TEST(RecoveryTest, MissingCsvHeaderIsStructuralEvenWhenSkipping) {
+  TextReadOptions options;
+  options.on_error = TextErrorMode::kSkipLine;
+  EXPECT_FALSE(ReadCsvString("p1,Fever,0,5\n", options).ok());
+}
+
+TEST(CorruptionTest, ReportsSectionAndOffset) {
+  const IntervalDatabase db = SampleDb();
+  std::string buffer = SerializeBinary(db);
+
+  const Status bad_magic = ParseBinary("NOPE....").status();
+  EXPECT_NE(bad_magic.message().find("section magic"), std::string::npos)
+      << bad_magic.ToString();
+  EXPECT_NE(bad_magic.message().find("byte offset 0"), std::string::npos)
+      << bad_magic.ToString();
+
+  std::string flipped = buffer;
+  flipped[flipped.size() / 2] ^= 0x40;
+  const Status bad_crc = ParseBinary(flipped).status();
+  EXPECT_NE(bad_crc.message().find("section trailing CRC"), std::string::npos)
+      << bad_crc.ToString();
+}
+
+TEST(AtomicWriteTest, NoTempFileSurvivesAnInjectedFault) {
+#ifndef TPM_FAULT_DISABLED
+  const IntervalDatabase db = SampleDb();
+  const std::string path = TempPath("atomic.tpmb");
+  ASSERT_TRUE(SaveDatabase(db, path).ok());
+  const std::string before = SerializeBinary(db);
+
+  for (const char* site : {"io.open_write", "io.write", "io.fsync", "io.rename"}) {
+    fault::ScopedFault fault(site, 1);
+    IntervalDatabase other;  // different contents: an empty database
+    const Status st = SaveDatabase(other, path);
+    EXPECT_FALSE(st.ok()) << site;
+    // The destination is untouched and no temp file is left behind.
+    auto back = LoadDatabase(path);
+    ASSERT_TRUE(back.ok()) << site << ": " << back.status();
+    EXPECT_TRUE(SameContents(db, *back)) << site;
+    std::ifstream tmp(path + ".tmp");
+    EXPECT_FALSE(tmp.good()) << site << " left " << path << ".tmp behind";
+  }
+#endif
 }
 
 }  // namespace

@@ -1,0 +1,129 @@
+// Graceful-degradation contract: a guarded run that stops early must return
+// a valid *subset* of the canonical (unbudgeted) result, report why it
+// stopped, and — when the guard is deterministic (pattern cap, pre-fired
+// cancellation) — be bit-for-bit reproducible across runs.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "miner/miner.h"
+#include "testing/test_util.h"
+#include "util/guard.h"
+
+namespace tpm {
+namespace {
+
+using testing::RandomTinyDatabase;
+using testing::Render;
+
+IntervalDatabase TestDatabase() {
+  return RandomTinyDatabase(/*seed=*/7, /*num_sequences=*/30, /*alphabet=*/4,
+                            /*avg_intervals=*/5.0, /*horizon=*/40);
+}
+
+bool IsSubsetOf(const std::vector<std::string>& sub,
+                const std::vector<std::string>& super) {
+  return std::includes(super.begin(), super.end(), sub.begin(), sub.end());
+}
+
+template <typename MakeMiner>
+void CheckPatternCapTruncation(MakeMiner make_miner) {
+  const IntervalDatabase db = TestDatabase();
+  MinerOptions options;
+  options.min_support = 0.2;
+
+  auto full = make_miner()->Mine(db, options);
+  ASSERT_TRUE(full.ok()) << full.status();
+  ASSERT_FALSE(full->stats.truncated);
+  ASSERT_GT(full->patterns.size(), 4u) << "test database too small";
+  const auto canonical = Render(*full, db.dict());
+
+  options.max_patterns = 3;
+  auto capped = make_miner()->Mine(db, options);
+  ASSERT_TRUE(capped.ok()) << capped.status();
+  EXPECT_TRUE(capped->stats.truncated);
+  EXPECT_EQ(capped->stats.stop_reason, StopReason::kPatternCap);
+  EXPECT_EQ(capped->patterns.size(), 3u);
+  EXPECT_TRUE(IsSubsetOf(Render(*capped, db.dict()), canonical))
+      << "truncated result is not a subset of the canonical result";
+
+  // A deterministic guard must truncate deterministically.
+  auto again = make_miner()->Mine(db, options);
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_EQ(Render(*again, db.dict()), Render(*capped, db.dict()));
+  EXPECT_EQ(again->stats.stop_reason, StopReason::kPatternCap);
+}
+
+TEST(TruncationTest, PatternCapPTPMinerE) {
+  CheckPatternCapTruncation([] { return MakePTPMinerE(); });
+}
+
+TEST(TruncationTest, PatternCapTPrefixSpan) {
+  CheckPatternCapTruncation([] { return MakeTPrefixSpan(); });
+}
+
+TEST(TruncationTest, PatternCapLevelwise) {
+  CheckPatternCapTruncation([] { return MakeLevelwiseMiner(); });
+}
+
+TEST(TruncationTest, PatternCapPTPMinerC) {
+  CheckPatternCapTruncation([] { return MakePTPMinerC(); });
+}
+
+TEST(TruncationTest, PatternCapCTMiner) {
+  CheckPatternCapTruncation([] { return MakeCTMiner(); });
+}
+
+TEST(TruncationTest, PatternCapBruteForceOracles) {
+  CheckPatternCapTruncation([] { return MakeBruteForceEndpointMiner(); });
+  CheckPatternCapTruncation([] { return MakeBruteForceCoincidenceMiner(); });
+}
+
+TEST(TruncationTest, PreCancelledTokenStopsImmediately) {
+  const IntervalDatabase db = TestDatabase();
+  CancellationToken token;
+  token.Cancel();
+  MinerOptions options;
+  options.min_support = 0.2;
+  options.cancellation = &token;
+
+  auto result = MakePTPMinerE()->Mine(db, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->stats.truncated);
+  EXPECT_EQ(result->stats.stop_reason, StopReason::kCancelled);
+
+  auto full = MakePTPMinerE()->Mine(db, MinerOptions{.min_support = 0.2});
+  ASSERT_TRUE(full.ok()) << full.status();
+  EXPECT_LT(result->patterns.size(), full->patterns.size());
+  EXPECT_TRUE(
+      IsSubsetOf(Render(*result, db.dict()), Render(*full, db.dict())));
+}
+
+TEST(TruncationTest, MemoryBudgetReportsMemoryReason) {
+  const IntervalDatabase db = TestDatabase();
+  MinerOptions options;
+  options.min_support = 0.1;
+  options.memory_budget_bytes = 1;  // below any representation size
+
+  for (auto make : {&MakePTPMinerE, &MakeTPrefixSpan, &MakeLevelwiseMiner}) {
+    auto result = make()->Mine(db, options);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_TRUE(result->stats.truncated);
+    EXPECT_EQ(result->stats.stop_reason, StopReason::kMemory);
+  }
+}
+
+TEST(TruncationTest, UntruncatedRunsReportNone) {
+  const IntervalDatabase db = TestDatabase();
+  MinerOptions options;
+  options.min_support = 0.2;
+  auto result = MakePTPMinerE()->Mine(db, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_FALSE(result->stats.truncated);
+  EXPECT_EQ(result->stats.stop_reason, StopReason::kNone);
+  EXPECT_EQ(result->stats.ToString().find("TRUNCATED"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tpm

@@ -4,8 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <fstream>
 #include <sstream>
+
+#include "util/fault.h"
 
 namespace tpm {
 namespace {
@@ -188,6 +191,122 @@ TEST(CliTest, ProfileCommand) {
   EXPECT_NE(out.find("relation mix"), std::string::npos);
   EXPECT_NE(out.find("overlaps"), std::string::npos);
 }
+
+bool FileExists(const std::string& path) {
+  std::ifstream f(path);
+  return f.good();
+}
+
+std::string Slurp(const std::string& path) {
+  std::ifstream f(path);
+  return std::string((std::istreambuf_iterator<char>(f)),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST(CliExitCodeTest, LoadErrorsExitWith2) {
+  std::string out;
+  EXPECT_EQ(RunCli({"tpm", "mine", "/nonexistent/x.tisd"}, &out), 2);
+  EXPECT_EQ(RunCli({"tpm", "stats", "/nonexistent/x.tisd"}, &out), 2);
+}
+
+TEST(CliExitCodeTest, UsageErrorsExitWith1) {
+  const std::string db = TempPath("cli_usage.tisd");
+  WriteSample(db);
+  std::string out;
+  EXPECT_EQ(RunCli({"tpm", "mine", db.c_str(), "--on-error=bogus"}, &out), 1);
+  EXPECT_EQ(RunCli({"tpm", "mine", db.c_str(), "--memory-budget-mb=-1"}, &out),
+            1);
+}
+
+TEST(CliExitCodeTest, TimeBudgetTruncationExitsWith3AndWritesPartials) {
+  // A budget far below one clock tick trips the guard on its first timed
+  // check; the run must still write its outputs before exiting 3.
+  const std::string db = TempPath("cli_trunc.tisd");
+  const std::string patterns = TempPath("cli_trunc.patterns");
+  const std::string metrics = TempPath("cli_trunc.metrics.json");
+  WriteSample(db);
+  std::string out;
+  EXPECT_EQ(RunCli({"tpm", "mine", db.c_str(), "--minsup=2",
+                 "--budget=0.0000001", ("--output=" + patterns).c_str(),
+                 ("--metrics-out=" + metrics).c_str()},
+                &out),
+            3);
+  EXPECT_TRUE(FileExists(patterns));
+  ASSERT_TRUE(FileExists(metrics));
+  const std::string json = Slurp(metrics);
+  EXPECT_NE(json.find("robust.stop.deadline"), std::string::npos) << json;
+}
+
+TEST(CliExitCodeTest, GenerousMemoryBudgetCompletes) {
+  const std::string db = TempPath("cli_membudget.tisd");
+  WriteSample(db);
+  std::string out;
+  EXPECT_EQ(RunCli({"tpm", "mine", db.c_str(), "--minsup=2",
+                 "--memory-budget-mb=512"},
+                &out),
+            0);
+  EXPECT_NE(out.find("patterns"), std::string::npos);
+}
+
+TEST(CliRecoveryTest, OnErrorSkipLoadsDirtyFile) {
+  const std::string db = TempPath("cli_dirty.tisd");
+  {
+    std::ofstream f(db);
+    f << "p1 Fever 0 5\n"
+         "this line is garbage\n"
+         "p1 Rash 3 9\n"
+         "p2 Fever oops 16\n"
+         "p2 Fever 10 16\n"
+         "p2 Rash 12 20\n";
+  }
+  std::string out;
+  // Default (fail) mode rejects the file as a load error...
+  EXPECT_EQ(RunCli({"tpm", "mine", db.c_str(), "--minsup=2"}, &out), 2);
+  // ...skip mode drops the two bad rows and mines the rest.
+  ASSERT_EQ(RunCli({"tpm", "mine", db.c_str(), "--minsup=2",
+                 "--on-error=skip"},
+                &out),
+            0);
+  EXPECT_NE(out.find("<{Fever+}{Rash+}{Fever-}{Rash-}>"), std::string::npos);
+}
+
+TEST(CliFaultsTest, FaultsCommandListsRegisteredSites) {
+  std::string out;
+  ASSERT_EQ(RunCli({"tpm", "faults"}, &out), 0);
+  for (const char* site : {"io.open_read", "io.rename", "miner.alloc"}) {
+    EXPECT_NE(out.find(site), std::string::npos) << out;
+  }
+}
+
+#ifndef TPM_FAULT_DISABLED
+
+TEST(CliFaultsTest, InjectedLoadFaultExitsWith4) {
+  const std::string db = TempPath("cli_fault_load.tisd");
+  WriteSample(db);
+  std::string out;
+  fault::ScopedFault fault("io.open_read", 1);
+  EXPECT_EQ(RunCli({"tpm", "mine", db.c_str(), "--minsup=2"}, &out), 4);
+}
+
+TEST(CliFaultsTest, InjectedRenameFaultLeavesNoTempFile) {
+  const std::string db = TempPath("cli_fault_rename.tisd");
+  const std::string patterns = TempPath("cli_fault_rename.patterns");
+  WriteSample(db);
+  std::remove(patterns.c_str());
+  std::remove((patterns + ".tmp").c_str());
+  std::string out;
+  {
+    fault::ScopedFault fault("io.rename", 1);
+    EXPECT_EQ(RunCli({"tpm", "mine", db.c_str(), "--minsup=2",
+                   ("--output=" + patterns).c_str()},
+                  &out),
+              4);
+  }
+  EXPECT_FALSE(FileExists(patterns));
+  EXPECT_FALSE(FileExists(patterns + ".tmp"));
+}
+
+#endif  // !TPM_FAULT_DISABLED
 
 TEST(CliTest, HelpFlagsForSubcommands) {
   std::string out;

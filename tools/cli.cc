@@ -1,8 +1,10 @@
 #include "cli.h"
 
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <ostream>
+#include <sstream>
 
 #include "analysis/postprocess.h"
 #include "analysis/profile.h"
@@ -10,11 +12,15 @@
 #include "analysis/rules.h"
 #include "datagen/quest.h"
 #include "datagen/realistic.h"
+#include "io/atomic_write.h"
 #include "io/loader.h"
 #include "miner/miner.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/fault.h"
 #include "util/flags.h"
+#include "util/guard.h"
+#include "util/macros.h"
 #include "util/string_util.h"
 
 namespace tpm {
@@ -31,13 +37,65 @@ constexpr char kUsage[] =
     "  rules <db> [flags]    mine endpoint patterns and derive rules\n"
     "  generate [flags]      synthesize a dataset\n"
     "  convert <in> <out>    transcode between .tisd/.csv/.tpmb\n"
+    "  faults                list fault-injection sites (TPM_FAULT=<site>:<n>)\n"
+    "\n"
+    "exit codes: 0 complete, 1 usage/error, 2 load error, 3 truncated run\n"
+    "(budget exhausted or interrupted; partial output was written), 4 fault\n"
     "\n"
     "run `tpm <command> --help` for command flags\n";
 
-int Fail(const Status& status) {
-  std::cerr << "tpm: " << status.ToString() << "\n";
-  return 1;
+// Exit-code contract (see kUsage and docs/ROBUSTNESS.md).
+constexpr int kExitOk = 0;
+constexpr int kExitError = 1;
+constexpr int kExitLoadError = 2;
+constexpr int kExitTruncated = 3;
+constexpr int kExitFault = 4;
+
+// Maps a failure Status to its contract exit code: injected or environmental
+// resource faults take precedence over the stage's fallback code so the CI
+// fault matrix can assert on "4" regardless of which layer the site lives in.
+int ExitCodeFor(const Status& status, int fallback) {
+  if (fault::InjectionCount() > 0) return kExitFault;
+  if (status.code() == StatusCode::kResourceExhausted) return kExitFault;
+  return fallback;
 }
+
+int Fail(const Status& status, int code = kExitError) {
+  std::cerr << "tpm: " << status.ToString() << "\n";
+  return ExitCodeFor(status, code);
+}
+
+// Process-wide token wired to SIGINT/SIGTERM while `mine` runs, so an
+// interrupted run unwinds cooperatively and still writes its outputs.
+CancellationToken* GlobalCancellation() {
+  static CancellationToken token;
+  return &token;
+}
+
+extern "C" void TpmHandleTerminationSignal(int) {
+  GlobalCancellation()->Cancel();  // async-signal-safe: one atomic store
+}
+
+// RAII (un)installation so in-process callers (tests) get default signal
+// behavior back after the governed section.
+class ScopedSignalCancellation {
+ public:
+  ScopedSignalCancellation() {
+    GlobalCancellation()->Reset();
+    prev_int_ = std::signal(SIGINT, TpmHandleTerminationSignal);
+    prev_term_ = std::signal(SIGTERM, TpmHandleTerminationSignal);
+  }
+  ~ScopedSignalCancellation() {
+    std::signal(SIGINT, prev_int_);
+    std::signal(SIGTERM, prev_term_);
+  }
+  ScopedSignalCancellation(const ScopedSignalCancellation&) = delete;
+  ScopedSignalCancellation& operator=(const ScopedSignalCancellation&) = delete;
+
+ private:
+  void (*prev_int_)(int);
+  void (*prev_term_)(int);
+};
 
 // Observability flags shared by `mine` and `generate`: metrics snapshot and
 // Chrome-trace dumps.
@@ -71,14 +129,14 @@ struct ObsFlags {
     }
   }
 
-  /// Writes the requested output files after the work completed.
+  /// Writes the requested output files after the work completed. Atomic
+  /// (temp-then-rename) so an interrupted run never leaves half a snapshot.
   Status Finish() const {
     if (!metrics_out.empty()) {
       const obs::MetricsSnapshot snap = obs::MetricsRegistry::Global().Snapshot();
-      std::ofstream f(metrics_out);
-      if (!f) return Status::IOError("cannot open " + metrics_out);
-      f << (metrics_format == "prom" ? snap.ToPrometheus() : snap.ToJson());
-      if (!f) return Status::IOError("write failed for " + metrics_out);
+      TPM_RETURN_NOT_OK(WriteFileAtomic(
+          metrics_out,
+          metrics_format == "prom" ? snap.ToPrometheus() : snap.ToJson()));
     }
     if (!trace_out.empty()) {
       obs::SetTraceEnabled(false);
@@ -102,6 +160,8 @@ struct MineFlags {
   bool describe = false;
   bool merge_conflicts = false;
   double budget = 0.0;
+  int64_t memory_budget_mb = 0;
+  std::string on_error = "fail";
   std::string output;
   bool no_pair_pruning = false;
   bool no_postfix_pruning = false;
@@ -125,6 +185,10 @@ struct MineFlags {
     p->AddBool("merge-conflicts", &merge_conflicts,
                "repair same-symbol conflicts on load");
     p->AddDouble("budget", &budget, "wall-clock budget in seconds (0 = off)");
+    p->AddInt64("memory-budget-mb", &memory_budget_mb,
+                "logical-byte memory budget in MiB (0 = off)");
+    p->AddString("on-error", &on_error,
+                 "malformed input lines: fail | skip (text formats)");
     p->AddString("output", &output, "write patterns to this file instead of stdout");
     p->AddBool("no-pair-pruning", &no_pair_pruning,
                "disable P-TPMiner pair pruning");
@@ -136,6 +200,17 @@ struct MineFlags {
     p->AddBool("help", &help, "show this help");
   }
 
+  Status Validate() const {
+    if (on_error != "fail" && on_error != "skip") {
+      return Status::InvalidArgument("--on-error must be fail or skip (got " +
+                                     on_error + ")");
+    }
+    if (memory_budget_mb < 0) {
+      return Status::InvalidArgument("--memory-budget-mb must be >= 0");
+    }
+    return obs.Validate();
+  }
+
   MinerOptions ToOptions() const {
     MinerOptions options;
     options.min_support = minsup;
@@ -143,6 +218,8 @@ struct MineFlags {
     options.max_length = static_cast<uint32_t>(max_length);
     options.max_window = window;
     options.time_budget_seconds = budget;
+    options.memory_budget_bytes =
+        static_cast<size_t>(memory_budget_mb) * 1024 * 1024;
     options.pair_pruning = !no_pair_pruning;
     options.postfix_pruning = !no_postfix_pruning;
     options.validity_pruning = !no_validity_pruning;
@@ -150,9 +227,12 @@ struct MineFlags {
   }
 };
 
-Result<IntervalDatabase> LoadForCli(const std::string& path, bool merge) {
+Result<IntervalDatabase> LoadForCli(const std::string& path, bool merge,
+                                    bool skip_bad_lines = false) {
   TextReadOptions options;
   options.merge_conflicts = merge;
+  options.on_error =
+      skip_bad_lines ? TextErrorMode::kSkipLine : TextErrorMode::kFail;
   return LoadDatabase(path, options);
 }
 
@@ -166,35 +246,33 @@ int CmdStats(int argc, const char* const* argv, std::ostream& out) {
     return Fail(Status::InvalidArgument("stats needs exactly one <db> path"));
   }
   auto db = LoadForCli((*positional)[0], merge);
-  if (!db.ok()) return Fail(db.status());
+  if (!db.ok()) return Fail(db.status(), kExitLoadError);
   out << db->ComputeStats().ToString() << "\n";
   return 0;
 }
 
 template <typename PatternT>
-int EmitPatterns(std::vector<MinedPattern<PatternT>> patterns,
-                 const Dictionary& dict, const MineFlags& flags,
-                 const MiningStats& stats, std::ostream& out) {
+Status EmitPatterns(std::vector<MinedPattern<PatternT>> patterns,
+                    const Dictionary& dict, const MineFlags& flags,
+                    const MiningStats& stats, std::ostream& out) {
   if (flags.closed) patterns = FilterClosed(std::move(patterns));
   if (flags.maximal) patterns = FilterMaximal(std::move(patterns));
   if (flags.top > 0) {
     patterns = TopKBySupport(std::move(patterns), static_cast<size_t>(flags.top));
   }
 
-  std::ostream* sink = &out;
-  std::ofstream file;
-  if (!flags.output.empty()) {
-    file.open(flags.output);
-    if (!file) return Fail(Status::IOError("cannot open " + flags.output));
-    sink = &file;
-  }
+  std::ostringstream file;
+  std::ostream* sink = flags.output.empty() ? &out : &file;
   for (const auto& mp : patterns) {
     *sink << mp.support << "\t" << mp.pattern.ToString(dict);
     if (flags.describe) *sink << "\t" << DescribeArrangement(mp.pattern, dict);
     *sink << "\n";
   }
+  if (!flags.output.empty()) {
+    TPM_RETURN_NOT_OK(WriteFileAtomic(flags.output, file.str()));
+  }
   out << "# " << patterns.size() << " patterns, " << stats.ToString() << "\n";
-  return 0;
+  return Status::OK();
 }
 
 int CmdProfile(int argc, const char* const* argv, std::ostream& out) {
@@ -209,9 +287,38 @@ int CmdProfile(int argc, const char* const* argv, std::ostream& out) {
     return Fail(Status::InvalidArgument("profile needs exactly one <db> path"));
   }
   auto db = LoadForCli((*positional)[0], merge);
-  if (!db.ok()) return Fail(db.status());
+  if (!db.ok()) return Fail(db.status(), kExitLoadError);
   out << ProfileReport(*db, static_cast<size_t>(top));
   return 0;
+}
+
+// Shared tail of `mine` for both pattern languages: sort, emit (atomically
+// when --output is set), flush observability files, and map a truncated run
+// to its contract exit code — after the partial results are on disk.
+template <typename ResultT>
+int FinishMine(ResultT result, const IntervalDatabase& db,
+               const MineFlags& flags, std::ostream& out) {
+  result.SortCanonically();
+  const MiningStats stats = result.stats;
+  if (Status st = EmitPatterns(std::move(result.patterns), db.dict(), flags,
+                               stats, out);
+      !st.ok()) {
+    return Fail(st);
+  }
+  if (Status st = flags.obs.Finish(); !st.ok()) return Fail(st);
+  if (stats.truncated) {
+    std::cerr << "tpm: run truncated (" << StopReasonName(stats.stop_reason)
+              << "); partial results were written\n";
+    return kExitTruncated;
+  }
+  return kExitOk;
+}
+
+// A mining failure still attempts the observability outputs so a fault run
+// leaves usable metrics behind, then maps the Status to an exit code.
+int FailMine(const Status& status, const MineFlags& flags) {
+  (void)flags.obs.Finish();
+  return Fail(status);
 }
 
 int CmdMine(int argc, const char* const* argv, std::ostream& out) {
@@ -227,12 +334,17 @@ int CmdMine(int argc, const char* const* argv, std::ostream& out) {
   if (positional->size() != 1) {
     return Fail(Status::InvalidArgument("mine needs exactly one <db> path"));
   }
-  if (Status st = flags.obs.Validate(); !st.ok()) return Fail(st);
+  if (Status st = flags.Validate(); !st.ok()) return Fail(st);
   flags.obs.Begin();
-  auto db = LoadForCli((*positional)[0], flags.merge_conflicts);
-  if (!db.ok()) return Fail(db.status());
+  auto db = LoadForCli((*positional)[0], flags.merge_conflicts,
+                       flags.on_error == "skip");
+  if (!db.ok()) return Fail(db.status(), kExitLoadError);
 
-  const MinerOptions options = flags.ToOptions();
+  // From here the run is governed: SIGINT/SIGTERM cancel cooperatively and
+  // the partial results still flow through FinishMine.
+  ScopedSignalCancellation signals;
+  MinerOptions options = flags.ToOptions();
+  options.cancellation = GlobalCancellation();
   if (flags.type == "endpoint") {
     std::unique_ptr<EndpointMiner> miner;
     if (flags.algo == "ptpminer") {
@@ -245,13 +357,8 @@ int CmdMine(int argc, const char* const* argv, std::ostream& out) {
       return Fail(Status::InvalidArgument("unknown endpoint --algo " + flags.algo));
     }
     auto result = miner->Mine(*db, options);
-    if (!result.ok()) return Fail(result.status());
-    result->SortCanonically();
-    const int rc = EmitPatterns(std::move(result->patterns), db->dict(), flags,
-                                result->stats, out);
-    if (rc != 0) return rc;
-    if (Status st = flags.obs.Finish(); !st.ok()) return Fail(st);
-    return 0;
+    if (!result.ok()) return FailMine(result.status(), flags);
+    return FinishMine(std::move(*result), *db, flags, out);
   }
   if (flags.type == "coincidence") {
     std::unique_ptr<CoincidenceMiner> miner;
@@ -264,15 +371,17 @@ int CmdMine(int argc, const char* const* argv, std::ostream& out) {
           Status::InvalidArgument("unknown coincidence --algo " + flags.algo));
     }
     auto result = miner->Mine(*db, options);
-    if (!result.ok()) return Fail(result.status());
-    result->SortCanonically();
-    const int rc = EmitPatterns(std::move(result->patterns), db->dict(), flags,
-                                result->stats, out);
-    if (rc != 0) return rc;
-    if (Status st = flags.obs.Finish(); !st.ok()) return Fail(st);
-    return 0;
+    if (!result.ok()) return FailMine(result.status(), flags);
+    return FinishMine(std::move(*result), *db, flags, out);
   }
   return Fail(Status::InvalidArgument("unknown --type " + flags.type));
+}
+
+int CmdFaults(std::ostream& out) {
+  for (const std::string& site : fault::RegisteredSites()) {
+    out << site << "\n";
+  }
+  return 0;
 }
 
 int CmdRules(int argc, const char* const* argv, std::ostream& out) {
@@ -291,7 +400,7 @@ int CmdRules(int argc, const char* const* argv, std::ostream& out) {
     return Fail(Status::InvalidArgument("rules needs exactly one <db> path"));
   }
   auto db = LoadForCli((*positional)[0], flags.merge_conflicts);
-  if (!db.ok()) return Fail(db.status());
+  if (!db.ok()) return Fail(db.status(), kExitLoadError);
 
   auto result = MakePTPMinerE()->Mine(*db, flags.ToOptions());
   if (!result.ok()) return Fail(result.status());
@@ -384,7 +493,7 @@ int CmdConvert(int argc, const char* const* argv, std::ostream& out) {
     return Fail(Status::InvalidArgument("convert needs <in> and <out> paths"));
   }
   auto db = LoadForCli((*positional)[0], merge);
-  if (!db.ok()) return Fail(db.status());
+  if (!db.ok()) return Fail(db.status(), kExitLoadError);
   Status st = SaveDatabase(*db, (*positional)[1]);
   if (!st.ok()) return Fail(st);
   out << "converted " << (*positional)[0] << " -> " << (*positional)[1] << " ("
@@ -409,6 +518,7 @@ int TpmCliMain(int argc, const char* const* argv, std::ostream& out) {
   if (command == "rules") return CmdRules(sub_argc, sub_argv, out);
   if (command == "generate") return CmdGenerate(sub_argc, sub_argv, out);
   if (command == "convert") return CmdConvert(sub_argc, sub_argv, out);
+  if (command == "faults") return CmdFaults(out);
   if (command == "help" || command == "--help") {
     out << kUsage;
     return 0;
