@@ -208,6 +208,13 @@ struct MineFlags {
     if (memory_budget_mb < 0) {
       return Status::InvalidArgument("--memory-budget-mb must be >= 0");
     }
+    // ToOptions() narrows these to unsigned fields; a negative value would
+    // wrap to ~4 billion (an effectively unlimited cap or an unsatisfiable
+    // window) instead of failing loudly.
+    if (max_items < 0) return Status::InvalidArgument("--max-items must be >= 0");
+    if (max_length < 0) return Status::InvalidArgument("--max-length must be >= 0");
+    if (window < 0) return Status::InvalidArgument("--window must be >= 0");
+    if (top < 0) return Status::InvalidArgument("--top must be >= 0");
     return obs.Validate();
   }
 
@@ -285,6 +292,9 @@ int CmdProfile(int argc, const char* const* argv, std::ostream& out) {
   if (!positional.ok()) return Fail(positional.status());
   if (positional->size() != 1) {
     return Fail(Status::InvalidArgument("profile needs exactly one <db> path"));
+  }
+  if (top < 0) {
+    return Fail(Status::InvalidArgument("--top must be >= 0"));
   }
   auto db = LoadForCli((*positional)[0], merge);
   if (!db.ok()) return Fail(db.status(), kExitLoadError);
