@@ -450,6 +450,18 @@ int CmdGenerate(int argc, const char* const* argv, std::ostream& out) {
   if (output.empty()) {
     return Fail(Status::InvalidArgument("generate needs --output=<file>"));
   }
+  // The generator configs hold uint32 counts; a negative flag would wrap to
+  // ~4 billion and turn a typo into a runaway allocation.
+  constexpr int64_t kMaxCount = 100'000'000;
+  if (sequences <= 0 || sequences > kMaxCount) {
+    return Fail(Status::InvalidArgument("--sequences must be in [1, 1e8]"));
+  }
+  if (symbols <= 0 || symbols > kMaxCount) {
+    return Fail(Status::InvalidArgument("--symbols must be in [1, 1e8]"));
+  }
+  if (avg_intervals <= 0.0) {
+    return Fail(Status::InvalidArgument("--avg-intervals must be positive"));
+  }
   if (Status st = obs.Validate(); !st.ok()) return Fail(st);
   obs.Begin();
 
