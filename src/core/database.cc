@@ -26,8 +26,11 @@ Result<EventId> Dictionary::Lookup(const std::string& name) const {
 
 const std::string& Dictionary::Name(EventId id) const {
   if (id < names_.size()) return names_[id];
-  fallback_ = StringPrintf("#%u", id);
-  return fallback_;
+  // thread_local, not a mutable member: concurrent readers (miners render
+  // patterns from worker threads) must not race on shared fallback storage.
+  static thread_local std::string fallback;
+  fallback = StringPrintf("#%u", id);
+  return fallback;
 }
 
 std::string DatabaseStats::ToString() const {

@@ -33,7 +33,6 @@ class Dictionary {
  private:
   std::vector<std::string> names_;
   std::unordered_map<std::string, EventId> ids_;
-  mutable std::string fallback_;
 };
 
 /// Aggregate statistics of a database, used in reports and Table 1.
