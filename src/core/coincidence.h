@@ -35,7 +35,10 @@ class CoincidenceSequence {
   static CoincidenceSequence FromEventSequence(const EventSequence& seq);
 
   uint32_t num_segments() const {
-    return static_cast<uint32_t>(seg_offsets_.size()) - 1;
+    // Guard the default-constructed state: an empty offsets vector would
+    // otherwise underflow to ~4 billion segments.
+    return seg_offsets_.empty() ? 0
+                                : static_cast<uint32_t>(seg_offsets_.size()) - 1;
   }
   uint32_t num_items() const { return static_cast<uint32_t>(items_.size()); }
 
