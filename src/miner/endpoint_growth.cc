@@ -505,7 +505,9 @@ Result<EndpointMiningResult> MineEndpointGrowth(const IntervalDatabase& db,
                                                 const MinerOptions& options,
                                                 const EndpointGrowthConfig& config) {
   TPM_RETURN_NOT_OK(db.Validate());
-  if (options.min_support <= 0.0) {
+  // Negated comparison so NaN is rejected too: NaN <= 0.0 is false, and a
+  // NaN threshold would otherwise disable the support filter entirely.
+  if (!(options.min_support > 0.0)) {
     return Status::InvalidArgument("min_support must be positive");
   }
   Engine engine(db, options, config);

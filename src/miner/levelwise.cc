@@ -432,7 +432,9 @@ Result<EndpointMiningResult> MineLevelwiseEndpoint(const IntervalDatabase& db,
                                                    const MinerOptions& options,
                                                    const LevelwiseConfig& config) {
   TPM_RETURN_NOT_OK(db.Validate());
-  if (options.min_support <= 0.0) {
+  // Negated comparison so NaN is rejected too: NaN <= 0.0 is false, and a
+  // NaN threshold would otherwise disable the support filter entirely.
+  if (!(options.min_support > 0.0)) {
     return Status::InvalidArgument("min_support must be positive");
   }
   EndpointLevelwise miner(db, options, config);
@@ -443,7 +445,9 @@ Result<CoincidenceMiningResult> MineLevelwiseCoincidence(
     const IntervalDatabase& db, const MinerOptions& options,
     const LevelwiseConfig& config) {
   TPM_RETURN_NOT_OK(db.Validate());
-  if (options.min_support <= 0.0) {
+  // Negated comparison so NaN is rejected too: NaN <= 0.0 is false, and a
+  // NaN threshold would otherwise disable the support filter entirely.
+  if (!(options.min_support > 0.0)) {
     return Status::InvalidArgument("min_support must be positive");
   }
   CoincidenceLevelwise miner(db, options, config);
