@@ -72,8 +72,12 @@ Result<IntervalDatabase> GenerateQuest(const QuestConfig& config) {
   std::vector<Template> pool;
   pool.reserve(config.num_potential_patterns);
   for (uint32_t i = 0; i < config.num_potential_patterns; ++i) {
+    // Templates use distinct symbols, so cap the draw at the alphabet size:
+    // an uncapped Poisson draw above num_symbols would spin forever waiting
+    // for a distinct symbol that cannot exist.
     const uint32_t n_iv =
-        std::max<uint32_t>(2, rng.Poisson(config.avg_pattern_intervals));
+        std::min<uint32_t>(config.num_symbols,
+                           std::max<uint32_t>(2, rng.Poisson(config.avg_pattern_intervals)));
     pool.push_back(MakeTemplate(&rng, symbol_zipf, n_iv, config.avg_duration,
                                 config.avg_gap));
   }
