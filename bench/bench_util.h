@@ -5,8 +5,8 @@
 // Output is a self-describing aligned table; a trailing "csv:" block gives
 // machine-readable rows for plotting.
 
-#ifndef TPM_BENCH_BENCH_UTIL_H_
-#define TPM_BENCH_BENCH_UTIL_H_
+#pragma once
+
 
 #include <cstdio>
 #include <string>
@@ -66,4 +66,3 @@ double BenchScale();
 }  // namespace bench
 }  // namespace tpm
 
-#endif  // TPM_BENCH_BENCH_UTIL_H_

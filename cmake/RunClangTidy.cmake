@@ -1,0 +1,25 @@
+# Runs clang-tidy over TPM_SOURCES (a ;-list) against the compile database in
+# TPM_BUILD_DIR. Invoked by the `lint-tidy` target; skips with a notice when
+# clang-tidy is not installed so the rest of the lint gate still runs locally.
+if(NOT TPM_CLANG_TIDY)
+  message(STATUS "clang-tidy not found: skipping the clang-tidy half of `lint` "
+                 "(CI runs it; apt-get install clang-tidy to run locally)")
+  return()
+endif()
+
+set(failed 0)
+foreach(source IN LISTS TPM_SOURCES)
+  execute_process(
+    COMMAND ${TPM_CLANG_TIDY} -p ${TPM_BUILD_DIR} --quiet ${source}
+    RESULT_VARIABLE result
+    OUTPUT_VARIABLE output
+    ERROR_VARIABLE errors)
+  if(NOT result EQUAL 0)
+    message(STATUS "clang-tidy FAILED: ${source}\n${output}")
+    math(EXPR failed "${failed} + 1")
+  endif()
+endforeach()
+if(failed GREATER 0)
+  message(FATAL_ERROR "clang-tidy: ${failed} file(s) with gating findings")
+endif()
+message(STATUS "clang-tidy: clean")

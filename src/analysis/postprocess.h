@@ -1,8 +1,8 @@
 // Post-processing of mining results: pattern-on-pattern containment,
 // closed/maximal filtering, top-k selection.
 
-#ifndef TPM_ANALYSIS_POSTPROCESS_H_
-#define TPM_ANALYSIS_POSTPROCESS_H_
+#pragma once
+
 
 #include <vector>
 
@@ -48,4 +48,3 @@ std::vector<MinedPattern<EndpointPattern>> FilterMinIntervals(
 
 }  // namespace tpm
 
-#endif  // TPM_ANALYSIS_POSTPROCESS_H_

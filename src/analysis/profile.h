@@ -2,8 +2,8 @@
 // Allen relations. Used by the real-dataset study (Table 1) to characterize
 // workloads, and generally useful for choosing minsup / window parameters.
 
-#ifndef TPM_ANALYSIS_PROFILE_H_
-#define TPM_ANALYSIS_PROFILE_H_
+#pragma once
+
 
 #include <array>
 #include <string>
@@ -57,4 +57,3 @@ std::string ProfileReport(const IntervalDatabase& db, size_t top_symbols = 10);
 
 }  // namespace tpm
 
-#endif  // TPM_ANALYSIS_PROFILE_H_

@@ -1,7 +1,7 @@
 // Human-readable rendering of mined patterns.
 
-#ifndef TPM_ANALYSIS_RENDER_H_
-#define TPM_ANALYSIS_RENDER_H_
+#pragma once
+
 
 #include <string>
 
@@ -29,4 +29,3 @@ std::string RenderTimeline(const EndpointPattern& pattern, const Dictionary& dic
 
 }  // namespace tpm
 
-#endif  // TPM_ANALYSIS_RENDER_H_

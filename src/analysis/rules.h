@@ -5,8 +5,8 @@
 // is supp(P) / supp(Q); both supports come from the mining result, so rule
 // generation needs no additional database scans.
 
-#ifndef TPM_ANALYSIS_RULES_H_
-#define TPM_ANALYSIS_RULES_H_
+#pragma once
+
 
 #include <string>
 #include <vector>
@@ -37,4 +37,3 @@ std::vector<TemporalRule> GenerateRules(
 
 }  // namespace tpm
 
-#endif  // TPM_ANALYSIS_RULES_H_

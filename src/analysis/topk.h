@@ -7,8 +7,8 @@
 // at most a small constant factor over mining at the final threshold, and
 // every intermediate run is cheap because high thresholds prune brutally.
 
-#ifndef TPM_ANALYSIS_TOPK_H_
-#define TPM_ANALYSIS_TOPK_H_
+#pragma once
+
 
 #include "core/database.h"
 #include "miner/options.h"
@@ -42,4 +42,3 @@ Result<CoincidenceMiningResult> MineTopKCoincidence(const IntervalDatabase& db,
 
 }  // namespace tpm
 
-#endif  // TPM_ANALYSIS_TOPK_H_

@@ -4,8 +4,8 @@
 // module recovers the pairwise Allen relations from endpoint order, both for
 // concrete intervals and for pattern rendering ("A overlaps B").
 
-#ifndef TPM_CORE_ALLEN_H_
-#define TPM_CORE_ALLEN_H_
+#pragma once
+
 
 #include <string>
 
@@ -57,4 +57,3 @@ std::string ToString(AllenRelation r);
 
 }  // namespace tpm
 
-#endif  // TPM_CORE_ALLEN_H_

@@ -14,8 +14,8 @@
 // its interval is alive on (`alive_until`), which is all a miner needs to
 // enforce run-continuity in O(1).
 
-#ifndef TPM_CORE_COINCIDENCE_H_
-#define TPM_CORE_COINCIDENCE_H_
+#pragma once
+
 
 #include <string>
 #include <vector>
@@ -111,4 +111,3 @@ class CoincidenceDatabase {
 
 }  // namespace tpm
 
-#endif  // TPM_CORE_COINCIDENCE_H_

@@ -6,8 +6,8 @@
 // cross-check tests and the BruteForceMiner). IEMiner also counts support
 // through these oracles, faithfully to its scan-based design.
 
-#ifndef TPM_CORE_CONTAINMENT_H_
-#define TPM_CORE_CONTAINMENT_H_
+#pragma once
+
 
 #include "core/coincidence.h"
 #include "core/endpoint.h"
@@ -42,4 +42,3 @@ SupportCount CountSupport(const CoincidenceDatabase& db,
 
 }  // namespace tpm
 
-#endif  // TPM_CORE_CONTAINMENT_H_

@@ -1,7 +1,7 @@
 // The temporal database: a dictionary of event symbols plus sequences.
 
-#ifndef TPM_CORE_DATABASE_H_
-#define TPM_CORE_DATABASE_H_
+#pragma once
+
 
 #include <string>
 #include <unordered_map>
@@ -90,4 +90,3 @@ class IntervalDatabase {
 
 }  // namespace tpm
 
-#endif  // TPM_CORE_DATABASE_H_

@@ -11,8 +11,8 @@
 // the same interval. Partner indices are what let miners enforce
 // partner-consistent containment in O(1) per check.
 
-#ifndef TPM_CORE_ENDPOINT_H_
-#define TPM_CORE_ENDPOINT_H_
+#pragma once
+
 
 #include <string>
 #include <vector>
@@ -108,4 +108,3 @@ class EndpointDatabase {
 
 }  // namespace tpm
 
-#endif  // TPM_CORE_ENDPOINT_H_

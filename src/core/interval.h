@@ -1,7 +1,7 @@
 // Event intervals: the atomic unit of interval-based data.
 
-#ifndef TPM_CORE_INTERVAL_H_
-#define TPM_CORE_INTERVAL_H_
+#pragma once
+
 
 #include <string>
 
@@ -50,4 +50,3 @@ struct Interval {
 
 }  // namespace tpm
 
-#endif  // TPM_CORE_INTERVAL_H_

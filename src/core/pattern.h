@@ -3,8 +3,8 @@
 // Patterns are immutable snapshots produced by miners (or parsed in tests).
 // Both kinds share the flattened slice layout of their source representation.
 
-#ifndef TPM_CORE_PATTERN_H_
-#define TPM_CORE_PATTERN_H_
+#pragma once
+
 
 #include <cstddef>
 #include <functional>
@@ -135,4 +135,3 @@ struct CoincidencePatternHash {
 
 }  // namespace tpm
 
-#endif  // TPM_CORE_PATTERN_H_

@@ -1,7 +1,7 @@
 // Interval sequences and their validation.
 
-#ifndef TPM_CORE_SEQUENCE_H_
-#define TPM_CORE_SEQUENCE_H_
+#pragma once
+
 
 #include <string>
 #include <vector>
@@ -65,4 +65,3 @@ class EventSequence {
 
 }  // namespace tpm
 
-#endif  // TPM_CORE_SEQUENCE_H_

@@ -1,7 +1,7 @@
 // Fundamental value types shared across the library.
 
-#ifndef TPM_CORE_TYPES_H_
-#define TPM_CORE_TYPES_H_
+#pragma once
+
 
 #include <cstdint>
 
@@ -39,4 +39,3 @@ constexpr EventId kInvalidEvent = ~static_cast<EventId>(0) >> 1;
 
 }  // namespace tpm
 
-#endif  // TPM_CORE_TYPES_H_

@@ -7,8 +7,8 @@
 // convention: D<k>C<c>N<n> = |D| thousand sequences, c intervals/sequence on
 // average, n distinct symbols.
 
-#ifndef TPM_DATAGEN_QUEST_H_
-#define TPM_DATAGEN_QUEST_H_
+#pragma once
+
 
 #include <string>
 
@@ -61,4 +61,3 @@ Result<IntervalDatabase> GenerateQuest(const QuestConfig& config);
 
 }  // namespace tpm
 
-#endif  // TPM_DATAGEN_QUEST_H_

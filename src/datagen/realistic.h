@@ -8,8 +8,8 @@
 // structure, so both the mining cost profile and the "practicability" of the
 // discovered patterns carry over. See DESIGN.md §4 (Substitutions).
 
-#ifndef TPM_DATAGEN_REALISTIC_H_
-#define TPM_DATAGEN_REALISTIC_H_
+#pragma once
+
 
 #include "core/database.h"
 #include "util/result.h"
@@ -70,4 +70,3 @@ Result<IntervalDatabase> GenerateStockLike(const StockConfig& config);
 
 }  // namespace tpm
 
-#endif  // TPM_DATAGEN_REALISTIC_H_

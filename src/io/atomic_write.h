@@ -10,8 +10,8 @@
 // Fault sites (see util/fault.h): io.open_write, io.write, io.fsync,
 // io.rename.
 
-#ifndef TPM_IO_ATOMIC_WRITE_H_
-#define TPM_IO_ATOMIC_WRITE_H_
+#pragma once
+
 
 #include <string>
 #include <string_view>
@@ -26,4 +26,3 @@ Status WriteFileAtomic(const std::string& path, std::string_view contents);
 
 }  // namespace tpm
 
-#endif  // TPM_IO_ATOMIC_WRITE_H_

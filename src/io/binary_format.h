@@ -12,8 +12,8 @@
 // trailing CRC turns truncation/bit-rot into a Corruption status instead of
 // silently wrong mining inputs.
 
-#ifndef TPM_IO_BINARY_FORMAT_H_
-#define TPM_IO_BINARY_FORMAT_H_
+#pragma once
+
 
 #include <string>
 
@@ -33,4 +33,3 @@ Result<IntervalDatabase> ReadBinaryFile(const std::string& path);
 
 }  // namespace tpm
 
-#endif  // TPM_IO_BINARY_FORMAT_H_

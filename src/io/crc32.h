@@ -1,7 +1,7 @@
 // CRC-32 (IEEE polynomial) for binary-file integrity checking.
 
-#ifndef TPM_IO_CRC32_H_
-#define TPM_IO_CRC32_H_
+#pragma once
+
 
 #include <cstddef>
 #include <cstdint>
@@ -14,4 +14,3 @@ uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
 
 }  // namespace tpm
 
-#endif  // TPM_IO_CRC32_H_

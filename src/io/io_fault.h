@@ -2,8 +2,8 @@
 // charges the io.fault.injected counter when it fires, so injection runs are
 // visible in metrics snapshots (and CI can assert a fault actually landed).
 
-#ifndef TPM_IO_IO_FAULT_H_
-#define TPM_IO_IO_FAULT_H_
+#pragma once
+
 
 #include "obs/metrics.h"
 #include "util/fault.h"
@@ -21,4 +21,3 @@ inline bool IoFaultPoint(const char* site) {
 
 }  // namespace tpm
 
-#endif  // TPM_IO_IO_FAULT_H_

@@ -1,7 +1,7 @@
 // Convenience facade: load/save by file extension.
 
-#ifndef TPM_IO_LOADER_H_
-#define TPM_IO_LOADER_H_
+#pragma once
+
 
 #include <string>
 
@@ -22,4 +22,3 @@ Status SaveDatabase(const IntervalDatabase& db, const std::string& path);
 
 }  // namespace tpm
 
-#endif  // TPM_IO_LOADER_H_

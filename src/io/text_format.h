@@ -10,8 +10,8 @@
 // Sequence ids may be arbitrary strings; sequences are emitted in first-
 // appearance order. Symbols are interned in first-appearance order.
 
-#ifndef TPM_IO_TEXT_FORMAT_H_
-#define TPM_IO_TEXT_FORMAT_H_
+#pragma once
+
 
 #include <iosfwd>
 #include <string>
@@ -65,4 +65,3 @@ Status WriteCsvFile(const IntervalDatabase& db, const std::string& path);
 
 }  // namespace tpm
 
-#endif  // TPM_IO_TEXT_FORMAT_H_

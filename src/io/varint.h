@@ -1,7 +1,7 @@
 // LEB128 varint + zigzag encoding for the binary database format.
 
-#ifndef TPM_IO_VARINT_H_
-#define TPM_IO_VARINT_H_
+#pragma once
+
 
 #include <cstdint>
 #include <string>
@@ -70,4 +70,3 @@ struct VarintReader {
 
 }  // namespace tpm
 
-#endif  // TPM_IO_VARINT_H_

@@ -8,8 +8,8 @@
 // See DESIGN.md §1.2 for the run-identity containment semantics the
 // projection maintains.
 
-#ifndef TPM_MINER_COINCIDENCE_GROWTH_H_
-#define TPM_MINER_COINCIDENCE_GROWTH_H_
+#pragma once
+
 
 #include "core/database.h"
 #include "miner/options.h"
@@ -30,4 +30,3 @@ Result<CoincidenceMiningResult> MineCoincidenceGrowth(
 
 }  // namespace tpm
 
-#endif  // TPM_MINER_COINCIDENCE_GROWTH_H_

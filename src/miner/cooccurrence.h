@@ -1,7 +1,7 @@
 // Symbol frequency and pairwise co-occurrence counts (pair-pruning substrate).
 
-#ifndef TPM_MINER_COOCCURRENCE_H_
-#define TPM_MINER_COOCCURRENCE_H_
+#pragma once
+
 
 #include <cstdint>
 #include <vector>
@@ -60,4 +60,3 @@ class CooccurrenceTable {
 
 }  // namespace tpm
 
-#endif  // TPM_MINER_COOCCURRENCE_H_

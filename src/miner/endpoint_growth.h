@@ -10,8 +10,8 @@
 // See DESIGN.md §2.1 for the search-space definition and §1.1 for the
 // containment semantics the projection maintains.
 
-#ifndef TPM_MINER_ENDPOINT_GROWTH_H_
-#define TPM_MINER_ENDPOINT_GROWTH_H_
+#pragma once
+
 
 #include "core/database.h"
 #include "miner/options.h"
@@ -34,4 +34,3 @@ Result<EndpointMiningResult> MineEndpointGrowth(const IntervalDatabase& db,
 
 }  // namespace tpm
 
-#endif  // TPM_MINER_ENDPOINT_GROWTH_H_

@@ -8,8 +8,8 @@
 // IEMiner line uses (frequent-endpoint alphabet, Apriori subpattern check);
 // the brute-force miners use neither and exist purely as test oracles.
 
-#ifndef TPM_MINER_LEVELWISE_H_
-#define TPM_MINER_LEVELWISE_H_
+#pragma once
+
 
 #include "core/database.h"
 #include "miner/options.h"
@@ -34,4 +34,3 @@ Result<CoincidenceMiningResult> MineLevelwiseCoincidence(
 
 }  // namespace tpm
 
-#endif  // TPM_MINER_LEVELWISE_H_

@@ -1,7 +1,7 @@
 // Abstract miner interfaces and the miner registry used by benches/examples.
 
-#ifndef TPM_MINER_MINER_H_
-#define TPM_MINER_MINER_H_
+#pragma once
+
 
 #include <memory>
 #include <string>
@@ -57,4 +57,3 @@ std::unique_ptr<CoincidenceMiner> MakeBruteForceCoincidenceMiner();
 
 }  // namespace tpm
 
-#endif  // TPM_MINER_MINER_H_

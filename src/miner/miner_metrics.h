@@ -2,8 +2,8 @@
 // one name space so pruning effectiveness is comparable across algorithms
 // (see docs/OBSERVABILITY.md for the taxonomy).
 
-#ifndef TPM_MINER_MINER_METRICS_H_
-#define TPM_MINER_MINER_METRICS_H_
+#pragma once
+
 
 #include <string>
 
@@ -76,4 +76,3 @@ inline bool MinerFaultPoint(const char* site) {
 
 }  // namespace tpm
 
-#endif  // TPM_MINER_MINER_METRICS_H_

@@ -1,7 +1,7 @@
 // Mining options, statistics, and result containers shared by every miner.
 
-#ifndef TPM_MINER_OPTIONS_H_
-#define TPM_MINER_OPTIONS_H_
+#pragma once
+
 
 #include <cstdint>
 #include <string>
@@ -122,4 +122,3 @@ using CoincidenceMiningResult = MiningResult<CoincidencePattern>;
 
 }  // namespace tpm
 
-#endif  // TPM_MINER_OPTIONS_H_

@@ -1,0 +1,62 @@
+// Debug-build invariant hooks shared by the miner entry points (Tier C, see
+// docs/STATIC_ANALYSIS.md). Each wrapper asserts the validators from
+// core/validate.h at entry (database + the derived representation it is
+// about to mine) and at exit (every reported pattern canonical and complete,
+// support anti-monotone for untruncated runs). All of it compiles to nothing
+// when TPM_VALIDATORS_ENABLED is 0.
+
+#pragma once
+
+#include "core/validate.h"
+#include "miner/options.h"
+
+namespace tpm::internal {
+
+inline void DCheckEndpointMinerEntry(const IntervalDatabase& db) {
+#if TPM_VALIDATORS_ENABLED
+  TPM_DCHECK_OK(ValidateDatabase(db));
+  TPM_DCHECK_OK(ValidateEndpointDatabase(EndpointDatabase::FromDatabase(db)));
+#else
+  (void)db;
+#endif
+}
+
+inline void DCheckCoincidenceMinerEntry(const IntervalDatabase& db) {
+#if TPM_VALIDATORS_ENABLED
+  TPM_DCHECK_OK(ValidateDatabase(db));
+  TPM_DCHECK_OK(
+      ValidateCoincidenceDatabase(CoincidenceDatabase::FromDatabase(db)));
+#else
+  (void)db;
+#endif
+}
+
+// Every cap and window constraint preserves support anti-monotonicity under
+// interval removal (an occurrence of a pattern restricts to an occurrence of
+// any sub-pattern within the same window), so completeness of the result set
+// — and with it the monotonicity assertion — only breaks when a budget
+// truncated the search.
+inline void DCheckMinerExit(const EndpointMiningResult& result) {
+#if TPM_VALIDATORS_ENABLED
+  for (const auto& mp : result.patterns) {
+    TPM_DCHECK_OK(ValidatePattern(mp.pattern));
+  }
+  if (!result.stats.truncated) {
+    TPM_DCHECK_OK(ValidateSupportMonotonicity(result.patterns));
+  }
+#else
+  (void)result;
+#endif
+}
+
+inline void DCheckMinerExit(const CoincidenceMiningResult& result) {
+#if TPM_VALIDATORS_ENABLED
+  for (const auto& mp : result.patterns) {
+    TPM_DCHECK_OK(ValidatePattern(mp.pattern));
+  }
+#else
+  (void)result;
+#endif
+}
+
+}  // namespace tpm::internal

@@ -1,0 +1,16 @@
+#include "obs/metric_names.h"
+
+#include <cstring>
+
+namespace tpm {
+namespace obs {
+
+bool IsRegisteredMetricName(const char* name) {
+  for (const char* registered : kRegisteredMetricNames) {
+    if (std::strcmp(registered, name) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace obs
+}  // namespace tpm

@@ -15,8 +15,8 @@
 //       obs::MetricsRegistry::Global().GetCounter("prune.pair.hits");
 //   hits->Increment();           // lock-free, safe from any thread
 
-#ifndef TPM_OBS_METRICS_H_
-#define TPM_OBS_METRICS_H_
+#pragma once
+
 
 #include <atomic>
 #include <cstdint>
@@ -246,4 +246,3 @@ class MetricsRegistry {
 }  // namespace obs
 }  // namespace tpm
 
-#endif  // TPM_OBS_METRICS_H_

@@ -14,8 +14,8 @@
 // Under TPM_OBS_DISABLED the macro compiles to nothing and all functions are
 // inert.
 
-#ifndef TPM_OBS_TRACE_H_
-#define TPM_OBS_TRACE_H_
+#pragma once
+
 
 #include <cstdint>
 #include <iosfwd>
@@ -106,4 +106,3 @@ class TraceSpan {
   } while (false)
 #endif
 
-#endif  // TPM_OBS_TRACE_H_

@@ -24,8 +24,8 @@
 // The canonical site list lives in fault.cc and is exposed via
 // RegisteredSites() so tools (`tpm faults`) and CI can enumerate the matrix.
 
-#ifndef TPM_UTIL_FAULT_H_
-#define TPM_UTIL_FAULT_H_
+#pragma once
+
 
 #include <cstdint>
 #include <string>
@@ -93,4 +93,3 @@ class ScopedFault {
 #define TPM_FAULT_POINT(site) (false)
 #endif
 
-#endif  // TPM_UTIL_FAULT_H_

@@ -3,8 +3,8 @@
 // Supports --name=value, --name value, boolean --name / --name=false, and
 // collects remaining positional arguments. Unknown flags are errors.
 
-#ifndef TPM_UTIL_FLAGS_H_
-#define TPM_UTIL_FLAGS_H_
+#pragma once
+
 
 #include <cstdint>
 #include <string>
@@ -46,4 +46,3 @@ class FlagParser {
 
 }  // namespace tpm
 
-#endif  // TPM_UTIL_FLAGS_H_

@@ -14,8 +14,8 @@
 // bounded by a few dozen node expansions while the steady-state cost is a
 // couple of predictable branches.
 
-#ifndef TPM_UTIL_GUARD_H_
-#define TPM_UTIL_GUARD_H_
+#pragma once
+
 
 #include <atomic>
 #include <cstddef>
@@ -171,4 +171,3 @@ class ExecutionGuard {
 
 }  // namespace tpm
 
-#endif  // TPM_UTIL_GUARD_H_

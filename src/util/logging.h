@@ -5,8 +5,8 @@
 // Lines carry an ISO-8601 UTC timestamp and a small sequential thread id:
 //   [2026-01-02T03:04:05.678Z INFO tid=1 loader.cc:42] loaded 10 sequences
 
-#ifndef TPM_UTIL_LOGGING_H_
-#define TPM_UTIL_LOGGING_H_
+#pragma once
+
 
 #include <sstream>
 #include <string>
@@ -58,4 +58,3 @@ class LogMessage {
 #define TPM_LOG(level)                                                    \
   ::tpm::internal::LogMessage(::tpm::LogLevel::k##level, __FILE__, __LINE__)
 
-#endif  // TPM_UTIL_LOGGING_H_

@@ -1,7 +1,7 @@
 // Error-propagation and checking macros (Arrow idiom).
 
-#ifndef TPM_UTIL_MACROS_H_
-#define TPM_UTIL_MACROS_H_
+#pragma once
+
 
 #include <cstdio>
 #include <cstdlib>
@@ -51,4 +51,3 @@
     }                                                                       \
   } while (false)
 
-#endif  // TPM_UTIL_MACROS_H_

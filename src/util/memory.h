@@ -7,8 +7,8 @@
 //  * ReadPeakRssBytes/ReadCurrentRssBytes — the OS view via /proc/self/status,
 //    reported alongside for sanity.
 
-#ifndef TPM_UTIL_MEMORY_H_
-#define TPM_UTIL_MEMORY_H_
+#pragma once
+
 
 #include <atomic>
 #include <cstddef>
@@ -59,4 +59,3 @@ uint64_t ReadCurrentRssBytes();
 
 }  // namespace tpm
 
-#endif  // TPM_UTIL_MEMORY_H_

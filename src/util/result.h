@@ -1,8 +1,8 @@
 // Result<T>: value-or-Status, the return type for fallible producers.
 // Mirrors arrow::Result / absl::StatusOr in miniature.
 
-#ifndef TPM_UTIL_RESULT_H_
-#define TPM_UTIL_RESULT_H_
+#pragma once
+
 
 #include <cassert>
 #include <utility>
@@ -66,4 +66,3 @@ class [[nodiscard]] Result {
 
 }  // namespace tpm
 
-#endif  // TPM_UTIL_RESULT_H_

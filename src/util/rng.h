@@ -4,8 +4,8 @@
 // that every experiment is exactly reproducible. The core generator is
 // xoshiro256**, seeded via SplitMix64 (the recommended pairing).
 
-#ifndef TPM_UTIL_RNG_H_
-#define TPM_UTIL_RNG_H_
+#pragma once
+
 
 #include <cmath>
 #include <cstdint>
@@ -100,4 +100,3 @@ void Shuffle(std::vector<T>* v, Rng* rng) {
 
 }  // namespace tpm
 
-#endif  // TPM_UTIL_RNG_H_

@@ -5,8 +5,8 @@
 // Status is cheap to pass by value: the OK state is a null pointer and error
 // states carry a small heap payload.
 
-#ifndef TPM_UTIL_STATUS_H_
-#define TPM_UTIL_STATUS_H_
+#pragma once
+
 
 #include <memory>
 #include <ostream>
@@ -40,7 +40,7 @@ const char* StatusCodeName(StatusCode code);
 ///   Status s = db.Validate();
 ///   if (!s.ok()) return s;            // or: TPM_RETURN_NOT_OK(db.Validate());
 /// \endcode
-class Status {
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() noexcept = default;
@@ -128,4 +128,3 @@ std::ostream& operator<<(std::ostream& os, const Status& status);
 
 }  // namespace tpm
 
-#endif  // TPM_UTIL_STATUS_H_

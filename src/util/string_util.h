@@ -1,7 +1,7 @@
 // Small string helpers shared by the IO and rendering layers.
 
-#ifndef TPM_UTIL_STRING_UTIL_H_
-#define TPM_UTIL_STRING_UTIL_H_
+#pragma once
+
 
 #include <cstdint>
 #include <string>
@@ -38,4 +38,3 @@ std::string HumanBytes(uint64_t bytes);
 
 }  // namespace tpm
 
-#endif  // TPM_UTIL_STRING_UTIL_H_

@@ -1,7 +1,7 @@
 // Wall-clock and CPU timers used by the benchmark harnesses.
 
-#ifndef TPM_UTIL_TIMER_H_
-#define TPM_UTIL_TIMER_H_
+#pragma once
+
 
 #include <chrono>
 #include <ctime>
@@ -50,4 +50,3 @@ class CpuTimer {
 
 }  // namespace tpm
 
-#endif  // TPM_UTIL_TIMER_H_

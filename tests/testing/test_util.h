@@ -1,7 +1,7 @@
 // Shared helpers for tests.
 
-#ifndef TPM_TESTS_TESTING_TEST_UTIL_H_
-#define TPM_TESTS_TESTING_TEST_UTIL_H_
+#pragma once
+
 
 #include <string>
 #include <vector>
@@ -80,4 +80,3 @@ std::vector<std::string> Render(const MiningResult<PatternT>& result,
 }  // namespace testing
 }  // namespace tpm
 
-#endif  // TPM_TESTS_TESTING_TEST_UTIL_H_

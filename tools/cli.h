@@ -1,7 +1,7 @@
 // The tpm command-line tool, as a library so tests can drive it.
 
-#ifndef TPM_TOOLS_CLI_H_
-#define TPM_TOOLS_CLI_H_
+#pragma once
+
 
 #include <iosfwd>
 
@@ -20,4 +20,3 @@ int TpmCliMain(int argc, const char* const* argv, std::ostream& out);
 
 }  // namespace tpm
 
-#endif  // TPM_TOOLS_CLI_H_

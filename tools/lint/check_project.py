@@ -1,0 +1,411 @@
+#!/usr/bin/env python3
+"""Project-specific lint for the tpm codebase.
+
+Enforces invariants generic tools can't (see docs/STATIC_ANALYSIS.md):
+
+  metrics   every metric name used in src/, tools/, bench/ must appear in the
+            registry (src/obs/metric_names.h), and every non-dynamic registry
+            entry must have at least one call site — a typo'd counter name
+            would otherwise silently record (or read) nothing.
+  faults    fault sites must be consistent across the canonical list in
+            src/util/fault.cc, the call sites (TPM_FAULT_POINT / IoFaultPoint /
+            MinerFaultPoint), and docs/ROBUSTNESS.md. (`tpm faults` prints the
+            canonical list directly, so it cannot drift separately.)
+  headers   every header is self-contained: `#pragma once`, and no <iostream>
+            anywhere in src/ library code (headers or .cc) — stream state and
+            static-init-order surprises stay confined to tools/tests/benches.
+  format    whitespace rules checkable without clang-format: no trailing
+            whitespace, no tabs in C++ sources, no CRLF, final newline.
+
+Exit code 0 when clean, 1 with one `file:line: [check] message` per finding.
+
+`--self-test` plants one violation of each class in a scratch copy and checks
+every one is caught (used by the `lint_selftest` ctest).
+"""
+
+import argparse
+import os
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+
+CXX_EXTENSIONS = (".cc", ".h", ".cpp")
+
+# Files whose metric-name literals are checked against the registry. Tests
+# are excluded: they exercise the registry machinery with ad-hoc names.
+METRIC_SCAN_DIRS = ("src", "tools", "bench")
+METRIC_CALL_RE = re.compile(
+    r"(?:GetCounter|GetGauge|GetHistogram|CounterValue|FindCounter|FindGauge"
+    r"|FindHistogram)\(\s*\"([^\"]+)\"")
+REGISTRY_PATH = os.path.join("src", "obs", "metric_names.h")
+REGISTRY_ENTRY_RE = re.compile(r"^\s*\"([^\"]+)\",\s*(//\s*dynamic\b.*)?$")
+
+FAULT_LIST_PATH = os.path.join("src", "util", "fault.cc")
+FAULT_DOC_PATH = os.path.join("docs", "ROBUSTNESS.md")
+FAULT_POINT_RE = re.compile(
+    r"(?:TPM_FAULT_POINT|IoFaultPoint|MinerFaultPoint|ScopedFault)\(\s*\"([^\"]+)\"")
+
+
+def iter_files(root, subdirs, extensions):
+    for sub in subdirs:
+        base = os.path.join(root, sub)
+        for dirpath, _, names in sorted(os.walk(base)):
+            for name in sorted(names):
+                if name.endswith(extensions):
+                    yield os.path.join(dirpath, name)
+
+
+def relpath(root, path):
+    return os.path.relpath(path, root)
+
+
+class Findings:
+    def __init__(self):
+        self.items = []
+
+    def add(self, check, path, line, message):
+        self.items.append((check, path, line, message))
+
+    def report(self):
+        for check, path, line, message in self.items:
+            where = f"{path}:{line}" if line else path
+            print(f"{where}: [{check}] {message}")
+        return 1 if self.items else 0
+
+
+# --------------------------------------------------------------------------
+# metrics: call-site names <-> registry header
+# --------------------------------------------------------------------------
+
+def parse_metric_registry(root, findings):
+    """Returns (all_names, dynamic_names) from the registry header."""
+    path = os.path.join(root, REGISTRY_PATH)
+    names, dynamic = set(), set()
+    try:
+        text = open(path, encoding="utf-8").read()
+    except OSError:
+        findings.add("metrics", REGISTRY_PATH, 0, "registry header missing")
+        return names, dynamic
+    in_table = False
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if "lint: metric-registry-begin" in line:
+            in_table = True
+            continue
+        if "lint: metric-registry-end" in line:
+            in_table = False
+            continue
+        if not in_table:
+            continue
+        m = REGISTRY_ENTRY_RE.match(line)
+        if not m:
+            continue
+        name = m.group(1)
+        if name in names:
+            findings.add("metrics", REGISTRY_PATH, lineno,
+                         f"duplicate registry entry '{name}'")
+        names.add(name)
+        if m.group(2):
+            dynamic.add(name)
+    if not names:
+        findings.add("metrics", REGISTRY_PATH, 0,
+                     "no entries between the lint markers")
+    return names, dynamic
+
+
+def check_metrics(root, findings):
+    registered, dynamic = parse_metric_registry(root, findings)
+    used = {}
+    for path in iter_files(root, METRIC_SCAN_DIRS, CXX_EXTENSIONS):
+        rel = relpath(root, path)
+        if rel == REGISTRY_PATH:
+            continue
+        for lineno, line in enumerate(open(path, encoding="utf-8"), 1):
+            for m in METRIC_CALL_RE.finditer(line):
+                name = m.group(1)
+                used.setdefault(name, (rel, lineno))
+                if name not in registered:
+                    findings.add(
+                        "metrics", rel, lineno,
+                        f"metric name '{name}' is not in {REGISTRY_PATH}; "
+                        "typo, or add it to the registry")
+    for name in sorted(registered - set(used) - dynamic):
+        findings.add(
+            "metrics", REGISTRY_PATH, 0,
+            f"registry entry '{name}' has no call site in "
+            f"{'/'.join(METRIC_SCAN_DIRS)} — dead entry, or tag it `// dynamic`")
+
+
+# --------------------------------------------------------------------------
+# faults: canonical list <-> call sites <-> docs
+# --------------------------------------------------------------------------
+
+def parse_fault_sites(root, findings):
+    """Extracts the canonical site list from the kSites table in fault.cc."""
+    path = os.path.join(root, FAULT_LIST_PATH)
+    sites = {}
+    try:
+        text = open(path, encoding="utf-8").read()
+    except OSError:
+        findings.add("faults", FAULT_LIST_PATH, 0, "canonical site list missing")
+        return sites
+    m = re.search(r"kSites\[\]\s*=\s*\{(.*?)\};", text, re.DOTALL)
+    if not m:
+        findings.add("faults", FAULT_LIST_PATH, 0,
+                     "could not locate the kSites table")
+        return sites
+    offset = text[:m.start()].count("\n")
+    for i, line in enumerate(m.group(1).splitlines()):
+        entry = re.search(r"\"([^\"]+)\"", line)
+        if entry:
+            sites[entry.group(1)] = offset + i + 1
+    return sites
+
+
+def check_faults(root, findings):
+    sites = parse_fault_sites(root, findings)
+    used = {}
+    for path in iter_files(root, ("src", "tools"), CXX_EXTENSIONS):
+        rel = relpath(root, path)
+        for lineno, line in enumerate(open(path, encoding="utf-8"), 1):
+            for m in FAULT_POINT_RE.finditer(line):
+                site = m.group(1)
+                used.setdefault(site, (rel, lineno))
+                if site not in sites:
+                    findings.add(
+                        "faults", rel, lineno,
+                        f"fault site '{site}' is not registered in "
+                        f"{FAULT_LIST_PATH}; it would never fire")
+    for site in sorted(set(sites) - set(used)):
+        findings.add(
+            "faults", FAULT_LIST_PATH, sites[site],
+            f"registered fault site '{site}' has no injection point in "
+            "src/ or tools/")
+    try:
+        doc = open(os.path.join(root, FAULT_DOC_PATH), encoding="utf-8").read()
+    except OSError:
+        findings.add("faults", FAULT_DOC_PATH, 0, "robustness doc missing")
+        return
+    for site in sorted(sites):
+        if f"`{site}`" not in doc and f"{site}:" not in doc:
+            findings.add(
+                "faults", FAULT_DOC_PATH, 0,
+                f"fault site '{site}' is not documented (expected `{site}`)")
+
+
+# --------------------------------------------------------------------------
+# headers: self-containment and stream hygiene
+# --------------------------------------------------------------------------
+
+def check_headers(root, findings):
+    for path in iter_files(root, ("src", "tools", "bench", "tests"), (".h",)):
+        rel = relpath(root, path)
+        text = open(path, encoding="utf-8").read()
+        if "#pragma once" not in text:
+            findings.add("headers", rel, 1, "missing #pragma once")
+    for path in iter_files(root, ("src",), CXX_EXTENSIONS):
+        rel = relpath(root, path)
+        for lineno, line in enumerate(open(path, encoding="utf-8"), 1):
+            if re.match(r"\s*#\s*include\s*<iostream>", line):
+                findings.add(
+                    "headers", rel, lineno,
+                    "<iostream> in library code; use <ostream>/<iosfwd> and "
+                    "keep concrete streams in tools/tests/benches")
+
+
+def check_header_compiles(root, findings, compiler="g++"):
+    """Optional deep self-containment check: each src/ header must compile
+    alone. Run by the `lint` CMake target, not the quick ctest."""
+    for path in iter_files(root, ("src",), (".h",)):
+        rel = relpath(root, path)
+        probe = f'#include "{os.path.relpath(path, os.path.join(root, "src"))}"\n'
+        with tempfile.NamedTemporaryFile(
+                mode="w", suffix=".cc", delete=False) as tmp:
+            tmp.write(probe)
+            probe_path = tmp.name
+        try:
+            result = subprocess.run(
+                [compiler, "-std=c++20", "-fsyntax-only",
+                 "-I", os.path.join(root, "src"), probe_path],
+                capture_output=True, text=True)
+            if result.returncode != 0:
+                findings.add("headers", rel, 1,
+                             "not self-contained: " +
+                             result.stderr.strip().splitlines()[0])
+        finally:
+            os.unlink(probe_path)
+
+
+# --------------------------------------------------------------------------
+# format: whitespace rules that need no clang-format
+# --------------------------------------------------------------------------
+
+FORMAT_SCAN = ("src", "tools", "bench", "tests", "examples", "docs", "cmake")
+
+
+def check_format(root, findings):
+    paths = list(iter_files(root, FORMAT_SCAN,
+                            CXX_EXTENSIONS + (".py", ".md", ".cmake", ".txt")))
+    for name in sorted(os.listdir(root)):
+        if name.endswith((".md", ".txt")) and \
+                os.path.isfile(os.path.join(root, name)):
+            paths.append(os.path.join(root, name))
+    for path in paths:
+        rel = relpath(root, path)
+        data = open(path, "rb").read()
+        if b"\r\n" in data:
+            findings.add("format", rel, 1, "CRLF line endings")
+        if data and not data.endswith(b"\n"):
+            findings.add("format", rel, data.count(b"\n") + 1,
+                         "missing final newline")
+        for lineno, line in enumerate(data.split(b"\n"), 1):
+            if line != line.rstrip():
+                findings.add("format", rel, lineno, "trailing whitespace")
+            if rel.endswith(CXX_EXTENSIONS) and b"\t" in line:
+                findings.add("format", rel, lineno, "tab in C++ source")
+
+
+CHECKS = {
+    "metrics": check_metrics,
+    "faults": check_faults,
+    "headers": check_headers,
+    "format": check_format,
+}
+
+
+def run_checks(root, only=None, compile_headers=False):
+    findings = Findings()
+    for name, check in CHECKS.items():
+        if only and name not in only:
+            continue
+        check(root, findings)
+    if compile_headers and (not only or "headers" in only):
+        check_header_compiles(root, findings)
+    return findings
+
+
+# --------------------------------------------------------------------------
+# self-test: plant one violation per class, assert each is caught
+# --------------------------------------------------------------------------
+
+def self_test(root):
+    failures = []
+
+    def expect(label, planted_root, check, needle):
+        findings = run_checks(planted_root, only=[check])
+        hits = [f for f in findings.items if needle in f[3] or needle in f[1]]
+        if not hits:
+            failures.append(f"{label}: linter missed the planted violation")
+
+    def plant(label, mutate, check, needle):
+        scratch = tempfile.mkdtemp(prefix="tpm-lint-selftest-")
+        try:
+            for sub in ("src", "tools", "bench", "tests", "docs", "cmake",
+                        "examples"):
+                src = os.path.join(root, sub)
+                if os.path.isdir(src):
+                    shutil.copytree(src, os.path.join(scratch, sub))
+            mutate(scratch)
+            expect(label, scratch, check, needle)
+        finally:
+            shutil.rmtree(scratch)
+
+    # Clean tree first: every check must pass on the real repo.
+    clean = run_checks(root)
+    if clean.items:
+        clean.report()
+        print("self-test: repository is not clean; fix the findings above")
+        return 1
+
+    def typo_counter(scratch):
+        path = os.path.join(scratch, "src", "io", "loader.cc")
+        text = open(path).read().replace(
+            'GetCounter("io.load.calls"', 'GetCounter("io.load.callz"', 1)
+        open(path, "w").write(text)
+
+    plant("typo'd counter name", typo_counter, "metrics", "io.load.callz")
+
+    def drift_fault_site(scratch):
+        path = os.path.join(scratch, "src", "io", "atomic_write.cc")
+        text = open(path).read().replace(
+            'IoFaultPoint("io.fsync")', 'IoFaultPoint("io.fsyncc")', 1)
+        open(path, "w").write(text)
+
+    plant("drifted fault site", drift_fault_site, "faults", "io.fsyncc")
+
+    def undocumented_fault_site(scratch):
+        path = os.path.join(scratch, "docs", "ROBUSTNESS.md")
+        text = open(path).read().replace("`io.rename`", "`io.renamed`")
+        text = text.replace("io.rename:", "io.renamed:")
+        open(path, "w").write(text)
+
+    plant("undocumented fault site", undocumented_fault_site, "faults",
+          "io.rename")
+
+    def strip_pragma(scratch):
+        path = os.path.join(scratch, "src", "core", "types.h")
+        text = open(path).read().replace("#pragma once", "")
+        open(path, "w").write(text)
+
+    plant("header without #pragma once", strip_pragma, "headers",
+          "missing #pragma once")
+
+    def add_iostream(scratch):
+        path = os.path.join(scratch, "src", "core", "interval.h")
+        text = open(path).read().replace(
+            "#include <string>", "#include <iostream>\n#include <string>", 1)
+        open(path, "w").write(text)
+
+    plant("<iostream> in library code", add_iostream, "headers", "<iostream>")
+
+    def trailing_ws(scratch):
+        path = os.path.join(scratch, "src", "core", "types.h")
+        with open(path, "a") as f:
+            f.write("// drift   \n")
+
+    plant("formatting drift", trailing_ws, "format", "trailing whitespace")
+
+    def dead_registry_entry(scratch):
+        path = os.path.join(scratch, "src", "obs", "metric_names.h")
+        text = open(path).read().replace(
+            '    "cooc.frequent_symbols",',
+            '    "cooc.frequent_symbols",\n    "zzz.never_used",', 1)
+        open(path, "w").write(text)
+
+    plant("dead registry entry", dead_registry_entry, "metrics",
+          "zzz.never_used")
+
+    if failures:
+        for f in failures:
+            print(f"FAIL {f}")
+        return 1
+    print("lint self-test OK: 7 planted violations, 7 caught, clean tree clean")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".", help="repository root")
+    parser.add_argument("--only", action="append", choices=sorted(CHECKS),
+                        help="run only these checks (repeatable)")
+    parser.add_argument("--compile-headers", action="store_true",
+                        help="also compile every src/ header standalone")
+    parser.add_argument("--self-test", action="store_true",
+                        help="plant violations in a scratch copy and verify "
+                             "each is caught")
+    args = parser.parse_args()
+    root = os.path.abspath(args.root)
+    if args.self_test:
+        return self_test(root)
+    findings = run_checks(root, only=args.only,
+                          compile_headers=args.compile_headers)
+    code = findings.report()
+    if code == 0:
+        ran = ", ".join(args.only) if args.only else ", ".join(sorted(CHECKS))
+        print(f"project lint OK ({ran})")
+    return code
+
+
+if __name__ == "__main__":
+    sys.exit(main())
