@@ -1,0 +1,252 @@
+#include "core/validate.h"
+
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/macros.h"
+
+namespace tpm {
+
+namespace {
+
+// One Status error, prefixed with the failing object for `tpm check` output.
+Status Fail(const std::string& what, const std::string& detail) {
+  obs::MetricsRegistry::Global().GetCounter("validate.failures")->Increment();
+  return Status::Corruption(what + ": " + detail);
+}
+
+void CountCheck() {
+  obs::MetricsRegistry::Global().GetCounter("validate.checks")->Increment();
+}
+
+}  // namespace
+
+Status ValidateDatabase(const IntervalDatabase& db) {
+  CountCheck();
+  TPM_RETURN_NOT_OK(db.Validate());
+  const size_t num_names = db.dict().size();
+  if (num_names == 0) return Status::OK();  // programmatic db, ids are opaque
+  for (size_t s = 0; s < db.size(); ++s) {
+    for (const Interval& iv : db[s].intervals()) {
+      if (iv.event >= num_names) {
+        return Fail("sequence " + std::to_string(s),
+                    "event id " + std::to_string(iv.event) +
+                        " has no dictionary entry (dictionary holds " +
+                        std::to_string(num_names) + " symbols)");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateEndpointSequence(const EndpointSequence& es) {
+  CountCheck();
+  const uint32_t items = es.num_items();
+  const uint32_t slices = es.num_slices();
+  if (items % 2 != 0) {
+    return Fail("endpoint sequence",
+                "odd item count " + std::to_string(items) +
+                    " (endpoints must pair)");
+  }
+  if (slices == 0 && items != 0) {
+    return Fail("endpoint sequence", "items without slices");
+  }
+  uint32_t covered = 0;
+  for (uint32_t s = 0; s < slices; ++s) {
+    const uint32_t begin = es.slice_begin(s);
+    const uint32_t end = es.slice_end(s);
+    if (begin != covered || end <= begin || end > items) {
+      return Fail("endpoint slice " + std::to_string(s),
+                  "offsets not a partition into non-empty ranges");
+    }
+    covered = end;
+    if (s + 1 < slices && es.slice_time(s) >= es.slice_time(s + 1)) {
+      return Fail("endpoint slice " + std::to_string(s),
+                  "slice times not strictly increasing");
+    }
+    for (uint32_t i = begin; i < end; ++i) {
+      if (es.item_slice(i) != s) {
+        return Fail("endpoint item " + std::to_string(i),
+                    "item_slice disagrees with the slice offsets");
+      }
+      if (i + 1 < end && es.item(i) >= es.item(i + 1)) {
+        return Fail("endpoint slice " + std::to_string(s),
+                    "in-slice codes not sorted and duplicate-free");
+      }
+    }
+  }
+  if (covered != items) {
+    return Fail("endpoint sequence", "slice offsets do not cover all items");
+  }
+  for (uint32_t i = 0; i < items; ++i) {
+    const uint32_t p = es.partner(i);
+    if (p >= items) {
+      return Fail("endpoint item " + std::to_string(i),
+                  "partner index out of range");
+    }
+    if (p == i || es.partner(p) != i) {
+      return Fail("endpoint item " + std::to_string(i),
+                  "partner index is not an involution");
+    }
+    const EndpointCode code = es.item(i);
+    if (EndpointEvent(code) != EndpointEvent(es.item(p)) ||
+        IsFinish(code) == IsFinish(es.item(p))) {
+      return Fail("endpoint item " + std::to_string(i),
+                  "partner is not the opposite endpoint of the same symbol");
+    }
+    if (!IsFinish(code) && es.item_slice(p) < es.item_slice(i)) {
+      return Fail("endpoint item " + std::to_string(i),
+                  "start endpoint paired with an earlier finish");
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateCoincidenceSequence(const CoincidenceSequence& cs) {
+  CountCheck();
+  const uint32_t items = cs.num_items();
+  const uint32_t segments = cs.num_segments();
+  uint32_t covered = 0;
+  for (uint32_t s = 0; s < segments; ++s) {
+    const uint32_t begin = cs.seg_begin(s);
+    const uint32_t end = cs.seg_end(s);
+    if (begin != covered || end <= begin || end > items) {
+      return Fail("coincidence segment " + std::to_string(s),
+                  "offsets not a partition into non-empty ranges");
+    }
+    covered = end;
+    if (cs.seg_start_time(s) > cs.seg_end_time(s)) {
+      return Fail("coincidence segment " + std::to_string(s),
+                  "segment start time after its end time");
+    }
+    if (s + 1 < segments && cs.seg_end_time(s) > cs.seg_start_time(s + 1)) {
+      return Fail("coincidence segment " + std::to_string(s),
+                  "segment times overlap the next segment");
+    }
+    for (uint32_t i = begin; i < end; ++i) {
+      if (cs.item_segment(i) != s) {
+        return Fail("coincidence item " + std::to_string(i),
+                    "item_segment disagrees with the segment offsets");
+      }
+      if (i + 1 < end && cs.item(i) >= cs.item(i + 1)) {
+        return Fail("coincidence segment " + std::to_string(s),
+                    "in-segment symbols not sorted and duplicate-free");
+      }
+    }
+  }
+  if (covered != items) {
+    return Fail("coincidence sequence",
+                "segment offsets do not cover all items");
+  }
+  // Interval identity: alive ranges bracket the item's segment, and the
+  // items of one source interval agree on symbol and alive range — the
+  // contiguity that makes run-continuity checks O(1) in the miners.
+  std::unordered_map<uint32_t, uint32_t> first_item_of_interval;
+  for (uint32_t i = 0; i < items; ++i) {
+    if (cs.alive_from(i) > cs.item_segment(i) ||
+        cs.alive_until(i) < cs.item_segment(i) ||
+        cs.alive_until(i) >= segments) {
+      return Fail("coincidence item " + std::to_string(i),
+                  "alive range does not bracket the item's segment");
+    }
+    const auto [it, inserted] =
+        first_item_of_interval.emplace(cs.item_interval(i), i);
+    if (!inserted) {
+      const uint32_t j = it->second;
+      if (cs.item(j) != cs.item(i) || cs.alive_from(j) != cs.alive_from(i) ||
+          cs.alive_until(j) != cs.alive_until(i)) {
+        return Fail("coincidence item " + std::to_string(i),
+                    "items of one source interval disagree on symbol or "
+                    "alive range");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidatePattern(const EndpointPattern& pattern) {
+  CountCheck();
+  TPM_RETURN_NOT_OK(pattern.Validate());
+  if (!pattern.IsComplete()) {
+    return Fail("endpoint pattern",
+                "incomplete (an opened symbol is never closed); miners only "
+                "report complete patterns");
+  }
+  return Status::OK();
+}
+
+Status ValidatePattern(const CoincidencePattern& pattern) {
+  CountCheck();
+  return pattern.Validate();
+}
+
+Status ValidateEndpointDatabase(const EndpointDatabase& edb) {
+  for (size_t s = 0; s < edb.size(); ++s) {
+    TPM_RETURN_NOT_OK(ValidateEndpointSequence(edb[s]).WithContext(
+        "endpoint view of sequence " + std::to_string(s)));
+  }
+  return Status::OK();
+}
+
+Status ValidateCoincidenceDatabase(const CoincidenceDatabase& cdb) {
+  for (size_t s = 0; s < cdb.size(); ++s) {
+    TPM_RETURN_NOT_OK(ValidateCoincidenceSequence(cdb[s]).WithContext(
+        "coincidence view of sequence " + std::to_string(s)));
+  }
+  return Status::OK();
+}
+
+Status ValidateDatabaseDeep(const IntervalDatabase& db) {
+  TPM_RETURN_NOT_OK(ValidateDatabase(db));
+  TPM_RETURN_NOT_OK(ValidateEndpointDatabase(EndpointDatabase::FromDatabase(db)));
+  TPM_RETURN_NOT_OK(
+      ValidateCoincidenceDatabase(CoincidenceDatabase::FromDatabase(db)));
+  return Status::OK();
+}
+
+namespace internal {
+
+EndpointPattern PrefixOf(const EndpointPattern& pattern) {
+  const uint32_t items = pattern.num_items();
+  if (items < 2) return EndpointPattern();
+  // FIFO-pair the endpoints (repeated symbols pair first-open first-close,
+  // the same convention as ToCanonicalIntervals), then drop the last-opened
+  // interval: the result is the complete enumeration parent.
+  std::unordered_map<EventId, std::deque<uint32_t>> open;
+  uint32_t last_start = 0, last_finish = 0;
+  bool found = false;
+  for (uint32_t i = 0; i < items; ++i) {
+    const EndpointCode code = pattern.item(i);
+    const EventId event = EndpointEvent(code);
+    if (!IsFinish(code)) {
+      open[event].push_back(i);
+      continue;
+    }
+    auto it = open.find(event);
+    if (it == open.end() || it->second.empty()) return EndpointPattern();
+    const uint32_t start = it->second.front();
+    it->second.pop_front();
+    if (!found || start >= last_start) {
+      last_start = start;
+      last_finish = i;
+      found = true;
+    }
+  }
+  if (!found) return EndpointPattern();
+  std::vector<std::vector<EndpointCode>> slices;
+  for (uint32_t s = 0; s < pattern.num_slices(); ++s) {
+    std::vector<EndpointCode> slice;
+    for (uint32_t i = pattern.slice_begin(s); i < pattern.slice_end(s); ++i) {
+      if (i == last_start || i == last_finish) continue;
+      slice.push_back(pattern.item(i));
+    }
+    if (!slice.empty()) slices.push_back(std::move(slice));
+  }
+  return EndpointPattern(slices);
+}
+
+}  // namespace internal
+}  // namespace tpm

@@ -1,0 +1,46 @@
+// Template implementation of ValidateSupportMonotonicity; included at the
+// end of core/validate.h. Kept separate so the declarations above read as an
+// interface.
+
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "core/pattern.h"
+#include "core/types.h"
+#include "util/status.h"
+
+namespace tpm {
+
+namespace internal {
+// Declared in core/validate.h; re-declared here so this header stays
+// self-contained (the lint compiles every header standalone).
+EndpointPattern PrefixOf(const EndpointPattern& pattern);
+}  // namespace internal
+
+template <typename MinedPatternVec>
+Status ValidateSupportMonotonicity(const MinedPatternVec& patterns) {
+  std::unordered_map<EndpointPattern, SupportCount, EndpointPatternHash>
+      support;
+  support.reserve(patterns.size());
+  for (const auto& mp : patterns) {
+    support.emplace(mp.pattern, mp.support);
+  }
+  for (const auto& mp : patterns) {
+    if (mp.pattern.num_items() < 2) continue;
+    const EndpointPattern prefix = internal::PrefixOf(mp.pattern);
+    if (prefix.empty()) continue;
+    const auto it = support.find(prefix);
+    if (it == support.end()) continue;  // prefix incomplete (e.g. open symbol)
+    if (it->second < mp.support) {
+      return Status::Internal(
+          "support monotonicity violated: prefix support " +
+          std::to_string(it->second) + " < extension support " +
+          std::to_string(mp.support));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace tpm

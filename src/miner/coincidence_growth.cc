@@ -7,6 +7,7 @@
 #include "core/coincidence.h"
 #include "miner/cooccurrence.h"
 #include "miner/miner_metrics.h"
+#include "miner/validate_hooks.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/macros.h"
@@ -501,13 +502,16 @@ Result<CoincidenceMiningResult> MineCoincidenceGrowth(
     const IntervalDatabase& db, const MinerOptions& options,
     const CoincidenceGrowthConfig& config) {
   TPM_RETURN_NOT_OK(db.Validate());
+  internal::DCheckCoincidenceMinerEntry(db);
   // Negated comparison so NaN is rejected too: NaN <= 0.0 is false, and a
   // NaN threshold would otherwise disable the support filter entirely.
   if (!(options.min_support > 0.0)) {
     return Status::InvalidArgument("min_support must be positive");
   }
   Engine engine(db, options, config);
-  return engine.Run();
+  Result<CoincidenceMiningResult> result = engine.Run();
+  if (result.ok()) internal::DCheckMinerExit(*result);
+  return result;
 }
 
 }  // namespace tpm

@@ -7,6 +7,7 @@
 #include "core/endpoint.h"
 #include "miner/cooccurrence.h"
 #include "miner/miner_metrics.h"
+#include "miner/validate_hooks.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -505,13 +506,16 @@ Result<EndpointMiningResult> MineEndpointGrowth(const IntervalDatabase& db,
                                                 const MinerOptions& options,
                                                 const EndpointGrowthConfig& config) {
   TPM_RETURN_NOT_OK(db.Validate());
+  internal::DCheckEndpointMinerEntry(db);
   // Negated comparison so NaN is rejected too: NaN <= 0.0 is false, and a
   // NaN threshold would otherwise disable the support filter entirely.
   if (!(options.min_support > 0.0)) {
     return Status::InvalidArgument("min_support must be positive");
   }
   Engine engine(db, options, config);
-  return engine.Run();
+  Result<EndpointMiningResult> result = engine.Run();
+  if (result.ok()) internal::DCheckMinerExit(*result);
+  return result;
 }
 
 }  // namespace tpm

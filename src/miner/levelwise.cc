@@ -9,6 +9,7 @@
 #include "core/endpoint.h"
 #include "miner/cooccurrence.h"
 #include "miner/miner_metrics.h"
+#include "miner/validate_hooks.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/macros.h"
@@ -432,26 +433,32 @@ Result<EndpointMiningResult> MineLevelwiseEndpoint(const IntervalDatabase& db,
                                                    const MinerOptions& options,
                                                    const LevelwiseConfig& config) {
   TPM_RETURN_NOT_OK(db.Validate());
+  internal::DCheckEndpointMinerEntry(db);
   // Negated comparison so NaN is rejected too: NaN <= 0.0 is false, and a
   // NaN threshold would otherwise disable the support filter entirely.
   if (!(options.min_support > 0.0)) {
     return Status::InvalidArgument("min_support must be positive");
   }
   EndpointLevelwise miner(db, options, config);
-  return miner.Run();
+  Result<EndpointMiningResult> result = miner.Run();
+  if (result.ok()) internal::DCheckMinerExit(*result);
+  return result;
 }
 
 Result<CoincidenceMiningResult> MineLevelwiseCoincidence(
     const IntervalDatabase& db, const MinerOptions& options,
     const LevelwiseConfig& config) {
   TPM_RETURN_NOT_OK(db.Validate());
+  internal::DCheckCoincidenceMinerEntry(db);
   // Negated comparison so NaN is rejected too: NaN <= 0.0 is false, and a
   // NaN threshold would otherwise disable the support filter entirely.
   if (!(options.min_support > 0.0)) {
     return Status::InvalidArgument("min_support must be positive");
   }
   CoincidenceLevelwise miner(db, options, config);
-  return miner.Run();
+  Result<CoincidenceMiningResult> result = miner.Run();
+  if (result.ok()) internal::DCheckMinerExit(*result);
+  return result;
 }
 
 }  // namespace tpm

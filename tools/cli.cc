@@ -10,6 +10,7 @@
 #include "analysis/profile.h"
 #include "analysis/render.h"
 #include "analysis/rules.h"
+#include "core/validate.h"
 #include "datagen/quest.h"
 #include "datagen/realistic.h"
 #include "io/atomic_write.h"
@@ -37,6 +38,7 @@ constexpr char kUsage[] =
     "  rules <db> [flags]    mine endpoint patterns and derive rules\n"
     "  generate [flags]      synthesize a dataset\n"
     "  convert <in> <out>    transcode between .tisd/.csv/.tpmb\n"
+    "  check <db>            validate structural invariants (deep check)\n"
     "  faults                list fault-injection sites (TPM_FAULT=<site>:<n>)\n"
     "\n"
     "exit codes: 0 complete, 1 usage/error, 2 load error, 3 truncated run\n"
@@ -523,6 +525,33 @@ int CmdConvert(int argc, const char* const* argv, std::ostream& out) {
   return 0;
 }
 
+// `tpm check <db>`: the strictest structural gate short of mining. Loads the
+// file, then runs ValidateDatabaseDeep — database invariants plus both
+// derived mining representations (endpoint pairing, coincidence normal
+// form). Any violation exits with the load-error code: a file that fails
+// here would corrupt a mining run, so callers should treat it like a file
+// that failed to parse.
+int CmdCheck(int argc, const char* const* argv, std::ostream& out) {
+  FlagParser parser;
+  bool merge = false;
+  parser.AddBool("merge-conflicts", &merge, "repair same-symbol conflicts");
+  auto positional = parser.Parse(argc, argv);
+  if (!positional.ok()) return Fail(positional.status());
+  if (positional->size() != 1) {
+    return Fail(Status::InvalidArgument("check needs exactly one <db> path"));
+  }
+  auto db = LoadForCli((*positional)[0], merge);
+  if (!db.ok()) return Fail(db.status(), kExitLoadError);
+  Status st = ValidateDatabaseDeep(*db);
+  if (!st.ok()) {
+    return Fail(st.WithContext((*positional)[0]), kExitLoadError);
+  }
+  out << (*positional)[0] << ": OK (" << db->size() << " sequences, "
+      << db->TotalIntervals() << " intervals, "
+      << db->dict().size() << " symbols)\n";
+  return kExitOk;
+}
+
 }  // namespace
 
 int TpmCliMain(int argc, const char* const* argv, std::ostream& out) {
@@ -540,6 +569,7 @@ int TpmCliMain(int argc, const char* const* argv, std::ostream& out) {
   if (command == "rules") return CmdRules(sub_argc, sub_argv, out);
   if (command == "generate") return CmdGenerate(sub_argc, sub_argv, out);
   if (command == "convert") return CmdConvert(sub_argc, sub_argv, out);
+  if (command == "check") return CmdCheck(sub_argc, sub_argv, out);
   if (command == "faults") return CmdFaults(out);
   if (command == "help" || command == "--help") {
     out << kUsage;
