@@ -65,6 +65,30 @@ TEST(CliTest, StatsMissingFileFails) {
   EXPECT_NE(RunCli({"tpm", "stats", "/nonexistent/x.tisd"}, &out), 0);
 }
 
+TEST(CliTest, CheckAcceptsValidDatabase) {
+  const std::string db = TempPath("check_ok.tisd");
+  WriteSample(db);
+  std::string out;
+  ASSERT_EQ(RunCli({"tpm", "check", db.c_str()}, &out), 0);
+  EXPECT_NE(out.find("OK"), std::string::npos);
+  EXPECT_NE(out.find("3 sequences"), std::string::npos);
+}
+
+TEST(CliTest, CheckRejectsCorruptDatabase) {
+  const std::string db = TempPath("check_bad.tisd");
+  {
+    std::ofstream f(db);
+    f << "p1 Fever 9 2\n";  // start > finish
+  }
+  std::string out;
+  EXPECT_EQ(RunCli({"tpm", "check", db.c_str()}, &out), 2);
+}
+
+TEST(CliTest, CheckMissingFileFails) {
+  std::string out;
+  EXPECT_EQ(RunCli({"tpm", "check", "/nonexistent/x.tisd"}, &out), 2);
+}
+
 TEST(CliTest, MineEndpointFindsOverlap) {
   const std::string db = TempPath("cli_mine.tisd");
   WriteSample(db);
