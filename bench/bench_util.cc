@@ -25,7 +25,7 @@ Cell MakeCell(const std::string& algo, const std::string& config,
   c.config = config;
   c.seconds = stats.build_seconds + stats.mine_seconds;
   c.patterns = patterns;
-  c.memory_bytes = stats.peak_logical_bytes;
+  c.memory_bytes = stats.peak_tracked_bytes;
   c.candidates = stats.candidates_checked;
   c.states = stats.states_created;
   c.dnf = stats.truncated;

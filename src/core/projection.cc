@@ -1,0 +1,27 @@
+#include "core/projection.h"
+
+namespace tpm {
+
+const char* ProjectionModeName(ProjectionMode mode) {
+  switch (mode) {
+    case ProjectionMode::kCopy:
+      return "copy";
+    case ProjectionMode::kPseudo:
+      return "pseudo";
+  }
+  return "unknown";
+}
+
+bool ParseProjectionMode(const std::string& text, ProjectionMode* out) {
+  if (text == "copy") {
+    *out = ProjectionMode::kCopy;
+    return true;
+  }
+  if (text == "pseudo") {
+    *out = ProjectionMode::kPseudo;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace tpm

@@ -1,0 +1,480 @@
+// Flat, index-based projection layer shared by the prefix-growth engines.
+//
+// A projected database is a set of *occurrence states* grouped by sequence.
+// Every state has the same shape at a given search-tree node: a fixed
+// {item, anchor} core (StateRec) plus a fixed-width auxiliary slice whose
+// meaning belongs to the pattern language (endpoint language: the partner
+// obligations of the open symbols; coincidence language: the alive-until
+// bounds of the last/previous coincidences). Because the aux layout is a
+// property of the *node*, not the state, states flatten into two parallel
+// arrays indexed by (seq, state_offset, count) spans — no per-state heap
+// vectors, no per-child deep copies.
+//
+// Two backends sit behind one builder API:
+//
+//  * kPseudo (default) — staging goes into a shared bump Arena that is reset
+//    after every node, and finalized nodes are exact-size allocations in a
+//    per-depth Arena that rewinds when the search leaves the subtree. Byte
+//    accounting is exact (the arenas charge their MemoryTracker per block).
+//  * kCopy (deprecated) — the legacy cost profile: per-state heap aux
+//    vectors while staging and heap copies for the finalized node, with the
+//    capacity-based byte estimate the old engines reported. Kept only as the
+//    A/B baseline for `tpm mine --projection=copy` and the determinism suite.
+//
+// Lifetimes: Push() during the parent scan, then Finalize() once per bucket
+// (all buckets of a node finalize before the engine recurses), then the
+// engine resets the staging arena. The finalized NodeProjection view stays
+// valid until the owning depth arena rewinds past it (pseudo) or the builder
+// is destroyed (copy).
+
+#pragma once
+
+
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "core/validate.h"
+#include "util/arena.h"
+#include "util/memory.h"
+
+namespace tpm {
+
+/// How prefix-growth engines materialize child projections.
+enum class ProjectionMode {
+  kCopy,    ///< legacy heap-copied states (deprecated; A/B baseline)
+  kPseudo,  ///< arena-backed flat spans (default)
+};
+
+const char* ProjectionModeName(ProjectionMode mode);
+
+/// Parses "copy" / "pseudo"; returns false on anything else.
+bool ParseProjectionMode(const std::string& text, ProjectionMode* out);
+
+/// Sentinel item/anchor of the root state that has matched nothing yet.
+constexpr uint32_t kNoStateItem = ~0u;
+
+/// The fixed core of one occurrence state.
+struct StateRec {
+  uint32_t item = kNoStateItem;    ///< last matched data item
+  uint32_t anchor = kNoStateItem;  ///< first matched slice/segment (windowing)
+};
+
+inline bool operator==(const StateRec& a, const StateRec& b) {
+  return a.item == b.item && a.anchor == b.anchor;
+}
+
+/// One sequence's contiguous run of states within a NodeProjection.
+struct SeqSpan {
+  uint32_t seq = 0;     ///< sequence index in the database
+  uint32_t offset = 0;  ///< first state index in the node's flat arrays
+  uint32_t count = 0;   ///< number of states (>= 1)
+};
+
+/// \brief Immutable view of one node's finalized projected database.
+///
+/// `spans` are strictly increasing by seq and index contiguously into
+/// `states` / `aux` (ValidateProjection checks exactly this). Support of the
+/// node's pattern is `num_spans` by construction.
+struct NodeProjection {
+  const SeqSpan* spans = nullptr;
+  uint32_t num_spans = 0;
+  const StateRec* states = nullptr;  ///< flat, span-grouped
+  const uint32_t* aux = nullptr;     ///< `stride` words per state
+  uint32_t stride = 0;
+  size_t num_states = 0;
+
+  const uint32_t* aux_of(size_t state_index) const {
+    return aux + state_index * stride;
+  }
+};
+
+/// \brief The arena set backing pseudo-projection for one miner run.
+///
+/// One shared staging arena (reset after every node) plus one finalized-node
+/// arena per search depth (marked at node entry, rewound at node exit, so a
+/// subtree's projections vanish in O(1)). Blocks are retained for reuse;
+/// `total_allocated_bytes()` is therefore monotone and equals the tracker
+/// charge attributable to projection storage.
+class ProjectionArenas {
+ public:
+  explicit ProjectionArenas(MemoryTracker* tracker)
+      : tracker_(tracker), staging_(tracker) {}
+
+  Arena& staging() { return staging_; }
+
+  /// The arena holding finalized projections of nodes at depth `d` (root
+  /// spans live at depth 0, its children at depth 1, ...). Shallow arenas
+  /// carry a whole fan-out of sibling projections at once and get full-size
+  /// blocks; deep arenas hold one thin chain's worth at a time and start
+  /// small so an idle tail of depths does not pin a block each.
+  Arena& depth(uint32_t d) {
+    while (depth_.size() <= d) {
+      const size_t min_block =
+          depth_.size() <= 2 ? Arena::kDefaultMinBlockBytes : size_t{8} << 10;
+      depth_.emplace_back(tracker_, min_block);
+    }
+    return depth_[d];
+  }
+
+  size_t num_depths() const { return depth_.size(); }
+  const Arena& depth_at(size_t i) const { return depth_[i]; }
+  const Arena& staging_arena() const { return staging_; }
+
+  /// Total mapped bytes across all arenas (== their tracker charges).
+  size_t total_allocated_bytes() const {
+    size_t total = staging_.allocated_bytes();
+    for (const Arena& a : depth_) total += a.allocated_bytes();
+    return total;
+  }
+
+  /// Total blocks mapped across all arenas.
+  size_t total_blocks() const {
+    size_t total = staging_.num_blocks();
+    for (const Arena& a : depth_) total += a.num_blocks();
+    return total;
+  }
+
+ private:
+  MemoryTracker* tracker_;
+  Arena staging_;
+  std::deque<Arena> depth_;  // deque: arenas are immovable once created
+};
+
+/// \brief Builds one child bucket's projected database during the parent
+/// scan, then compacts it into a NodeProjection.
+///
+/// States must be pushed grouped by sequence with nondecreasing seq — the
+/// scan iterates parent spans in order, so this holds by construction and is
+/// asserted in debug builds (TPM_DCHECK; see also ValidateProjection).
+class ProjectionBuilder {
+ public:
+  ProjectionBuilder() = default;
+
+  void Init(ProjectionMode mode, uint32_t stride, ProjectionArenas* arenas,
+            uint32_t depth) {
+    mode_ = mode;
+    stride_ = stride;
+    arenas_ = arenas;
+    depth_ = depth;
+    staged_states_ = 0;
+    pspan_count_ = 0;
+    have_seq_ = false;
+    phead_ = nullptr;
+    ptail_ = nullptr;
+  }
+
+  uint32_t stride() const { return stride_; }
+
+  /// Appends a state for `seq` and returns its aux slice (stride words) for
+  /// the caller to fill. The pointer is valid until the next Push.
+  uint32_t* Push(uint32_t seq, uint32_t item, uint32_t anchor) {
+    if (mode_ == ProjectionMode::kPseudo) {
+      // Within a bucket, pushes arrive grouped by sequence (the parent scan
+      // walks spans in order), so the chunked record stream stays
+      // span-contiguous in push order. The span directory is reconstructed
+      // from the seq word at Finalize — staging a directory entry per
+      // (bucket, seq) would cost more than the word does on the dominant
+      // one-state-per-span scans.
+      if (!have_seq_ || last_seq_ != seq) {
+        TPM_DCHECK(!have_seq_ || seq > last_seq_);
+        have_seq_ = true;
+        last_seq_ = seq;
+        ++pspan_count_;
+      }
+      ++staged_states_;
+      if (ptail_ == nullptr || ptail_->count == ptail_->capacity) {
+        NewStagedChunk();
+      }
+      uint32_t* rec =
+          ChunkPayload(ptail_) + size_t{ptail_->count} * (3 + stride_);
+      ++ptail_->count;
+      rec[0] = seq;
+      rec[1] = item;
+      rec[2] = anchor;
+      return stride_ == 0 ? DummyAux() : rec + 3;
+    }
+    ++staged_states_;
+    if (cstaged_.empty() || cstaged_.back().seq != seq) {
+      TPM_DCHECK(cstaged_.empty() || seq > cstaged_.back().seq);
+      cstaged_.push_back(CopySeq{seq, {}});
+    }
+    CopySeq& s = cstaged_.back();
+    s.states.push_back(CopyState{StateRec{item, anchor},
+                                 std::vector<uint32_t>(stride_)});
+    return stride_ == 0 ? DummyAux() : s.states.back().aux.data();
+  }
+
+  /// Distinct sequences staged so far — the bucket's support.
+  uint32_t num_spans() const {
+    return mode_ == ProjectionMode::kPseudo
+               ? pspan_count_
+               : static_cast<uint32_t>(cstaged_.size());
+  }
+
+  size_t num_staged_states() const { return staged_states_; }
+
+  /// One staged sequence's states as contiguous arrays (copy mode
+  /// materializes a scratch copy; the view is valid until the next
+  /// StagedView / Finalize call).
+  struct SpanView {
+    uint32_t seq = 0;
+    const StateRec* recs = nullptr;
+    const uint32_t* aux = nullptr;  // stride words per state
+    uint32_t count = 0;
+    uint32_t stride = 0;
+  };
+
+  /// Legacy capacity-based estimate of the staged heap storage (copy mode
+  /// only; pseudo staging is tracker-charged by the arena itself).
+  size_t staged_heap_bytes() const {
+    if (mode_ == ProjectionMode::kPseudo) return 0;
+    size_t bytes = 0;
+    for (const CopySeq& s : cstaged_) {
+      bytes += sizeof(CopySeq) + s.states.capacity() * sizeof(CopyState);
+      for (const CopyState& st : s.states) {
+        bytes += st.aux.capacity() * sizeof(uint32_t);
+      }
+    }
+    return bytes;
+  }
+
+  /// Capacity-based estimate of the finalized heap storage (copy mode only).
+  size_t final_heap_bytes() const {
+    if (mode_ == ProjectionMode::kPseudo) return 0;
+    return cspans_.capacity() * sizeof(SeqSpan) +
+           crecs_.capacity() * sizeof(StateRec) +
+           caux_.capacity() * sizeof(uint32_t);
+  }
+
+  /// Compacts kept states into final storage and returns the view.
+  ///
+  /// `select(view, keep)` appends the *local* indices of the states to keep,
+  /// in the desired output order, to `keep` (pre-cleared per span). Spans
+  /// whose selection comes back empty are dropped. Pseudo mode allocates
+  /// exact-size arrays in the depth arena; copy mode gathers into heap
+  /// vectors owned by this builder (which must then outlive the view).
+  template <typename SelectFn>
+  const NodeProjection& Finalize(SelectFn&& select) {
+    const uint32_t nspans = num_spans();
+    if (mode_ == ProjectionMode::kPseudo) GatherStagedChunks();
+    keep_flat_.clear();
+    keep_offsets_.clear();
+    keep_offsets_.push_back(0);
+    for (uint32_t i = 0; i < nspans; ++i) {
+      span_keep_.clear();
+      select(StagedView(i), &span_keep_);
+      keep_flat_.insert(keep_flat_.end(), span_keep_.begin(), span_keep_.end());
+      keep_offsets_.push_back(static_cast<uint32_t>(keep_flat_.size()));
+    }
+    const size_t total = keep_flat_.size();
+
+    SeqSpan* out_spans = nullptr;
+    StateRec* out_recs = nullptr;
+    uint32_t* out_aux = nullptr;
+    if (mode_ == ProjectionMode::kPseudo) {
+      Arena& fin = arenas_->depth(depth_);
+      out_spans = fin.AllocateArray<SeqSpan>(nspans);
+      out_recs = fin.AllocateArray<StateRec>(total);
+      out_aux = fin.AllocateArray<uint32_t>(total * stride_);
+    } else {
+      cspans_.clear();
+      crecs_.clear();
+      caux_.clear();
+      cspans_.reserve(nspans);
+      crecs_.reserve(total);
+      caux_.reserve(total * stride_);
+      cspans_.resize(nspans);
+      crecs_.resize(total);
+      caux_.resize(total * stride_);
+      out_spans = cspans_.data();
+      out_recs = crecs_.data();
+      out_aux = caux_.data();
+    }
+
+    size_t off = 0;
+    uint32_t spans_out = 0;
+    for (uint32_t i = 0; i < nspans; ++i) {
+      const uint32_t kb = keep_offsets_[i];
+      const uint32_t ke = keep_offsets_[i + 1];
+      if (kb == ke) continue;
+      const SpanView v = StagedView(i);
+      const size_t begin = off;
+      for (uint32_t k = kb; k < ke; ++k) {
+        const uint32_t idx = keep_flat_[k];
+        out_recs[off] = v.recs[idx];
+        if (stride_ != 0) {
+          std::memcpy(out_aux + off * stride_, v.aux + size_t{idx} * stride_,
+                      stride_ * sizeof(uint32_t));
+        }
+        ++off;
+      }
+      out_spans[spans_out++] = SeqSpan{v.seq, static_cast<uint32_t>(begin),
+                                       static_cast<uint32_t>(off - begin)};
+    }
+
+    if (mode_ == ProjectionMode::kCopy) {
+      // Staging served its purpose; release the per-state heap vectors.
+      cstaged_.clear();
+      cstaged_.shrink_to_fit();
+    } else {
+      // Drop the staging stream; its arena memory is reclaimed by the
+      // engine's staging Reset after all buckets finalize.
+      phead_ = nullptr;
+      ptail_ = nullptr;
+      pspan_count_ = 0;
+      have_seq_ = false;
+    }
+
+    view_.spans = out_spans;
+    view_.num_spans = spans_out;
+    view_.states = out_recs;
+    view_.aux = out_aux;
+    view_.stride = stride_;
+    view_.num_states = off;
+    return view_;
+  }
+
+  /// Finalize keeping every staged state in push order (root projections).
+  const NodeProjection& FinalizeKeepAll() {
+    return Finalize([](const SpanView& v, std::vector<uint32_t>* keep) {
+      for (uint32_t i = 0; i < v.count; ++i) keep->push_back(i);
+    });
+  }
+
+  const NodeProjection& view() const { return view_; }
+
+ private:
+  // Legacy copy-mode staging mirrors the old engines' layout: a heap vector
+  // of states per sequence, each state carrying its own heap aux vector.
+  struct CopyState {
+    StateRec rec;
+    std::vector<uint32_t> aux;
+  };
+  struct CopySeq {
+    uint32_t seq = 0;
+    std::vector<CopyState> states;
+  };
+
+  static uint32_t* DummyAux() {
+    // Shared sink for stride-0 nodes; callers never write through it.
+    static uint32_t dummy = 0;
+    return &dummy;
+  }
+
+  // Pseudo-mode staging stores records of (3 + stride) words — {seq, item,
+  // anchor, aux...} — in a linked list of arena chunks. Chunks are never
+  // copied or abandoned (a doubling vector would abandon roughly its own
+  // size in dead spans), and capacities double only up to kMaxChunkRecords,
+  // so staging-arena waste is bounded by one small unfilled tail chunk per
+  // bucket.
+  struct StagedChunk {
+    StagedChunk* next;
+    uint32_t count;     // records written
+    uint32_t capacity;  // records available
+  };
+
+  static uint32_t* ChunkPayload(StagedChunk* c) {
+    return reinterpret_cast<uint32_t*>(c + 1);
+  }
+
+  static constexpr uint32_t kMaxChunkRecords = 64;
+
+  void NewStagedChunk() {
+    uint32_t cap = ptail_ == nullptr ? 8 : ptail_->capacity * 2;
+    if (cap > kMaxChunkRecords) cap = kMaxChunkRecords;
+    void* mem = arenas_->staging().Allocate(
+        sizeof(StagedChunk) + size_t{cap} * (3 + stride_) * sizeof(uint32_t),
+        alignof(StagedChunk));
+    auto* c = static_cast<StagedChunk*>(mem);
+    c->next = nullptr;
+    c->count = 0;
+    c->capacity = cap;
+    if (ptail_ == nullptr) {
+      phead_ = c;
+    } else {
+      ptail_->next = c;
+    }
+    ptail_ = c;
+  }
+
+  // Unpacks the chunk stream into contiguous scratch arrays — rebuilding the
+  // span directory from the per-record seq words — so Finalize's SpanViews
+  // are flat. Heap scratch, reused across buckets and untracked — the same
+  // policy as the copy backend's gather scratch.
+  void GatherStagedChunks() {
+    scratch_spans_.clear();
+    scratch_recs_.clear();
+    scratch_aux_.clear();
+    scratch_spans_.reserve(pspan_count_);
+    scratch_recs_.reserve(staged_states_);
+    scratch_aux_.reserve(staged_states_ * stride_);
+    for (StagedChunk* c = phead_; c != nullptr; c = c->next) {
+      const uint32_t* words = ChunkPayload(c);
+      for (uint32_t r = 0; r < c->count; ++r, words += 3 + stride_) {
+        if (scratch_spans_.empty() || scratch_spans_.back().seq != words[0]) {
+          scratch_spans_.push_back(SeqSpan{
+              words[0], static_cast<uint32_t>(scratch_recs_.size()), 0});
+        }
+        ++scratch_spans_.back().count;
+        scratch_recs_.push_back(StateRec{words[1], words[2]});
+        scratch_aux_.insert(scratch_aux_.end(), words + 3,
+                            words + 3 + stride_);
+      }
+    }
+  }
+
+  SpanView StagedView(uint32_t i) {
+    if (mode_ == ProjectionMode::kPseudo) {
+      // Valid only inside Finalize, after GatherStagedChunks.
+      const SeqSpan& s = scratch_spans_[i];
+      return SpanView{s.seq, scratch_recs_.data() + s.offset,
+                      scratch_aux_.data() + size_t{s.offset} * stride_,
+                      s.count, stride_};
+    }
+    const CopySeq& s = cstaged_[i];
+    scratch_recs_.clear();
+    scratch_aux_.clear();
+    for (const CopyState& st : s.states) {
+      scratch_recs_.push_back(st.rec);
+      scratch_aux_.insert(scratch_aux_.end(), st.aux.begin(), st.aux.end());
+    }
+    return SpanView{s.seq, scratch_recs_.data(), scratch_aux_.data(),
+                    static_cast<uint32_t>(s.states.size()), stride_};
+  }
+
+  ProjectionMode mode_ = ProjectionMode::kPseudo;
+  uint32_t stride_ = 0;
+  ProjectionArenas* arenas_ = nullptr;
+  uint32_t depth_ = 0;
+  size_t staged_states_ = 0;
+
+  // Pseudo-mode staging: the chunked record stream plus the span/ordering
+  // counters that replace a staged span directory.
+  StagedChunk* phead_ = nullptr;
+  StagedChunk* ptail_ = nullptr;
+  uint32_t pspan_count_ = 0;
+  uint32_t last_seq_ = 0;
+  bool have_seq_ = false;
+
+  std::vector<CopySeq> cstaged_;
+
+  // Copy-mode finalized storage (the "physical copy" the mode is named for).
+  std::vector<SeqSpan> cspans_;
+  std::vector<StateRec> crecs_;
+  std::vector<uint32_t> caux_;
+
+  // Finalize scratch, reused across spans.
+  std::vector<SeqSpan> scratch_spans_;
+  std::vector<uint32_t> keep_flat_;
+  std::vector<uint32_t> keep_offsets_;
+  std::vector<uint32_t> span_keep_;
+  std::vector<StateRec> scratch_recs_;
+  std::vector<uint32_t> scratch_aux_;
+
+  NodeProjection view_;
+};
+
+}  // namespace tpm

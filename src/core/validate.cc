@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/projection.h"
 #include "obs/metrics.h"
 #include "util/macros.h"
 
@@ -181,6 +182,45 @@ Status ValidatePattern(const EndpointPattern& pattern) {
 Status ValidatePattern(const CoincidencePattern& pattern) {
   CountCheck();
   return pattern.Validate();
+}
+
+Status ValidateProjection(const NodeProjection& proj) {
+  CountCheck();
+  uint32_t covered = 0;
+  uint32_t last_seq = 0;
+  for (uint32_t i = 0; i < proj.num_spans; ++i) {
+    const SeqSpan& sp = proj.spans[i];
+    if (i > 0 && sp.seq <= last_seq) {
+      return Fail("projection span " + std::to_string(i),
+                  "sequences not strictly increasing (seq " +
+                      std::to_string(sp.seq) + " after " +
+                      std::to_string(last_seq) + ")");
+    }
+    last_seq = sp.seq;
+    if (sp.count == 0) {
+      return Fail("projection span " + std::to_string(i),
+                  "empty span for sequence " + std::to_string(sp.seq));
+    }
+    if (sp.offset != covered) {
+      return Fail("projection span " + std::to_string(i),
+                  "offset " + std::to_string(sp.offset) +
+                      " breaks contiguity (expected " +
+                      std::to_string(covered) + ")");
+    }
+    covered += sp.count;
+  }
+  if (covered != proj.num_states) {
+    return Fail("projection",
+                "span counts sum to " + std::to_string(covered) +
+                    " but num_states is " + std::to_string(proj.num_states));
+  }
+  if (proj.num_states != 0 && proj.states == nullptr) {
+    return Fail("projection", "states array missing");
+  }
+  if (proj.num_states != 0 && proj.stride != 0 && proj.aux == nullptr) {
+    return Fail("projection", "aux array missing despite nonzero stride");
+  }
+  return Status::OK();
 }
 
 Status ValidateEndpointDatabase(const EndpointDatabase& edb) {

@@ -107,6 +107,15 @@ Status ValidatePattern(const EndpointPattern& pattern);
 /// validity; all coincidence patterns are complete by construction).
 Status ValidatePattern(const CoincidencePattern& pattern);
 
+struct NodeProjection;  // core/projection.h (which includes this header)
+
+/// \brief Structural invariants of a finalized projected database: spans
+/// strictly increasing by sequence, every span non-empty, offsets tiling
+/// [0, num_states) contiguously from 0, and state/aux arrays present
+/// whenever states exist. Guards Bucket-building's grouped-by-sequence
+/// assumption at the miner boundary.
+Status ValidateProjection(const NodeProjection& proj);
+
 /// Validates every sequence view in an endpoint database.
 Status ValidateEndpointDatabase(const EndpointDatabase& edb);
 

@@ -1,30 +1,22 @@
 #include "miner/coincidence_growth.h"
 
 #include <algorithm>
-#include <unordered_map>
+#include <cstring>
 #include <vector>
 
 #include "core/coincidence.h"
-#include "miner/cooccurrence.h"
-#include "miner/miner_metrics.h"
+#include "miner/growth_engine.h"
 #include "miner/validate_hooks.h"
-#include "obs/metrics.h"
-#include "obs/trace.h"
 #include "util/macros.h"
-#include "util/memory.h"
-#include "util/timer.h"
 
 namespace tpm {
 
 namespace {
 
-constexpr uint32_t kNoItem = ~0u;
-
-// Occurrence states, stored struct-of-arrays per sequence to avoid per-state
-// heap allocations (state counts dominate mining cost on dense data).
+// P-TPMiner/C extension policy for GrowthEngine (see growth_engine.h for the
+// contract). An occurrence state is {last matched item, anchor segment} plus
+// a bounds aux slice:
 //
-// A state consists of:
-//   item           last matched data item (kNoItem at the root)
 //   bounds[0..L)   for each symbol of the pattern's LAST coincidence: the
 //                  last segment on which the matched interval is alive
 //   bounds[L..L+P) the same for the PREVIOUS coincidence
@@ -35,302 +27,128 @@ constexpr uint32_t kNoItem = ~0u;
 // they expose a clean dominance order (larger bound = strictly more
 // permissive), which keeps the state set small (pareto fronts instead of
 // full occurrence enumerations).
-struct SeqProj {
-  uint32_t seq = 0;
-  std::vector<uint32_t> items;    // one entry per state
-  std::vector<uint32_t> anchors;  // first matched segment (windowing)
-  std::vector<uint32_t> bounds;   // stride entries per state
-
-  size_t NumStates(uint32_t stride) const {
-    return stride == 0 ? items.size() : bounds.size() / stride;
-  }
-  size_t Bytes() const {
-    return sizeof(SeqProj) + items.capacity() * sizeof(uint32_t) +
-           anchors.capacity() * sizeof(uint32_t) +
-           bounds.capacity() * sizeof(uint32_t);
-  }
-};
-
-using ProjectedDb = std::vector<SeqProj>;
-
-struct Bucket {
-  EventId symbol = 0;
-  bool i_ext = false;
-  ProjectedDb proj;
-  size_t bytes = 0;
-
-  SeqProj& For(uint32_t seq) {
-    if (proj.empty() || proj.back().seq != seq) {
-      proj.push_back(SeqProj{seq, {}, {}, {}});
-    }
-    return proj.back();
-  }
-};
-
-class Engine {
+class CoincidencePolicy {
  public:
-  Engine(const IntervalDatabase& db, const MinerOptions& options,
-         const CoincidenceGrowthConfig& config)
-      : db_(db),
-        options_(options),
-        config_(config),
-        minsup_(db.AbsoluteSupport(options.min_support)) {
-    if (config_.force_disable_prunings) {
-      pair_pruning_ = false;
-      postfix_pruning_ = false;
-    } else {
-      pair_pruning_ = options_.pair_pruning;
-      postfix_pruning_ = options_.postfix_pruning;
-    }
+  using PatternT = CoincidencePattern;
+  using ResultT = CoincidenceMiningResult;
+  using ConfigT = CoincidenceGrowthConfig;
+
+  static constexpr const char* kBuildSpanName = "coincidence.build";
+  static constexpr const char* kGrowSpanName = "coincidence.grow";
+  static constexpr const char* kFaultMessage =
+      "injected allocation failure building the coincidence "
+      "representation (fault site miner.alloc)";
+
+  CoincidencePolicy(const MinerOptions& options, const ConfigT& /*config*/)
+      : options_(options) {}
+
+  size_t Build(const IntervalDatabase& db) {
+    cdb_ = CoincidenceDatabase::FromDatabase(db);
+    return cdb_.MemoryBytes();
   }
 
-  Result<CoincidenceMiningResult> Run() {
-    CoincidenceMiningResult result;
-    if (MinerFaultPoint("miner.alloc")) {
-      return Status::ResourceExhausted(
-          "injected allocation failure building the coincidence "
-          "representation (fault site miner.alloc)");
-    }
-    const obs::MetricsSnapshot obs_start =
-        obs::MetricsRegistry::Global().Snapshot();
-    WallTimer build_timer;
-    {
-      TPM_TRACE_SPAN("coincidence.build");
-      cdb_ = CoincidenceDatabase::FromDatabase(db_);
-      cooc_ = CooccurrenceTable::Build(db_, minsup_);
-    }
-    tracker_.Allocate(cdb_.MemoryBytes() + cooc_.MemoryBytes());
-    num_symbols_ = db_.dict().size();
-    seen_epoch_.assign(num_symbols_, 0);
-    result.stats.build_seconds = build_timer.ElapsedSeconds();
+  uint32_t NumSeqs() const { return static_cast<uint32_t>(cdb_.size()); }
+  uint32_t NumItems(uint32_t seq) const { return cdb_[seq].num_items(); }
+  uint32_t ItemCode(uint32_t seq, uint32_t p) const { return cdb_[seq].item(p); }
 
-    WallTimer mine_timer;
-    TPM_TRACE_SPAN("coincidence.grow");
-    ProjectedDb root;
-    root.reserve(cdb_.size());
-    for (uint32_t s = 0; s < cdb_.size(); ++s) {
-      if (cdb_[s].num_items() == 0) continue;
-      SeqProj sp;
-      sp.seq = s;
-      sp.items.push_back(kNoItem);
-      sp.anchors.push_back(kNoItem);
-      root.push_back(std::move(sp));
-    }
-    std::vector<uint8_t> allowed(num_symbols_, 1);
-    if (postfix_pruning_ || pair_pruning_) {
-      for (EventId e = 0; e < num_symbols_; ++e) {
-        allowed[e] = cooc_.IsFrequentSymbol(e) ? 1 : 0;
-      }
-    }
-    out_ = &result;
-    Expand(root, allowed);
-    result.stats.mine_seconds = mine_timer.ElapsedSeconds();
-    result.stats.patterns_found = result.patterns.size();
-    result.stats.truncated = guard_.stopped();
-    result.stats.stop_reason = guard_.reason();
-    RecordStopMetrics(guard_.reason());
-    result.stats.peak_logical_bytes = tracker_.peak_bytes();
-    result.stats.peak_rss_bytes = ReadPeakRssBytes();
-    result.stats.metrics =
-        obs::MetricsRegistry::Global().Snapshot().Since(obs_start);
-    return result;
+  // Every coincidence item is a symbol occurrence, so admission pruning
+  // applies to all candidates.
+  static bool IntroducesSymbol(uint32_t /*code*/) { return true; }
+  static EventId SymbolOf(uint32_t code) { return code; }
+
+  size_t PatternLen() const { return pat_items_.size(); }
+  size_t NumBlocks() const { return pat_offsets_.size(); }
+
+  // Coincidence patterns are complete by construction.
+  bool CanEmit() const { return !pat_items_.empty(); }
+
+  PatternT MakePattern() const {
+    std::vector<uint32_t> offsets = pat_offsets_;
+    offsets.push_back(static_cast<uint32_t>(pat_items_.size()));
+    return CoincidencePattern(pat_items_, offsets);
   }
 
- private:
   uint32_t Stride() const {
     return static_cast<uint32_t>(last_syms_.size() + prev_syms_.size());
   }
+  // Child stride: i-ext has L+1 last bounds + P prev bounds; s-ext has
+  // 1 last bound + L prev bounds.
+  uint32_t ChildStride(uint32_t /*code*/, bool i_ext) const {
+    return i_ext ? Stride() + 1
+                 : 1 + static_cast<uint32_t>(last_syms_.size());
+  }
 
-  void Expand(const ProjectedDb& proj, const std::vector<uint8_t>& allowed) {
-    if (guard_.ShouldStop()) return;
-    ++out_->stats.nodes_expanded;
-    om_.node_depth->Observe(pat_items_.size());
-    om_.projected_seqs->Observe(proj.size());
-    const uint64_t node_states_before = out_->stats.states_created;
-    const uint64_t node_cands_before = out_->stats.candidates_checked;
-
-    if (!pat_items_.empty()) {
-      EmitPattern(static_cast<SupportCount>(proj.size()));
-      if (guard_.stopped()) return;
+  bool InPattern(EventId ev) const {
+    for (EventId e : pattern_symbols_) {
+      if (e == ev) return true;
     }
-    if (options_.max_items > 0 && pat_items_.size() >= options_.max_items) return;
+    return false;
+  }
+  const std::vector<EventId>& PatternSymbols() const {
+    return pattern_symbols_;
+  }
 
-    const bool allow_s_ext = options_.max_length == 0 ||
-                             pat_offsets_.size() < options_.max_length ||
-                             pat_items_.empty();
-    const bool at_root = pat_items_.empty();
-    const EventId last_symbol = at_root ? 0 : pat_items_.back();
-    const uint32_t stride = Stride();
+  void BeginNode() const {}
+  void FlushNodeMetrics(const MinerMetrics& /*om*/) const {}
+
+  template <typename ItemAt, typename Sink>
+  void ScanState(const GrowthScanCtx& ctx, uint32_t seq, const StateRec& st,
+                 const uint32_t* bnd, ItemAt&& item_at, Sink&& try_push) {
+    const CoincidenceSequence& cs = cdb_[seq];
+    const EventId last_symbol = pat_items_.empty() ? 0 : pat_items_.back();
     const uint32_t num_last = static_cast<uint32_t>(last_syms_.size());
+    const uint32_t stride = Stride();
+    const uint32_t st_seg =
+        st.item == kNoStateItem ? kNoStateItem : cs.item_segment(st.item);
 
-    std::vector<Bucket> buckets;
-    std::unordered_map<uint64_t, int32_t> bucket_index;
-    std::vector<SupportCount> postfix_count;
-    if (postfix_pruning_) postfix_count.assign(num_symbols_, 0);
-    size_t copies_bytes = 0;
-
-    auto bucket_for = [&](EventId symbol, bool i_ext) -> Bucket* {
-      const uint64_t key = (static_cast<uint64_t>(symbol) << 1) | (i_ext ? 1 : 0);
-      auto it = bucket_index.find(key);
-      if (it != bucket_index.end()) {
-        return it->second < 0 ? nullptr : &buckets[it->second];
-      }
-      ++out_->stats.candidates_checked;
-      if ((postfix_pruning_ || pair_pruning_) && !allowed[symbol]) {
-        // Attribution mirrors endpoint_growth: the allowed set shrinks via
-        // postfix counting when enabled, else it is the pair table's
-        // frequent-symbol filter.
-        (postfix_pruning_ ? om_.postfix_hits : om_.pair_hits)->Increment();
-        bucket_index.emplace(key, -1);
-        return nullptr;
-      }
-      if (pair_pruning_ && !InPattern(symbol)) {
-        for (EventId a : pattern_symbols_) {
-          if (!cooc_.IsFrequentPair(a, symbol)) {
-            om_.pair_hits->Increment();
-            bucket_index.emplace(key, -1);
-            return nullptr;
+    // I-extensions: same segment, strictly larger symbol.
+    if (st.item != kNoStateItem) {
+      const uint32_t end = cs.seg_end(st_seg);
+      for (uint32_t p = st.item + 1; p < end; ++p) {
+        const EventId y = item_at(p);
+        if (y <= last_symbol) continue;
+        const int32_t k = IndexOf(prev_syms_, y);
+        if (k >= 0 && st_seg > bnd[num_last + k]) continue;  // run broken
+        if (uint32_t* aux = try_push(y, /*i_ext=*/true, p, st.anchor)) {
+          // Child layout: last' = last + [y], prev' = prev.
+          if (num_last != 0) {
+            std::memcpy(aux, bnd, num_last * sizeof(uint32_t));
           }
-        }
-      }
-      bucket_index.emplace(key, static_cast<int32_t>(buckets.size()));
-      buckets.push_back(Bucket{symbol, i_ext, {}, 0});
-      return &buckets.back();
-    };
-
-    size_t proj_states = 0;
-    for (const SeqProj& sp : proj) {
-      const CoincidenceSequence& cs = cdb_[sp.seq];
-      const size_t num_states = at_root ? sp.items.size() : sp.NumStates(stride);
-      proj_states += num_states;
-
-      uint32_t min_item = ~0u;
-      for (size_t k = 0; k < sp.items.size(); ++k) {
-        min_item = std::min(min_item, sp.items[k] == kNoItem ? 0 : sp.items[k] + 1);
-      }
-
-      // CTMiner mode: materialize the postfix copy and scan it.
-      std::vector<std::pair<uint32_t, EventId>> copy;
-      if (config_.physical_projection) {
-        copy.reserve(cs.num_items() - min_item);
-        for (uint32_t p = min_item; p < cs.num_items(); ++p) {
-          copy.emplace_back(p, cs.item(p));
-        }
-        copies_bytes += copy.capacity() * sizeof(copy[0]);
-      }
-      auto item_at = [&](uint32_t p) -> EventId {
-        if (config_.physical_projection) return copy[p - min_item].second;
-        return cs.item(p);
-      };
-
-      if (postfix_pruning_) {
-        ++epoch_;
-        for (uint32_t p = min_item; p < cs.num_items(); ++p) {
-          const EventId ev = item_at(p);
-          if (seen_epoch_[ev] != epoch_) {
-            seen_epoch_[ev] = epoch_;
-            ++postfix_count[ev];
-          }
-        }
-      }
-
-      static const uint32_t kEmptyBounds[1] = {0};
-      for (size_t st = 0; st < num_states; ++st) {
-        const uint32_t item = sp.items[st];
-        const uint32_t anchor = sp.anchors[st];
-        const uint32_t* bnd =
-            stride == 0 ? kEmptyBounds : &sp.bounds[st * stride];
-        const uint32_t st_seg = item == kNoItem ? kNoItem : cs.item_segment(item);
-
-        // I-extensions: same segment, strictly larger symbol.
-        if (item != kNoItem) {
-          const uint32_t end = cs.seg_end(st_seg);
-          for (uint32_t p = item + 1; p < end; ++p) {
-            const EventId y = item_at(p);
-            if (y <= last_symbol) continue;
-            const int32_t k = IndexOf(prev_syms_, y);
-            if (k >= 0 && st_seg > bnd[num_last + k]) continue;  // run broken
-            if (Bucket* b = bucket_for(y, /*i_ext=*/true)) {
-              SeqProj& dst = b->For(sp.seq);
-              dst.items.push_back(p);
-              dst.anchors.push_back(anchor);  // same segment: window unchanged
-              // Child layout: last' = last + [y], prev' = prev.
-              dst.bounds.insert(dst.bounds.end(), bnd, bnd + num_last);
-              dst.bounds.push_back(cs.alive_until(p));
-              dst.bounds.insert(dst.bounds.end(), bnd + num_last, bnd + stride);
-              ++out_->stats.states_created;
-            }
-          }
-        }
-
-        // S-extensions: any later segment.
-        if (allow_s_ext) {
-          const uint32_t from = item == kNoItem ? 0 : cs.seg_end(st_seg);
-          for (uint32_t p = from; p < cs.num_items(); ++p) {
-            const EventId y = item_at(p);
-            const uint32_t p_seg = cs.item_segment(p);
-            if (options_.max_window > 0 && anchor != kNoItem &&
-                cs.seg_end_time(p_seg) - cs.seg_start_time(anchor) >
-                    options_.max_window) {
-              break;  // segment end times only grow
-            }
-            const int32_t k = IndexOf(last_syms_, y);
-            if (k >= 0 && p_seg > bnd[k]) continue;  // run broken
-            if (Bucket* b = bucket_for(y, /*i_ext=*/false)) {
-              SeqProj& dst = b->For(sp.seq);
-              dst.items.push_back(p);
-              dst.anchors.push_back(
-                  options_.max_window > 0
-                      ? (anchor == kNoItem ? p_seg : anchor)
-                      : 0);
-              // Child layout: last' = [y], prev' = last.
-              dst.bounds.push_back(cs.alive_until(p));
-              dst.bounds.insert(dst.bounds.end(), bnd, bnd + num_last);
-              ++out_->stats.states_created;
-            }
+          aux[num_last] = cs.alive_until(p);
+          if (stride != num_last) {
+            std::memcpy(aux + num_last + 1, bnd + num_last,
+                        (stride - num_last) * sizeof(uint32_t));
           }
         }
       }
     }
 
-    // Flush this node's scan tallies before recursion.
-    om_.projected_states->Observe(proj_states);
-    om_.states->Increment(out_->stats.states_created - node_states_before);
-    om_.candidates->Increment(out_->stats.candidates_checked -
-                              node_cands_before);
-
-    std::vector<uint8_t> child_allowed = allowed;
-    if (postfix_pruning_) {
-      for (EventId e = 0; e < num_symbols_; ++e) {
-        if (postfix_count[e] < minsup_) child_allowed[e] = 0;
+    // S-extensions: any later segment.
+    if (ctx.allow_s_ext) {
+      const uint32_t from = st.item == kNoStateItem ? 0 : cs.seg_end(st_seg);
+      for (uint32_t p = from; p < cs.num_items(); ++p) {
+        const EventId y = item_at(p);
+        const uint32_t p_seg = cs.item_segment(p);
+        if (options_.max_window > 0 && st.anchor != kNoStateItem &&
+            cs.seg_end_time(p_seg) - cs.seg_start_time(st.anchor) >
+                options_.max_window) {
+          break;  // segment end times only grow
+        }
+        const int32_t k = IndexOf(last_syms_, y);
+        if (k >= 0 && p_seg > bnd[k]) continue;  // run broken
+        const uint32_t anchor =
+            options_.max_window > 0
+                ? (st.anchor == kNoStateItem ? p_seg : st.anchor)
+                : 0;
+        if (uint32_t* aux = try_push(y, /*i_ext=*/false, p, anchor)) {
+          // Child layout: last' = [y], prev' = last.
+          aux[0] = cs.alive_until(p);
+          if (num_last != 0) {
+            std::memcpy(aux + 1, bnd, num_last * sizeof(uint32_t));
+          }
+        }
       }
     }
-
-    std::sort(buckets.begin(), buckets.end(), [](const Bucket& a, const Bucket& b) {
-      if (a.i_ext != b.i_ext) return a.i_ext > b.i_ext;
-      return a.symbol < b.symbol;
-    });
-
-    size_t bucket_bytes = copies_bytes;
-    for (Bucket& b : buckets) {
-      // Child stride: i-ext has L+1 last bounds + P prev bounds; s-ext has
-      // 1 last bound + L prev bounds.
-      const uint32_t child_stride =
-          b.i_ext ? stride + 1 : 1 + num_last;
-      for (SeqProj& sp : b.proj) CollapseStates(&sp, child_stride, b.i_ext);
-      for (const SeqProj& sp : b.proj) b.bytes += sp.Bytes();
-      bucket_bytes += b.bytes;
-    }
-    tracker_.Allocate(bucket_bytes);
-
-    for (Bucket& b : buckets) {
-      if (guard_.stopped()) break;
-      if (b.proj.size() < minsup_) continue;
-      ApplyExtension(b.symbol, b.i_ext);
-      Expand(b.proj, child_allowed);
-      UndoExtension(b.i_ext);
-    }
-    tracker_.Release(bucket_bytes);
   }
 
   // Removes duplicate and dominated states. State s1 dominates s2 when its
@@ -339,37 +157,43 @@ class Engine {
   // available to s1), or (b) item1 <= item2 and s2 has no i-extension
   // future at all (its item is the last of its segment), so only
   // s-extensions matter and those only compare segments.
-  void CollapseStates(SeqProj* sp, uint32_t stride, bool /*i_ext*/) {
-    const CoincidenceSequence& cs = cdb_[sp->seq];
-    const size_t n = sp->NumStates(stride);
-    if (n <= 1) return;
+  void SelectSpan(const ProjectionBuilder::SpanView& v,
+                  std::vector<uint32_t>* keep) {
+    const uint32_t n = v.count;
+    if (n <= 1) {
+      for (uint32_t i = 0; i < n; ++i) keep->push_back(i);
+      return;
+    }
+    const CoincidenceSequence& cs = cdb_[v.seq];
+    const uint32_t stride = v.stride;
 
     // Order by item; dominance never looks backwards that way.
-    std::vector<uint32_t> order(n);
-    for (uint32_t i = 0; i < n; ++i) order[i] = i;
-    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
-      return sp->items[a] < sp->items[b];
+    order_.resize(n);
+    for (uint32_t i = 0; i < n; ++i) order_[i] = i;
+    std::sort(order_.begin(), order_.end(), [&](uint32_t a, uint32_t b) {
+      return v.recs[a].item < v.recs[b].item;
     });
 
-    std::vector<uint32_t> kept;  // indices into original arrays
-    kept.reserve(n);
+    kept_.clear();
+    kept_.reserve(n);
     // Quadratic pareto filter with a safety cap: beyond the cap only exact
     // duplicates are removed (soundness is unaffected, only speed).
     const size_t kPairwiseCap = 768;
-    for (uint32_t idx : order) {
-      const uint32_t item = sp->items[idx];
-      const uint32_t* bnd = &sp->bounds[static_cast<size_t>(idx) * stride];
+    for (uint32_t oi = 0; oi < n; ++oi) {
+      const uint32_t idx = order_[oi];
+      const uint32_t item = v.recs[idx].item;
+      const uint32_t* bnd = v.aux + static_cast<size_t>(idx) * stride;
       const uint32_t seg = cs.item_segment(item);
       const bool s_ext_only = item + 1 >= cs.seg_end(seg);
       bool dominated = false;
-      for (uint32_t kidx : kept) {
-        const uint32_t kitem = sp->items[kidx];
+      for (uint32_t kidx : kept_) {
+        const uint32_t kitem = v.recs[kidx].item;
         if (kitem > item) break;  // kept is item-sorted; no dominator beyond
         // A later (or equal) anchor is strictly more permissive under the
         // window constraint; without a window all anchors are zero and the
         // check is vacuous.
-        if (sp->anchors[kidx] < sp->anchors[idx]) continue;
-        const uint32_t* kbnd = &sp->bounds[static_cast<size_t>(kidx) * stride];
+        if (v.recs[kidx].anchor < v.recs[idx].anchor) continue;
+        const uint32_t* kbnd = v.aux + static_cast<size_t>(kidx) * stride;
         const bool same_seg = cs.item_segment(kitem) == seg;
         if (!same_seg && !s_ext_only) continue;
         bool ge = true;
@@ -385,45 +209,26 @@ class Engine {
         }
       }
       if (!dominated) {
-        kept.push_back(idx);
-        if (kept.size() > kPairwiseCap) {
+        kept_.push_back(idx);
+        if (kept_.size() > kPairwiseCap) {
           // Give up on pareto filtering for pathological cases; keep rest.
-          for (auto it = std::find(order.begin(), order.end(), idx) + 1;
-               it != order.end(); ++it) {
-            kept.push_back(*it);
+          for (uint32_t rest = oi + 1; rest < n; ++rest) {
+            kept_.push_back(order_[rest]);
           }
           break;
         }
       }
     }
 
-    if (kept.size() == n) return;
-    std::vector<uint32_t> new_items;
-    std::vector<uint32_t> new_anchors;
-    std::vector<uint32_t> new_bounds;
-    new_items.reserve(kept.size());
-    new_anchors.reserve(kept.size());
-    new_bounds.reserve(kept.size() * stride);
-    for (uint32_t idx : kept) {
-      new_items.push_back(sp->items[idx]);
-      new_anchors.push_back(sp->anchors[idx]);
-      const uint32_t* bnd = &sp->bounds[static_cast<size_t>(idx) * stride];
-      new_bounds.insert(new_bounds.end(), bnd, bnd + stride);
+    if (kept_.size() == n) {
+      // Nothing dropped: preserve the original (push) state order.
+      for (uint32_t i = 0; i < n; ++i) keep->push_back(i);
+    } else {
+      keep->insert(keep->end(), kept_.begin(), kept_.end());
     }
-    sp->items = std::move(new_items);
-    sp->anchors = std::move(new_anchors);
-    sp->bounds = std::move(new_bounds);
   }
 
-  static int32_t IndexOf(const std::vector<EventId>& v, EventId y) {
-    for (size_t i = 0; i < v.size(); ++i) {
-      if (v[i] == y) return static_cast<int32_t>(i);
-      if (v[i] > y) return -1;
-    }
-    return -1;
-  }
-
-  void ApplyExtension(EventId symbol, bool i_ext) {
+  void Apply(uint32_t symbol, bool i_ext) {
     if (!i_ext) {
       pat_offsets_.push_back(static_cast<uint32_t>(pat_items_.size()));
       prev_syms_saved_.push_back(prev_syms_);
@@ -436,7 +241,7 @@ class Engine {
     if (symbol_added_.back()) pattern_symbols_.push_back(symbol);
   }
 
-  void UndoExtension(bool i_ext) {
+  void Undo(uint32_t /*symbol*/, bool i_ext) {
     pat_items_.pop_back();
     last_syms_.pop_back();
     if (symbol_added_.back()) pattern_symbols_.pop_back();
@@ -449,34 +254,18 @@ class Engine {
     }
   }
 
-  bool InPattern(EventId ev) const {
-    for (EventId e : pattern_symbols_) {
-      if (e == ev) return true;
+ private:
+  static int32_t IndexOf(const std::vector<EventId>& v, EventId y) {
+    for (size_t i = 0; i < v.size(); ++i) {
+      if (v[i] == y) return static_cast<int32_t>(i);
+      if (v[i] > y) return -1;
     }
-    return false;
+    return -1;
   }
 
-  void EmitPattern(SupportCount support) {
-    std::vector<uint32_t> offsets = pat_offsets_;
-    offsets.push_back(static_cast<uint32_t>(pat_items_.size()));
-    out_->patterns.push_back(MinedPattern<CoincidencePattern>{
-        CoincidencePattern(pat_items_, offsets), support});
-    om_.patterns->Increment();
-    tracker_.Allocate(pat_items_.size() * sizeof(EventId) +
-                      offsets.size() * sizeof(uint32_t));
-    guard_.NotePattern(out_->patterns.size());
-  }
-
-  const IntervalDatabase& db_;
   const MinerOptions& options_;
-  const CoincidenceGrowthConfig& config_;
-  const SupportCount minsup_;
-  bool pair_pruning_ = false;
-  bool postfix_pruning_ = false;
 
   CoincidenceDatabase cdb_;
-  CooccurrenceTable cooc_;
-  size_t num_symbols_ = 0;
 
   std::vector<EventId> pat_items_;
   std::vector<uint32_t> pat_offsets_;
@@ -486,14 +275,8 @@ class Engine {
   std::vector<EventId> pattern_symbols_;
   std::vector<uint8_t> symbol_added_;
 
-  std::vector<uint32_t> seen_epoch_;
-  uint32_t epoch_ = 0;
-
-  const MinerMetrics& om_ = MinerMetrics::Get();
-
-  MemoryTracker tracker_;
-  ExecutionGuard guard_{options_.ToGuardLimits(), &tracker_};
-  CoincidenceMiningResult* out_ = nullptr;
+  std::vector<uint32_t> order_;  // SelectSpan scratch
+  std::vector<uint32_t> kept_;
 };
 
 }  // namespace
@@ -508,7 +291,7 @@ Result<CoincidenceMiningResult> MineCoincidenceGrowth(
   if (!(options.min_support > 0.0)) {
     return Status::InvalidArgument("min_support must be positive");
   }
-  Engine engine(db, options, config);
+  GrowthEngine<CoincidencePolicy> engine(db, options, config);
   Result<CoincidenceMiningResult> result = engine.Run();
   if (result.ok()) internal::DCheckMinerExit(*result);
   return result;

@@ -1,12 +1,15 @@
-// The coincidence prefix-growth engine.
+// The coincidence prefix-growth miners (CoincidencePolicy over
+// GrowthEngine).
 //
-// One engine powers two miners:
-//  * P-TPMiner/C — pseudo-projection + pair/postfix pruning.
+// One policy powers two miners:
+//  * P-TPMiner/C — arena-backed pseudo-projection + pair/postfix pruning.
 //  * CTMiner     — the physical-projection baseline without pruning,
 //    reproducing the cost profile of the CIKM 2010 algorithm.
 //
-// See DESIGN.md §1.2 for the run-identity containment semantics the
-// projection maintains.
+// The search scaffolding lives in miner/growth_engine.h and the projection
+// storage in core/projection.h (see docs/ARCHITECTURE.md). See DESIGN.md
+// §1.2 for the run-identity containment semantics the projection
+// maintains.
 
 #pragma once
 

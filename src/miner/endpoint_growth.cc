@@ -1,375 +1,203 @@
 #include "miner/endpoint_growth.h"
 
 #include <algorithm>
-#include <unordered_map>
+#include <cstring>
 #include <vector>
 
 #include "core/endpoint.h"
-#include "miner/cooccurrence.h"
-#include "miner/miner_metrics.h"
+#include "miner/growth_engine.h"
 #include "miner/validate_hooks.h"
-#include "obs/metrics.h"
-#include "obs/trace.h"
-#include "util/logging.h"
 #include "util/macros.h"
-#include "util/memory.h"
-#include "util/timer.h"
 
 namespace tpm {
 
 namespace {
 
-// Sentinel: root state that has matched nothing yet.
-constexpr uint32_t kNoItem = ~0u;
-
-// One partial embedding of the current prefix pattern in one sequence.
-// `req[k]` is the data item index of the finish endpoint that must close
-// the k-th open symbol of the pattern (open symbols are a property of the
-// pattern, so the layout of `req` is identical across states of a node).
-struct OccState {
-  uint32_t item = kNoItem;     // last matched data item (kNoItem at root)
-  uint32_t anchor = kNoItem;   // slice of the first matched item (windowing)
-  std::vector<uint32_t> req;   // partner obligations, aligned with open list
-
-  friend bool operator==(const OccState& a, const OccState& b) {
-    return a.item == b.item && a.anchor == b.anchor && a.req == b.req;
-  }
-  friend bool operator<(const OccState& a, const OccState& b) {
-    if (a.item != b.item) return a.item < b.item;
-    if (a.anchor != b.anchor) return a.anchor < b.anchor;
-    return a.req < b.req;
-  }
-
-  size_t Bytes() const { return sizeof(OccState) + req.capacity() * sizeof(uint32_t); }
-};
-
-struct SeqProj {
-  uint32_t seq = 0;
-  std::vector<OccState> states;
-};
-
-using ProjectedDb = std::vector<SeqProj>;
-
-// Candidate extension bucket: the child's projected database under
-// construction during the parent scan.
-struct Bucket {
-  EndpointCode code = 0;
-  bool i_ext = false;
-  ProjectedDb proj;
-  size_t bytes = 0;
-
-  void Push(uint32_t seq, OccState state) {
-    if (proj.empty() || proj.back().seq != seq) {
-      proj.push_back(SeqProj{seq, {}});
-    }
-    bytes += state.Bytes();
-    proj.back().states.push_back(std::move(state));
-  }
-
-  // Sorts/dedups states per sequence; returns support.
-  SupportCount Finalize() {
-    for (SeqProj& sp : proj) {
-      std::sort(sp.states.begin(), sp.states.end());
-      sp.states.erase(std::unique(sp.states.begin(), sp.states.end()),
-                      sp.states.end());
-    }
-    return static_cast<SupportCount>(proj.size());
-  }
-};
-
-class Engine {
+// P-TPMiner/E extension policy for GrowthEngine (see growth_engine.h for the
+// contract). An occurrence state is {last matched item, anchor slice} plus a
+// `req` aux slice: req[k] is the data item index of the finish endpoint that
+// must close the k-th open symbol of the pattern. Open symbols are a
+// property of the pattern, so the slice layout is identical across states of
+// a node — exactly the fixed-stride shape the projection layer stores flat.
+class EndpointPolicy {
  public:
-  Engine(const IntervalDatabase& db, const MinerOptions& options,
-         const EndpointGrowthConfig& config)
-      : db_(db),
-        options_(options),
-        config_(config),
-        minsup_(db.AbsoluteSupport(options.min_support)) {
-    if (config_.force_disable_prunings) {
-      pair_pruning_ = false;
-      postfix_pruning_ = false;
-      validity_pruning_ = false;
-    } else {
-      pair_pruning_ = options_.pair_pruning;
-      postfix_pruning_ = options_.postfix_pruning;
-      validity_pruning_ = options_.validity_pruning;
+  using PatternT = EndpointPattern;
+  using ResultT = EndpointMiningResult;
+  using ConfigT = EndpointGrowthConfig;
+
+  static constexpr const char* kBuildSpanName = "endpoint.build";
+  static constexpr const char* kGrowSpanName = "endpoint.grow";
+  static constexpr const char* kFaultMessage =
+      "injected allocation failure building the endpoint representation "
+      "(fault site miner.alloc)";
+
+  EndpointPolicy(const MinerOptions& options, const ConfigT& config)
+      : options_(options),
+        validity_pruning_(config.force_disable_prunings
+                              ? false
+                              : options.validity_pruning) {}
+
+  size_t Build(const IntervalDatabase& db) {
+    edb_ = EndpointDatabase::FromDatabase(db);
+    return edb_.MemoryBytes();
+  }
+
+  uint32_t NumSeqs() const { return static_cast<uint32_t>(edb_.size()); }
+  uint32_t NumItems(uint32_t seq) const { return edb_[seq].num_items(); }
+  uint32_t ItemCode(uint32_t seq, uint32_t p) const { return edb_[seq].item(p); }
+
+  // Finish endpoints never introduce a symbol: their start already did, so
+  // admission pruning does not apply to them.
+  static bool IntroducesSymbol(uint32_t code) { return !IsFinish(code); }
+  static EventId SymbolOf(uint32_t code) { return EndpointEvent(code); }
+
+  size_t PatternLen() const { return pat_items_.size(); }
+  size_t NumBlocks() const { return pat_offsets_.size(); }
+
+  // Only complete patterns (every opened symbol closed) are reported.
+  bool CanEmit() const { return !pat_items_.empty() && open_events_.empty(); }
+
+  PatternT MakePattern() const {
+    std::vector<uint32_t> offsets = pat_offsets_;
+    offsets.push_back(static_cast<uint32_t>(pat_items_.size()));
+    return EndpointPattern(pat_items_, offsets);
+  }
+
+  uint32_t Stride() const {
+    return static_cast<uint32_t>(open_events_.size());
+  }
+  uint32_t ChildStride(uint32_t code, bool /*i_ext*/) const {
+    return IsFinish(code) ? Stride() - 1 : Stride() + 1;
+  }
+
+  bool InPattern(EventId ev) const {
+    for (EventId e : pattern_symbols_) {
+      if (e == ev) return true;
+    }
+    return false;
+  }
+  const std::vector<EventId>& PatternSymbols() const {
+    return pattern_symbols_;
+  }
+
+  void BeginNode() { node_validity_closes_ = 0; }
+  void FlushNodeMetrics(const MinerMetrics& om) const {
+    om.validity_hits->Increment(node_validity_closes_);
+  }
+
+  template <typename ItemAt, typename Sink>
+  void ScanState(const GrowthScanCtx& ctx, uint32_t seq, const StateRec& st,
+                 const uint32_t* req, ItemAt&& item_at, Sink&& try_push) {
+    const EndpointSequence& es = edb_[seq];
+    const uint32_t st_slice =
+        st.item == kNoStateItem ? kNoStateItem : es.item_slice(st.item);
+    const uint32_t last_code = pat_items_.empty() ? 0 : pat_items_.back();
+    const uint32_t stride = Stride();
+
+    // --- Finish-endpoint candidates straight from obligations. ---
+    if (validity_pruning_) {
+      for (uint32_t k = 0; k < stride; ++k) {
+        const uint32_t q = req[k];
+        const uint32_t q_slice = es.item_slice(q);
+        const EndpointCode fcode = MakeFinish(open_events_[k]);
+        if (q_slice == st_slice && q > st.item && fcode > last_code) {
+          // i-extension close within the last slice.
+          if (uint32_t* aux = try_push(fcode, /*i_ext=*/true, q, st.anchor)) {
+            FillClose(aux, req, stride, k);
+            ++node_validity_closes_;
+          }
+        } else if (ctx.allow_s_ext && st_slice != kNoStateItem &&
+                   q_slice > st_slice && !ViolatesWindow(es, st, q_slice)) {
+          if (uint32_t* aux = try_push(fcode, /*i_ext=*/false, q, st.anchor)) {
+            FillClose(aux, req, stride, k);
+            ++node_validity_closes_;
+          }
+        }
+      }
+    }
+
+    // --- I-extensions: same slice, larger code. ---
+    if (st.item != kNoStateItem) {
+      const uint32_t end = es.slice_end(st_slice);
+      for (uint32_t p = st.item + 1; p < end; ++p) {
+        const EndpointCode c = item_at(p);
+        const EventId ev = EndpointEvent(c);
+        if (!IsFinish(c)) {
+          if (c <= last_code || InOpen(ev)) continue;
+          if (uint32_t* aux =
+                  try_push(c, /*i_ext=*/true, p, OpenAnchor(es, st, p))) {
+            FillOpen(aux, req, stride, es.partner(p));
+          }
+        } else if (!validity_pruning_) {
+          // Scan-based close: accept only the obligated position.
+          const int32_t k = OpenIndex(ev);
+          if (k >= 0 && req[k] == p && c > last_code) {
+            if (uint32_t* aux = try_push(c, /*i_ext=*/true, p, st.anchor)) {
+              FillClose(aux, req, stride, static_cast<uint32_t>(k));
+            }
+          }
+        }
+        // Same-slice matches share the anchor slice's time, so the window
+        // can never be violated by an i-extension.
+      }
+    }
+
+    // --- S-extensions: any later slice. ---
+    if (ctx.allow_s_ext) {
+      const uint32_t from =
+          st.item == kNoStateItem ? 0 : es.slice_end(st_slice);
+      for (uint32_t p = std::max(from, ctx.min_item); p < es.num_items();
+           ++p) {
+        const EndpointCode c = item_at(p);
+        const EventId ev = EndpointEvent(c);
+        if (ViolatesWindow(es, st, es.item_slice(p))) break;  // monotone
+        if (!IsFinish(c)) {
+          if (InOpen(ev)) continue;
+          if (uint32_t* aux =
+                  try_push(c, /*i_ext=*/false, p, OpenAnchor(es, st, p))) {
+            FillOpen(aux, req, stride, es.partner(p));
+          }
+        } else if (!validity_pruning_) {
+          const int32_t k = OpenIndex(ev);
+          if (k >= 0 && req[k] == p) {
+            if (uint32_t* aux = try_push(c, /*i_ext=*/false, p, st.anchor)) {
+              FillClose(aux, req, stride, static_cast<uint32_t>(k));
+            }
+          }
+        }
+      }
     }
   }
 
-  Result<EndpointMiningResult> Run() {
-    EndpointMiningResult result;
-    if (MinerFaultPoint("miner.alloc")) {
-      return Status::ResourceExhausted(
-          "injected allocation failure building the endpoint representation "
-          "(fault site miner.alloc)");
-    }
-    const obs::MetricsSnapshot obs_start =
-        obs::MetricsRegistry::Global().Snapshot();
-    WallTimer build_timer;
-    {
-      TPM_TRACE_SPAN("endpoint.build");
-      edb_ = EndpointDatabase::FromDatabase(db_);
-      cooc_ = CooccurrenceTable::Build(db_, minsup_);
-    }
-    tracker_.Allocate(edb_.MemoryBytes() + cooc_.MemoryBytes());
-    num_symbols_ = db_.dict().size();
-    seen_epoch_.assign(num_symbols_, 0);
-    result.stats.build_seconds = build_timer.ElapsedSeconds();
-
-    WallTimer mine_timer;
-    TPM_TRACE_SPAN("endpoint.grow");
-    // Root projection: one virgin state per non-empty sequence.
-    ProjectedDb root;
-    root.reserve(edb_.size());
-    for (uint32_t s = 0; s < edb_.size(); ++s) {
-      if (edb_[s].num_items() == 0) continue;
-      SeqProj sp;
-      sp.seq = s;
-      sp.states.push_back(OccState{});
-      root.push_back(std::move(sp));
-    }
-    std::vector<uint8_t> allowed(num_symbols_, 1);
-    if (postfix_pruning_ || pair_pruning_) {
-      for (EventId e = 0; e < num_symbols_; ++e) {
-        allowed[e] = cooc_.IsFrequentSymbol(e) ? 1 : 0;
-      }
-    }
-    out_ = &result;
-    Expand(root, allowed);
-    result.stats.mine_seconds = mine_timer.ElapsedSeconds();
-    result.stats.patterns_found = result.patterns.size();
-    result.stats.truncated = guard_.stopped();
-    result.stats.stop_reason = guard_.reason();
-    RecordStopMetrics(guard_.reason());
-    result.stats.peak_logical_bytes = tracker_.peak_bytes();
-    result.stats.peak_rss_bytes = ReadPeakRssBytes();
-    result.stats.metrics =
-        obs::MetricsRegistry::Global().Snapshot().Since(obs_start);
-    return result;
-  }
-
- private:
-  // Returns slice index of a state's last matched item, or kNoItem at root.
-  uint32_t StateSlice(const EndpointSequence& es, const OccState& st) const {
-    return st.item == kNoItem ? kNoItem : es.item_slice(st.item);
-  }
-
-  void Expand(const ProjectedDb& proj, const std::vector<uint8_t>& allowed) {
-    if (guard_.ShouldStop()) return;
-    ++out_->stats.nodes_expanded;
-    om_.node_depth->Observe(pat_items_.size());
-    om_.projected_seqs->Observe(proj.size());
-    {
-      size_t proj_states = 0;
-      for (const SeqProj& sp : proj) proj_states += sp.states.size();
-      om_.projected_states->Observe(proj_states);
-    }
-    const uint64_t node_states_before = out_->stats.states_created;
-    const uint64_t node_cands_before = out_->stats.candidates_checked;
-    node_validity_closes_ = 0;
-
-    // Report the pattern at this node when it is complete and non-empty.
-    if (!pat_items_.empty() && open_events_.empty()) {
-      EmitPattern(static_cast<SupportCount>(proj.size()));
-      if (guard_.stopped()) return;
-    }
-    if (options_.max_items > 0 && pat_items_.size() >= options_.max_items) return;
-
-    const bool allow_s_ext =
-        options_.max_length == 0 || pat_offsets_.size() < options_.max_length ||
-        pat_items_.empty();
-    const EndpointCode last_code = pat_items_.empty() ? 0 : pat_items_.back();
-
-    // ---- Candidate scan ------------------------------------------------
-    std::vector<Bucket> buckets;
-    std::unordered_map<uint64_t, int32_t> bucket_index;  // key -> idx or -1
-    std::vector<SupportCount> postfix_count;
-    if (postfix_pruning_) postfix_count.assign(num_symbols_, 0);
-    size_t copies_bytes = 0;
-
-    auto bucket_for = [&](EndpointCode code, bool i_ext) -> Bucket* {
-      const uint64_t key = (static_cast<uint64_t>(code) << 1) | (i_ext ? 1 : 0);
-      auto it = bucket_index.find(key);
-      if (it != bucket_index.end()) {
-        return it->second < 0 ? nullptr : &buckets[it->second];
-      }
-      ++out_->stats.candidates_checked;
-      // Admission checks for extensions introducing a new symbol.
-      const EventId ev = EndpointEvent(code);
-      if (!IsFinish(code)) {
-        if (postfix_pruning_ || pair_pruning_) {
-          if (!allowed[ev]) {
-            // The allowed set is narrowed by postfix counting when postfix
-            // pruning runs; otherwise it is the pair table's frequent-symbol
-            // filter — attribute the rejection accordingly.
-            (postfix_pruning_ ? om_.postfix_hits : om_.pair_hits)->Increment();
-            bucket_index.emplace(key, -1);
-            return nullptr;
-          }
-        }
-        if (pair_pruning_ && !InPattern(ev)) {
-          for (EventId a : pattern_symbols_) {
-            if (!cooc_.IsFrequentPair(a, ev)) {
-              om_.pair_hits->Increment();
-              bucket_index.emplace(key, -1);
-              return nullptr;
-            }
-          }
-        }
-      }
-      bucket_index.emplace(key, static_cast<int32_t>(buckets.size()));
-      buckets.push_back(Bucket{code, i_ext, {}, 0});
-      return &buckets.back();
-    };
-
-    for (const SeqProj& sp : proj) {
-      const EndpointSequence& es = edb_[sp.seq];
-      uint32_t min_item = ~0u;
-      for (const OccState& st : sp.states) {
-        min_item = std::min(min_item, st.item == kNoItem ? 0 : st.item + 1);
-      }
-
-      // TPrefixSpan mode: physically materialize this node's postfix and
-      // scan the copy. The copy stores (global item index, code) pairs.
-      std::vector<std::pair<uint32_t, EndpointCode>> copy;
-      if (config_.physical_projection) {
-        copy.reserve(es.num_items() - min_item);
-        for (uint32_t p = min_item; p < es.num_items(); ++p) {
-          copy.emplace_back(p, es.item(p));
-        }
-        copies_bytes += copy.capacity() * sizeof(copy[0]);
-      }
-      auto item_at = [&](uint32_t p) -> EndpointCode {
-        if (config_.physical_projection) return copy[p - min_item].second;
-        return es.item(p);
-      };
-
-      // Postfix symbol counting for the children's allowed set.
-      if (postfix_pruning_) {
-        ++epoch_;
-        for (uint32_t p = min_item; p < es.num_items(); ++p) {
-          const EventId ev = EndpointEvent(item_at(p));
-          if (seen_epoch_[ev] != epoch_) {
-            seen_epoch_[ev] = epoch_;
-            ++postfix_count[ev];
-          }
-        }
-      }
-
-      for (const OccState& st : sp.states) {
-        const uint32_t st_slice = StateSlice(es, st);
-        // --- Finish-endpoint candidates straight from obligations. ---
-        if (validity_pruning_) {
-          for (size_t k = 0; k < open_events_.size(); ++k) {
-            const uint32_t q = st.req[k];
-            const uint32_t q_slice = es.item_slice(q);
-            const EndpointCode fcode = MakeFinish(open_events_[k]);
-            if (q_slice == st_slice && q > st.item && fcode > last_code) {
-              // i-extension close within the last slice.
-              if (Bucket* b = bucket_for(fcode, /*i_ext=*/true)) {
-                PushClose(b, sp.seq, st, k, q);
-                ++node_validity_closes_;
-              }
-            } else if (allow_s_ext && st_slice != kNoItem && q_slice > st_slice &&
-                       !ViolatesWindow(es, st, q_slice)) {
-              if (Bucket* b = bucket_for(fcode, /*i_ext=*/false)) {
-                PushClose(b, sp.seq, st, k, q);
-                ++node_validity_closes_;
-              }
-            }
-          }
-        }
-
-        // --- I-extensions: same slice, larger code. ---
-        if (st.item != kNoItem) {
-          const uint32_t end = es.slice_end(st_slice);
-          for (uint32_t p = st.item + 1; p < end; ++p) {
-            const EndpointCode c = item_at(p);
-            const EventId ev = EndpointEvent(c);
-            if (!IsFinish(c)) {
-              if (c <= last_code || InOpen(ev)) continue;
-              if (Bucket* b = bucket_for(c, /*i_ext=*/true)) {
-                PushOpen(b, sp.seq, st, p, es);
-              }
-            } else if (!validity_pruning_) {
-              // Scan-based close: accept only the obligated position.
-              const int32_t k = OpenIndex(ev);
-              if (k >= 0 && st.req[k] == p && c > last_code) {
-                if (Bucket* b = bucket_for(c, /*i_ext=*/true)) {
-                  PushClose(b, sp.seq, st, k, p);
-                }
-              }
-            }
-            // Same-slice matches share the anchor slice's time, so the
-            // window can never be violated by an i-extension.
-          }
-        }
-
-        // --- S-extensions: any later slice. ---
-        if (allow_s_ext) {
-          const uint32_t from =
-              st.item == kNoItem ? 0 : es.slice_end(st_slice);
-          for (uint32_t p = std::max(from, min_item); p < es.num_items(); ++p) {
-            const EndpointCode c = item_at(p);
-            const EventId ev = EndpointEvent(c);
-            if (ViolatesWindow(es, st, es.item_slice(p))) break;  // monotone
-            if (!IsFinish(c)) {
-              if (InOpen(ev)) continue;
-              if (Bucket* b = bucket_for(c, /*i_ext=*/false)) {
-                PushOpen(b, sp.seq, st, p, es);
-              }
-            } else if (!validity_pruning_) {
-              const int32_t k = OpenIndex(ev);
-              if (k >= 0 && st.req[k] == p) {
-                if (Bucket* b = bucket_for(c, /*i_ext=*/false)) {
-                  PushClose(b, sp.seq, st, k, p);
-                }
-              }
-            }
-          }
-        }
-      }
-    }
-
-    // Flush this node's scan tallies before recursion resets them.
-    om_.states->Increment(out_->stats.states_created - node_states_before);
-    om_.candidates->Increment(out_->stats.candidates_checked -
-                              node_cands_before);
-    om_.validity_hits->Increment(node_validity_closes_);
-
-    // ---- Children ------------------------------------------------------
-    std::vector<uint8_t> child_allowed = allowed;
-    if (postfix_pruning_) {
-      for (EventId e = 0; e < num_symbols_; ++e) {
-        if (postfix_count[e] < minsup_) child_allowed[e] = 0;
-      }
-    }
-
-    size_t bucket_bytes = copies_bytes;
-    for (const Bucket& b : buckets) bucket_bytes += b.bytes;
-    tracker_.Allocate(bucket_bytes);
-
-    // Deterministic child order.
-    std::sort(buckets.begin(), buckets.end(), [](const Bucket& a, const Bucket& b) {
-      if (a.i_ext != b.i_ext) return a.i_ext > b.i_ext;
-      return a.code < b.code;
+  // Sort + dedup within one sequence: states compare by (item, anchor, req
+  // lexicographic), duplicates collapse to one.
+  void SelectSpan(const ProjectionBuilder::SpanView& v,
+                  std::vector<uint32_t>* keep) {
+    const uint32_t n = v.count;
+    const uint32_t stride = v.stride;
+    order_.resize(n);
+    for (uint32_t i = 0; i < n; ++i) order_[i] = i;
+    std::sort(order_.begin(), order_.end(), [&](uint32_t a, uint32_t b) {
+      const StateRec& ra = v.recs[a];
+      const StateRec& rb = v.recs[b];
+      if (ra.item != rb.item) return ra.item < rb.item;
+      if (ra.anchor != rb.anchor) return ra.anchor < rb.anchor;
+      const uint32_t* aa = v.aux + static_cast<size_t>(a) * stride;
+      const uint32_t* ab = v.aux + static_cast<size_t>(b) * stride;
+      return std::lexicographical_compare(aa, aa + stride, ab, ab + stride);
     });
-
-    for (Bucket& b : buckets) {
-      if (guard_.stopped()) break;
-      const SupportCount support = b.Finalize();
-      if (support < minsup_) continue;
-      ApplyExtension(b.code, b.i_ext);
-      Expand(b.proj, child_allowed);
-      UndoExtension(b.i_ext);
+    for (uint32_t i = 0; i < n; ++i) {
+      if (i > 0 && EqualStates(v, order_[i], order_[i - 1])) continue;
+      keep->push_back(order_[i]);
     }
-    tracker_.Release(bucket_bytes);
   }
 
   // Appends `code` to the pattern as an i- or s-extension and updates the
   // open list / pattern symbol set.
-  void ApplyExtension(EndpointCode code, bool i_ext) {
-    if (!i_ext) pat_offsets_.push_back(static_cast<uint32_t>(pat_items_.size()));
+  void Apply(uint32_t code, bool i_ext) {
+    if (!i_ext) {
+      pat_offsets_.push_back(static_cast<uint32_t>(pat_items_.size()));
+    }
     pat_items_.push_back(code);
     const EventId ev = EndpointEvent(code);
     if (!IsFinish(code)) {
@@ -385,8 +213,7 @@ class Engine {
     }
   }
 
-  void UndoExtension(bool i_ext) {
-    const EndpointCode code = pat_items_.back();
+  void Undo(uint32_t code, bool i_ext) {
     pat_items_.pop_back();
     if (!i_ext) pat_offsets_.pop_back();
     if (!IsFinish(code)) {
@@ -400,40 +227,37 @@ class Engine {
     symbol_added_.pop_back();
   }
 
-  // True when matching an item in slice `slice` from `st` would overflow the
-  // time-window constraint.
-  bool ViolatesWindow(const EndpointSequence& es, const OccState& st,
-                      uint32_t slice) const {
-    if (options_.max_window <= 0 || st.anchor == kNoItem) return false;
-    return es.slice_time(slice) - es.slice_time(st.anchor) > options_.max_window;
+ private:
+  static void FillOpen(uint32_t* aux, const uint32_t* req, uint32_t stride,
+                       uint32_t partner) {
+    if (stride != 0) std::memcpy(aux, req, stride * sizeof(uint32_t));
+    aux[stride] = partner;
   }
 
-  // Pushes the child state for opening a new interval: matched item p.
-  void PushOpen(Bucket* b, uint32_t seq, const OccState& st, uint32_t p,
-                const EndpointSequence& es) {
-    OccState ns;
-    ns.item = p;
-    // Anchors only matter (and only enter state identity) under a window
-    // constraint; leaving them unset otherwise lets more states dedup.
-    if (options_.max_window > 0) {
-      ns.anchor = st.anchor == kNoItem ? es.item_slice(p) : st.anchor;
+  // Child aux = req minus obligation k (child stride is stride - 1).
+  static void FillClose(uint32_t* aux, const uint32_t* req, uint32_t stride,
+                        uint32_t k) {
+    if (k != 0) std::memcpy(aux, req, k * sizeof(uint32_t));
+    if (k + 1 != stride) {
+      std::memcpy(aux + k, req + k + 1, (stride - k - 1) * sizeof(uint32_t));
     }
-    ns.req = st.req;
-    ns.req.push_back(es.partner(p));
-    ++out_->stats.states_created;
-    b->Push(seq, std::move(ns));
   }
 
-  // Pushes the child state for closing open symbol k at data item q.
-  void PushClose(Bucket* b, uint32_t seq, const OccState& st, size_t k,
-                 uint32_t q) {
-    OccState ns;
-    ns.item = q;
-    ns.anchor = st.anchor;
-    ns.req = st.req;
-    ns.req.erase(ns.req.begin() + static_cast<ptrdiff_t>(k));
-    ++out_->stats.states_created;
-    b->Push(seq, std::move(ns));
+  // Anchors only matter (and only enter state identity) under a window
+  // constraint; leaving them unset otherwise lets more states dedup.
+  uint32_t OpenAnchor(const EndpointSequence& es, const StateRec& st,
+                      uint32_t p) const {
+    if (options_.max_window <= 0) return kNoStateItem;
+    return st.anchor == kNoStateItem ? es.item_slice(p) : st.anchor;
+  }
+
+  // True when matching an item in slice `slice` from `st` would overflow
+  // the time-window constraint.
+  bool ViolatesWindow(const EndpointSequence& es, const StateRec& st,
+                      uint32_t slice) const {
+    if (options_.max_window <= 0 || st.anchor == kNoStateItem) return false;
+    return es.slice_time(slice) - es.slice_time(st.anchor) >
+           options_.max_window;
   }
 
   bool InOpen(EventId ev) const {
@@ -450,35 +274,18 @@ class Engine {
     return -1;
   }
 
-  bool InPattern(EventId ev) const {
-    for (EventId e : pattern_symbols_) {
-      if (e == ev) return true;
-    }
-    return false;
+  bool EqualStates(const ProjectionBuilder::SpanView& v, uint32_t a,
+                   uint32_t b) const {
+    if (!(v.recs[a] == v.recs[b])) return false;
+    const uint32_t* aa = v.aux + static_cast<size_t>(a) * v.stride;
+    const uint32_t* ab = v.aux + static_cast<size_t>(b) * v.stride;
+    return std::equal(aa, aa + v.stride, ab);
   }
 
-  void EmitPattern(SupportCount support) {
-    std::vector<uint32_t> offsets = pat_offsets_;
-    offsets.push_back(static_cast<uint32_t>(pat_items_.size()));
-    out_->patterns.push_back(
-        MinedPattern<EndpointPattern>{EndpointPattern(pat_items_, offsets), support});
-    om_.patterns->Increment();
-    tracker_.Allocate(pat_items_.size() * sizeof(EndpointCode) +
-                      offsets.size() * sizeof(uint32_t));
-    guard_.NotePattern(out_->patterns.size());
-  }
-
-  const IntervalDatabase& db_;
   const MinerOptions& options_;
-  const EndpointGrowthConfig& config_;
-  const SupportCount minsup_;
-  bool pair_pruning_ = false;
-  bool postfix_pruning_ = false;
-  bool validity_pruning_ = false;
+  const bool validity_pruning_;
 
   EndpointDatabase edb_;
-  CooccurrenceTable cooc_;
-  size_t num_symbols_ = 0;
 
   // DFS pattern stack.
   std::vector<EndpointCode> pat_items_;
@@ -488,16 +295,8 @@ class Engine {
   std::vector<uint8_t> symbol_added_;  // per pattern item: added new symbol?
   std::vector<std::pair<uint32_t, EventId>> closed_stack_;
 
-  // Scratch for per-sequence symbol dedup.
-  std::vector<uint32_t> seen_epoch_;
-  uint32_t epoch_ = 0;
-
-  const MinerMetrics& om_ = MinerMetrics::Get();
+  std::vector<uint32_t> order_;  // SelectSpan scratch
   uint64_t node_validity_closes_ = 0;
-
-  MemoryTracker tracker_;
-  ExecutionGuard guard_{options_.ToGuardLimits(), &tracker_};
-  EndpointMiningResult* out_ = nullptr;
 };
 
 }  // namespace
@@ -512,7 +311,7 @@ Result<EndpointMiningResult> MineEndpointGrowth(const IntervalDatabase& db,
   if (!(options.min_support > 0.0)) {
     return Status::InvalidArgument("min_support must be positive");
   }
-  Engine engine(db, options, config);
+  GrowthEngine<EndpointPolicy> engine(db, options, config);
   Result<EndpointMiningResult> result = engine.Run();
   if (result.ok()) internal::DCheckMinerExit(*result);
   return result;

@@ -1,0 +1,392 @@
+// Shared prefix-growth engine for the projection-based miners.
+//
+// P-TPMiner/E (endpoint language) and P-TPMiner/C (coincidence language)
+// differ only in their pattern representation and extension semantics; the
+// search scaffolding — projected-database buckets, support counting,
+// candidate admission (pair/postfix pruning with memoized per-node
+// decisions), allowed-symbol epoch tracking, physical-copy baselines,
+// deterministic child ordering, guard/metrics/validator hooks, and the
+// recursion driver — is identical. GrowthEngine<Policy> owns all of that;
+// the policy contributes the language-specific pieces:
+//
+//   using PatternT / ResultT / ConfigT
+//   kBuildSpanName / kGrowSpanName / kFaultMessage
+//   Build(db) -> representation bytes;  NumSeqs / NumItems / ItemCode
+//   IntroducesSymbol(code) / SymbolOf(code)     admission gating
+//   Stride() / ChildStride(code, i_ext)         aux-slice widths
+//   ScanState(ctx, seq, rec, aux, item_at, try_push)   candidate loops
+//   SelectSpan(span_view, keep)                 per-sequence dedup/dominance
+//   CanEmit / MakePattern / PatternLen / NumBlocks
+//   Apply / Undo (extension on the pattern stack)
+//   InPattern / PatternSymbols                  pair-pruning queries
+//   BeginNode / FlushNodeMetrics                per-node policy counters
+//
+// Every piece of per-node search state lives in ExpandFrame (the explicit
+// context struct) or on the policy's pattern stack keyed by recursion depth
+// — nothing is hidden in cross-node mutable engine state — so a subtree
+// expansion is a self-contained unit of work. That is the enabler for
+// handing sibling subtrees to a parallel scheduler later: a worker needs
+// only the frame's NodeProjection, the allowed vector, and a policy whose
+// stack is replayed to the subtree root.
+//
+// Projection storage is delegated to core/projection.h: pseudo mode stages
+// into a shared arena (reset once per node) and finalizes into per-depth
+// arenas (rewound when the subtree exits), making the MemoryTracker's view
+// of projection bytes exact; copy mode reproduces the legacy heap-copied
+// cost profile for A/B comparison and the physical-projection baselines.
+
+#pragma once
+
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/database.h"
+#include "core/projection.h"
+#include "miner/cooccurrence.h"
+#include "miner/miner_metrics.h"
+#include "miner/options.h"
+#include "miner/validate_hooks.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/macros.h"
+#include "util/memory.h"
+#include "util/timer.h"
+
+namespace tpm {
+
+/// Node-scoped scan parameters handed to Policy::ScanState.
+struct GrowthScanCtx {
+  bool allow_s_ext = false;  ///< may the pattern grow a new slice/segment?
+  uint32_t min_item = 0;     ///< first item index any state here can match
+};
+
+template <typename Policy>
+class GrowthEngine {
+ public:
+  using ResultT = typename Policy::ResultT;
+  using ConfigT = typename Policy::ConfigT;
+  using PatternT = typename Policy::PatternT;
+
+  GrowthEngine(const IntervalDatabase& db, const MinerOptions& options,
+               const ConfigT& config)
+      : db_(db),
+        options_(options),
+        config_(config),
+        minsup_(db.AbsoluteSupport(options.min_support)),
+        mode_(config.physical_projection ? ProjectionMode::kCopy
+                                         : options.projection),
+        policy_(options, config),
+        arenas_(&tracker_) {
+    if (config_.force_disable_prunings) {
+      pair_pruning_ = false;
+      postfix_pruning_ = false;
+    } else {
+      pair_pruning_ = options_.pair_pruning;
+      postfix_pruning_ = options_.postfix_pruning;
+    }
+  }
+
+  Result<ResultT> Run() {
+    ResultT result;
+    if (MinerFaultPoint("miner.alloc")) {
+      return Status::ResourceExhausted(Policy::kFaultMessage);
+    }
+    const obs::MetricsSnapshot obs_start =
+        obs::MetricsRegistry::Global().Snapshot();
+    WallTimer build_timer;
+    size_t rep_bytes = 0;
+    {
+      TPM_TRACE_SPAN(Policy::kBuildSpanName);
+      rep_bytes = policy_.Build(db_);
+      cooc_ = CooccurrenceTable::Build(db_, minsup_);
+    }
+    result.stats.build_bytes = rep_bytes + cooc_.MemoryBytes();
+    tracker_.Allocate(result.stats.build_bytes);
+    num_symbols_ = db_.dict().size();
+    seen_epoch_.assign(num_symbols_, 0);
+    result.stats.build_seconds = build_timer.ElapsedSeconds();
+
+    WallTimer mine_timer;
+    TPM_TRACE_SPAN(Policy::kGrowSpanName);
+    // Root projection: one virgin state per non-empty sequence.
+    ProjectionBuilder root_builder;
+    root_builder.Init(mode_, /*stride=*/0, &arenas_, /*depth=*/0);
+    for (uint32_t s = 0; s < policy_.NumSeqs(); ++s) {
+      if (policy_.NumItems(s) == 0) continue;
+      root_builder.Push(s, kNoStateItem, kNoStateItem);
+    }
+    const NodeProjection& root = root_builder.FinalizeKeepAll();
+    internal::DCheckProjection(root);
+    arenas_.staging().Reset();
+
+    std::vector<uint8_t> allowed(num_symbols_, 1);
+    if (postfix_pruning_ || pair_pruning_) {
+      for (EventId e = 0; e < num_symbols_; ++e) {
+        allowed[e] = cooc_.IsFrequentSymbol(e) ? 1 : 0;
+      }
+    }
+    out_ = &result;
+    Expand(root, allowed, /*depth=*/0);
+    result.stats.mine_seconds = mine_timer.ElapsedSeconds();
+    result.stats.patterns_found = result.patterns.size();
+    result.stats.truncated = guard_.stopped();
+    result.stats.stop_reason = guard_.reason();
+    RecordStopMetrics(guard_.reason());
+    result.stats.peak_tracked_bytes = tracker_.peak_bytes();
+    result.stats.arena_peak_bytes = arenas_.total_allocated_bytes();
+    result.stats.peak_rss_bytes = ReadPeakRssBytes();
+    if (mode_ == ProjectionMode::kPseudo) {
+      om_.arena_peak->Set(
+          static_cast<int64_t>(result.stats.arena_peak_bytes));
+      om_.arena_blocks->Increment(arenas_.total_blocks());
+    }
+    result.stats.metrics =
+        obs::MetricsRegistry::Global().Snapshot().Since(obs_start);
+    return result;
+  }
+
+ private:
+  // One candidate extension's child projection under construction.
+  struct Bucket {
+    uint32_t code = 0;
+    bool i_ext = false;
+    ProjectionBuilder builder;
+  };
+
+  // Everything one node expansion owns. Kept explicit (rather than spread
+  // over engine members mutated across recursion) so sibling subtrees only
+  // share read-only inputs — the precondition for mining them in parallel.
+  struct ExpandFrame {
+    std::deque<Bucket> buckets;  // deque: stable addresses under growth
+    std::unordered_map<uint64_t, int32_t> bucket_index;  // key -> idx or -1
+    std::vector<SupportCount> postfix_count;
+    size_t copies_bytes = 0;
+    uint32_t cur_seq = 0;
+  };
+
+  void Expand(const NodeProjection& proj, const std::vector<uint8_t>& allowed,
+              uint32_t depth) {
+    if (guard_.ShouldStop()) return;
+    ++out_->stats.nodes_expanded;
+    om_.node_depth->Observe(policy_.PatternLen());
+    om_.projected_seqs->Observe(proj.num_spans);
+    om_.projected_states->Observe(proj.num_states);
+    const uint64_t node_states_before = out_->stats.states_created;
+    const uint64_t node_cands_before = out_->stats.candidates_checked;
+    policy_.BeginNode();
+
+    // Report the pattern at this node when the policy deems it complete.
+    if (policy_.CanEmit()) {
+      EmitPattern(static_cast<SupportCount>(proj.num_spans));
+      if (guard_.stopped()) return;
+    }
+    if (options_.max_items > 0 && policy_.PatternLen() >= options_.max_items) {
+      return;
+    }
+
+    GrowthScanCtx ctx;
+    ctx.allow_s_ext = options_.max_length == 0 ||
+                      policy_.NumBlocks() < options_.max_length ||
+                      policy_.PatternLen() == 0;
+
+    ExpandFrame frame;
+    if (postfix_pruning_) frame.postfix_count.assign(num_symbols_, 0);
+
+    auto bucket_for = [&](uint32_t code, bool i_ext) -> Bucket* {
+      const uint64_t key =
+          (static_cast<uint64_t>(code) << 1) | (i_ext ? 1 : 0);
+      auto it = frame.bucket_index.find(key);
+      if (it != frame.bucket_index.end()) {
+        return it->second < 0 ? nullptr : &frame.buckets[it->second];
+      }
+      ++out_->stats.candidates_checked;
+      // Admission checks for extensions introducing a new symbol.
+      if (Policy::IntroducesSymbol(code)) {
+        const EventId ev = Policy::SymbolOf(code);
+        if ((postfix_pruning_ || pair_pruning_) && !allowed[ev]) {
+          // The allowed set is narrowed by postfix counting when postfix
+          // pruning runs; otherwise it is the pair table's frequent-symbol
+          // filter — attribute the rejection accordingly.
+          (postfix_pruning_ ? om_.postfix_hits : om_.pair_hits)->Increment();
+          frame.bucket_index.emplace(key, -1);
+          return nullptr;
+        }
+        if (pair_pruning_ && !policy_.InPattern(ev)) {
+          for (EventId a : policy_.PatternSymbols()) {
+            if (!cooc_.IsFrequentPair(a, ev)) {
+              om_.pair_hits->Increment();
+              frame.bucket_index.emplace(key, -1);
+              return nullptr;
+            }
+          }
+        }
+      }
+      frame.bucket_index.emplace(
+          key, static_cast<int32_t>(frame.buckets.size()));
+      frame.buckets.emplace_back();
+      Bucket& b = frame.buckets.back();
+      b.code = code;
+      b.i_ext = i_ext;
+      b.builder.Init(mode_, policy_.ChildStride(code, i_ext), &arenas_,
+                     depth + 1);
+      return &b;
+    };
+
+    auto try_push = [&](uint32_t code, bool i_ext, uint32_t item,
+                        uint32_t anchor) -> uint32_t* {
+      Bucket* b = bucket_for(code, i_ext);
+      if (b == nullptr) return nullptr;
+      ++out_->stats.states_created;
+      return b->builder.Push(frame.cur_seq, item, anchor);
+    };
+
+    // ---- Candidate scan ------------------------------------------------
+    for (uint32_t si = 0; si < proj.num_spans; ++si) {
+      const SeqSpan& sp = proj.spans[si];
+      frame.cur_seq = sp.seq;
+      const uint32_t nitems = policy_.NumItems(sp.seq);
+
+      uint32_t min_item = ~0u;
+      for (uint32_t i = 0; i < sp.count; ++i) {
+        const StateRec& r = proj.states[sp.offset + i];
+        min_item =
+            std::min(min_item, r.item == kNoStateItem ? 0 : r.item + 1);
+      }
+      ctx.min_item = min_item;
+
+      // Baseline mode (TPrefixSpan / CTMiner): physically materialize this
+      // node's postfix as (global item index, code) pairs and scan the copy.
+      std::vector<std::pair<uint32_t, uint32_t>> copy;
+      if (config_.physical_projection) {
+        copy.reserve(nitems - min_item);
+        for (uint32_t p = min_item; p < nitems; ++p) {
+          copy.emplace_back(p, policy_.ItemCode(sp.seq, p));
+        }
+        frame.copies_bytes += copy.capacity() * sizeof(copy[0]);
+      }
+      auto item_at = [&](uint32_t p) -> uint32_t {
+        if (config_.physical_projection) return copy[p - min_item].second;
+        return policy_.ItemCode(frame.cur_seq, p);
+      };
+
+      // Postfix symbol counting for the children's allowed set.
+      if (postfix_pruning_) {
+        ++epoch_;
+        for (uint32_t p = min_item; p < nitems; ++p) {
+          const EventId ev = Policy::SymbolOf(item_at(p));
+          if (seen_epoch_[ev] != epoch_) {
+            seen_epoch_[ev] = epoch_;
+            ++frame.postfix_count[ev];
+          }
+        }
+      }
+
+      for (uint32_t i = 0; i < sp.count; ++i) {
+        const size_t state_index = sp.offset + i;
+        policy_.ScanState(ctx, sp.seq, proj.states[state_index],
+                          proj.aux_of(state_index), item_at, try_push);
+      }
+    }
+
+    // Flush this node's scan tallies before recursion resets them.
+    om_.states->Increment(out_->stats.states_created - node_states_before);
+    om_.candidates->Increment(out_->stats.candidates_checked -
+                              node_cands_before);
+    policy_.FlushNodeMetrics(om_);
+
+    // ---- Children ------------------------------------------------------
+    std::vector<uint8_t> child_allowed = allowed;
+    if (postfix_pruning_) {
+      for (EventId e = 0; e < num_symbols_; ++e) {
+        if (frame.postfix_count[e] < minsup_) child_allowed[e] = 0;
+      }
+    }
+
+    // Copy mode carries the legacy capacity-based estimates; pseudo mode is
+    // charged exactly by the arenas themselves as blocks map.
+    size_t scan_bytes = frame.copies_bytes;
+    for (const Bucket& b : frame.buckets) {
+      scan_bytes += b.builder.staged_heap_bytes();
+    }
+    tracker_.Allocate(scan_bytes);
+
+    // Deterministic child order.
+    std::sort(frame.buckets.begin(), frame.buckets.end(),
+              [](const Bucket& a, const Bucket& b) {
+                if (a.i_ext != b.i_ext) return a.i_ext > b.i_ext;
+                return a.code < b.code;
+              });
+
+    Arena& child_arena = arenas_.depth(depth + 1);
+    const Arena::Mark child_mark = child_arena.mark();
+    size_t final_bytes = 0;
+    for (Bucket& b : frame.buckets) {
+      const NodeProjection& view = b.builder.Finalize(
+          [this](const ProjectionBuilder::SpanView& v,
+                 std::vector<uint32_t>* keep) {
+            policy_.SelectSpan(v, keep);
+          });
+      internal::DCheckProjection(view);
+      final_bytes += b.builder.final_heap_bytes();
+    }
+    // All parents up the stack finalized before recursing, so nothing else
+    // is staged: the staging arena can rewind to empty for the children.
+    arenas_.staging().Reset();
+    tracker_.Allocate(final_bytes);
+    tracker_.Release(scan_bytes - frame.copies_bytes);  // staging freed
+    if (mode_ == ProjectionMode::kPseudo) {
+      om_.arena_depth_bytes->Observe(child_arena.used_bytes());
+    }
+
+    for (Bucket& b : frame.buckets) {
+      if (guard_.stopped()) break;
+      const NodeProjection& view = b.builder.view();
+      if (view.num_spans < minsup_) continue;
+      policy_.Apply(b.code, b.i_ext);
+      Expand(view, child_allowed, depth + 1);
+      policy_.Undo(b.code, b.i_ext);
+    }
+    tracker_.Release(frame.copies_bytes + final_bytes);
+    child_arena.Rewind(child_mark);
+  }
+
+  void EmitPattern(SupportCount support) {
+    out_->patterns.push_back(
+        MinedPattern<PatternT>{policy_.MakePattern(), support});
+    om_.patterns->Increment();
+    // items + slice offsets (incl. the trailing end offset).
+    tracker_.Allocate((policy_.PatternLen() + policy_.NumBlocks() + 1) *
+                      sizeof(uint32_t));
+    guard_.NotePattern(out_->patterns.size());
+  }
+
+  const IntervalDatabase& db_;
+  const MinerOptions& options_;
+  const ConfigT& config_;
+  const SupportCount minsup_;
+  const ProjectionMode mode_;
+  bool pair_pruning_ = false;
+  bool postfix_pruning_ = false;
+
+  Policy policy_;
+  CooccurrenceTable cooc_;
+  size_t num_symbols_ = 0;
+
+  // Scratch for per-sequence symbol dedup (postfix counting).
+  std::vector<uint32_t> seen_epoch_;
+  uint32_t epoch_ = 0;
+
+  const MinerMetrics& om_ = MinerMetrics::Get();
+
+  MemoryTracker tracker_;
+  ProjectionArenas arenas_;
+  ExecutionGuard guard_{options_.ToGuardLimits(), &tracker_};
+  ResultT* out_ = nullptr;
+};
+
+}  // namespace tpm

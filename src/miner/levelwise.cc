@@ -124,7 +124,7 @@ class EndpointLevelwise {
     result.stats.truncated = guard_.stopped();
     result.stats.stop_reason = guard_.reason();
     RecordStopMetrics(guard_.reason());
-    result.stats.peak_logical_bytes = tracker_.peak_bytes();
+    result.stats.peak_tracked_bytes = tracker_.peak_bytes();
     result.stats.peak_rss_bytes = ReadPeakRssBytes();
     result.stats.metrics =
         obs::MetricsRegistry::Global().Snapshot().Since(obs_start);
@@ -331,7 +331,7 @@ class CoincidenceLevelwise {
     result.stats.truncated = guard_.stopped();
     result.stats.stop_reason = guard_.reason();
     RecordStopMetrics(guard_.reason());
-    result.stats.peak_logical_bytes = tracker_.peak_bytes();
+    result.stats.peak_tracked_bytes = tracker_.peak_bytes();
     result.stats.peak_rss_bytes = ReadPeakRssBytes();
     result.stats.metrics =
         obs::MetricsRegistry::Global().Snapshot().Since(obs_start);

@@ -29,6 +29,13 @@ struct MinerMetrics {
   obs::Histogram* projected_seqs;   ///< sequences in a node's projection
   obs::Histogram* projected_states; ///< states in a node's projection
 
+  // Projection-arena accounting (pseudo mode only; see docs/ARCHITECTURE.md).
+  obs::Gauge* arena_peak;            ///< miner.arena.peak_bytes: blocks
+                                     ///< mapped by the last run's arenas
+  obs::Counter* arena_blocks;        ///< miner.arena.blocks: blocks mapped
+  obs::Histogram* arena_depth_bytes; ///< per-node bytes of the child-depth
+                                     ///< arena after finalize
+
   static const MinerMetrics& Get() {
     static const MinerMetrics m = [] {
       auto& r = obs::MetricsRegistry::Global();
@@ -46,6 +53,10 @@ struct MinerMetrics {
           r.GetHistogram("search.projected_seqs", obs::ExponentialBounds(1, 4.0, 10));
       mm.projected_states = r.GetHistogram("search.projected_states",
                                            obs::ExponentialBounds(1, 4.0, 12));
+      mm.arena_peak = r.GetGauge("miner.arena.peak_bytes");
+      mm.arena_blocks = r.GetCounter("miner.arena.blocks");
+      mm.arena_depth_bytes = r.GetHistogram("miner.arena.depth_bytes",
+                                            obs::ExponentialBounds(1024, 4.0, 12));
       return mm;
     }();
     return m;

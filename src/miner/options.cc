@@ -19,13 +19,13 @@ const char* PatternTypeName(PatternType t) {
 std::string MiningStats::ToString() const {
   return StringPrintf(
       "build=%.3fs mine=%.3fs patterns=%llu nodes=%llu candidates=%llu "
-      "states=%llu peak_logical=%s peak_rss=%s%s",
+      "states=%llu peak_tracked=%s peak_rss=%s%s",
       build_seconds, mine_seconds,
       static_cast<unsigned long long>(patterns_found),
       static_cast<unsigned long long>(nodes_expanded),
       static_cast<unsigned long long>(candidates_checked),
       static_cast<unsigned long long>(states_created),
-      HumanBytes(peak_logical_bytes).c_str(), HumanBytes(peak_rss_bytes).c_str(),
+      HumanBytes(peak_tracked_bytes).c_str(), HumanBytes(peak_rss_bytes).c_str(),
       truncated ? StringPrintf(" TRUNCATED(%s)", StopReasonName(stop_reason)).c_str()
                 : "");
 }

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/pattern.h"
+#include "core/projection.h"
 #include "core/types.h"
 #include "obs/metrics.h"
 #include "util/guard.h"
@@ -49,7 +50,7 @@ struct MinerOptions {
   double time_budget_seconds = 0.0;
 
   /// Logical-byte budget (MemoryTracker view, the same accounting
-  /// MiningStats::peak_logical_bytes reports); mining stops (truncated,
+  /// MiningStats::peak_tracked_bytes reports); mining stops (truncated,
   /// StopReason::kMemory) when the miner's live structures exceed it.
   /// A periodic RSS sample backstops gross untracked growth. 0 = unlimited.
   size_t memory_budget_bytes = 0;
@@ -73,6 +74,12 @@ struct MinerOptions {
   bool pair_pruning = true;
   bool postfix_pruning = true;
   bool validity_pruning = true;
+
+  /// How the growth engines materialize child projections
+  /// (docs/ARCHITECTURE.md). `kCopy` is the deprecated legacy path kept for
+  /// A/B comparison; baseline configs with physical projection
+  /// (TPrefixSpan / CTMiner) always copy regardless of this setting.
+  ProjectionMode projection = ProjectionMode::kPseudo;
 };
 
 /// \brief Counters every miner fills in; the benchmark harness prints them.
@@ -83,7 +90,10 @@ struct MiningStats {
   uint64_t nodes_expanded = 0;     ///< search-tree nodes / candidates kept
   uint64_t candidates_checked = 0; ///< extension candidates considered
   uint64_t states_created = 0;     ///< occurrence states / projected entries
-  size_t peak_logical_bytes = 0;   ///< MemoryTracker high-water mark
+  size_t peak_tracked_bytes = 0;   ///< MemoryTracker high-water mark
+  size_t build_bytes = 0;          ///< representation + co-occurrence table
+  size_t arena_peak_bytes = 0;     ///< projection arena blocks mapped (0 in
+                                   ///< copy mode; see docs/ARCHITECTURE.md)
   uint64_t peak_rss_bytes = 0;     ///< OS VmHWM after mining
   bool truncated = false;          ///< true when a cap or budget stopped mining
   StopReason stop_reason = StopReason::kNone;  ///< which limit stopped mining

@@ -7,10 +7,22 @@
 
 #pragma once
 
+#include "core/projection.h"
 #include "core/validate.h"
 #include "miner/options.h"
 
 namespace tpm::internal {
+
+/// Asserts a freshly finalized projected database is well-formed (spans
+/// grouped and strictly increasing by sequence, offsets contiguous). The
+/// growth engine calls this on every bucket it finalizes.
+inline void DCheckProjection(const NodeProjection& proj) {
+#if TPM_VALIDATORS_ENABLED
+  TPM_DCHECK_OK(ValidateProjection(proj));
+#else
+  (void)proj;
+#endif
+}
 
 inline void DCheckEndpointMinerEntry(const IntervalDatabase& db) {
 #if TPM_VALIDATORS_ENABLED

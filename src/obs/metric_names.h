@@ -36,6 +36,9 @@ inline constexpr const char* kRegisteredMetricNames[] = {
     "io.text.parse_ns",
     "io.text.read_bytes",
     "io.text.read_lines",
+    "miner.arena.blocks",
+    "miner.arena.depth_bytes",
+    "miner.arena.peak_bytes",
     "prune.apriori.hits",
     "prune.pair.hits",
     "prune.postfix.hits",

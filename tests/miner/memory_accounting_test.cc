@@ -1,0 +1,102 @@
+// Regression tests for the exact-byte memory accounting the arena-backed
+// projection layer enables (ISSUE 4 satellite). In pseudo mode every tracked
+// allocation is one of three monotone components — the representation build,
+// the projection arenas (charged per mapped block, never released until the
+// engine dies), and the emitted patterns — so the MemoryTracker high-water
+// mark must equal their sum EXACTLY, not approximately. Any drift means a
+// component went back to estimate-based accounting.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "datagen/quest.h"
+#include "miner/coincidence_growth.h"
+#include "miner/endpoint_growth.h"
+#include "testing/test_util.h"
+
+namespace tpm {
+namespace {
+
+IntervalDatabase MakeDb(uint64_t seed) {
+  QuestConfig config;
+  config.num_sequences = 40;
+  config.avg_intervals_per_sequence = 6.0;
+  config.num_symbols = 15;
+  config.num_potential_patterns = 10;
+  config.pattern_injection_prob = 0.6;
+  config.seed = seed;
+  auto db = GenerateQuest(config);
+  EXPECT_TRUE(db.ok()) << db.status();
+  return std::move(*db);
+}
+
+// Bytes the engine charges per emitted pattern: items plus slice offsets
+// (including the trailing end offset).
+template <typename ResultT>
+size_t PatternBytes(const ResultT& result) {
+  size_t bytes = 0;
+  for (const auto& mp : result.patterns) {
+    bytes += (mp.pattern.items().size() + mp.pattern.offsets().size()) *
+             sizeof(uint32_t);
+  }
+  return bytes;
+}
+
+TEST(MemoryAccountingTest, EndpointPseudoPeakIsExactlyBuildPlusArena) {
+  const IntervalDatabase db = MakeDb(7);
+  MinerOptions options;
+  options.min_support = 0.15;
+  options.projection = ProjectionMode::kPseudo;
+  auto result = MineEndpointGrowth(db, options, EndpointGrowthConfig{});
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_GT(result->patterns.size(), 0u);
+  EXPECT_GT(result->stats.arena_peak_bytes, 0u);
+  EXPECT_EQ(result->stats.peak_tracked_bytes,
+            result->stats.build_bytes + result->stats.arena_peak_bytes +
+                PatternBytes(*result));
+}
+
+TEST(MemoryAccountingTest, CoincidencePseudoPeakIsExactlyBuildPlusArena) {
+  const IntervalDatabase db = MakeDb(11);
+  MinerOptions options;
+  options.min_support = 0.15;
+  options.projection = ProjectionMode::kPseudo;
+  auto result = MineCoincidenceGrowth(db, options, CoincidenceGrowthConfig{});
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_GT(result->patterns.size(), 0u);
+  EXPECT_EQ(result->stats.peak_tracked_bytes,
+            result->stats.build_bytes + result->stats.arena_peak_bytes +
+                PatternBytes(*result));
+}
+
+// With a support threshold nothing can reach, no patterns are emitted and the
+// identity reduces to its pure form: peak == build + arena, byte for byte.
+TEST(MemoryAccountingTest, ZeroPatternRunPinsPureIdentity) {
+  const IntervalDatabase db = MakeDb(13);
+  MinerOptions options;
+  options.min_support = static_cast<double>(db.size() + 1);  // unreachable
+  options.projection = ProjectionMode::kPseudo;
+  auto result = MineEndpointGrowth(db, options, EndpointGrowthConfig{});
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->patterns.size(), 0u);
+  EXPECT_EQ(result->stats.peak_tracked_bytes,
+            result->stats.build_bytes + result->stats.arena_peak_bytes);
+}
+
+// Copy mode keeps the legacy capacity-estimate profile: arenas stay unmapped
+// and the peak reflects the heap-copied staging, which is at least the build
+// bytes but no longer an exact sum.
+TEST(MemoryAccountingTest, CopyModeMapsNoArenas) {
+  const IntervalDatabase db = MakeDb(7);
+  MinerOptions options;
+  options.min_support = 0.15;
+  options.projection = ProjectionMode::kCopy;
+  auto result = MineEndpointGrowth(db, options, EndpointGrowthConfig{});
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->stats.arena_peak_bytes, 0u);
+  EXPECT_GE(result->stats.peak_tracked_bytes, result->stats.build_bytes);
+}
+
+}  // namespace
+}  // namespace tpm

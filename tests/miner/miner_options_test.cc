@@ -119,7 +119,7 @@ TEST(MinerOptionsTest, StatsArePopulated) {
   EXPECT_EQ(r->stats.patterns_found, r->patterns.size());
   EXPECT_GT(r->stats.nodes_expanded, 0u);
   EXPECT_GT(r->stats.candidates_checked, 0u);
-  EXPECT_GT(r->stats.peak_logical_bytes, 0u);
+  EXPECT_GT(r->stats.peak_tracked_bytes, 0u);
   EXPECT_GT(r->stats.peak_rss_bytes, 0u);
   EXPECT_FALSE(r->stats.truncated);
   EXPECT_FALSE(r->stats.ToString().empty());

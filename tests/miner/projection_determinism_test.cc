@@ -1,0 +1,143 @@
+// Determinism suite for the two projection backends (ISSUE 4): on random
+// QUEST databases, the mined (pattern, support) set must be byte-identical
+// between --projection=copy (legacy heap-copied states) and
+// --projection=pseudo (arena-backed flat spans), for both pattern languages
+// and every pruning on/off combination. The copy path exists only as this
+// A/B baseline, so any divergence here is a bug in the pseudo port.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "datagen/quest.h"
+#include "miner/coincidence_growth.h"
+#include "miner/endpoint_growth.h"
+#include "testing/test_util.h"
+
+namespace tpm {
+namespace {
+
+using testing::Render;
+
+constexpr uint32_t kNumDatabases = 25;
+
+IntervalDatabase MakeDb(uint64_t seed) {
+  QuestConfig config;
+  config.num_sequences = 30;
+  config.avg_intervals_per_sequence = 6.0;
+  config.num_symbols = 12;
+  config.num_potential_patterns = 8;
+  config.pattern_injection_prob = 0.7;
+  config.seed = seed;
+  auto db = GenerateQuest(config);
+  EXPECT_TRUE(db.ok()) << db.status();
+  return std::move(*db);
+}
+
+MinerOptions BaseOptions(uint32_t pruning_mask) {
+  MinerOptions options;
+  options.min_support = 0.2;
+  options.pair_pruning = (pruning_mask & 1) != 0;
+  options.postfix_pruning = (pruning_mask & 2) != 0;
+  options.validity_pruning = (pruning_mask & 4) != 0;
+  return options;
+}
+
+class ProjectionDeterminismTest : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(QuestSeeds, ProjectionDeterminismTest,
+                         ::testing::Range(uint64_t{1},
+                                          uint64_t{kNumDatabases + 1}));
+
+TEST_P(ProjectionDeterminismTest, EndpointCopyAndPseudoAgree) {
+  const IntervalDatabase db = MakeDb(GetParam());
+  // All eight pair/postfix/validity combinations.
+  for (uint32_t mask = 0; mask < 8; ++mask) {
+    MinerOptions options = BaseOptions(mask);
+    options.projection = ProjectionMode::kPseudo;
+    auto pseudo = MineEndpointGrowth(db, options, EndpointGrowthConfig{});
+    ASSERT_TRUE(pseudo.ok()) << pseudo.status();
+    options.projection = ProjectionMode::kCopy;
+    auto copy = MineEndpointGrowth(db, options, EndpointGrowthConfig{});
+    ASSERT_TRUE(copy.ok()) << copy.status();
+    pseudo->SortCanonically();
+    copy->SortCanonically();
+    ASSERT_EQ(pseudo->patterns.size(), copy->patterns.size())
+        << "pruning mask " << mask;
+    EXPECT_EQ(Render(*pseudo, db.dict()), Render(*copy, db.dict()))
+        << "pruning mask " << mask;
+    // Search statistics must match too: the backends store the same states.
+    EXPECT_EQ(pseudo->stats.nodes_expanded, copy->stats.nodes_expanded);
+    EXPECT_EQ(pseudo->stats.states_created, copy->stats.states_created);
+    EXPECT_EQ(pseudo->stats.candidates_checked, copy->stats.candidates_checked);
+  }
+}
+
+TEST_P(ProjectionDeterminismTest, CoincidenceCopyAndPseudoAgree) {
+  const IntervalDatabase db = MakeDb(GetParam());
+  // Coincidence honors pair/postfix pruning: four combinations.
+  for (uint32_t mask = 0; mask < 4; ++mask) {
+    MinerOptions options = BaseOptions(mask);
+    options.projection = ProjectionMode::kPseudo;
+    auto pseudo = MineCoincidenceGrowth(db, options, CoincidenceGrowthConfig{});
+    ASSERT_TRUE(pseudo.ok()) << pseudo.status();
+    options.projection = ProjectionMode::kCopy;
+    auto copy = MineCoincidenceGrowth(db, options, CoincidenceGrowthConfig{});
+    ASSERT_TRUE(copy.ok()) << copy.status();
+    pseudo->SortCanonically();
+    copy->SortCanonically();
+    EXPECT_EQ(Render(*pseudo, db.dict()), Render(*copy, db.dict()))
+        << "pruning mask " << mask;
+    EXPECT_EQ(pseudo->stats.nodes_expanded, copy->stats.nodes_expanded);
+    EXPECT_EQ(pseudo->stats.states_created, copy->stats.states_created);
+    EXPECT_EQ(pseudo->stats.candidates_checked, copy->stats.candidates_checked);
+  }
+}
+
+TEST_P(ProjectionDeterminismTest, WindowConstraintAgreesAcrossBackends) {
+  const IntervalDatabase db = MakeDb(GetParam());
+  MinerOptions options = BaseOptions(7);
+  options.max_window = 40;
+  options.projection = ProjectionMode::kPseudo;
+  auto ep = MineEndpointGrowth(db, options, EndpointGrowthConfig{});
+  auto cp = MineCoincidenceGrowth(db, options, CoincidenceGrowthConfig{});
+  ASSERT_TRUE(ep.ok()) << ep.status();
+  ASSERT_TRUE(cp.ok()) << cp.status();
+  options.projection = ProjectionMode::kCopy;
+  auto ec = MineEndpointGrowth(db, options, EndpointGrowthConfig{});
+  auto cc = MineCoincidenceGrowth(db, options, CoincidenceGrowthConfig{});
+  ASSERT_TRUE(ec.ok()) << ec.status();
+  ASSERT_TRUE(cc.ok()) << cc.status();
+  ep->SortCanonically();
+  ec->SortCanonically();
+  cp->SortCanonically();
+  cc->SortCanonically();
+  EXPECT_EQ(Render(*ep, db.dict()), Render(*ec, db.dict()));
+  EXPECT_EQ(Render(*cp, db.dict()), Render(*cc, db.dict()));
+}
+
+// The physical-projection baselines (TPrefixSpan / CTMiner) must force the
+// copy backend regardless of the requested mode: their defining behavior is
+// materializing postfix copies.
+TEST(ProjectionBaselineTest, PhysicalProjectionIgnoresPseudoRequest) {
+  const IntervalDatabase db = MakeDb(99);
+  MinerOptions options = BaseOptions(0);
+  options.projection = ProjectionMode::kPseudo;
+  EndpointGrowthConfig baseline;
+  baseline.physical_projection = true;
+  baseline.force_disable_prunings = true;
+  auto result = MineEndpointGrowth(db, options, baseline);
+  ASSERT_TRUE(result.ok()) << result.status();
+  // Copy mode never maps projection arenas.
+  EXPECT_EQ(result->stats.arena_peak_bytes, 0u);
+  options.projection = ProjectionMode::kCopy;
+  auto same = MineEndpointGrowth(db, options, baseline);
+  ASSERT_TRUE(same.ok()) << same.status();
+  result->SortCanonically();
+  same->SortCanonically();
+  EXPECT_EQ(Render(*result, db.dict()), Render(*same, db.dict()));
+}
+
+}  // namespace
+}  // namespace tpm

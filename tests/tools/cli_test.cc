@@ -110,6 +110,28 @@ TEST(CliTest, MineCoincidence) {
   EXPECT_NE(out.find("<(Fever Rash)>"), std::string::npos);
 }
 
+TEST(CliTest, MineProjectionBackendsAgreeAndBadValueFails) {
+  const std::string db = TempPath("cli_proj.tisd");
+  WriteSample(db);
+  std::string pseudo_out, copy_out, out;
+  ASSERT_EQ(RunCli({"tpm", "mine", db.c_str(), "--minsup=2",
+                    "--projection=pseudo"},
+                   &pseudo_out),
+            0);
+  ASSERT_EQ(RunCli({"tpm", "mine", db.c_str(), "--minsup=2",
+                    "--projection=copy"},
+                   &copy_out),
+            0);
+  // Identical pattern lines; the trailing "# ..." summary differs (the two
+  // backends report different peak_tracked bytes by design).
+  EXPECT_EQ(pseudo_out.substr(0, pseudo_out.find("\n# ")),
+            copy_out.substr(0, copy_out.find("\n# ")));
+  EXPECT_NE(pseudo_out.find("<{Fever+}{Rash+}{Fever-}{Rash-}>"),
+            std::string::npos);
+  EXPECT_NE(RunCli({"tpm", "mine", db.c_str(), "--projection=granular"}, &out),
+            0);
+}
+
 TEST(CliTest, MineRejectsBadAlgo) {
   const std::string db = TempPath("cli_bad.tisd");
   WriteSample(db);

@@ -10,6 +10,7 @@
 #include "analysis/profile.h"
 #include "analysis/render.h"
 #include "analysis/rules.h"
+#include "core/projection.h"
 #include "core/validate.h"
 #include "datagen/quest.h"
 #include "datagen/realistic.h"
@@ -168,6 +169,7 @@ struct MineFlags {
   bool no_pair_pruning = false;
   bool no_postfix_pruning = false;
   bool no_validity_pruning = false;
+  std::string projection = "pseudo";
   ObsFlags obs;
   bool help = false;
 
@@ -198,6 +200,9 @@ struct MineFlags {
                "disable P-TPMiner postfix pruning");
     p->AddBool("no-validity-pruning", &no_validity_pruning,
                "disable P-TPMiner validity pruning");
+    p->AddString("projection", &projection,
+                 "growth-engine projection: pseudo (default) | copy "
+                 "(deprecated legacy A/B path)");
     obs.Register(p);
     p->AddBool("help", &help, "show this help");
   }
@@ -217,6 +222,11 @@ struct MineFlags {
     if (max_length < 0) return Status::InvalidArgument("--max-length must be >= 0");
     if (window < 0) return Status::InvalidArgument("--window must be >= 0");
     if (top < 0) return Status::InvalidArgument("--top must be >= 0");
+    ProjectionMode mode;
+    if (!ParseProjectionMode(projection, &mode)) {
+      return Status::InvalidArgument("--projection must be pseudo or copy (got " +
+                                     projection + ")");
+    }
     return obs.Validate();
   }
 
@@ -232,6 +242,13 @@ struct MineFlags {
     options.pair_pruning = !no_pair_pruning;
     options.postfix_pruning = !no_postfix_pruning;
     options.validity_pruning = !no_validity_pruning;
+    ProjectionMode mode = ProjectionMode::kPseudo;
+    if (ParseProjectionMode(projection, &mode)) options.projection = mode;
+    if (mode == ProjectionMode::kCopy) {
+      std::cerr << "warning: --projection=copy is deprecated; it exists only "
+                   "for A/B comparison against the arena-backed pseudo "
+                   "projection (see docs/ARCHITECTURE.md)\n";
+    }
     return options;
   }
 };

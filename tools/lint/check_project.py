@@ -14,6 +14,10 @@ Enforces invariants generic tools can't (see docs/STATIC_ANALYSIS.md):
   headers   every header is self-contained: `#pragma once`, and no <iostream>
             anywhere in src/ library code (headers or .cc) — stream state and
             static-init-order surprises stay confined to tools/tests/benches.
+  projection  no copied-projection containers (std::vector<OccState>-style
+            per-state heap structures) in src/ outside the legacy copy backend
+            in src/core/projection.h — new engine code must stage through
+            ProjectionBuilder so projections stay flat and arena-backed.
   format    whitespace rules checkable without clang-format: no trailing
             whitespace, no tabs in C++ sources, no CRLF, final newline.
 
@@ -238,6 +242,34 @@ def check_header_compiles(root, findings, compiler="g++"):
 
 
 # --------------------------------------------------------------------------
+# projection: no copied projections outside the legacy backend
+# --------------------------------------------------------------------------
+
+# The legacy copy backend (deprecated, kept as the --projection=copy A/B
+# baseline) is the only place allowed to hold per-state heap containers.
+PROJECTION_ALLOWED = (os.path.join("src", "core", "projection.h"),)
+PROJECTION_RE = re.compile(
+    r"std::(?:vector|deque|list)<\s*(OccState|SeqProj|ProjectedDb|CopyState"
+    r"|CopySeq)\b")
+
+
+def check_projection(root, findings):
+    for path in iter_files(root, ("src",), CXX_EXTENSIONS):
+        rel = relpath(root, path)
+        if rel in PROJECTION_ALLOWED:
+            continue
+        for lineno, line in enumerate(open(path, encoding="utf-8"), 1):
+            m = PROJECTION_RE.search(line)
+            if m:
+                findings.add(
+                    "projection", rel, lineno,
+                    f"copied-projection container holding '{m.group(1)}' "
+                    "outside the legacy copy backend; stage through "
+                    "ProjectionBuilder (src/core/projection.h) so projections "
+                    "stay flat and arena-backed")
+
+
+# --------------------------------------------------------------------------
 # format: whitespace rules that need no clang-format
 # --------------------------------------------------------------------------
 
@@ -270,6 +302,7 @@ CHECKS = {
     "metrics": check_metrics,
     "faults": check_faults,
     "headers": check_headers,
+    "projection": check_projection,
     "format": check_format,
 }
 
@@ -376,11 +409,22 @@ def self_test(root):
     plant("dead registry entry", dead_registry_entry, "metrics",
           "zzz.never_used")
 
+    def copied_projection(scratch):
+        path = os.path.join(scratch, "src", "miner", "growth_engine.h")
+        text = open(path).read().replace(
+            "namespace tpm {",
+            "namespace tpm {\nstruct OccState;\n"
+            "using LegacyProjection = std::vector<OccState>;", 1)
+        open(path, "w").write(text)
+
+    plant("copied projection outside the legacy backend", copied_projection,
+          "projection", "OccState")
+
     if failures:
         for f in failures:
             print(f"FAIL {f}")
         return 1
-    print("lint self-test OK: 7 planted violations, 7 caught, clean tree clean")
+    print("lint self-test OK: 8 planted violations, 8 caught, clean tree clean")
     return 0
 
 
