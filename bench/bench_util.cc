@@ -149,7 +149,9 @@ void PrintTable(const std::vector<Cell>& cells) {
 }
 
 void WriteJsonRecords(const std::string& name, const std::vector<Cell>& cells) {
-  const char* dir = std::getenv("TPM_BENCH_JSON_DIR");
+  // Benches are single-threaded drivers and never call setenv.
+  const char* dir =
+      std::getenv("TPM_BENCH_JSON_DIR");  // NOLINT(concurrency-mt-unsafe)
   const std::string path =
       std::string(dir != nullptr ? dir : ".") + "/BENCH_" + name + ".json";
   std::ostringstream out;
@@ -176,7 +178,9 @@ void WriteJsonRecords(const std::string& name, const std::vector<Cell>& cells) {
 }
 
 double BenchScale() {
-  const char* env = std::getenv("TPM_BENCH_SCALE");
+  // Benches are single-threaded drivers and never call setenv.
+  const char* env =
+      std::getenv("TPM_BENCH_SCALE");  // NOLINT(concurrency-mt-unsafe)
   if (env == nullptr) return 1.0;
   const double v = std::atof(env);
   return v > 0.0 ? v : 1.0;

@@ -78,6 +78,13 @@ struct SeqSpan {
 /// `spans` are strictly increasing by seq and index contiguously into
 /// `states` / `aux` (ValidateProjection checks exactly this). Support of the
 /// node's pattern is `num_spans` by construction.
+///
+/// Lifetime: a pseudo-mode view records the depth arena that holds its
+/// storage and that arena's generation at Finalize time. The view dies the
+/// moment the arena rewinds — CheckAlive() (debug builds) and
+/// ValidateProjection assert this, and under ASan the storage itself is
+/// poisoned, so a stale view aborts rather than reading recycled records.
+/// Copy-mode views leave `arena` null; their storage belongs to the builder.
 struct NodeProjection {
   const SeqSpan* spans = nullptr;
   uint32_t num_spans = 0;
@@ -85,8 +92,21 @@ struct NodeProjection {
   const uint32_t* aux = nullptr;     ///< `stride` words per state
   uint32_t stride = 0;
   size_t num_states = 0;
+  const Arena* arena = nullptr;  ///< depth arena owning the storage (pseudo)
+  uint64_t generation = 0;       ///< arena->generation() at Finalize
+
+  /// True while the backing storage is guaranteed live (always true for
+  /// builder-owned copy-mode views).
+  bool alive() const {
+    return arena == nullptr || arena->generation() == generation;
+  }
+
+  /// Debug assertion that the view has not outlived an arena rewind. The
+  /// growth engine calls this at node entry; it compiles out under NDEBUG.
+  void CheckAlive() const { TPM_DCHECK(alive()); }
 
   const uint32_t* aux_of(size_t state_index) const {
+    TPM_DCHECK(alive());
     return aux + state_index * stride;
   }
 };
@@ -334,6 +354,16 @@ class ProjectionBuilder {
     view_.aux = out_aux;
     view_.stride = stride_;
     view_.num_states = off;
+    if (mode_ == ProjectionMode::kPseudo) {
+      // Stamp the lifetime contract: the view is valid exactly until the
+      // depth arena rewinds (the engine rewinds it when the subtree exits).
+      const Arena& fin = arenas_->depth(depth_);
+      view_.arena = &fin;
+      view_.generation = fin.generation();
+    } else {
+      view_.arena = nullptr;
+      view_.generation = 0;
+    }
     return view_;
   }
 

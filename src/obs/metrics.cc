@@ -169,7 +169,7 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& [n, counter] : counters_) {
     if (n == name) return &counter;
   }
@@ -179,7 +179,7 @@ Counter* MetricsRegistry::GetCounter(const std::string& name) {
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& [n, gauge] : gauges_) {
     if (n == name) return &gauge;
   }
@@ -190,7 +190,7 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name) {
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          std::vector<uint64_t> bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& [n, histogram] : histograms_) {
     if (n == name) return &histogram;
   }
@@ -203,7 +203,7 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot snap;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     snap.counters.reserve(counters_.size());
     for (const auto& [name, counter] : counters_) {
       snap.counters.push_back({name, counter.Value()});
@@ -236,7 +236,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& [name, counter] : counters_) counter.Reset();
   for (auto& [name, gauge] : gauges_) gauge.Reset();
   for (auto& [name, histogram] : histograms_) histogram.Reset();

@@ -21,9 +21,10 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace tpm {
 namespace obs {
@@ -196,14 +197,22 @@ class MetricsRegistry {
   void Reset();
 
  private:
-  mutable std::mutex mu_;
-  // Deques keep handle addresses stable across registration.
-  std::deque<std::pair<std::string, Counter>> counters_;
-  std::deque<std::pair<std::string, Gauge>> gauges_;
-  std::deque<std::pair<std::string, Histogram>> histograms_;
+  mutable Mutex mu_;
+  // Deques keep handle addresses stable across registration; the mutex
+  // guards the containers (registration / snapshot), never the metric cells
+  // themselves — those are written lock-free through the shards.
+  std::deque<std::pair<std::string, Counter>> counters_ TPM_GUARDED_BY(mu_);
+  std::deque<std::pair<std::string, Gauge>> gauges_ TPM_GUARDED_BY(mu_);
+  std::deque<std::pair<std::string, Histogram>> histograms_
+      TPM_GUARDED_BY(mu_);
 };
 
 #else  // TPM_OBS_DISABLED: inline no-op stubs, zero hot-path cost.
+//
+// Concurrency audit (Tier D): the stubs are stateless — every method is an
+// empty body or a constant return, and the shared counter_/gauge_/histogram_
+// members are never written through — so handing one stub instance to every
+// caller is race-free without locks or atomics.
 
 class Counter {
  public:

@@ -4,10 +4,10 @@
 #include <atomic>
 #include <chrono>
 #include <fstream>
-#include <mutex>
 #include <ostream>
 
 #include "util/string_util.h"
+#include "util/sync.h"
 
 namespace tpm {
 namespace obs {
@@ -23,10 +23,10 @@ std::atomic<bool> g_trace_enabled{false};
 constexpr size_t kRingCapacity = 1 << 15;
 
 struct Ring {
-  std::mutex mu;
-  std::vector<TraceEvent> events;  // capped at kRingCapacity
-  size_t next = 0;                 // overwrite cursor once full
-  uint64_t dropped = 0;
+  Mutex mu;
+  std::vector<TraceEvent> events TPM_GUARDED_BY(mu);  // capped at kRingCapacity
+  size_t next TPM_GUARDED_BY(mu) = 0;  // overwrite cursor once full
+  uint64_t dropped TPM_GUARDED_BY(mu) = 0;
 };
 
 Ring& GlobalRing() {
@@ -70,7 +70,7 @@ void RecordSpan(const char* name, uint64_t start_ns, uint64_t dur_ns) {
   ev.start_ns = start_ns;
   ev.dur_ns = dur_ns;
   Ring& ring = GlobalRing();
-  std::lock_guard<std::mutex> lock(ring.mu);
+  MutexLock lock(&ring.mu);
   if (ring.events.size() < kRingCapacity) {
     ring.events.push_back(ev);
   } else {
@@ -84,7 +84,7 @@ void RecordSpan(const char* name, uint64_t start_ns, uint64_t dur_ns) {
 
 void ClearTrace() {
   Ring& ring = GlobalRing();
-  std::lock_guard<std::mutex> lock(ring.mu);
+  MutexLock lock(&ring.mu);
   ring.events.clear();
   ring.next = 0;
   ring.dropped = 0;
@@ -92,7 +92,7 @@ void ClearTrace() {
 
 std::vector<TraceEvent> TraceEvents() {
   Ring& ring = GlobalRing();
-  std::lock_guard<std::mutex> lock(ring.mu);
+  MutexLock lock(&ring.mu);
   std::vector<TraceEvent> out;
   out.reserve(ring.events.size());
   // Once the ring has wrapped, `next` points at the oldest slot.

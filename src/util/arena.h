@@ -14,6 +14,17 @@
 // allocations: the arena grows to the high-water mark of its workload and
 // stays there, which keeps the tracker monotone per arena and avoids malloc
 // churn in the search loop. All memory is released in the destructor.
+//
+// Lifetime enforcement (Tier D, docs/STATIC_ANALYSIS.md): under
+// AddressSanitizer every byte the arena holds but has not handed out is
+// poisoned — fresh blocks entirely, reclaimed ranges on Rewind/Reset — so a
+// read through a stale pointer aborts with a use-after-poison report instead
+// of silently returning recycled records. Independently, the arena keeps a
+// generation counter that Rewind/Reset bump; consumers with arena-backed
+// views (NodeProjection, see core/projection.h) stamp the generation at
+// build time and TPM_DCHECK it on access, which catches use-after-rewind in
+// plain Debug builds with no sanitizer at all. Both layers compile to
+// nothing in release builds without ASan.
 
 #pragma once
 
@@ -26,6 +37,28 @@
 #include <vector>
 
 #include "util/memory.h"
+
+// ASan detection: GCC defines __SANITIZE_ADDRESS__; Clang exposes the
+// feature test. TPM_ASAN_ENABLED gates the manual poisoning below.
+#if defined(__SANITIZE_ADDRESS__)
+#define TPM_ASAN_ENABLED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define TPM_ASAN_ENABLED 1
+#endif
+#endif
+#ifndef TPM_ASAN_ENABLED
+#define TPM_ASAN_ENABLED 0
+#endif
+
+#if TPM_ASAN_ENABLED
+#include <sanitizer/asan_interface.h>
+#define TPM_ASAN_POISON(addr, size) ASAN_POISON_MEMORY_REGION(addr, size)
+#define TPM_ASAN_UNPOISON(addr, size) ASAN_UNPOISON_MEMORY_REGION(addr, size)
+#else
+#define TPM_ASAN_POISON(addr, size) ((void)(addr), (void)(size))
+#define TPM_ASAN_UNPOISON(addr, size) ((void)(addr), (void)(size))
+#endif
 
 namespace tpm {
 
@@ -45,6 +78,11 @@ class Arena {
   Arena& operator=(const Arena&) = delete;
 
   ~Arena() {
+#if TPM_ASAN_ENABLED
+    // Hand every block back to the allocator unpoisoned: delete[] of a
+    // user-poisoned range is undefined under the manual-poisoning contract.
+    for (Block& b : blocks_) TPM_ASAN_UNPOISON(b.data.get(), b.size);
+#endif
     if (tracker_ != nullptr) tracker_->Release(allocated_);
   }
 
@@ -70,6 +108,8 @@ class Arena {
     offset_ = off + bytes;
     used_ += bytes;
     if (used_ > used_high_water_) used_high_water_ = used_;
+    // Alignment gaps stay poisoned: only the bytes handed out are legal.
+    TPM_ASAN_UNPOISON(ptr, bytes);
     return ptr;
   }
 
@@ -96,6 +136,7 @@ class Arena {
     }
     const size_t delta = new_bytes - old_bytes;
     if (offset_ + delta > b.size) return false;
+    TPM_ASAN_UNPOISON(b.data.get() + offset_, delta);
     offset_ += delta;
     used_ += delta;
     if (used_ > used_high_water_) used_high_water_ = used_;
@@ -112,9 +153,20 @@ class Arena {
 
   Mark mark() const { return Mark{static_cast<uint32_t>(block_), offset_, used_}; }
 
-  /// Releases everything allocated since `m` in O(1). Blocks are retained
-  /// for reuse, so tracker charges are unchanged.
+  /// Releases everything allocated since `m` in O(1) (O(active blocks) under
+  /// ASan, which poisons the reclaimed ranges). Blocks are retained for
+  /// reuse, so tracker charges are unchanged. Bumps the generation: views
+  /// stamped with an earlier generation() are dead from here on, even when
+  /// their bytes happened to lie below the mark — a rewound arena makes no
+  /// liveness promises to spans it did not just hand out.
   void Rewind(const Mark& m) {
+#if TPM_ASAN_ENABLED
+    for (size_t b = m.block; b < blocks_.size() && b <= block_; ++b) {
+      const size_t keep = b == m.block ? m.offset : 0;
+      TPM_ASAN_POISON(blocks_[b].data.get() + keep, blocks_[b].size - keep);
+    }
+#endif
+    ++generation_;
     block_ = m.block;
     offset_ = m.offset;
     used_ = m.used;
@@ -122,6 +174,11 @@ class Arena {
 
   /// Rewinds to empty, retaining blocks for reuse.
   void Reset() { Rewind(Mark{}); }
+
+  /// Monotone count of Rewind/Reset calls. Arena-backed views record it at
+  /// creation and treat any later value as "my storage may be recycled";
+  /// NodeProjection::CheckAlive debug-asserts exactly that.
+  uint64_t generation() const { return generation_; }
 
   /// Live bump-allocated bytes (requested sizes, excluding block slack).
   size_t used_bytes() const { return used_; }
@@ -148,6 +205,7 @@ class Arena {
     size_t size = block_bytes_;
     if (size < min_bytes) size = min_bytes;
     blocks_.push_back(Block{std::unique_ptr<char[]>(new char[size]), size});
+    TPM_ASAN_POISON(blocks_.back().data.get(), size);
     allocated_ += size;
     if (tracker_ != nullptr) tracker_->Allocate(size);
     block_ = blocks_.size() - 1;
@@ -162,6 +220,7 @@ class Arena {
   size_t used_high_water_ = 0;
   size_t allocated_ = 0;
   size_t block_bytes_ = kDefaultMinBlockBytes;
+  uint64_t generation_ = 0;
 };
 
 /// \brief Minimal growable array on an Arena for trivially copyable types.

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cstdlib>
-#include <mutex>
 
 #include "util/logging.h"
 #include "util/string_util.h"
+#include "util/sync.h"
 
 namespace tpm {
 namespace fault {
@@ -44,12 +44,12 @@ bool IsRegisteredSite(const std::string& site) {
 namespace {
 
 struct FaultState {
-  std::mutex mu;
-  bool env_loaded = false;
-  std::string armed_site;  // empty = disarmed
-  uint64_t armed_nth = 0;
-  uint64_t hits = 0;
-  uint64_t injections = 0;
+  Mutex mu;
+  bool env_loaded TPM_GUARDED_BY(mu) = false;
+  std::string armed_site TPM_GUARDED_BY(mu);  // empty = disarmed
+  uint64_t armed_nth TPM_GUARDED_BY(mu) = 0;
+  uint64_t hits TPM_GUARDED_BY(mu) = 0;
+  uint64_t injections TPM_GUARDED_BY(mu) = 0;
 };
 
 FaultState& State() {
@@ -58,9 +58,11 @@ FaultState& State() {
 }
 
 // Parses "site:nth" ("nth" optional, default 1). Called under the lock.
-void LoadEnvLocked(FaultState& s) {
+void LoadEnvLocked(FaultState& s) TPM_REQUIRES(s.mu) {
   s.env_loaded = true;
-  const char* env = std::getenv("TPM_FAULT");
+  // Reads TPM_FAULT exactly once, under the state mutex; the process never
+  // calls setenv, so there is no writer for getenv to race with.
+  const char* env = std::getenv("TPM_FAULT");  // NOLINT(concurrency-mt-unsafe)
   if (env == nullptr || env[0] == '\0') return;
   const std::string spec(env);
   const size_t colon = spec.find(':');
@@ -87,7 +89,7 @@ void LoadEnvLocked(FaultState& s) {
 
 void Arm(const std::string& site, uint64_t nth) {
   FaultState& s = State();
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(&s.mu);
   s.env_loaded = true;  // programmatic arming overrides TPM_FAULT
   s.armed_site = site;
   s.armed_nth = nth == 0 ? 1 : nth;
@@ -97,7 +99,7 @@ void Arm(const std::string& site, uint64_t nth) {
 
 void Disarm() {
   FaultState& s = State();
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(&s.mu);
   s.env_loaded = true;
   s.armed_site.clear();
   s.armed_nth = 0;
@@ -107,7 +109,7 @@ void Disarm() {
 
 bool ShouldFail(const char* site) {
   FaultState& s = State();
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(&s.mu);
   if (!s.env_loaded) LoadEnvLocked(s);
   if (s.armed_site.empty() || s.armed_site != site) return false;
   if (++s.hits != s.armed_nth) return false;
@@ -119,7 +121,7 @@ bool ShouldFail(const char* site) {
 
 uint64_t InjectionCount() {
   FaultState& s = State();
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(&s.mu);
   return s.injections;
 }
 

@@ -85,7 +85,14 @@ struct GuardLimits {
 ///   stats.stop_reason = guard.reason();
 /// \endcode
 ///
-/// Thread-compatible, like the miners it governs: one guard per run.
+/// Thread-compatible, like the miners it governs: one guard per run, and the
+/// run owns it exclusively. The fast-path state (`countdown_`, `reason_`,
+/// `timed_checks_`) is deliberately plain, not atomic — making it shared
+/// would put synchronization in the hottest loop of the search. The parallel
+/// miner must give each worker its own guard (tripped externally via
+/// Trip()/CancellationToken, whose flag IS atomic and async-signal-safe)
+/// rather than share one; the Tier D locking lint flags any future attempt
+/// to wrap a shared guard in a Mutex-owning class without annotations.
 class ExecutionGuard {
  public:
   /// How many ShouldStop() calls between wall-clock reads.

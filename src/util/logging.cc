@@ -10,6 +10,11 @@ namespace tpm {
 
 namespace {
 
+// Concurrency audit (Tier D, docs/STATIC_ANALYSIS.md): logging is lock-free
+// by design — the shared state below is all std::atomic (level, sink,
+// thread-id dispenser) and each LogMessage buffers into its own stream, so
+// emission from concurrent workers needs no Mutex. The single fputs per
+// message is atomic at the stdio level.
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarning)};
 std::atomic<LogSink> g_log_sink{nullptr};
 

@@ -1,0 +1,210 @@
+// Tier D arena-lifetime enforcement tests (docs/STATIC_ANALYSIS.md).
+//
+// Three layers, each exercised where it is live:
+//  * positive paths — mark/rewind/reallocate is clean in every build,
+//    including under ASan (reused ranges are unpoisoned on allocation);
+//  * ASan poisoning — reads and writes through pointers into rewound
+//    ranges die with a use-after-poison report (TPM_ASAN_ENABLED builds);
+//  * generation stamping — a NodeProjection that outlives its depth
+//    arena's rewind fails ValidateProjection in every build and aborts via
+//    TPM_DCHECK in debug builds, with no sanitizer needed.
+
+#include "util/arena.h"
+
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "core/projection.h"
+#include "core/validate.h"
+
+namespace tpm {
+namespace {
+
+// Reads escape through a volatile so the poisoned load cannot be elided.
+volatile uint32_t g_sink_word;
+
+// Builds one finalized pseudo-mode projection at `depth` with a few states.
+const NodeProjection& BuildProjection(ProjectionArenas* arenas,
+                                      ProjectionBuilder* builder,
+                                      uint32_t depth) {
+  builder->Init(ProjectionMode::kPseudo, /*stride=*/1, arenas, depth);
+  for (uint32_t seq = 0; seq < 4; ++seq) {
+    uint32_t* aux = builder->Push(seq, /*item=*/seq * 2, /*anchor=*/seq);
+    aux[0] = 100 + seq;
+  }
+  return builder->FinalizeKeepAll();
+}
+
+TEST(ArenaPoisonTest, MarkRewindReallocateStaysClean) {
+  Arena arena(nullptr, /*min_block_bytes=*/256);
+  const Arena::Mark m = arena.mark();
+  for (int round = 0; round < 8; ++round) {
+    uint32_t* a = arena.AllocateArray<uint32_t>(64);
+    for (int i = 0; i < 64; ++i) a[i] = static_cast<uint32_t>(round + i);
+    for (int i = 0; i < 64; ++i) g_sink_word = a[i];
+    arena.Rewind(m);
+  }
+  // Rewound-to-empty arena serves fresh allocations cleanly too.
+  arena.Reset();
+  char* p = static_cast<char*>(arena.Allocate(128));
+  std::memset(p, 0x5a, 128);
+  g_sink_word = static_cast<uint32_t>(static_cast<unsigned char>(p[127]));
+}
+
+TEST(ArenaPoisonTest, AllocationsBeforeMarkSurviveRewind) {
+  Arena arena(nullptr, /*min_block_bytes=*/256);
+  uint32_t* keep = arena.AllocateArray<uint32_t>(32);
+  keep[31] = 0xabcd;
+  const Arena::Mark m = arena.mark();
+  (void)arena.AllocateArray<uint32_t>(512);  // spills into further blocks
+  arena.Rewind(m);
+  // The pre-mark allocation is still live and readable.
+  EXPECT_EQ(keep[31], 0xabcdu);
+}
+
+TEST(ArenaPoisonTest, TryExtendKeepsExtensionReadable) {
+  Arena arena(nullptr, /*min_block_bytes=*/1024);
+  uint32_t* p = arena.AllocateArray<uint32_t>(8);
+  ASSERT_TRUE(arena.TryExtend(p, 8 * sizeof(uint32_t), 16 * sizeof(uint32_t)));
+  for (int i = 0; i < 16; ++i) p[i] = static_cast<uint32_t>(i);
+  for (int i = 0; i < 16; ++i) g_sink_word = p[i];
+}
+
+TEST(ArenaPoisonTest, GenerationAdvancesOnRewindAndReset) {
+  Arena arena;
+  EXPECT_EQ(arena.generation(), 0u);
+  const Arena::Mark m = arena.mark();
+  (void)arena.Allocate(16);
+  arena.Rewind(m);
+  EXPECT_EQ(arena.generation(), 1u);
+  arena.Reset();
+  EXPECT_EQ(arena.generation(), 2u);
+  (void)arena.Allocate(16);  // allocation never bumps the generation
+  EXPECT_EQ(arena.generation(), 2u);
+}
+
+TEST(ProjectionGenerationTest, FreshViewIsAliveAndValid) {
+  ProjectionArenas arenas(nullptr);
+  ProjectionBuilder builder;
+  const NodeProjection& view = BuildProjection(&arenas, &builder, /*depth=*/1);
+  EXPECT_TRUE(view.alive());
+  EXPECT_EQ(view.arena, &arenas.depth(1));
+  EXPECT_TRUE(ValidateProjection(view).ok());
+}
+
+TEST(ProjectionGenerationTest, StaleViewFailsValidateInEveryBuild) {
+  ProjectionArenas arenas(nullptr);
+  ProjectionBuilder builder;
+  Arena& depth1 = arenas.depth(1);
+  const Arena::Mark m = depth1.mark();
+  const NodeProjection view = BuildProjection(&arenas, &builder, /*depth=*/1);
+  EXPECT_TRUE(ValidateProjection(view).ok());
+  depth1.Rewind(m);
+  EXPECT_FALSE(view.alive());
+  const Status s = ValidateProjection(view);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("rewound since finalize"), std::string::npos);
+}
+
+TEST(ProjectionGenerationTest, CopyModeViewHasNoArenaAndStaysAlive) {
+  ProjectionArenas arenas(nullptr);
+  ProjectionBuilder builder;
+  builder.Init(ProjectionMode::kCopy, /*stride=*/0, &arenas, /*depth=*/3);
+  builder.Push(0, 1, 0);
+  const NodeProjection& view = builder.FinalizeKeepAll();
+  EXPECT_EQ(view.arena, nullptr);
+  arenas.depth(3).Reset();  // irrelevant to a builder-owned view
+  EXPECT_TRUE(view.alive());
+}
+
+#if TPM_ASAN_ENABLED
+
+TEST(ArenaPoisonDeathTest, RawReadAfterRewindDies) {
+  EXPECT_DEATH(
+      {
+        Arena arena(nullptr, /*min_block_bytes=*/256);
+        const Arena::Mark m = arena.mark();
+        uint32_t* p = arena.AllocateArray<uint32_t>(16);
+        p[0] = 42;
+        arena.Rewind(m);
+        g_sink_word = p[0];  // storage reclaimed: poisoned
+      },
+      "use-after-poison");
+}
+
+TEST(ArenaPoisonDeathTest, RawWriteAfterResetDies) {
+  EXPECT_DEATH(
+      {
+        Arena arena(nullptr, /*min_block_bytes=*/256);
+        uint32_t* p = arena.AllocateArray<uint32_t>(16);
+        arena.Reset();
+        p[7] = 1;  // storage reclaimed: poisoned
+      },
+      "use-after-poison");
+}
+
+TEST(ArenaPoisonDeathTest, StaleProjectionStateReadDies) {
+  EXPECT_DEATH(
+      {
+        ProjectionArenas arenas(nullptr);
+        ProjectionBuilder builder;
+        Arena& depth1 = arenas.depth(1);
+        const Arena::Mark m = depth1.mark();
+        const NodeProjection view =
+            BuildProjection(&arenas, &builder, /*depth=*/1);
+        depth1.Rewind(m);  // what the engine does when the subtree exits
+        g_sink_word = view.states[0].item;
+      },
+      "use-after-poison");
+}
+
+TEST(ArenaPoisonDeathTest, NeverAllocatedBlockTailStaysPoisoned) {
+  EXPECT_DEATH(
+      {
+        Arena arena(nullptr, /*min_block_bytes=*/256);
+        char* p = static_cast<char*>(arena.Allocate(8));
+        g_sink_word = static_cast<uint32_t>(
+            static_cast<unsigned char>(p[64]));  // past the allocation
+      },
+      "use-after-poison");
+}
+
+#endif  // TPM_ASAN_ENABLED
+
+#if TPM_VALIDATORS_ENABLED
+
+TEST(ProjectionGenerationDeathTest, CheckAliveAbortsOnStaleView) {
+  EXPECT_DEATH(
+      {
+        ProjectionArenas arenas(nullptr);
+        ProjectionBuilder builder;
+        Arena& depth1 = arenas.depth(1);
+        const Arena::Mark m = depth1.mark();
+        const NodeProjection view =
+            BuildProjection(&arenas, &builder, /*depth=*/1);
+        depth1.Rewind(m);
+        view.CheckAlive();
+      },
+      "TPM_DCHECK failed");
+}
+
+TEST(ProjectionGenerationDeathTest, AuxAccessAbortsOnStaleView) {
+  EXPECT_DEATH(
+      {
+        ProjectionArenas arenas(nullptr);
+        ProjectionBuilder builder;
+        Arena& depth1 = arenas.depth(1);
+        const Arena::Mark m = depth1.mark();
+        const NodeProjection view =
+            BuildProjection(&arenas, &builder, /*depth=*/1);
+        depth1.Rewind(m);
+        g_sink_word = view.aux_of(0)[0];
+      },
+      "TPM_DCHECK failed");
+}
+
+#endif  // TPM_VALIDATORS_ENABLED
+
+}  // namespace
+}  // namespace tpm

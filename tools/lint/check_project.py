@@ -18,6 +18,13 @@ Enforces invariants generic tools can't (see docs/STATIC_ANALYSIS.md):
             per-state heap structures) in src/ outside the legacy copy backend
             in src/core/projection.h — new engine code must stage through
             ProjectionBuilder so projections stay flat and arena-backed.
+  locking   Tier D concurrency hygiene (docs/STATIC_ANALYSIS.md): src/ uses
+            tpm::Mutex/MutexLock (src/util/sync.h), never raw std::mutex or
+            std::lock_guard, so every lock carries thread-safety capability
+            annotations; mutable statics must be std::atomic, thread_local,
+            or allowlisted in tools/lint/locking_allowlist.txt with a reason;
+            in a class that owns a Mutex, every other data member must be
+            TPM_GUARDED_BY, std::atomic, const, or allowlisted.
   format    whitespace rules checkable without clang-format: no trailing
             whitespace, no tabs in C++ sources, no CRLF, final newline.
 
@@ -270,6 +277,222 @@ def check_projection(root, findings):
 
 
 # --------------------------------------------------------------------------
+# locking: Tier D concurrency hygiene (see docs/STATIC_ANALYSIS.md)
+# --------------------------------------------------------------------------
+
+LOCKING_ALLOWLIST_PATH = os.path.join("tools", "lint", "locking_allowlist.txt")
+SYNC_HEADER = os.path.join("src", "util", "sync.h")
+
+# Raw standard-library lock primitives carry no capability annotations, so
+# Clang's thread-safety analysis cannot see them. util/sync.h wraps them.
+RAW_MUTEX_RE = re.compile(
+    r"std::(?:recursive_|timed_|recursive_timed_|shared_)?mutex\b"
+    r"|std::(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b"
+    r"|#\s*include\s*<(?:mutex|shared_mutex)>")
+
+STATIC_DECL_RE = re.compile(r"^\s*static\s+(.+)$")
+MEMBER_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(.+?)\s+([A-Za-z_]\w*)\s*(?:\[[^\]]*\])?"
+    r"\s*(?:=.*|\{.*\})?$", re.DOTALL)
+CLASS_HEAD_RE = re.compile(
+    r"\b(?:class|struct)\s+(?:TPM_\w+\((?:[^()]|\([^()]*\))*\)\s+)?"
+    r"([A-Za-z_]\w*)")
+ANNOTATION_RE = re.compile(r"TPM_\w+\((?:[^()]|\([^()]*\))*\)")
+MEMBER_SKIP_PREFIXES = ("public", "private", "protected", "struct ", "class ",
+                        "enum ", "union ", "template", "using ", "typedef ",
+                        "friend ", "static ", "#")
+
+
+def strip_line_comment(line):
+    return line.split("//", 1)[0]
+
+
+def load_locking_allowlist(root, findings):
+    """Returns {key: lineno}; keys are `path:identifier` or
+    `path:Class::member`, each required to carry a `# reason` comment."""
+    path = os.path.join(root, LOCKING_ALLOWLIST_PATH)
+    entries = {}
+    try:
+        lines = open(path, encoding="utf-8").read().splitlines()
+    except OSError:
+        return entries  # empty allowlist is fine; nothing is exempt
+    for lineno, line in enumerate(lines, 1):
+        entry, _, reason = line.partition("#")
+        entry = entry.strip()
+        if not entry:
+            continue
+        if not reason.strip():
+            findings.add("locking", LOCKING_ALLOWLIST_PATH, lineno,
+                         f"allowlist entry '{entry}' has no `# reason` comment")
+        if entry in entries:
+            findings.add("locking", LOCKING_ALLOWLIST_PATH, lineno,
+                         f"duplicate allowlist entry '{entry}'")
+        entries[entry] = lineno
+    return entries
+
+
+def blank_nested_braces(body):
+    """Replaces everything inside nested {...} regions with spaces (newlines
+    kept), leaving only the class's own declarations visible."""
+    out = []
+    depth = 0
+    for ch in body:
+        if ch == "{":
+            depth += 1
+            out.append(" ")
+        elif ch == "}":
+            depth -= 1
+            # Close of a nested region ends the statement, so an inline
+            # function body doesn't glue onto the next member declaration.
+            out.append(";" if depth == 0 else " ")
+        elif depth > 0 and ch != "\n":
+            out.append(" ")
+        else:
+            out.append(ch)
+    return "".join(out)
+
+
+def iter_class_bodies(text):
+    """Yields (class_name, body_start_line, depth1_body) for every class or
+    struct definition, including nested ones (each seen independently)."""
+    for m in CLASS_HEAD_RE.finditer(text):
+        pos = m.end()
+        # Find the opening brace; a `;` or `(` first means forward
+        # declaration or constructor-ish false positive.
+        while pos < len(text) and text[pos] not in "{;(":
+            pos += 1
+        if pos >= len(text) or text[pos] != "{":
+            continue
+        depth = 0
+        end = pos
+        while end < len(text):
+            if text[end] == "{":
+                depth += 1
+            elif text[end] == "}":
+                depth -= 1
+                if depth == 0:
+                    break
+            end += 1
+        body = text[pos + 1:end]
+        yield (m.group(1), text[:pos + 1].count("\n") + 1,
+               blank_nested_braces(body))
+
+
+def iter_statements(body, start_line):
+    """Splits a depth-1 class body into `;`-terminated statements, yielding
+    (lineno_of_first_token, statement_text)."""
+    line = start_line
+    stmt, stmt_line = [], None
+    for ch in body:
+        if ch == "\n":
+            line += 1
+        if ch == ";":
+            yield (stmt_line if stmt_line is not None else line,
+                   "".join(stmt).strip())
+            stmt, stmt_line = [], None
+            continue
+        stmt.append(ch)
+        if stmt_line is None and not ch.isspace():
+            stmt_line = line
+
+
+def check_locking_members(rel, class_name, start_line, body, allow,
+                          used_allow, findings):
+    statements = []
+    mutex_members = set()
+    for lineno, raw in iter_statements(body, start_line):
+        stmt = " ".join(strip_line_comment(part)
+                        for part in raw.splitlines()).strip()
+        # Drop access labels glued to the statement by the `;` split.
+        stmt = re.sub(r"^(?:public|private|protected)\s*:\s*", "", stmt)
+        statements.append((lineno, stmt))
+        m = re.match(r"^(?:mutable\s+)?Mutex\s+(\w+)$", stmt)
+        if m:
+            mutex_members.add(m.group(1))
+    if not mutex_members:
+        return
+    for lineno, stmt in statements:
+        if not stmt or stmt.startswith(MEMBER_SKIP_PREFIXES):
+            continue
+        guarded = "TPM_GUARDED_BY" in stmt or "TPM_PT_GUARDED_BY" in stmt
+        stmt = ANNOTATION_RE.sub("", stmt).strip()
+        if not stmt or "(" in stmt:  # functions, ctors, deleted ops
+            continue
+        m = MEMBER_RE.match(stmt)
+        if not m:
+            continue
+        type_str, name = m.group(1), m.group(2)
+        if name in mutex_members or guarded:
+            continue
+        if ("std::atomic" in type_str or "constexpr" in type_str or
+                re.search(r"\bconst\b", type_str)):
+            continue
+        key = f"{rel}:{class_name}::{name}"
+        if key in allow:
+            used_allow.add(key)
+            continue
+        findings.add(
+            "locking", rel, lineno,
+            f"member '{class_name}::{name}' of a Mutex-owning class is not "
+            "TPM_GUARDED_BY, std::atomic, or const; annotate it (or allowlist "
+            f"it in {LOCKING_ALLOWLIST_PATH} with a reason)")
+
+
+def check_locking_statics(rel, lines, allow, used_allow, findings):
+    for lineno, line in enumerate(lines, 1):
+        code = strip_line_comment(line)
+        m = STATIC_DECL_RE.match(code)
+        if not m:
+            continue
+        decl = m.group(1)
+        if (re.match(r"(?:const|constexpr|thread_local)\b", decl) or
+                "std::atomic" in decl or "thread_local" in decl):
+            continue
+        # A `(` before any `=`/`;`/`{` means a function declaration.
+        head = re.split(r"[=;{]", decl, 1)[0]
+        if "(" in head:
+            continue
+        tokens = re.findall(r"[A-Za-z_]\w*", head)
+        if len(tokens) < 2:  # `static` + type only: not a variable decl
+            continue
+        name = tokens[-1]
+        key = f"{rel}:{name}"
+        if key in allow:
+            used_allow.add(key)
+            continue
+        findings.add(
+            "locking", rel, lineno,
+            f"mutable static '{name}' is not std::atomic, thread_local, or "
+            f"const; make it one of those (or allowlist it in "
+            f"{LOCKING_ALLOWLIST_PATH} with a reason)")
+
+
+def check_locking(root, findings):
+    allow = load_locking_allowlist(root, findings)
+    used_allow = set()
+    for path in iter_files(root, ("src",), CXX_EXTENSIONS):
+        rel = relpath(root, path)
+        text = open(path, encoding="utf-8").read()
+        lines = text.splitlines()
+        if rel != SYNC_HEADER:
+            for lineno, line in enumerate(lines, 1):
+                m = RAW_MUTEX_RE.search(strip_line_comment(line))
+                if m:
+                    findings.add(
+                        "locking", rel, lineno,
+                        f"raw '{m.group(0)}' carries no thread-safety "
+                        "annotations; use tpm::Mutex / tpm::MutexLock from "
+                        f"{SYNC_HEADER}")
+        check_locking_statics(rel, lines, allow, used_allow, findings)
+        for class_name, start_line, body in iter_class_bodies(text):
+            check_locking_members(rel, class_name, start_line, body, allow,
+                                  used_allow, findings)
+    for key in sorted(set(allow) - used_allow):
+        findings.add("locking", LOCKING_ALLOWLIST_PATH, allow[key],
+                     f"allowlist entry '{key}' matches nothing; remove it")
+
+
+# --------------------------------------------------------------------------
 # format: whitespace rules that need no clang-format
 # --------------------------------------------------------------------------
 
@@ -303,6 +526,7 @@ CHECKS = {
     "faults": check_faults,
     "headers": check_headers,
     "projection": check_projection,
+    "locking": check_locking,
     "format": check_format,
 }
 
@@ -420,11 +644,19 @@ def self_test(root):
     plant("copied projection outside the legacy backend", copied_projection,
           "projection", "OccState")
 
+    def unguarded_static(scratch):
+        path = os.path.join(scratch, "src", "core", "types.h")
+        with open(path, "a") as f:
+            f.write("static int g_unguarded_total = 0;\n")
+
+    plant("mutable static without atomic/guard", unguarded_static, "locking",
+          "g_unguarded_total")
+
     if failures:
         for f in failures:
             print(f"FAIL {f}")
         return 1
-    print("lint self-test OK: 8 planted violations, 8 caught, clean tree clean")
+    print("lint self-test OK: 9 planted violations, 9 caught, clean tree clean")
     return 0
 
 
