@@ -1,0 +1,224 @@
+#include "analysis/report.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/json.h"
+#include "util/macros.h"
+#include "util/string_util.h"
+
+namespace tpm {
+
+namespace {
+
+// All metric-name literals below go through FindMetric so the project lint
+// (tools/lint/check_project.py) checks them against the metric-name
+// registry, the same way it checks charge sites.
+const JsonValue* FindMetric(const JsonValue* group, const std::string& name) {
+  return group == nullptr ? nullptr : group->Find(name);
+}
+
+uint64_t MetricValue(const JsonValue* group, const std::string& name) {
+  const JsonValue* v = FindMetric(group, name);
+  return v == nullptr ? 0 : v->AsUint64();
+}
+
+std::string HumanBytes(uint64_t bytes) {
+  if (bytes >= 1024ull * 1024 * 1024) {
+    return StringPrintf("%.2f GiB", static_cast<double>(bytes) / (1ull << 30));
+  }
+  if (bytes >= 1024 * 1024) {
+    return StringPrintf("%.1f MiB", static_cast<double>(bytes) / (1 << 20));
+  }
+  if (bytes >= 1024) {
+    return StringPrintf("%.1f KiB", static_cast<double>(bytes) / (1 << 10));
+  }
+  return StringPrintf("%llu B", static_cast<unsigned long long>(bytes));
+}
+
+// One pruning-effectiveness row: rule name, hits, share of candidates.
+void AppendRuleRow(std::string* out, const char* label, uint64_t hits,
+                   uint64_t candidates) {
+  *out += StringPrintf("  %-10s %12llu", label,
+                       static_cast<unsigned long long>(hits));
+  if (candidates > 0) {
+    *out += StringPrintf("  %5.1f%%", 100.0 * static_cast<double>(hits) /
+                                          static_cast<double>(candidates));
+  }
+  *out += "\n";
+}
+
+// Renders one metrics-snapshot object ({"counters":…,"gauges":…,
+// "histograms":…}).
+void RenderSnapshot(const JsonValue& snap, std::string* out) {
+  const JsonValue* counters = snap.Find("counters");
+  const JsonValue* gauges = snap.Find("gauges");
+  const JsonValue* histograms = snap.Find("histograms");
+
+  // --- Pruning effectiveness (the paper's Table 2 accounting) -------------
+  const uint64_t candidates = MetricValue(counters, "search.candidates");
+  const uint64_t pair = MetricValue(counters, "prune.pair.hits");
+  const uint64_t postfix = MetricValue(counters, "prune.postfix.hits");
+  const uint64_t validity = MetricValue(counters, "prune.validity.hits");
+  const uint64_t apriori = MetricValue(counters, "prune.apriori.hits");
+  const JsonValue* nodes_hist = FindMetric(histograms, "search.nodes");
+  const uint64_t nodes =
+      nodes_hist != nullptr ? MetricValue(nodes_hist, "count") : 0;
+
+  *out += "pruning effectiveness (hits = candidates a rule rejected):\n";
+  *out += StringPrintf("  %-10s %12s  %s\n", "rule", "hits", "% of candidates");
+  AppendRuleRow(out, "pair", pair, candidates);
+  AppendRuleRow(out, "postfix", postfix, candidates);
+  AppendRuleRow(out, "validity", validity, candidates);
+  AppendRuleRow(out, "apriori", apriori, candidates);
+  *out += StringPrintf(
+      "  candidates checked %llu, nodes expanded %llu, patterns %llu, "
+      "states %llu\n",
+      static_cast<unsigned long long>(candidates),
+      static_cast<unsigned long long>(nodes),
+      static_cast<unsigned long long>(MetricValue(counters, "search.patterns")),
+      static_cast<unsigned long long>(MetricValue(counters, "search.states")));
+
+  // --- Per-depth node histogram -------------------------------------------
+  if (nodes_hist != nullptr && nodes > 0) {
+    const JsonValue* bounds = nodes_hist->Find("bounds");
+    const JsonValue* counts = nodes_hist->Find("counts");
+    if (bounds != nullptr && counts != nullptr && bounds->is_array() &&
+        counts->is_array() && counts->items.size() == bounds->items.size() + 1) {
+      uint64_t max_count = 0;
+      for (const JsonValue& c : counts->items) {
+        max_count = std::max(max_count, c.AsUint64());
+      }
+      *out += "search nodes by depth (pattern items per expanded node):\n";
+      for (size_t i = 0; i < counts->items.size(); ++i) {
+        const uint64_t c = counts->items[i].AsUint64();
+        if (c == 0) continue;
+        const std::string label =
+            i < bounds->items.size()
+                ? StringPrintf("%llu", static_cast<unsigned long long>(
+                                           bounds->items[i].AsUint64()))
+                : std::string("more");
+        const int bar = max_count == 0
+                            ? 0
+                            : static_cast<int>(40.0 * static_cast<double>(c) /
+                                               static_cast<double>(max_count));
+        *out += StringPrintf("  depth %-5s %12llu  %s\n", label.c_str(),
+                             static_cast<unsigned long long>(c),
+                             std::string(static_cast<size_t>(std::max(bar, 1)),
+                                         '#')
+                                 .c_str());
+      }
+    }
+  }
+
+  // --- Memory --------------------------------------------------------------
+  const uint64_t arena_peak = MetricValue(gauges, "miner.arena.peak_bytes");
+  const uint64_t rss_peak = MetricValue(gauges, "process.peak_rss_bytes");
+  if (arena_peak > 0 || rss_peak > 0) {
+    *out += "memory:\n";
+    if (arena_peak > 0) {
+      *out += StringPrintf("  projection arenas peak  %s\n",
+                           HumanBytes(arena_peak).c_str());
+    }
+    if (rss_peak > 0) {
+      *out += StringPrintf("  process peak RSS        %s\n",
+                           HumanBytes(rss_peak).c_str());
+    }
+  }
+
+  // --- Stop reason ---------------------------------------------------------
+  struct StopRow {
+    const char* name;
+    const char* label;
+  };
+  const StopRow kStops[] = {
+      {"robust.stop.deadline", "deadline"},
+      {"robust.stop.memory", "memory"},
+      {"robust.stop.cancelled", "cancelled"},
+      {"robust.stop.pattern-cap", "pattern-cap"},
+  };
+  std::string stops;
+  for (const StopRow& s : kStops) {
+    const uint64_t n = MetricValue(counters, s.name);
+    if (n == 0) continue;
+    if (!stops.empty()) stops += ", ";
+    stops += StringPrintf("%s (%llu)", s.label,
+                          static_cast<unsigned long long>(n));
+  }
+  if (stops.empty()) {
+    *out += "stop: ran to completion (no budget trips recorded)\n";
+  } else {
+    *out += "stop: truncated by " + stops + "\n";
+  }
+  const uint64_t progress = MetricValue(counters, "progress.snapshots");
+  const uint64_t flight = MetricValue(counters, "obs.flight.events");
+  if (progress > 0 || flight > 0) {
+    *out += StringPrintf(
+        "observability: %llu progress snapshots, %llu flight events\n",
+        static_cast<unsigned long long>(progress),
+        static_cast<unsigned long long>(flight));
+  }
+}
+
+void RenderBenchCell(const JsonValue& cell, std::string* out) {
+  const JsonValue* algo = cell.Find("algo");
+  const JsonValue* config = cell.Find("config");
+  const JsonValue* seconds = cell.Find("seconds");
+  const JsonValue* patterns = cell.Find("patterns");
+  const JsonValue* stop = cell.Find("stop_reason");
+  *out += StringPrintf(
+      "--- %s @ %s: %.3fs, %llu patterns, stop=%s\n",
+      algo != nullptr && algo->is_string() ? algo->text.c_str() : "?",
+      config != nullptr && config->is_string() ? config->text.c_str() : "?",
+      seconds != nullptr ? seconds->AsDouble() : 0.0,
+      static_cast<unsigned long long>(patterns != nullptr ? patterns->AsUint64()
+                                                          : 0),
+      stop != nullptr && stop->is_string() ? stop->text.c_str() : "none");
+  const JsonValue* metrics = cell.Find("metrics");
+  if (metrics != nullptr && metrics->is_object() &&
+      metrics->Find("counters") != nullptr) {
+    RenderSnapshot(*metrics, out);
+  }
+}
+
+}  // namespace
+
+Result<std::string> RenderMetricsReport(const std::string& json_text) {
+  TPM_ASSIGN_OR_RETURN(JsonValue root, ParseJson(json_text));
+  std::string out;
+  if (root.is_array()) {
+    // BENCH_*.json: an array of cells, each with an embedded snapshot.
+    if (root.items.empty()) {
+      return Status::InvalidArgument("report: empty bench record array");
+    }
+    out += StringPrintf("bench records: %zu cells\n", root.items.size());
+    for (const JsonValue& cell : root.items) RenderBenchCell(cell, &out);
+    return out;
+  }
+  if (root.is_object() && root.Find("counters") != nullptr) {
+    // A bare metrics snapshot (tpm mine --metrics-out).
+    RenderSnapshot(root, &out);
+    return out;
+  }
+  if (root.is_object() && root.Find("metrics") != nullptr) {
+    // A flight-recorder postmortem: header, then its embedded snapshot.
+    const JsonValue* domain = root.Find("domain");
+    const JsonValue* outcome = root.Find("outcome");
+    const JsonValue* detail = root.Find("detail");
+    const JsonValue* events = root.Find("events");
+    out += StringPrintf(
+        "postmortem: domain=%s outcome=%s detail=%s (%zu flight events)\n",
+        domain != nullptr && domain->is_string() ? domain->text.c_str() : "?",
+        outcome != nullptr && outcome->is_string() ? outcome->text.c_str() : "?",
+        detail != nullptr && detail->is_string() ? detail->text.c_str() : "?",
+        events != nullptr && events->is_array() ? events->items.size() : 0);
+    const JsonValue* metrics = root.Find("metrics");
+    if (metrics->is_object()) RenderSnapshot(*metrics, &out);
+    return out;
+  }
+  return Status::InvalidArgument(
+      "report: unrecognized document (expected a metrics snapshot, a "
+      "postmortem, or a BENCH_*.json array)");
+}
+
+}  // namespace tpm

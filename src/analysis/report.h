@@ -1,0 +1,22 @@
+// `tpm report`: renders this project's own observability artifacts — a
+// metrics snapshot JSON (--metrics-out), a BENCH_*.json record array, or a
+// postmortem dump — into a human-readable search summary: per-rule pruning
+// effectiveness (mirroring the paper's Table 2 accounting), the per-depth
+// search.nodes histogram, memory peaks, and the stop reason. See
+// docs/OBSERVABILITY.md ("tpm report") for the output format.
+
+#pragma once
+
+
+#include <string>
+
+#include "util/result.h"
+
+namespace tpm {
+
+/// Renders `json_text` (auto-detected: metrics snapshot object, postmortem
+/// object, or bench record array) as a report. Fails on unparseable input or
+/// a document that is none of the known shapes.
+Result<std::string> RenderMetricsReport(const std::string& json_text);
+
+}  // namespace tpm

@@ -41,6 +41,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -52,6 +53,8 @@
 #include "miner/options.h"
 #include "miner/validate_hooks.h"
 #include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/stats_domain.h"
 #include "obs/trace.h"
 #include "util/macros.h"
 #include "util/memory.h"
@@ -81,6 +84,13 @@ class GrowthEngine {
         mode_(config.physical_projection ? ProjectionMode::kCopy
                                          : options.projection),
         policy_(options, config),
+        owned_domain_(options.stats_domain != nullptr
+                          ? nullptr
+                          : new obs::StatsDomain(Policy::kGrowSpanName)),
+        domain_(options.stats_domain != nullptr ? options.stats_domain
+                                                : owned_domain_.get()),
+        om_(MinerMetrics::ForRegistry(&domain_->registry())),
+        progress_(options.progress),
         arenas_(&tracker_) {
     if (config_.force_disable_prunings) {
       pair_pruning_ = false;
@@ -93,11 +103,14 @@ class GrowthEngine {
 
   Result<ResultT> Run() {
     ResultT result;
-    if (MinerFaultPoint("miner.alloc")) {
+    if (MinerFaultPoint("miner.alloc", &domain_->registry())) {
+      domain_->RecordEvent("fault", /*a=*/0, /*b=*/0);
       return Status::ResourceExhausted(Policy::kFaultMessage);
     }
-    const obs::MetricsSnapshot obs_start =
-        obs::MetricsRegistry::Global().Snapshot();
+    // Per-run attribution against the domain registry: the domain may be
+    // caller-owned and reused across runs, so deltas are still needed.
+    const obs::MetricsSnapshot obs_start = domain_->registry().Snapshot();
+    domain_->RecordEvent("run.begin", db_.size(), minsup_);
     WallTimer build_timer;
     size_t rep_bytes = 0;
     {
@@ -110,6 +123,7 @@ class GrowthEngine {
     num_symbols_ = db_.dict().size();
     seen_epoch_.assign(num_symbols_, 0);
     result.stats.build_seconds = build_timer.ElapsedSeconds();
+    domain_->RecordEvent("build.done", rep_bytes, cooc_.MemoryBytes());
 
     WallTimer mine_timer;
     TPM_TRACE_SPAN(Policy::kGrowSpanName);
@@ -136,7 +150,7 @@ class GrowthEngine {
     result.stats.patterns_found = result.patterns.size();
     result.stats.truncated = guard_.stopped();
     result.stats.stop_reason = guard_.reason();
-    RecordStopMetrics(guard_.reason());
+    RecordStopMetrics(guard_.reason(), &domain_->registry());
     result.stats.peak_tracked_bytes = tracker_.peak_bytes();
     result.stats.arena_peak_bytes = arenas_.total_allocated_bytes();
     result.stats.peak_rss_bytes = ReadPeakRssBytes();
@@ -145,8 +159,19 @@ class GrowthEngine {
           static_cast<int64_t>(result.stats.arena_peak_bytes));
       om_.arena_blocks->Increment(arenas_.total_blocks());
     }
-    result.stats.metrics =
-        obs::MetricsRegistry::Global().Snapshot().Since(obs_start);
+    // Final VmHWM sample: a truncated run's peak was already captured by the
+    // progress tracker at snapshot time; this records the end-of-run value.
+    if (result.stats.peak_rss_bytes > 0) {
+      om_.process_peak_rss->Set(
+          static_cast<int64_t>(result.stats.peak_rss_bytes));
+    }
+    domain_->RecordEvent("run.end", result.patterns.size(),
+                         result.stats.nodes_expanded);
+    result.stats.metrics = domain_->registry().Snapshot().Since(obs_start);
+    // Fold the run into the process-global registry so whole-process scrapes
+    // (--metrics-out, CI smoke asserts) see every domain's work.
+    obs::MetricsRegistry::Global().MergeSnapshot(result.stats.metrics);
+    if (progress_ != nullptr) progress_->Finish();
     return result;
   }
 
@@ -178,6 +203,10 @@ class GrowthEngine {
     proj.CheckAlive();
     if (guard_.ShouldStop()) return;
     ++out_->stats.nodes_expanded;
+    if (progress_ != nullptr) {
+      progress_->TickNode(out_->stats.nodes_expanded, out_->patterns.size(),
+                          tracker_.current_bytes());
+    }
     om_.node_depth->Observe(policy_.PatternLen());
     om_.projected_seqs->Observe(proj.num_spans);
     om_.projected_states->Observe(proj.num_states);
@@ -348,13 +377,24 @@ class GrowthEngine {
       om_.arena_depth_bytes->Observe(child_arena.used_bytes());
     }
 
+    // The root's bucket walk is the progress/ETA unit: its subtree count is
+    // the only total known up front, and each completed level-1 subtree is a
+    // comparable slice of the search.
+    if (depth == 0 && progress_ != nullptr) {
+      progress_->SetTotalBuckets(frame.buckets.size());
+    }
     for (Bucket& b : frame.buckets) {
       if (guard_.stopped()) break;
       const NodeProjection& view = b.builder.view();
-      if (view.num_spans < minsup_) continue;
+      if (view.num_spans < minsup_) {
+        if (depth == 0 && progress_ != nullptr) progress_->NoteBucketDone();
+        continue;
+      }
+      if (depth == 0) domain_->RecordEvent("bucket", b.code, b.i_ext ? 1 : 0);
       policy_.Apply(b.code, b.i_ext);
       Expand(view, child_allowed, depth + 1);
       policy_.Undo(b.code, b.i_ext);
+      if (depth == 0 && progress_ != nullptr) progress_->NoteBucketDone();
     }
     tracker_.Release(frame.copies_bytes + final_bytes);
     child_arena.Rewind(child_mark);
@@ -364,6 +404,12 @@ class GrowthEngine {
     out_->patterns.push_back(
         MinedPattern<PatternT>{policy_.MakePattern(), support});
     om_.patterns->Increment();
+    // Pattern-count watermarks give postmortems a growth curve without
+    // recording every emission.
+    if ((out_->patterns.size() & 1023) == 0) {
+      domain_->RecordEvent("patterns", out_->patterns.size(),
+                           out_->stats.nodes_expanded);
+    }
     // items + slice offsets (incl. the trailing end offset).
     tracker_.Allocate((policy_.PatternLen() + policy_.NumBlocks() + 1) *
                       sizeof(uint32_t));
@@ -386,11 +432,26 @@ class GrowthEngine {
   std::vector<uint32_t> seen_epoch_;
   uint32_t epoch_ = 0;
 
-  const MinerMetrics& om_ = MinerMetrics::Get();
+  // Observability domain the run charges: caller-provided (parallel workers,
+  // `tpm mine`) or a private throwaway. Declared before guard_ so the
+  // on_stop hook may touch it at any point in the guard's lifetime.
+  std::unique_ptr<obs::StatsDomain> owned_domain_;
+  obs::StatsDomain* domain_ = nullptr;
+  MinerMetrics om_;
+  obs::ProgressTracker* progress_ = nullptr;
+
+  GuardLimits MakeGuardLimits() {
+    GuardLimits limits = options_.ToGuardLimits();
+    limits.on_stop = [this](StopReason reason) {
+      domain_->RecordEvent("guard.stop", static_cast<uint64_t>(reason),
+                           out_ != nullptr ? out_->stats.nodes_expanded : 0);
+    };
+    return limits;
+  }
 
   MemoryTracker tracker_;
   ProjectionArenas arenas_;
-  ExecutionGuard guard_{options_.ToGuardLimits(), &tracker_};
+  ExecutionGuard guard_{MakeGuardLimits(), &tracker_};
   ResultT* out_ = nullptr;
 };
 

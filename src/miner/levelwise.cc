@@ -1,6 +1,7 @@
 #include "miner/levelwise.h"
 
 #include <algorithm>
+#include <memory>
 #include <unordered_set>
 #include <vector>
 
@@ -11,6 +12,7 @@
 #include "miner/miner_metrics.h"
 #include "miner/validate_hooks.h"
 #include "obs/metrics.h"
+#include "obs/stats_domain.h"
 #include "obs/trace.h"
 #include "util/macros.h"
 #include "util/memory.h"
@@ -75,18 +77,25 @@ class EndpointLevelwise {
       : db_(db),
         options_(options),
         config_(config),
-        minsup_(db.AbsoluteSupport(options.min_support)) {}
+        minsup_(db.AbsoluteSupport(options.min_support)),
+        owned_domain_(options.stats_domain != nullptr
+                          ? nullptr
+                          : new obs::StatsDomain("levelwise.endpoint")),
+        domain_(options.stats_domain != nullptr ? options.stats_domain
+                                                : owned_domain_.get()),
+        om_(MinerMetrics::ForRegistry(&domain_->registry())) {}
 
   Result<EndpointMiningResult> Run() {
     EndpointMiningResult result;
     out_ = &result;
-    if (MinerFaultPoint("miner.alloc")) {
+    if (MinerFaultPoint("miner.alloc", &domain_->registry())) {
+      domain_->RecordEvent("fault");
       return Status::ResourceExhausted(
           "injected allocation failure building the level-wise endpoint "
           "representation (fault site miner.alloc)");
     }
-    const obs::MetricsSnapshot obs_start =
-        obs::MetricsRegistry::Global().Snapshot();
+    const obs::MetricsSnapshot obs_start = domain_->registry().Snapshot();
+    domain_->RecordEvent("run.begin", db_.size(), minsup_);
     WallTimer build_timer;
     {
       TPM_TRACE_SPAN("levelwise.build");
@@ -123,11 +132,17 @@ class EndpointLevelwise {
     result.stats.patterns_found = result.patterns.size();
     result.stats.truncated = guard_.stopped();
     result.stats.stop_reason = guard_.reason();
-    RecordStopMetrics(guard_.reason());
+    RecordStopMetrics(guard_.reason(), &domain_->registry());
     result.stats.peak_tracked_bytes = tracker_.peak_bytes();
     result.stats.peak_rss_bytes = ReadPeakRssBytes();
-    result.stats.metrics =
-        obs::MetricsRegistry::Global().Snapshot().Since(obs_start);
+    if (result.stats.peak_rss_bytes > 0) {
+      om_.process_peak_rss->Set(
+          static_cast<int64_t>(result.stats.peak_rss_bytes));
+    }
+    domain_->RecordEvent("run.end", result.patterns.size(),
+                         result.stats.nodes_expanded);
+    result.stats.metrics = domain_->registry().Snapshot().Since(obs_start);
+    obs::MetricsRegistry::Global().MergeSnapshot(result.stats.metrics);
     return result;
   }
 
@@ -137,6 +152,7 @@ class EndpointLevelwise {
   std::vector<EndpointFrontierPat> ProcessLevel(
       std::vector<EndpointFrontierPat> level, const std::vector<EventId>& alphabet) {
     TPM_TRACE_SPAN("levelwise.level");
+    domain_->RecordEvent("level", level.size(), out_->patterns.size());
     std::vector<EndpointFrontierPat> survivors;
     size_t level_bytes = 0;
     for (EndpointFrontierPat& cand : level) {
@@ -258,10 +274,22 @@ class EndpointLevelwise {
   const SupportCount minsup_;
   EndpointDatabase edb_;
   std::unordered_set<EndpointPattern, EndpointPatternHash> frequent_;
+  // Declared before guard_ so the on_stop hook may fire at any point in the
+  // guard's lifetime.
+  std::unique_ptr<obs::StatsDomain> owned_domain_;
+  obs::StatsDomain* domain_ = nullptr;
+  MinerMetrics om_;
+  GuardLimits MakeGuardLimits() {
+    GuardLimits limits = options_.ToGuardLimits();
+    limits.on_stop = [this](StopReason reason) {
+      domain_->RecordEvent("guard.stop", static_cast<uint64_t>(reason),
+                           out_ != nullptr ? out_->stats.nodes_expanded : 0);
+    };
+    return limits;
+  }
   MemoryTracker tracker_;
-  ExecutionGuard guard_{options_.ToGuardLimits(), &tracker_};
+  ExecutionGuard guard_{MakeGuardLimits(), &tracker_};
   EndpointMiningResult* out_ = nullptr;
-  const MinerMetrics& om_ = MinerMetrics::Get();
 };
 
 // ---------------------------------------------------------------------------
@@ -290,18 +318,25 @@ class CoincidenceLevelwise {
       : db_(db),
         options_(options),
         config_(config),
-        minsup_(db.AbsoluteSupport(options.min_support)) {}
+        minsup_(db.AbsoluteSupport(options.min_support)),
+        owned_domain_(options.stats_domain != nullptr
+                          ? nullptr
+                          : new obs::StatsDomain("levelwise.coincidence")),
+        domain_(options.stats_domain != nullptr ? options.stats_domain
+                                                : owned_domain_.get()),
+        om_(MinerMetrics::ForRegistry(&domain_->registry())) {}
 
   Result<CoincidenceMiningResult> Run() {
     CoincidenceMiningResult result;
     out_ = &result;
-    if (MinerFaultPoint("miner.alloc")) {
+    if (MinerFaultPoint("miner.alloc", &domain_->registry())) {
+      domain_->RecordEvent("fault");
       return Status::ResourceExhausted(
           "injected allocation failure building the level-wise coincidence "
           "representation (fault site miner.alloc)");
     }
-    const obs::MetricsSnapshot obs_start =
-        obs::MetricsRegistry::Global().Snapshot();
+    const obs::MetricsSnapshot obs_start = domain_->registry().Snapshot();
+    domain_->RecordEvent("run.begin", db_.size(), minsup_);
     WallTimer build_timer;
     {
       TPM_TRACE_SPAN("levelwise.build");
@@ -330,11 +365,17 @@ class CoincidenceLevelwise {
     result.stats.patterns_found = result.patterns.size();
     result.stats.truncated = guard_.stopped();
     result.stats.stop_reason = guard_.reason();
-    RecordStopMetrics(guard_.reason());
+    RecordStopMetrics(guard_.reason(), &domain_->registry());
     result.stats.peak_tracked_bytes = tracker_.peak_bytes();
     result.stats.peak_rss_bytes = ReadPeakRssBytes();
-    result.stats.metrics =
-        obs::MetricsRegistry::Global().Snapshot().Since(obs_start);
+    if (result.stats.peak_rss_bytes > 0) {
+      om_.process_peak_rss->Set(
+          static_cast<int64_t>(result.stats.peak_rss_bytes));
+    }
+    domain_->RecordEvent("run.end", result.patterns.size(),
+                         result.stats.nodes_expanded);
+    result.stats.metrics = domain_->registry().Snapshot().Since(obs_start);
+    obs::MetricsRegistry::Global().MergeSnapshot(result.stats.metrics);
     return result;
   }
 
@@ -342,6 +383,7 @@ class CoincidenceLevelwise {
   std::vector<CoinFrontierPat> ProcessLevel(std::vector<CoinFrontierPat> level,
                                             const std::vector<EventId>& alphabet) {
     TPM_TRACE_SPAN("levelwise.level");
+    domain_->RecordEvent("level", level.size(), out_->patterns.size());
     std::vector<CoinFrontierPat> survivors;
     size_t level_bytes = 0;
     for (CoinFrontierPat& cand : level) {
@@ -421,10 +463,22 @@ class CoincidenceLevelwise {
   const SupportCount minsup_;
   CoincidenceDatabase cdb_;
   std::unordered_set<CoincidencePattern, CoincidencePatternHash> frequent_;
+  // Declared before guard_ so the on_stop hook may fire at any point in the
+  // guard's lifetime.
+  std::unique_ptr<obs::StatsDomain> owned_domain_;
+  obs::StatsDomain* domain_ = nullptr;
+  MinerMetrics om_;
+  GuardLimits MakeGuardLimits() {
+    GuardLimits limits = options_.ToGuardLimits();
+    limits.on_stop = [this](StopReason reason) {
+      domain_->RecordEvent("guard.stop", static_cast<uint64_t>(reason),
+                           out_ != nullptr ? out_->stats.nodes_expanded : 0);
+    };
+    return limits;
+  }
   MemoryTracker tracker_;
-  ExecutionGuard guard_{options_.ToGuardLimits(), &tracker_};
+  ExecutionGuard guard_{MakeGuardLimits(), &tracker_};
   CoincidenceMiningResult* out_ = nullptr;
-  const MinerMetrics& om_ = MinerMetrics::Get();
 };
 
 }  // namespace

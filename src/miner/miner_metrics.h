@@ -1,6 +1,9 @@
-// Cached global-registry handles for the mining hot paths. All miners share
-// one name space so pruning effectiveness is comparable across algorithms
-// (see docs/OBSERVABILITY.md for the taxonomy).
+// Cached metric handles for the mining hot paths. All miners share one name
+// space so pruning effectiveness is comparable across algorithms (see
+// docs/OBSERVABILITY.md for the taxonomy). The handles can be bound to any
+// registry: Get() caches the process-global binding, ForRegistry() binds a
+// per-run StatsDomain registry (obs/stats_domain.h) so workers account their
+// search in isolation.
 
 #pragma once
 
@@ -36,48 +39,61 @@ struct MinerMetrics {
   obs::Histogram* arena_depth_bytes; ///< per-node bytes of the child-depth
                                      ///< arena after finalize
 
+  obs::Gauge* process_peak_rss;      ///< process.peak_rss_bytes: VmHWM at
+                                     ///< run end (0 off-Linux)
+
+  /// Handles bound to `r`. Registration takes the registry mutex — bind
+  /// once per run, not per node.
+  static MinerMetrics ForRegistry(obs::MetricsRegistry* r) {
+    MinerMetrics mm;
+    mm.pair_hits = r->GetCounter("prune.pair.hits");
+    mm.postfix_hits = r->GetCounter("prune.postfix.hits");
+    mm.validity_hits = r->GetCounter("prune.validity.hits");
+    mm.apriori_hits = r->GetCounter("prune.apriori.hits");
+    mm.candidates = r->GetCounter("search.candidates");
+    mm.states = r->GetCounter("search.states");
+    mm.patterns = r->GetCounter("search.patterns");
+    mm.node_depth =
+        r->GetHistogram("search.nodes", obs::LinearBounds(0, 1, 17));
+    mm.projected_seqs =
+        r->GetHistogram("search.projected_seqs", obs::ExponentialBounds(1, 4.0, 10));
+    mm.projected_states = r->GetHistogram("search.projected_states",
+                                          obs::ExponentialBounds(1, 4.0, 12));
+    mm.arena_peak = r->GetGauge("miner.arena.peak_bytes");
+    mm.arena_blocks = r->GetCounter("miner.arena.blocks");
+    mm.arena_depth_bytes = r->GetHistogram("miner.arena.depth_bytes",
+                                           obs::ExponentialBounds(1024, 4.0, 12));
+    mm.process_peak_rss = r->GetGauge("process.peak_rss_bytes");
+    return mm;
+  }
+
   static const MinerMetrics& Get() {
-    static const MinerMetrics m = [] {
-      auto& r = obs::MetricsRegistry::Global();
-      MinerMetrics mm;
-      mm.pair_hits = r.GetCounter("prune.pair.hits");
-      mm.postfix_hits = r.GetCounter("prune.postfix.hits");
-      mm.validity_hits = r.GetCounter("prune.validity.hits");
-      mm.apriori_hits = r.GetCounter("prune.apriori.hits");
-      mm.candidates = r.GetCounter("search.candidates");
-      mm.states = r.GetCounter("search.states");
-      mm.patterns = r.GetCounter("search.patterns");
-      mm.node_depth =
-          r.GetHistogram("search.nodes", obs::LinearBounds(0, 1, 17));
-      mm.projected_seqs =
-          r.GetHistogram("search.projected_seqs", obs::ExponentialBounds(1, 4.0, 10));
-      mm.projected_states = r.GetHistogram("search.projected_states",
-                                           obs::ExponentialBounds(1, 4.0, 12));
-      mm.arena_peak = r.GetGauge("miner.arena.peak_bytes");
-      mm.arena_blocks = r.GetCounter("miner.arena.blocks");
-      mm.arena_depth_bytes = r.GetHistogram("miner.arena.depth_bytes",
-                                            obs::ExponentialBounds(1024, 4.0, 12));
-      return mm;
-    }();
+    static const MinerMetrics m =
+        ForRegistry(&obs::MetricsRegistry::Global());
     return m;
   }
 };
 
-/// Charges robust.stop.<reason> when a guard stopped a run. Off the hot
-/// path: called once per Mine() at exit.
-inline void RecordStopMetrics(StopReason reason) {
+/// Charges robust.stop.<reason> to `registry` when a guard stopped a run.
+/// Off the hot path: called once per Mine() at exit.
+inline void RecordStopMetrics(StopReason reason, obs::MetricsRegistry* registry) {
   if (reason == StopReason::kNone) return;
-  obs::MetricsRegistry::Global()
-      .GetCounter(std::string("robust.stop.") + StopReasonName(reason))
+  registry->GetCounter(std::string("robust.stop.") + StopReasonName(reason))
       ->Increment();
 }
 
+inline void RecordStopMetrics(StopReason reason) {
+  RecordStopMetrics(reason, &obs::MetricsRegistry::Global());
+}
+
 /// Fault-point shim for miner allocation sites; charges
-/// robust.fault.injected when it fires.
-inline bool MinerFaultPoint(const char* site) {
+/// robust.fault.injected (to `registry`, or the global registry when null)
+/// when it fires.
+inline bool MinerFaultPoint(const char* site,
+                            obs::MetricsRegistry* registry = nullptr) {
   (void)site;  // unused when TPM_FAULT_DISABLED compiles the point out
   if (TPM_FAULT_POINT(site)) {
-    obs::MetricsRegistry::Global()
+    (registry != nullptr ? *registry : obs::MetricsRegistry::Global())
         .GetCounter("robust.fault.injected")
         ->Increment();
     return true;

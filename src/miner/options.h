@@ -16,6 +16,11 @@
 
 namespace tpm {
 
+namespace obs {
+class ProgressTracker;  // obs/progress.h
+class StatsDomain;      // obs/stats_domain.h
+}  // namespace obs
+
 /// Which pattern language a miner speaks.
 enum class PatternType { kEndpoint, kCoincidence };
 
@@ -59,6 +64,18 @@ struct MinerOptions {
   /// granularity and stops (truncated, StopReason::kCancelled) once it
   /// fires. The token must outlive the Mine() call. Not owned.
   const CancellationToken* cancellation = nullptr;
+
+  /// Observability domain the run charges (metrics + flight recorder). When
+  /// null the miner creates a private throwaway domain; either way the
+  /// run's delta is folded into the global registry at exit, so process-wide
+  /// scrapes keep working. Must outlive the Mine() call. Not owned.
+  obs::StatsDomain* stats_domain = nullptr;
+
+  /// Live progress/ETA sink (obs/progress.h): ticked per expanded node and
+  /// fed the level-1 bucket totals; the miner calls Finish() at run end.
+  /// Null disables progress tracking (zero hot-path cost). Must outlive the
+  /// Mine() call. Not owned.
+  obs::ProgressTracker* progress = nullptr;
 
   /// Bundles the four budget fields for ExecutionGuard.
   GuardLimits ToGuardLimits() const {

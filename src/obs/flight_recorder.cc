@@ -1,0 +1,60 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace tpm {
+namespace obs {
+
+#ifndef TPM_OBS_DISABLED
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+#endif
+
+FlightRecorder::FlightRecorder(size_t capacity)
+    : ring_(std::max<size_t>(capacity, 1)) {}
+
+void FlightRecorder::Record(const char* kind, uint64_t a, uint64_t b) {
+#ifdef TPM_OBS_DISABLED
+  (void)kind;
+  (void)a;
+  (void)b;
+#else
+  FlightEvent& e = ring_[next_];
+  e.t_ns = NowNs();
+  e.kind = kind;
+  e.a = a;
+  e.b = b;
+  next_ = (next_ + 1) % ring_.size();
+  ++total_;
+#endif
+}
+
+std::vector<FlightEvent> FlightRecorder::Events() const {
+  std::vector<FlightEvent> out;
+  const size_t n = std::min<uint64_t>(total_, ring_.size());
+  out.reserve(n);
+  // Oldest first: when the ring wrapped, the oldest live event is at next_.
+  const size_t start = total_ > ring_.size() ? next_ : 0;
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void FlightRecorder::Clear() {
+  next_ = 0;
+  total_ = 0;
+  for (FlightEvent& e : ring_) e = FlightEvent{};
+}
+
+}  // namespace obs
+}  // namespace tpm

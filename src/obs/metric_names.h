@@ -39,6 +39,9 @@ inline constexpr const char* kRegisteredMetricNames[] = {
     "miner.arena.blocks",
     "miner.arena.depth_bytes",
     "miner.arena.peak_bytes",
+    "obs.flight.events",
+    "process.peak_rss_bytes",
+    "progress.snapshots",
     "prune.apriori.hits",
     "prune.pair.hits",
     "prune.postfix.hits",

@@ -154,6 +154,16 @@ void Histogram::Observe(uint64_t v) {
   shard.sum.fetch_add(v, std::memory_order_relaxed);
 }
 
+void Histogram::MergeCounts(const std::vector<uint64_t>& bounds,
+                            const std::vector<uint64_t>& counts, uint64_t sum) {
+  if (bounds != bounds_ || counts.size() != bounds_.size() + 1) return;
+  Shard& shard = shards_[internal::ThisThreadShard()];
+  for (size_t i = 0; i < counts.size(); ++i) {
+    shard.counts[i].fetch_add(counts[i], std::memory_order_relaxed);
+  }
+  shard.sum.fetch_add(sum, std::memory_order_relaxed);
+}
+
 void Histogram::Reset() {
   for (Shard& shard : shards_) {
     for (std::atomic<uint64_t>& c : shard.counts) {
@@ -233,6 +243,19 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
   std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
   std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
   return snap;
+}
+
+void MetricsRegistry::MergeSnapshot(const MetricsSnapshot& delta) {
+  for (const CounterSample& c : delta.counters) {
+    if (c.value != 0) GetCounter(c.name)->Increment(c.value);
+  }
+  for (const GaugeSample& g : delta.gauges) {
+    if (g.value != 0) GetGauge(g.name)->Set(g.value);
+  }
+  for (const HistogramSample& h : delta.histograms) {
+    if (h.count == 0) continue;
+    GetHistogram(h.name, h.bounds)->MergeCounts(h.bounds, h.counts, h.sum);
+  }
 }
 
 void MetricsRegistry::Reset() {

@@ -162,6 +162,11 @@ class Histogram {
   friend class MetricsRegistry;
   void Reset();
 
+  // Adds pre-aggregated bucket counts (MergeSnapshot); no-op unless `bounds`
+  // matches this histogram's shape exactly.
+  void MergeCounts(const std::vector<uint64_t>& bounds,
+                   const std::vector<uint64_t>& counts, uint64_t sum);
+
   struct Shard {
     std::vector<std::atomic<uint64_t>> counts;  // bounds.size() + 1
     std::atomic<uint64_t> sum{0};
@@ -192,6 +197,14 @@ class MetricsRegistry {
 
   /// Merges all shards into a sorted snapshot.
   MetricsSnapshot Snapshot() const;
+
+  /// Folds a snapshot (typically a per-domain delta, see stats_domain.h)
+  /// into this registry: counters add their value, nonzero gauges Set
+  /// (last-write-wins, like any gauge write), histograms add their bucket
+  /// counts when the bounds match (mismatched bounds are dropped — the name
+  /// already exists here with a different shape, so the data is
+  /// incomparable). Registers metrics missing from this registry.
+  void MergeSnapshot(const MetricsSnapshot& delta);
 
   /// Zeroes every cell (metrics stay registered). Intended for tests.
   void Reset();
@@ -242,6 +255,7 @@ class MetricsRegistry {
     return &histogram_;
   }
   MetricsSnapshot Snapshot() const { return {}; }
+  void MergeSnapshot(const MetricsSnapshot&) {}
   void Reset() {}
 
  private:

@@ -1,0 +1,118 @@
+// Live progress / ETA for long mining runs (`tpm mine --progress`).
+//
+// The growth engines call TickNode() once per expanded node; like
+// ExecutionGuard, the tracker amortizes the clock: it counts down
+// kCheckInterval ticks between steady-clock reads, so the steady-state cost
+// is one predictable branch per node, and only every 32nd node pays a clock
+// read (and, when the emission interval elapsed, a snapshot + sink call).
+//
+// ETA comes from the level-1 bucket walk: the engine announces how many
+// admitted root buckets exist (SetTotalBuckets) and marks each one done
+// (NoteBucketDone), so `elapsed / done * (total - done)` projects the
+// remaining wall time from completed subtrees — coarse, but honest about the
+// only unit of work whose total is known up front. Before the first bucket
+// completes the ETA is unknown (-1).
+//
+// Every emission samples the Linux VmHWM peak-RSS gauge (0 on other
+// platforms, see util/memory.h), so a truncated run's recorded peak is the
+// peak *at truncation time*, not just at exit. Emissions are charged to the
+// owning StatsDomain (progress.snapshots counter, process.peak_rss_bytes
+// gauge) when one is attached.
+//
+// Thread-compatible, single owner — one tracker per governed run.
+
+#pragma once
+
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "util/timer.h"
+
+namespace tpm {
+namespace obs {
+
+class StatsDomain;
+class Counter;
+class Gauge;
+
+/// One periodic (or final) progress emission.
+struct ProgressSnapshot {
+  double elapsed_seconds = 0.0;
+  uint64_t buckets_done = 0;
+  uint64_t buckets_total = 0;   ///< 0 until the engine announces the total
+  uint64_t nodes = 0;           ///< search-tree nodes expanded so far
+  uint64_t patterns = 0;        ///< patterns reported so far
+  uint64_t projected_bytes = 0; ///< live tracked bytes (projections + reps)
+  double nodes_per_second = 0.0;
+  double eta_seconds = -1.0;    ///< projected remaining seconds; -1 = unknown
+  uint64_t peak_rss_bytes = 0;  ///< VmHWM at emission time (0 off-Linux)
+  bool final_snapshot = false;  ///< true for the end-of-run emission
+
+  /// One status line, e.g.
+  /// "progress: 12/40 buckets  184320 nodes (61440/s)  97 patterns
+  ///  12.4 MiB  elapsed 3.0s  eta 7.1s".
+  std::string ToString() const;
+};
+
+class ProgressTracker {
+ public:
+  /// Ticks between clock reads — same amortization as ExecutionGuard.
+  static constexpr uint32_t kCheckInterval = 32;
+
+  using Sink = std::function<void(const ProgressSnapshot&)>;
+
+  /// Emits to `sink` at most every `interval_seconds` (0 emits on every
+  /// clock read). `domain`, when non-null, is charged per emission and must
+  /// outlive the tracker.
+  ProgressTracker(double interval_seconds, Sink sink,
+                  StatsDomain* domain = nullptr);
+
+  ProgressTracker(const ProgressTracker&) = delete;
+  ProgressTracker& operator=(const ProgressTracker&) = delete;
+
+  void SetTotalBuckets(uint64_t total) { buckets_total_ = total; }
+  void NoteBucketDone() { ++buckets_done_; }
+
+  /// Hot-path hook: records the run's current totals and, every
+  /// kCheckInterval calls, checks the clock and possibly emits.
+  void TickNode(uint64_t nodes, uint64_t patterns, uint64_t projected_bytes) {
+    nodes_ = nodes;
+    patterns_ = patterns;
+    projected_bytes_ = projected_bytes;
+    if (countdown_-- == 0) {
+      countdown_ = kCheckInterval - 1;
+      MaybeEmit();
+    }
+  }
+
+  /// Emits the final snapshot (always, regardless of interval).
+  void Finish();
+
+  uint64_t snapshots_emitted() const { return emitted_; }
+
+ private:
+  void MaybeEmit();
+  ProgressSnapshot Build(double elapsed, bool final_snapshot) const;
+  void Emit(const ProgressSnapshot& snap);
+
+  const double interval_seconds_;
+  Sink sink_;
+  Counter* snapshots_counter_ = nullptr;  // progress.snapshots
+  Gauge* peak_rss_gauge_ = nullptr;       // process.peak_rss_bytes
+
+  WallTimer timer_;
+  double last_emit_seconds_ = 0.0;
+  uint64_t emitted_ = 0;
+  uint32_t countdown_ = 0;  // first tick always reaches MaybeEmit
+
+  uint64_t buckets_done_ = 0;
+  uint64_t buckets_total_ = 0;
+  uint64_t nodes_ = 0;
+  uint64_t patterns_ = 0;
+  uint64_t projected_bytes_ = 0;
+};
+
+}  // namespace obs
+}  // namespace tpm

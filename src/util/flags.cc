@@ -21,6 +21,10 @@ void FlagParser::AddBool(const std::string& name, bool* out,
                          const std::string& help) {
   flags_.push_back(Flag{name, Kind::kBool, out, help});
 }
+void FlagParser::AddOptionalDouble(const std::string& name, double* out,
+                                   double bare_value, const std::string& help) {
+  flags_.push_back(Flag{name, Kind::kOptionalDouble, out, help, bare_value});
+}
 
 const FlagParser::Flag* FlagParser::Find(const std::string& name) const {
   for (const Flag& f : flags_) {
@@ -54,6 +58,15 @@ Status FlagParser::Assign(const Flag& flag, const std::string& value) {
       }
       return Status::OK();
     }
+    case Kind::kOptionalDouble: {
+      if (value.empty()) {
+        *static_cast<double*>(flag.out) = flag.bare_value;
+        return Status::OK();
+      }
+      TPM_ASSIGN_OR_RETURN(double v, ParseDouble(value));
+      *static_cast<double*>(flag.out) = v;
+      return Status::OK();
+    }
   }
   return Status::Internal("unreachable");
 }
@@ -78,7 +91,8 @@ Result<std::vector<std::string>> FlagParser::Parse(int argc,
     if (eq != std::string::npos) {
       TPM_RETURN_NOT_OK(Assign(*flag, arg.substr(eq + 1))
                             .WithContext("flag --" + name));
-    } else if (flag->kind == Kind::kBool) {
+    } else if (flag->kind == Kind::kBool || flag->kind == Kind::kOptionalDouble) {
+      // Bare form: never consumes the next argument (it may be a positional).
       TPM_RETURN_NOT_OK(Assign(*flag, ""));
     } else {
       if (i + 1 >= argc) {

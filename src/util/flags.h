@@ -22,6 +22,12 @@ class FlagParser {
   void AddInt64(const std::string& name, int64_t* out, const std::string& help);
   void AddDouble(const std::string& name, double* out, const std::string& help);
   void AddBool(const std::string& name, bool* out, const std::string& help);
+  /// A double flag whose value is optional: bare `--name` assigns
+  /// `bare_value` (like a bool flag, it never consumes the next argument);
+  /// `--name=V` parses V. Use for flags like `--progress[=interval]` where
+  /// presence alone picks a default.
+  void AddOptionalDouble(const std::string& name, double* out, double bare_value,
+                         const std::string& help);
 
   /// Parses argv[1..); returns positional (non-flag) arguments in order.
   Result<std::vector<std::string>> Parse(int argc, const char* const* argv);
@@ -30,12 +36,13 @@ class FlagParser {
   std::string Usage() const;
 
  private:
-  enum class Kind { kString, kInt64, kDouble, kBool };
+  enum class Kind { kString, kInt64, kDouble, kBool, kOptionalDouble };
   struct Flag {
     std::string name;
     Kind kind;
     void* out;
     std::string help;
+    double bare_value = 0.0;  // kOptionalDouble: value of a bare `--name`
   };
 
   Status Assign(const Flag& flag, const std::string& value);

@@ -24,8 +24,7 @@ bool ExecutionGuard::TimedCheck() {
   ++timed_checks_;
   if (limits_.time_budget_seconds > 0.0 &&
       timer_.ElapsedSeconds() > limits_.time_budget_seconds) {
-    reason_ = StopReason::kDeadline;
-    return true;
+    return Stop(StopReason::kDeadline);
   }
   // RSS backstop: logical bytes miss allocator slack and untracked side
   // structures, so every kRssSampleInterval clock reads compare the *growth*
@@ -39,8 +38,7 @@ bool ExecutionGuard::TimedCheck() {
     const uint64_t rss = ReadCurrentRssBytes();
     if (rss > 0 && rss > rss_baseline_bytes_ &&
         rss - rss_baseline_bytes_ > threshold) {
-      reason_ = StopReason::kMemory;
-      return true;
+      return Stop(StopReason::kMemory);
     }
   }
   return false;

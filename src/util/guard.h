@@ -20,6 +20,8 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <utility>
 
 #include "util/memory.h"
 #include "util/timer.h"
@@ -69,6 +71,13 @@ struct GuardLimits {
   size_t memory_budget_bytes = 0;  ///< logical bytes (MemoryTracker view)
   uint64_t max_patterns = 0;
   const CancellationToken* cancellation = nullptr;
+
+  /// Fired exactly once, at the none -> reason transition, from whichever
+  /// ShouldStop / NotePattern / Trip call tripped the guard — i.e. on the
+  /// mining thread, off the hot path (the transition happens at most once
+  /// per run). Observability hook: the growth engines record the stop in
+  /// their flight recorder here. Must not re-enter the guard.
+  std::function<void(StopReason)> on_stop;
 };
 
 /// \brief Amortized stop-condition checker for mining loops.
@@ -122,13 +131,11 @@ class ExecutionGuard {
   bool ShouldStop() {
     if (reason_ != StopReason::kNone) return true;
     if (limits_.cancellation != nullptr && limits_.cancellation->cancelled()) {
-      reason_ = StopReason::kCancelled;
-      return true;
+      return Stop(StopReason::kCancelled);
     }
     if (limits_.memory_budget_bytes > 0 && tracker_ != nullptr &&
         tracker_->current_bytes() > limits_.memory_budget_bytes) {
-      reason_ = StopReason::kMemory;
-      return true;
+      return Stop(StopReason::kMemory);
     }
     if (countdown_-- == 0) {
       countdown_ = kTimeCheckInterval - 1;
@@ -142,7 +149,7 @@ class ExecutionGuard {
   bool NotePattern(uint64_t patterns_emitted) {
     if (limits_.max_patterns > 0 && patterns_emitted >= limits_.max_patterns &&
         reason_ == StopReason::kNone) {
-      reason_ = StopReason::kPatternCap;
+      Stop(StopReason::kPatternCap);
     }
     return reason_ == StopReason::kPatternCap;
   }
@@ -150,7 +157,7 @@ class ExecutionGuard {
   /// Trips the guard externally (first reason wins).
   void Trip(StopReason reason) {
     if (reason_ == StopReason::kNone && reason != StopReason::kNone) {
-      reason_ = reason;
+      Stop(reason);
     }
   }
 
@@ -163,6 +170,14 @@ class ExecutionGuard {
   uint64_t timed_checks() const { return timed_checks_; }
 
  private:
+  // Every none -> reason transition funnels through here so on_stop fires
+  // exactly once per run. Always returns true (callers `return Stop(...)`).
+  bool Stop(StopReason reason) {
+    reason_ = reason;
+    if (limits_.on_stop) limits_.on_stop(reason);
+    return true;
+  }
+
   // The expensive tail of ShouldStop: clock read + occasional RSS sample.
   bool TimedCheck();
 

@@ -1,0 +1,51 @@
+// Minimal JSON reader for the CLI's own artifacts (`tpm report` consumes
+// metrics snapshots, BENCH_*.json records, and postmortems — all produced by
+// this codebase's exporters). Recursive descent over the full JSON grammar
+// with a depth limit; numbers keep their source text so 64-bit counters
+// round-trip exactly (a double would silently lose precision past 2^53).
+//
+// This is a reader for trusted, self-produced documents — small inputs,
+// strict grammar, clear errors — not a general-purpose JSON library: no
+// \uXXXX decoding beyond ASCII, no streaming, object fields are kept in
+// source order and looked up linearly.
+
+#pragma once
+
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/result.h"
+
+namespace tpm {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  std::string text;  ///< kString: decoded text; kNumber: the source literal
+  std::vector<JsonValue> items;                            ///< kArray
+  std::vector<std::pair<std::string, JsonValue>> fields;   ///< kObject
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+
+  /// Object field lookup (linear); null when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  /// Number accessors; 0 when this is not a number (or out of range).
+  uint64_t AsUint64() const;
+  int64_t AsInt64() const;
+  double AsDouble() const;
+};
+
+/// Parses a complete JSON document (trailing whitespace allowed, trailing
+/// garbage is an error). `max_depth` bounds nesting.
+Result<JsonValue> ParseJson(const std::string& text, int max_depth = 64);
+
+}  // namespace tpm

@@ -1,0 +1,120 @@
+// RenderMetricsReport: auto-detection of the three artifact shapes and the
+// content of the rendered sections.
+
+#include "analysis/report.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+
+namespace tpm {
+namespace {
+
+constexpr char kSnapshotJson[] = R"({
+  "counters": {
+    "prune.pair.hits": 10,
+    "prune.postfix.hits": 20,
+    "prune.validity.hits": 5,
+    "search.candidates": 100,
+    "search.patterns": 7,
+    "search.states": 50,
+    "robust.stop.deadline": 1
+  },
+  "gauges": {
+    "miner.arena.peak_bytes": 2097152,
+    "process.peak_rss_bytes": 8388608
+  },
+  "histograms": {
+    "search.nodes": {"bounds": [0, 1, 2], "counts": [1, 4, 2, 0],
+                     "count": 7, "sum": 9}
+  }
+})";
+
+TEST(ReportTest, RendersSnapshotSections) {
+  auto report = RenderMetricsReport(kSnapshotJson);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_NE(report->find("pruning effectiveness"), std::string::npos);
+  EXPECT_NE(report->find("pair"), std::string::npos);
+  EXPECT_NE(report->find("10.0%"), std::string::npos);   // pair/candidates
+  EXPECT_NE(report->find("20.0%"), std::string::npos);   // postfix/candidates
+  EXPECT_NE(report->find("nodes expanded 7"), std::string::npos);
+  EXPECT_NE(report->find("search nodes by depth"), std::string::npos);
+  EXPECT_NE(report->find("depth 1"), std::string::npos);
+  EXPECT_NE(report->find("2.0 MiB"), std::string::npos);  // arena peak
+  EXPECT_NE(report->find("8.0 MiB"), std::string::npos);  // rss peak
+  EXPECT_NE(report->find("truncated by deadline (1)"), std::string::npos);
+}
+
+TEST(ReportTest, CompletedRunReportsNoTrips) {
+  auto report = RenderMetricsReport(
+      R"({"counters": {"search.candidates": 3}, "gauges": {}, "histograms": {}})");
+  ASSERT_TRUE(report.ok());
+  EXPECT_NE(report->find("ran to completion"), std::string::npos);
+}
+
+TEST(ReportTest, RendersPostmortem) {
+  const std::string doc = R"({
+    "domain": "mine", "outcome": "truncated", "detail": "deadline",
+    "events_recorded": 3,
+    "events": [{"us": 0, "kind": "run.begin", "a": 1, "b": 2}],
+    "metrics": {"counters": {"search.candidates": 4}, "gauges": {},
+                "histograms": {}}
+  })";
+  auto report = RenderMetricsReport(doc);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_NE(report->find("postmortem: domain=mine outcome=truncated"),
+            std::string::npos);
+  EXPECT_NE(report->find("(1 flight events)"), std::string::npos);
+  EXPECT_NE(report->find("pruning effectiveness"), std::string::npos);
+}
+
+TEST(ReportTest, RendersBenchArray) {
+  const std::string doc = R"([
+    {"algo": "P-TPMiner/E", "config": "pseudo", "seconds": 1.25,
+     "patterns": 42, "stop_reason": "none",
+     "metrics": {"counters": {"search.candidates": 9}, "gauges": {},
+                 "histograms": {}}},
+    {"algo": "P-TPMiner/C", "config": "copy", "seconds": 2.5,
+     "patterns": 7, "stop_reason": "deadline"}
+  ])";
+  auto report = RenderMetricsReport(doc);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_NE(report->find("bench records: 2 cells"), std::string::npos);
+  EXPECT_NE(report->find("P-TPMiner/E @ pseudo: 1.250s, 42 patterns"),
+            std::string::npos);
+  EXPECT_NE(report->find("stop=deadline"), std::string::npos);
+  // The second cell has no metrics object: header only, no crash.
+  EXPECT_NE(report->find("P-TPMiner/C @ copy"), std::string::npos);
+}
+
+TEST(ReportTest, RejectsUnknownShapesAndBadJson) {
+  EXPECT_FALSE(RenderMetricsReport("not json").ok());
+  EXPECT_FALSE(RenderMetricsReport("[]").ok());
+  EXPECT_FALSE(RenderMetricsReport("{\"foo\": 1}").ok());
+  EXPECT_FALSE(RenderMetricsReport("42").ok());
+}
+
+#ifndef TPM_OBS_DISABLED
+// End-to-end: a live registry's ToJson renders without loss of the headline
+// numbers (guards the exporter format and the reader agreeing with each
+// other).
+TEST(ReportTest, RoundTripsLiveRegistrySnapshot) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("search.candidates")->Increment(12);
+  registry.GetCounter("prune.pair.hits")->Increment(3);
+  obs::Histogram* h =
+      registry.GetHistogram("search.nodes", obs::LinearBounds(0, 1, 4));
+  h->Observe(1);
+  h->Observe(1);
+  h->Observe(2);
+  auto report = RenderMetricsReport(registry.Snapshot().ToJson());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_NE(report->find("candidates checked 12"), std::string::npos);
+  EXPECT_NE(report->find("nodes expanded 3"), std::string::npos);
+  EXPECT_NE(report->find("25.0%"), std::string::npos);  // pair 3/12
+}
+#endif
+
+}  // namespace
+}  // namespace tpm

@@ -7,18 +7,47 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <random>
+#include <string>
 #include <vector>
 
 #include "datagen/quest.h"
 #include "miner/coincidence_growth.h"
 #include "miner/endpoint_growth.h"
+#include "obs/stats_domain.h"
 #include "testing/test_util.h"
 
 namespace tpm {
 namespace {
 
 using testing::Render;
+
+// The per-run metrics snapshot with memory-accounting entries stripped:
+// miner.arena.* and process.* legitimately differ between backends (the copy
+// path never maps projection arenas; RSS depends on allocator history), but
+// every search metric — nodes, candidates, prunes, projected states, flight
+// events — must be byte-identical.
+std::string ComparableMetricsJson(obs::MetricsSnapshot snap) {
+  auto dropped = [](const std::string& name) {
+    return name.rfind("miner.arena.", 0) == 0 || name.rfind("process.", 0) == 0;
+  };
+  snap.counters.erase(
+      std::remove_if(snap.counters.begin(), snap.counters.end(),
+                     [&](const obs::CounterSample& s) { return dropped(s.name); }),
+      snap.counters.end());
+  snap.gauges.erase(
+      std::remove_if(snap.gauges.begin(), snap.gauges.end(),
+                     [&](const obs::GaugeSample& s) { return dropped(s.name); }),
+      snap.gauges.end());
+  snap.histograms.erase(
+      std::remove_if(
+          snap.histograms.begin(), snap.histograms.end(),
+          [&](const obs::HistogramSample& s) { return dropped(s.name); }),
+      snap.histograms.end());
+  return snap.ToJson();
+}
 
 constexpr uint32_t kNumDatabases = 25;
 
@@ -56,9 +85,13 @@ TEST_P(ProjectionDeterminismTest, EndpointCopyAndPseudoAgree) {
   for (uint32_t mask = 0; mask < 8; ++mask) {
     MinerOptions options = BaseOptions(mask);
     options.projection = ProjectionMode::kPseudo;
+    obs::StatsDomain pseudo_domain("pseudo");
+    options.stats_domain = &pseudo_domain;
     auto pseudo = MineEndpointGrowth(db, options, EndpointGrowthConfig{});
     ASSERT_TRUE(pseudo.ok()) << pseudo.status();
     options.projection = ProjectionMode::kCopy;
+    obs::StatsDomain copy_domain("copy");
+    options.stats_domain = &copy_domain;
     auto copy = MineEndpointGrowth(db, options, EndpointGrowthConfig{});
     ASSERT_TRUE(copy.ok()) << copy.status();
     pseudo->SortCanonically();
@@ -71,6 +104,10 @@ TEST_P(ProjectionDeterminismTest, EndpointCopyAndPseudoAgree) {
     EXPECT_EQ(pseudo->stats.nodes_expanded, copy->stats.nodes_expanded);
     EXPECT_EQ(pseudo->stats.states_created, copy->stats.states_created);
     EXPECT_EQ(pseudo->stats.candidates_checked, copy->stats.candidates_checked);
+    // And the full observability delta, modulo memory accounting.
+    EXPECT_EQ(ComparableMetricsJson(pseudo->stats.metrics),
+              ComparableMetricsJson(copy->stats.metrics))
+        << "pruning mask " << mask;
   }
 }
 
@@ -92,6 +129,35 @@ TEST_P(ProjectionDeterminismTest, CoincidenceCopyAndPseudoAgree) {
     EXPECT_EQ(pseudo->stats.nodes_expanded, copy->stats.nodes_expanded);
     EXPECT_EQ(pseudo->stats.states_created, copy->stats.states_created);
     EXPECT_EQ(pseudo->stats.candidates_checked, copy->stats.candidates_checked);
+    EXPECT_EQ(ComparableMetricsJson(pseudo->stats.metrics),
+              ComparableMetricsJson(copy->stats.metrics))
+        << "pruning mask " << mask;
+  }
+}
+
+// Every mask run charges its own StatsDomain; folding the eight domains in
+// shuffled completion orders must produce byte-identical merged snapshots —
+// the contract the future parallel miner's merger relies on, exercised here
+// with real mining deltas rather than synthetic values.
+TEST_P(ProjectionDeterminismTest, MergedMetricsSnapshotsAreOrderInvariant) {
+  const IntervalDatabase db = MakeDb(GetParam());
+  std::vector<obs::DomainSnapshot> snaps;
+  for (uint32_t mask = 0; mask < 8; ++mask) {
+    MinerOptions options = BaseOptions(mask);
+    options.projection = ProjectionMode::kPseudo;
+    obs::StatsDomain domain("mask-" + std::to_string(mask));
+    options.stats_domain = &domain;
+    auto result = MineEndpointGrowth(db, options, EndpointGrowthConfig{});
+    ASSERT_TRUE(result.ok()) << result.status();
+    snaps.push_back(domain.TakeSnapshot());
+  }
+  const std::string reference = obs::MergeDomainSnapshots(snaps).ToJson();
+  std::mt19937 rng(GetParam());
+  for (int round = 0; round < 5; ++round) {
+    auto shuffled = snaps;
+    std::shuffle(shuffled.begin(), shuffled.end(), rng);
+    EXPECT_EQ(obs::MergeDomainSnapshots(shuffled).ToJson(), reference)
+        << "round " << round;
   }
 }
 

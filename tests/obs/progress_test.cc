@@ -1,0 +1,120 @@
+// ProgressTracker: amortized ticking, interval gating, ETA projection, and
+// the StatsDomain charges per emission.
+
+#include "obs/progress.h"
+
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/stats_domain.h"
+
+namespace tpm {
+namespace obs {
+namespace {
+
+TEST(ProgressTrackerTest, ZeroIntervalEmitsOnEveryClockCheck) {
+  std::vector<ProgressSnapshot> seen;
+  ProgressTracker tracker(0.0,
+                          [&seen](const ProgressSnapshot& s) { seen.push_back(s); });
+  // The countdown reaches the clock once per kCheckInterval ticks; with a
+  // zero interval every check emits.
+  const uint64_t ticks = ProgressTracker::kCheckInterval * 3;
+  for (uint64_t i = 1; i <= ticks; ++i) tracker.TickNode(i, i / 2, i * 10);
+  EXPECT_EQ(seen.size(), 3u);
+  EXPECT_EQ(tracker.snapshots_emitted(), 3u);
+  EXPECT_EQ(seen.back().nodes, ticks - ProgressTracker::kCheckInterval + 1);
+  EXPECT_FALSE(seen.back().final_snapshot);
+}
+
+TEST(ProgressTrackerTest, LargeIntervalSuppressesPeriodicEmissions) {
+  std::vector<ProgressSnapshot> seen;
+  ProgressTracker tracker(3600.0,
+                          [&seen](const ProgressSnapshot& s) { seen.push_back(s); });
+  for (uint64_t i = 1; i <= 10 * ProgressTracker::kCheckInterval; ++i) {
+    tracker.TickNode(i, 0, 0);
+  }
+  EXPECT_TRUE(seen.empty());
+  tracker.Finish();  // the final snapshot ignores the interval
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_TRUE(seen[0].final_snapshot);
+  EXPECT_EQ(seen[0].nodes, 10u * ProgressTracker::kCheckInterval);
+}
+
+TEST(ProgressTrackerTest, EtaComesFromBucketCompletion) {
+  std::vector<ProgressSnapshot> seen;
+  ProgressTracker tracker(0.0,
+                          [&seen](const ProgressSnapshot& s) { seen.push_back(s); });
+  tracker.SetTotalBuckets(10);
+  // No bucket done yet: ETA unknown.
+  for (uint64_t i = 1; i <= ProgressTracker::kCheckInterval; ++i) {
+    tracker.TickNode(i, 0, 0);
+  }
+  ASSERT_FALSE(seen.empty());
+  EXPECT_EQ(seen.back().buckets_total, 10u);
+  EXPECT_EQ(seen.back().buckets_done, 0u);
+  EXPECT_LT(seen.back().eta_seconds, 0.0);
+  // Half the buckets done: ETA is defined and roughly equals elapsed.
+  for (int d = 0; d < 5; ++d) tracker.NoteBucketDone();
+  for (uint64_t i = 1; i <= ProgressTracker::kCheckInterval; ++i) {
+    tracker.TickNode(100 + i, 0, 0);
+  }
+  const ProgressSnapshot& last = seen.back();
+  EXPECT_EQ(last.buckets_done, 5u);
+  EXPECT_GE(last.eta_seconds, 0.0);
+  EXPECT_NEAR(last.eta_seconds, last.elapsed_seconds, 1e-6 + last.elapsed_seconds);
+}
+
+TEST(ProgressTrackerTest, FinalSnapshotHasNoEta) {
+  ProgressSnapshot last;
+  ProgressTracker tracker(3600.0,
+                          [&last](const ProgressSnapshot& s) { last = s; });
+  tracker.SetTotalBuckets(4);
+  tracker.NoteBucketDone();
+  tracker.TickNode(5, 2, 100);
+  tracker.Finish();
+  EXPECT_TRUE(last.final_snapshot);
+  EXPECT_LT(last.eta_seconds, 0.0);
+  EXPECT_EQ(last.patterns, 2u);
+  EXPECT_EQ(last.projected_bytes, 100u);
+}
+
+#ifndef TPM_OBS_DISABLED
+TEST(ProgressTrackerTest, ChargesDomainPerEmission) {
+  StatsDomain domain("d");
+  ProgressTracker tracker(0.0, nullptr, &domain);
+  for (uint64_t i = 1; i <= 2 * ProgressTracker::kCheckInterval; ++i) {
+    tracker.TickNode(i, 0, 0);
+  }
+  tracker.Finish();
+  EXPECT_EQ(domain.Snapshot().CounterValue("progress.snapshots"),
+            tracker.snapshots_emitted());
+  EXPECT_EQ(tracker.snapshots_emitted(), 3u);
+}
+#endif
+
+TEST(ProgressSnapshotTest, ToStringShapes) {
+  ProgressSnapshot snap;
+  snap.nodes = 1000;
+  snap.patterns = 10;
+  snap.elapsed_seconds = 2.0;
+  snap.nodes_per_second = 500.0;
+  std::string s = snap.ToString();
+  EXPECT_NE(s.find("progress:"), std::string::npos);
+  EXPECT_NE(s.find("1000 nodes"), std::string::npos);
+  EXPECT_EQ(s.find("buckets"), std::string::npos);  // total unknown
+  EXPECT_EQ(s.find("eta"), std::string::npos);      // eta unknown
+
+  snap.buckets_done = 3;
+  snap.buckets_total = 9;
+  snap.eta_seconds = 4.0;
+  s = snap.ToString();
+  EXPECT_NE(s.find("3/9 buckets"), std::string::npos);
+  EXPECT_NE(s.find("eta 4.0s"), std::string::npos);
+
+  snap.final_snapshot = true;
+  EXPECT_NE(snap.ToString().find("progress(final):"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace tpm

@@ -273,14 +273,17 @@ TEST(CliExitCodeTest, TimeBudgetTruncationExitsWith3AndWritesPartials) {
   WriteSample(db);
   std::string out;
   EXPECT_EQ(RunCli({"tpm", "mine", db.c_str(), "--minsup=2",
-                 "--budget=0.0000001", ("--output=" + patterns).c_str(),
+                 "--budget=0.0000001", "--postmortem-out=off",
+                 ("--output=" + patterns).c_str(),
                  ("--metrics-out=" + metrics).c_str()},
                 &out),
             3);
   EXPECT_TRUE(FileExists(patterns));
   ASSERT_TRUE(FileExists(metrics));
+#ifndef TPM_OBS_DISABLED
   const std::string json = Slurp(metrics);
   EXPECT_NE(json.find("robust.stop.deadline"), std::string::npos) << json;
+#endif
 }
 
 TEST(CliExitCodeTest, GenerousMemoryBudgetCompletes) {
@@ -326,12 +329,45 @@ TEST(CliFaultsTest, FaultsCommandListsRegisteredSites) {
 
 #ifndef TPM_FAULT_DISABLED
 
-TEST(CliFaultsTest, InjectedLoadFaultExitsWith4) {
+TEST(CliFaultsTest, InjectedLoadFaultExitsWith4AndWritesPostmortem) {
   const std::string db = TempPath("cli_fault_load.tisd");
+  const std::string pm = TempPath("cli_fault_load.pm.json");
   WriteSample(db);
+  std::remove(pm.c_str());
   std::string out;
   fault::ScopedFault fault("io.open_read", 1);
-  EXPECT_EQ(RunCli({"tpm", "mine", db.c_str(), "--minsup=2"}, &out), 4);
+  EXPECT_EQ(RunCli({"tpm", "mine", db.c_str(), "--minsup=2",
+                 ("--postmortem-out=" + pm).c_str()},
+                &out),
+            4);
+  ASSERT_TRUE(FileExists(pm));
+  const std::string doc = Slurp(pm);
+  EXPECT_NE(doc.find("\"outcome\": \"fault\""), std::string::npos) << doc;
+}
+
+TEST(CliFaultsTest, InjectedMinerFaultWritesPostmortemWithFlightEvents) {
+  const std::string db = TempPath("cli_fault_miner.tisd");
+  const std::string pm = TempPath("cli_fault_miner.pm.json");
+  WriteSample(db);
+  std::remove(pm.c_str());
+  std::string out;
+  {
+    fault::ScopedFault fault("miner.alloc", 1);
+    EXPECT_EQ(RunCli({"tpm", "mine", db.c_str(), "--minsup=2",
+                   ("--postmortem-out=" + pm).c_str()},
+                  &out),
+              4);
+  }
+  ASSERT_TRUE(FileExists(pm));
+  const std::string doc = Slurp(pm);
+  EXPECT_NE(doc.find("\"outcome\": \"fault\""), std::string::npos) << doc;
+#ifndef TPM_OBS_DISABLED
+  EXPECT_NE(doc.find("\"kind\": \"fault\""), std::string::npos) << doc;
+#endif
+  // The postmortem is itself a `tpm report` input.
+  std::string report;
+  ASSERT_EQ(RunCli({"tpm", "report", pm.c_str()}, &report), 0);
+  EXPECT_NE(report.find("outcome=fault"), std::string::npos) << report;
 }
 
 TEST(CliFaultsTest, InjectedRenameFaultLeavesNoTempFile) {
@@ -344,6 +380,7 @@ TEST(CliFaultsTest, InjectedRenameFaultLeavesNoTempFile) {
   {
     fault::ScopedFault fault("io.rename", 1);
     EXPECT_EQ(RunCli({"tpm", "mine", db.c_str(), "--minsup=2",
+                   "--postmortem-out=off",
                    ("--output=" + patterns).c_str()},
                   &out),
               4);
@@ -353,6 +390,101 @@ TEST(CliFaultsTest, InjectedRenameFaultLeavesNoTempFile) {
 }
 
 #endif  // !TPM_FAULT_DISABLED
+
+TEST(CliObservabilityTest, ProgressFlagChargesCounterAndKeepsPositional) {
+  // Bare --progress must not swallow the following <db> positional, and a
+  // zero-interval run must record at least one snapshot in the metrics.
+  const std::string db = TempPath("cli_progress.tisd");
+  const std::string metrics = TempPath("cli_progress.metrics.json");
+  WriteSample(db);
+  std::string out;
+  ASSERT_EQ(RunCli({"tpm", "mine", "--progress", db.c_str(), "--minsup=2"},
+                &out),
+            0);
+  ASSERT_EQ(RunCli({"tpm", "mine", db.c_str(), "--minsup=2", "--progress=0",
+                 ("--metrics-out=" + metrics).c_str()},
+                &out),
+            0);
+#ifndef TPM_OBS_DISABLED
+  const std::string json = Slurp(metrics);
+  EXPECT_NE(json.find("progress.snapshots"), std::string::npos) << json;
+  EXPECT_NE(json.find("obs.flight.events"), std::string::npos) << json;
+#endif
+  EXPECT_EQ(RunCli({"tpm", "mine", db.c_str(), "--progress=-2"}, &out), 1);
+}
+
+TEST(CliObservabilityTest, TruncatedRunWritesPostmortem) {
+  const std::string db = TempPath("cli_pm_trunc.tisd");
+  const std::string pm = TempPath("cli_pm_trunc.pm.json");
+  WriteSample(db);
+  std::remove(pm.c_str());
+  std::string out;
+  EXPECT_EQ(RunCli({"tpm", "mine", db.c_str(), "--minsup=2",
+                 "--budget=0.0000001", ("--postmortem-out=" + pm).c_str()},
+                &out),
+            3);
+  ASSERT_TRUE(FileExists(pm));
+  const std::string doc = Slurp(pm);
+  EXPECT_NE(doc.find("\"outcome\": \"truncated\""), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"detail\": \"deadline\""), std::string::npos) << doc;
+#ifndef TPM_OBS_DISABLED
+  EXPECT_NE(doc.find("\"kind\": \"guard.stop\""), std::string::npos) << doc;
+#endif
+}
+
+TEST(CliObservabilityTest, PostmortemOffSuppressesArtifact) {
+  const std::string db = TempPath("cli_pm_off.tisd");
+  WriteSample(db);
+  std::remove("tpm-postmortem.json");
+  std::string out;
+  EXPECT_EQ(RunCli({"tpm", "mine", db.c_str(), "--minsup=2",
+                 "--budget=0.0000001", "--postmortem-out=off"},
+                &out),
+            3);
+  // Nothing lands in the default location either.
+  EXPECT_FALSE(FileExists("tpm-postmortem.json"));
+  EXPECT_EQ(RunCli({"tpm", "mine", db.c_str(), "--postmortem-out="}, &out), 1);
+}
+
+TEST(CliObservabilityTest, CleanRunWritesNoPostmortem) {
+  const std::string db = TempPath("cli_pm_clean.tisd");
+  const std::string pm = TempPath("cli_pm_clean.pm.json");
+  WriteSample(db);
+  std::remove(pm.c_str());
+  std::string out;
+  ASSERT_EQ(RunCli({"tpm", "mine", db.c_str(), "--minsup=2",
+                 ("--postmortem-out=" + pm).c_str()},
+                &out),
+            0);
+  EXPECT_FALSE(FileExists(pm));
+}
+
+TEST(CliReportTest, RendersOwnMetricsOutput) {
+  const std::string db = TempPath("cli_report.tisd");
+  const std::string metrics = TempPath("cli_report.metrics.json");
+  WriteSample(db);
+  std::string out;
+  ASSERT_EQ(RunCli({"tpm", "mine", db.c_str(), "--minsup=2",
+                 ("--metrics-out=" + metrics).c_str()},
+                &out),
+            0);
+  std::string report;
+  ASSERT_EQ(RunCli({"tpm", "report", metrics.c_str()}, &report), 0);
+  EXPECT_NE(report.find("pruning effectiveness"), std::string::npos) << report;
+  EXPECT_NE(report.find("stop:"), std::string::npos) << report;
+}
+
+TEST(CliReportTest, ErrorPaths) {
+  std::string out;
+  EXPECT_EQ(RunCli({"tpm", "report"}, &out), 1);
+  EXPECT_EQ(RunCli({"tpm", "report", "/nonexistent/m.json"}, &out), 2);
+  const std::string junk = TempPath("cli_report_junk.json");
+  {
+    std::ofstream f(junk);
+    f << "not json at all";
+  }
+  EXPECT_EQ(RunCli({"tpm", "report", junk.c_str()}, &out), 1);
+}
 
 TEST(CliTest, HelpFlagsForSubcommands) {
   std::string out;

@@ -76,6 +76,39 @@ TEST(FlagParserTest, BadValueTypeRejected) {
   EXPECT_NE(r.status().message().find("--count"), std::string::npos);
 }
 
+TEST(FlagParserTest, OptionalDoubleBareUsesBareValue) {
+  FlagParser parser;
+  double d = -1.0;
+  parser.AddOptionalDouble("progress", &d, 1.0, "");
+  const char* argv[] = {"prog", "--progress"};
+  ASSERT_TRUE(parser.Parse(2, argv).ok());
+  EXPECT_DOUBLE_EQ(d, 1.0);
+}
+
+TEST(FlagParserTest, OptionalDoubleExplicitValue) {
+  FlagParser parser;
+  double d = -1.0;
+  parser.AddOptionalDouble("progress", &d, 1.0, "");
+  const char* argv[] = {"prog", "--progress=2.5"};
+  ASSERT_TRUE(parser.Parse(2, argv).ok());
+  EXPECT_DOUBLE_EQ(d, 2.5);
+  const char* bad[] = {"prog", "--progress=abc"};
+  EXPECT_FALSE(parser.Parse(2, bad).ok());
+}
+
+TEST(FlagParserTest, OptionalDoubleNeverConsumesNextArgument) {
+  // Unlike AddDouble, the bare form must not swallow a following positional
+  // (`tpm mine --progress db.tisd` would otherwise lose its input path).
+  FlagParser parser;
+  double d = -1.0;
+  parser.AddOptionalDouble("progress", &d, 1.0, "");
+  const char* argv[] = {"prog", "--progress", "db.tisd"};
+  auto positional = parser.Parse(3, argv);
+  ASSERT_TRUE(positional.ok()) << positional.status();
+  EXPECT_EQ(*positional, (std::vector<std::string>{"db.tisd"}));
+  EXPECT_DOUBLE_EQ(d, 1.0);
+}
+
 TEST(FlagParserTest, UsageListsFlags) {
   FlagParser parser;
   std::string s;

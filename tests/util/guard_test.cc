@@ -124,5 +124,38 @@ TEST(ExecutionGuardTest, TripExternally) {
   EXPECT_EQ(guard.reason(), StopReason::kDeadline);
 }
 
+TEST(ExecutionGuardTest, OnStopFiresExactlyOnceAtFirstTransition) {
+  int calls = 0;
+  StopReason seen = StopReason::kNone;
+  GuardLimits limits;
+  limits.max_patterns = 2;
+  limits.on_stop = [&calls, &seen](StopReason reason) {
+    ++calls;
+    seen = reason;
+  };
+  ExecutionGuard guard(limits, nullptr);
+  EXPECT_FALSE(guard.NotePattern(1));
+  EXPECT_EQ(calls, 0);
+  EXPECT_TRUE(guard.NotePattern(2));
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(seen, StopReason::kPatternCap);
+  // Re-checking a stopped guard or tripping again must not re-fire.
+  EXPECT_TRUE(guard.ShouldStop());
+  EXPECT_TRUE(guard.NotePattern(3));
+  guard.Trip(StopReason::kMemory);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(guard.reason(), StopReason::kPatternCap);
+}
+
+TEST(ExecutionGuardTest, OnStopFiresForExternalTrip) {
+  int calls = 0;
+  GuardLimits limits;
+  limits.on_stop = [&calls](StopReason) { ++calls; };
+  ExecutionGuard guard(limits, nullptr);
+  guard.Trip(StopReason::kCancelled);
+  guard.Trip(StopReason::kDeadline);
+  EXPECT_EQ(calls, 1);
+}
+
 }  // namespace
 }  // namespace tpm

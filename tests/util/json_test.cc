@@ -1,0 +1,86 @@
+// util/json.h: the minimal reader `tpm report` uses on the project's own
+// artifacts. Round-trips, exact 64-bit integers, and strict error handling.
+
+#include "util/json.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace tpm {
+namespace {
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_EQ(ParseJson("null")->kind, JsonValue::Kind::kNull);
+  EXPECT_TRUE(ParseJson("true")->bool_value);
+  EXPECT_FALSE(ParseJson("false")->bool_value);
+  EXPECT_EQ(ParseJson("\"hi\"")->text, "hi");
+  EXPECT_EQ(ParseJson("42")->AsUint64(), 42u);
+  EXPECT_EQ(ParseJson("-7")->AsInt64(), -7);
+  EXPECT_DOUBLE_EQ(ParseJson("2.5e2")->AsDouble(), 250.0);
+}
+
+TEST(JsonTest, Uint64RoundTripsExactly) {
+  // 2^64 - 1 would lose precision through a double; the source literal must
+  // survive verbatim.
+  auto v = ParseJson("18446744073709551615");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsUint64(), 18446744073709551615ull);
+  EXPECT_EQ(v->text, "18446744073709551615");
+}
+
+TEST(JsonTest, ObjectsKeepSourceOrderAndFind) {
+  auto v = ParseJson(R"({"b": 1, "a": {"nested": [1, 2, 3]}})");
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(v->is_object());
+  ASSERT_EQ(v->fields.size(), 2u);
+  EXPECT_EQ(v->fields[0].first, "b");
+  const JsonValue* a = v->Find("a");
+  ASSERT_NE(a, nullptr);
+  const JsonValue* nested = a->Find("nested");
+  ASSERT_NE(nested, nullptr);
+  ASSERT_EQ(nested->items.size(), 3u);
+  EXPECT_EQ(nested->items[2].AsUint64(), 3u);
+  EXPECT_EQ(v->Find("missing"), nullptr);
+  EXPECT_EQ(nested->Find("a"), nullptr);  // Find on a non-object
+}
+
+TEST(JsonTest, StringEscapes) {
+  auto v = ParseJson(R"("a\"b\\c\nd\te\u0041")");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->text, "a\"b\\c\nd\teA");
+}
+
+TEST(JsonTest, EmptyContainers) {
+  EXPECT_TRUE(ParseJson("{}")->fields.empty());
+  EXPECT_TRUE(ParseJson("[]")->items.empty());
+  EXPECT_TRUE(ParseJson(" [ ] ")->is_array());
+}
+
+TEST(JsonTest, RejectsMalformedDocuments) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\" 1}", "tru", "\"unterminated", "1 2",
+        "{\"a\": 1,}", "[1] trailing", "\"bad\\escape\"", "nan", "--1",
+        "\"\\u00g1\"", "{1: 2}"}) {
+    EXPECT_FALSE(ParseJson(bad).ok()) << "accepted: " << bad;
+  }
+}
+
+TEST(JsonTest, DepthLimit) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += "[";
+  for (int i = 0; i < 100; ++i) deep += "]";
+  EXPECT_FALSE(ParseJson(deep).ok());        // default max_depth = 64
+  EXPECT_TRUE(ParseJson(deep, 128).ok());
+}
+
+TEST(JsonTest, AccessorsOnWrongKindReturnZero) {
+  auto v = ParseJson("\"text\"");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsUint64(), 0u);
+  EXPECT_EQ(v->AsInt64(), 0);
+  EXPECT_EQ(v->AsDouble(), 0.0);
+}
+
+}  // namespace
+}  // namespace tpm

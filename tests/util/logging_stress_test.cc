@@ -115,8 +115,14 @@ TEST(MetricsStressTest, ConcurrentCountersSumExactly) {
   for (std::thread& th : threads) th.join();
   snapshotter.join();
 
+#ifndef TPM_OBS_DISABLED
   EXPECT_EQ(counter->Value() - before,
             static_cast<uint64_t>(kThreads) * kIncrementsPerThread);
+#else
+  // The disabled stubs drop everything; the exercise above still proves the
+  // API compiles and the no-op paths are race-free under TSan.
+  EXPECT_EQ(counter->Value(), before);
+#endif
 }
 
 }  // namespace

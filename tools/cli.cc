@@ -3,12 +3,14 @@
 #include <csignal>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <ostream>
 #include <sstream>
 
 #include "analysis/postprocess.h"
 #include "analysis/profile.h"
 #include "analysis/render.h"
+#include "analysis/report.h"
 #include "analysis/rules.h"
 #include "core/projection.h"
 #include "core/validate.h"
@@ -18,6 +20,8 @@
 #include "io/loader.h"
 #include "miner/miner.h"
 #include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/stats_domain.h"
 #include "obs/trace.h"
 #include "util/fault.h"
 #include "util/flags.h"
@@ -40,10 +44,13 @@ constexpr char kUsage[] =
     "  generate [flags]      synthesize a dataset\n"
     "  convert <in> <out>    transcode between .tisd/.csv/.tpmb\n"
     "  check <db>            validate structural invariants (deep check)\n"
+    "  report <file>         summarize a metrics / bench / postmortem JSON\n"
     "  faults                list fault-injection sites (TPM_FAULT=<site>:<n>)\n"
     "\n"
     "exit codes: 0 complete, 1 usage/error, 2 load error, 3 truncated run\n"
     "(budget exhausted or interrupted; partial output was written), 4 fault\n"
+    "abnormal mine exits (3/4) also write a flight-recorder postmortem\n"
+    "(tpm-postmortem.json; see `tpm mine --help`, --postmortem-out)\n"
     "\n"
     "run `tpm <command> --help` for command flags\n";
 
@@ -170,6 +177,8 @@ struct MineFlags {
   bool no_postfix_pruning = false;
   bool no_validity_pruning = false;
   std::string projection = "pseudo";
+  double progress = -1.0;  // < 0 = off; bare --progress means 1s cadence
+  std::string postmortem_out = "auto";
   ObsFlags obs;
   bool help = false;
 
@@ -203,6 +212,12 @@ struct MineFlags {
     p->AddString("projection", &projection,
                  "growth-engine projection: pseudo (default) | copy "
                  "(deprecated legacy A/B path)");
+    p->AddOptionalDouble("progress", &progress, 1.0,
+                         "print live progress/ETA to stderr every N seconds "
+                         "(bare --progress = 1s)");
+    p->AddString("postmortem-out", &postmortem_out,
+                 "flight-recorder postmortem on abnormal exit (3/4): auto "
+                 "(tpm-postmortem.json in cwd) | off | <path>");
     obs.Register(p);
     p->AddBool("help", &help, "show this help");
   }
@@ -226,6 +241,15 @@ struct MineFlags {
     if (!ParseProjectionMode(projection, &mode)) {
       return Status::InvalidArgument("--projection must be pseudo or copy (got " +
                                      projection + ")");
+    }
+    // -1.0 is the internal "off" sentinel; any explicitly passed negative
+    // interval is a mistake.
+    if (progress < 0.0 && progress != -1.0) {
+      return Status::InvalidArgument("--progress interval must be >= 0 seconds");
+    }
+    if (postmortem_out.empty()) {
+      return Status::InvalidArgument(
+          "--postmortem-out needs auto, off, or a path");
     }
     return obs.Validate();
   }
@@ -321,21 +345,60 @@ int CmdProfile(int argc, const char* const* argv, std::ostream& out) {
   return 0;
 }
 
+// Persists the flight-recorder postmortem for an abnormal mine exit (3/4).
+// "auto" writes tpm-postmortem.json in the working directory, "off"
+// disables, anything else is the destination path. A write failure only
+// warns — the postmortem must never mask the run's own exit code.
+void WritePostmortem(const obs::StatsDomain& domain, const MineFlags& flags,
+                     const char* outcome, const std::string& detail) {
+  if (flags.postmortem_out == "off") return;
+  const std::string path = flags.postmortem_out == "auto"
+                               ? std::string("tpm-postmortem.json")
+                               : flags.postmortem_out;
+  const Status st =
+      WriteFileAtomic(path, obs::PostmortemJson(domain, outcome, detail));
+  if (!st.ok()) {
+    std::cerr << "tpm: postmortem write failed: " << st.ToString() << "\n";
+  } else {
+    std::cerr << "tpm: wrote postmortem to " << path << "\n";
+  }
+}
+
+// Maps a failed Status to its exit code; fault exits (code 4) also get a
+// postmortem — the flight recorder holds the events leading up to the
+// injected/environmental failure.
+int FailWithPostmortem(const Status& status, const MineFlags& flags,
+                       const obs::StatsDomain& domain, int fallback) {
+  const int code = Fail(status, fallback);
+  if (code == kExitFault) {
+    WritePostmortem(domain, flags, "fault", status.ToString());
+  }
+  return code;
+}
+
 // Shared tail of `mine` for both pattern languages: sort, emit (atomically
 // when --output is set), flush observability files, and map a truncated run
-// to its contract exit code — after the partial results are on disk.
+// to its contract exit code — after the partial results (and, for a
+// truncated run, the postmortem) are on disk. Output-stage failures go
+// through FailWithPostmortem: a fault injected while writing still owes the
+// postmortem artifact.
 template <typename ResultT>
 int FinishMine(ResultT result, const IntervalDatabase& db,
-               const MineFlags& flags, std::ostream& out) {
+               const MineFlags& flags, const obs::StatsDomain& domain,
+               std::ostream& out) {
   result.SortCanonically();
   const MiningStats stats = result.stats;
   if (Status st = EmitPatterns(std::move(result.patterns), db.dict(), flags,
                                stats, out);
       !st.ok()) {
-    return Fail(st);
+    return FailWithPostmortem(st, flags, domain, kExitError);
   }
-  if (Status st = flags.obs.Finish(); !st.ok()) return Fail(st);
+  if (Status st = flags.obs.Finish(); !st.ok()) {
+    return FailWithPostmortem(st, flags, domain, kExitError);
+  }
   if (stats.truncated) {
+    WritePostmortem(domain, flags, "truncated",
+                    StopReasonName(stats.stop_reason));
     std::cerr << "tpm: run truncated (" << StopReasonName(stats.stop_reason)
               << "); partial results were written\n";
     return kExitTruncated;
@@ -345,9 +408,10 @@ int FinishMine(ResultT result, const IntervalDatabase& db,
 
 // A mining failure still attempts the observability outputs so a fault run
 // leaves usable metrics behind, then maps the Status to an exit code.
-int FailMine(const Status& status, const MineFlags& flags) {
+int FailMine(const Status& status, const MineFlags& flags,
+             const obs::StatsDomain& domain) {
   (void)flags.obs.Finish();
-  return Fail(status);
+  return FailWithPostmortem(status, flags, domain, kExitError);
 }
 
 int CmdMine(int argc, const char* const* argv, std::ostream& out) {
@@ -365,15 +429,37 @@ int CmdMine(int argc, const char* const* argv, std::ostream& out) {
   }
   if (Status st = flags.Validate(); !st.ok()) return Fail(st);
   flags.obs.Begin();
+
+  // The whole run — load included — charges one stats domain so any
+  // abnormal exit (3/4) can dump a flight-recorder postmortem; the miner
+  // folds the domain's delta into the global registry itself, so
+  // --metrics-out still sees everything.
+  obs::StatsDomain domain("mine");
+  domain.RecordEvent("load.begin");
   auto db = LoadForCli((*positional)[0], flags.merge_conflicts,
                        flags.on_error == "skip");
-  if (!db.ok()) return Fail(db.status(), kExitLoadError);
+  if (!db.ok()) {
+    return FailWithPostmortem(db.status(), flags, domain, kExitLoadError);
+  }
+  domain.RecordEvent("load.done", db->size(), db->TotalIntervals());
 
   // From here the run is governed: SIGINT/SIGTERM cancel cooperatively and
   // the partial results still flow through FinishMine.
   ScopedSignalCancellation signals;
   MinerOptions options = flags.ToOptions();
   options.cancellation = GlobalCancellation();
+  options.stats_domain = &domain;
+  std::unique_ptr<obs::ProgressTracker> progress;
+  if (flags.progress >= 0.0) {
+    progress = std::make_unique<obs::ProgressTracker>(
+        flags.progress,
+        [](const obs::ProgressSnapshot& snap) {
+          std::cerr << snap.ToString() << "\n";
+        },
+        &domain);
+    options.progress = progress.get();
+  }
+
   if (flags.type == "endpoint") {
     std::unique_ptr<EndpointMiner> miner;
     if (flags.algo == "ptpminer") {
@@ -386,8 +472,8 @@ int CmdMine(int argc, const char* const* argv, std::ostream& out) {
       return Fail(Status::InvalidArgument("unknown endpoint --algo " + flags.algo));
     }
     auto result = miner->Mine(*db, options);
-    if (!result.ok()) return FailMine(result.status(), flags);
-    return FinishMine(std::move(*result), *db, flags, out);
+    if (!result.ok()) return FailMine(result.status(), flags, domain);
+    return FinishMine(std::move(*result), *db, flags, domain, out);
   }
   if (flags.type == "coincidence") {
     std::unique_ptr<CoincidenceMiner> miner;
@@ -400,8 +486,8 @@ int CmdMine(int argc, const char* const* argv, std::ostream& out) {
           Status::InvalidArgument("unknown coincidence --algo " + flags.algo));
     }
     auto result = miner->Mine(*db, options);
-    if (!result.ok()) return FailMine(result.status(), flags);
-    return FinishMine(std::move(*result), *db, flags, out);
+    if (!result.ok()) return FailMine(result.status(), flags, domain);
+    return FinishMine(std::move(*result), *db, flags, domain, out);
   }
   return Fail(Status::InvalidArgument("unknown --type " + flags.type));
 }
@@ -569,6 +655,28 @@ int CmdCheck(int argc, const char* const* argv, std::ostream& out) {
   return kExitOk;
 }
 
+// `tpm report <file>`: render one of this toolchain's own JSON artifacts —
+// a --metrics-out snapshot, a BENCH_*.json record array, or a postmortem —
+// as a human-readable search summary (pruning effectiveness, per-depth node
+// histogram, memory peaks, stop reason).
+int CmdReport(int argc, const char* const* argv, std::ostream& out) {
+  FlagParser parser;
+  auto positional = parser.Parse(argc, argv);
+  if (!positional.ok()) return Fail(positional.status());
+  if (positional->size() != 1) {
+    return Fail(Status::InvalidArgument("report needs exactly one <file> path"));
+  }
+  const std::string& path = (*positional)[0];
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Fail(Status::NotFound("cannot open " + path), kExitLoadError);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto report = RenderMetricsReport(buf.str());
+  if (!report.ok()) return Fail(report.status().WithContext(path));
+  out << *report;
+  return kExitOk;
+}
+
 }  // namespace
 
 int TpmCliMain(int argc, const char* const* argv, std::ostream& out) {
@@ -587,6 +695,7 @@ int TpmCliMain(int argc, const char* const* argv, std::ostream& out) {
   if (command == "generate") return CmdGenerate(sub_argc, sub_argv, out);
   if (command == "convert") return CmdConvert(sub_argc, sub_argv, out);
   if (command == "check") return CmdCheck(sub_argc, sub_argv, out);
+  if (command == "report") return CmdReport(sub_argc, sub_argv, out);
   if (command == "faults") return CmdFaults(out);
   if (command == "help" || command == "--help") {
     out << kUsage;

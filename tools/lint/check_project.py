@@ -49,7 +49,7 @@ CXX_EXTENSIONS = (".cc", ".h", ".cpp")
 METRIC_SCAN_DIRS = ("src", "tools", "bench")
 METRIC_CALL_RE = re.compile(
     r"(?:GetCounter|GetGauge|GetHistogram|CounterValue|FindCounter|FindGauge"
-    r"|FindHistogram)\(\s*\"([^\"]+)\"")
+    r"|FindHistogram|FindMetric)\(\s*\"([^\"]+)\"")
 REGISTRY_PATH = os.path.join("src", "obs", "metric_names.h")
 REGISTRY_ENTRY_RE = re.compile(r"^\s*\"([^\"]+)\",\s*(//\s*dynamic\b.*)?$")
 
@@ -633,6 +633,16 @@ def self_test(root):
     plant("dead registry entry", dead_registry_entry, "metrics",
           "zzz.never_used")
 
+    def typo_domain_counter(scratch):
+        path = os.path.join(scratch, "src", "obs", "progress.cc")
+        text = open(path).read().replace(
+            'GetCounter("progress.snapshots"',
+            'GetCounter("progress.snapshotz"', 1)
+        open(path, "w").write(text)
+
+    plant("typo'd StatsDomain-charged counter", typo_domain_counter,
+          "metrics", "progress.snapshotz")
+
     def copied_projection(scratch):
         path = os.path.join(scratch, "src", "miner", "growth_engine.h")
         text = open(path).read().replace(
@@ -656,7 +666,7 @@ def self_test(root):
         for f in failures:
             print(f"FAIL {f}")
         return 1
-    print("lint self-test OK: 9 planted violations, 9 caught, clean tree clean")
+    print("lint self-test OK: 10 planted violations, 10 caught, clean tree clean")
     return 0
 
 
