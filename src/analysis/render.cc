@@ -63,7 +63,12 @@ std::string DescribeArrangement(const CoincidencePattern& pattern,
     for (uint32_t i = pattern.coin_begin(c); i < pattern.coin_end(c); ++i) {
       syms.push_back(dict.Name(pattern.item(i)));
     }
-    phases.push_back("[" + Join(syms, ",") + "]");
+    // Built up in place: GCC 12 raises a false -Wrestrict on
+    // `"[" + Join(...) + "]"` (PR105651).
+    std::string phase = "[";
+    phase += Join(syms, ",");
+    phase += "]";
+    phases.push_back(std::move(phase));
   }
   return Join(phases, " then ");
 }

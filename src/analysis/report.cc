@@ -221,4 +221,48 @@ Result<std::string> RenderMetricsReport(const std::string& json_text) {
       "postmortem, or a BENCH_*.json array)");
 }
 
+Result<std::string> RenderCheckpointReport(const Checkpoint& ckpt) {
+  std::string out;
+  const CheckpointRunKey& key = ckpt.key;
+  out += StringPrintf(
+      "checkpoint: %s %s on database %016llx\n", key.language.c_str(),
+      key.algo.c_str(), static_cast<unsigned long long>(key.db_fingerprint));
+  out += StringPrintf(
+      "  options: minsup=%g max_items=%u max_length=%u max_window=%lld "
+      "prune=%s%s%s projection=%s\n",
+      key.min_support, key.max_items, key.max_length,
+      static_cast<long long>(key.max_window), key.pair_pruning ? "pair " : "",
+      key.postfix_pruning ? "postfix " : "",
+      key.validity_pruning ? "validity" : "", key.projection.c_str());
+  if (ckpt.total_units > 0) {
+    out += StringPrintf(
+        "progress: %zu of %llu buckets complete (%.1f%%)\n",
+        ckpt.completed_units.size(),
+        static_cast<unsigned long long>(ckpt.total_units),
+        100.0 * static_cast<double>(ckpt.completed_units.size()) /
+            static_cast<double>(ckpt.total_units));
+  } else {
+    // Level-wise runs have no fixed unit total; each unit is one level.
+    out += StringPrintf("progress: %zu levels complete\n",
+                        ckpt.completed_units.size());
+  }
+  out += StringPrintf("patterns banked: %zu (frontier %zu, memo %zu)\n",
+                      ckpt.patterns.size(), ckpt.frontier.size(),
+                      ckpt.memo.size());
+  if (ckpt.time_budget_seconds > 0.0) {
+    out += StringPrintf("elapsed: %.2fs of %.2fs wall budget (%.1f%%)\n",
+                        ckpt.elapsed_seconds, ckpt.time_budget_seconds,
+                        100.0 * ckpt.elapsed_seconds /
+                            ckpt.time_budget_seconds);
+  } else {
+    out += StringPrintf("elapsed: %.2fs (no wall budget)\n",
+                        ckpt.elapsed_seconds);
+  }
+  auto snap = ParseJson(ckpt.metrics.ToJson());
+  if (snap.ok() && snap->is_object() && snap->Find("counters") != nullptr) {
+    RenderSnapshot(*snap, &out);
+  }
+  return out;
+}
+
 }  // namespace tpm

@@ -42,12 +42,15 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <type_traits>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "core/database.h"
 #include "core/projection.h"
+#include "io/checkpoint.h"
 #include "miner/cooccurrence.h"
 #include "miner/miner_metrics.h"
 #include "miner/options.h"
@@ -99,6 +102,8 @@ class GrowthEngine {
       pair_pruning_ = options_.pair_pruning;
       postfix_pruning_ = options_.postfix_pruning;
     }
+    ckpt_writer_ = options.checkpoint_writer;
+    resume_ = options.resume;
   }
 
   Result<ResultT> Run() {
@@ -107,9 +112,23 @@ class GrowthEngine {
       domain_->RecordEvent("fault", /*a=*/0, /*b=*/0);
       return Status::ResourceExhausted(Policy::kFaultMessage);
     }
+    // Run identity only matters when checkpointing is live: fingerprinting
+    // walks the whole database, so the default (off) pays nothing.
+    if (ckpt_writer_ != nullptr || resume_ != nullptr) {
+      run_key_ = MakeRunKey();
+      if (resume_ != nullptr && resume_->key != run_key_) {
+        std::string msg = "checkpoint does not match this run:";
+        for (const std::string& diff : DiffRunKeys(resume_->key, run_key_)) {
+          msg += "\n  " + diff;
+        }
+        return Status::InvalidArgument(msg);
+      }
+    }
+    run_timer_.Reset();
     // Per-run attribution against the domain registry: the domain may be
     // caller-owned and reused across runs, so deltas are still needed.
-    const obs::MetricsSnapshot obs_start = domain_->registry().Snapshot();
+    obs_start_ = domain_->registry().Snapshot();
+    resume_base_ = obs_start_;
     domain_->RecordEvent("run.begin", db_.size(), minsup_);
     WallTimer build_timer;
     size_t rep_bytes = 0;
@@ -145,7 +164,9 @@ class GrowthEngine {
       }
     }
     out_ = &result;
+    SeedFromResume();
     Expand(root, allowed, /*depth=*/0);
+    if (!ckpt_status_.ok()) return ckpt_status_;
     result.stats.mine_seconds = mine_timer.ElapsedSeconds();
     result.stats.patterns_found = result.patterns.size();
     result.stats.truncated = guard_.stopped();
@@ -167,11 +188,18 @@ class GrowthEngine {
     }
     domain_->RecordEvent("run.end", result.patterns.size(),
                          result.stats.nodes_expanded);
-    result.stats.metrics = domain_->registry().Snapshot().Since(obs_start);
+    result.stats.metrics = RunDelta();
     // Fold the run into the process-global registry so whole-process scrapes
     // (--metrics-out, CI smoke asserts) see every domain's work.
     obs::MetricsRegistry::Global().MergeSnapshot(result.stats.metrics);
     if (progress_ != nullptr) progress_->Finish();
+    // A truncated run (guard stop, cancellation/SIGINT) leaves a final
+    // checkpoint at the last completed-unit boundary so the work survives.
+    if (ckpt_writer_ != nullptr && result.stats.truncated) {
+      TPM_RETURN_NOT_OK(WriteCheckpoint());
+      domain_->recorder().Record("ckpt.write", completed_units_.size(),
+                                 ckpt_pattern_count_);
+    }
     return result;
   }
 
@@ -377,24 +405,59 @@ class GrowthEngine {
       om_.arena_depth_bytes->Observe(child_arena.used_bytes());
     }
 
-    // The root's bucket walk is the progress/ETA unit: its subtree count is
-    // the only total known up front, and each completed level-1 subtree is a
-    // comparable slice of the search.
-    if (depth == 0 && progress_ != nullptr) {
-      progress_->SetTotalBuckets(frame.buckets.size());
+    // The root's bucket walk is the progress/ETA unit and the checkpoint's
+    // completion unit: its subtree count is the only total known up front,
+    // and each completed level-1 subtree is a comparable, deterministic
+    // slice of the search.
+    if (depth == 0) {
+      if (progress_ != nullptr) progress_->SetTotalBuckets(frame.buckets.size());
+      total_units_ = frame.buckets.size();
+      // Resume baseline: everything charged so far (run.begin, build, the
+      // root-node scan) is preamble the interrupted run's boundary metrics
+      // already include, so the resumed delta starts here — merging the two
+      // then reproduces an uninterrupted run's delta exactly.
+      if (resume_ != nullptr) resume_base_ = domain_->registry().Snapshot();
+      if (ckpt_writer_ != nullptr) {
+        // Pre-unit boundary: a run truncated before its first bucket
+        // completes still checkpoints the preamble delta, so a resume
+        // replays only the bucket work on top of it.
+        ckpt_pattern_count_ = out_->patterns.size();
+        boundary_metrics_ = RunDelta();
+        boundary_elapsed_ =
+            (resume_ != nullptr ? resume_->elapsed_seconds : 0.0) +
+            run_timer_.ElapsedSeconds();
+      }
     }
     for (Bucket& b : frame.buckets) {
       if (guard_.stopped()) break;
+      if (depth == 0 && !ckpt_status_.ok()) break;
+      const uint64_t unit_key =
+          (static_cast<uint64_t>(b.code) << 1) | (b.i_ext ? 1 : 0);
+      if (depth == 0 && resume_done_.count(unit_key) != 0) {
+        // This subtree's patterns and metrics were seeded from the
+        // checkpoint; re-expanding it would double-count both.
+        if (progress_ != nullptr) progress_->NoteBucketDone();
+        continue;
+      }
       const NodeProjection& view = b.builder.view();
       if (view.num_spans < minsup_) {
-        if (depth == 0 && progress_ != nullptr) progress_->NoteBucketDone();
+        if (depth == 0) {
+          if (progress_ != nullptr) progress_->NoteBucketDone();
+          NoteUnitComplete(unit_key);
+        }
         continue;
       }
       if (depth == 0) domain_->RecordEvent("bucket", b.code, b.i_ext ? 1 : 0);
       policy_.Apply(b.code, b.i_ext);
       Expand(view, child_allowed, depth + 1);
       policy_.Undo(b.code, b.i_ext);
-      if (depth == 0 && progress_ != nullptr) progress_->NoteBucketDone();
+      if (depth == 0) {
+        if (progress_ != nullptr) progress_->NoteBucketDone();
+        // A guard stop mid-subtree means this unit is incomplete: the
+        // checkpoint must not claim it, and the boundary state stays at the
+        // last fully completed bucket.
+        if (!guard_.stopped()) NoteUnitComplete(unit_key);
+      }
     }
     tracker_.Release(frame.copies_bytes + final_bytes);
     child_arena.Rewind(child_mark);
@@ -414,6 +477,118 @@ class GrowthEngine {
     tracker_.Allocate((policy_.PatternLen() + policy_.NumBlocks() + 1) *
                       sizeof(uint32_t));
     guard_.NotePattern(out_->patterns.size());
+  }
+
+  // ---- Checkpoint/resume (io/checkpoint.h) -----------------------------
+  //
+  // The depth-0 bucket is the unit of completed work. After each completed
+  // unit the engine snapshots its boundary state (completed units, emitted
+  // patterns, the run's metrics delta) and writes a checkpoint when the
+  // interval gate is due; a truncated exit writes a final checkpoint at the
+  // last boundary. Resuming seeds the boundary state back and skips the
+  // completed subtrees, so interrupted-then-resumed output is byte-identical
+  // to an uninterrupted run. Everything here is gated on ckpt_writer_ /
+  // resume_, so the default (checkpointing off) costs nothing.
+
+  CheckpointRunKey MakeRunKey() const {
+    constexpr bool kIsEndpoint =
+        std::is_same<PatternT, EndpointPattern>::value;
+    CheckpointRunKey key;
+    key.db_fingerprint = FingerprintDatabase(db_);
+    key.language = kIsEndpoint ? "endpoint" : "coincidence";
+    key.algo = config_.physical_projection ? "growth-physical" : "growth";
+    key.min_support = options_.min_support;
+    key.max_items = options_.max_items;
+    key.max_length = options_.max_length;
+    key.max_window = options_.max_window;
+    // Effective pruning decisions (post force_disable_prunings), not the raw
+    // option bits: only toggles that change the search shape block a resume.
+    // Coincidence mining ignores validity pruning entirely, so the flag is
+    // canonicalized to false there.
+    key.pair_pruning = pair_pruning_;
+    key.postfix_pruning = postfix_pruning_;
+    key.validity_pruning = kIsEndpoint && !config_.force_disable_prunings &&
+                           options_.validity_pruning;
+    key.projection = ProjectionModeName(mode_);
+    return key;
+  }
+
+  void SeedFromResume() {
+    if (resume_ == nullptr) return;
+    completed_units_ = resume_->completed_units;
+    resume_done_.insert(resume_->completed_units.begin(),
+                        resume_->completed_units.end());
+    for (const CheckpointPatternRec& rec : resume_->patterns) {
+      out_->patterns.push_back(
+          MinedPattern<PatternT>{PatternT(rec.items, rec.offsets),
+                                 rec.support});
+      // Mirror EmitPattern's accounting so a resumed run's memory and guard
+      // views match the uninterrupted run's.
+      tracker_.Allocate((rec.items.size() + rec.offsets.size()) *
+                        sizeof(uint32_t));
+      guard_.NotePattern(out_->patterns.size());
+    }
+    ckpt_pattern_count_ = out_->patterns.size();
+    boundary_metrics_ = resume_->metrics;
+    boundary_elapsed_ = resume_->elapsed_seconds;
+    // Recorded against the flight recorder directly: ckpt bookkeeping must
+    // not perturb the obs.flight.events counter the determinism tests merge.
+    domain_->recorder().Record("ckpt.resume", completed_units_.size(),
+                               out_->patterns.size());
+  }
+
+  /// This run's metrics delta, folded with the resumed segment's when there
+  /// is one — MergeDomainSnapshots keeps the fold associative, so chains of
+  /// resumes compose.
+  obs::MetricsSnapshot RunDelta() const {
+    if (resume_ == nullptr) {
+      return domain_->registry().Snapshot().Since(obs_start_);
+    }
+    std::vector<obs::DomainSnapshot> parts;
+    parts.push_back({"prior", resume_->metrics});
+    parts.push_back(
+        {"current", domain_->registry().Snapshot().Since(resume_base_)});
+    return obs::MergeDomainSnapshots(std::move(parts));
+  }
+
+  void NoteUnitComplete(uint64_t unit_key) {
+    if (ckpt_writer_ == nullptr) return;
+    completed_units_.push_back(unit_key);
+    ckpt_pattern_count_ = out_->patterns.size();
+    boundary_metrics_ = RunDelta();
+    boundary_elapsed_ =
+        (resume_ != nullptr ? resume_->elapsed_seconds : 0.0) +
+        run_timer_.ElapsedSeconds();
+    if (!ckpt_writer_->Due()) return;
+    const Status st = WriteCheckpoint();
+    if (st.ok()) {
+      domain_->recorder().Record("ckpt.write", completed_units_.size(),
+                                 ckpt_pattern_count_);
+    } else {
+      // Surfaced after the depth-0 loop unwinds: a checkpoint that cannot
+      // be written is a run failure, not something to silently drop.
+      ckpt_status_ = st;
+    }
+  }
+
+  Status WriteCheckpoint() {
+    Checkpoint ckpt;
+    ckpt.key = run_key_;
+    ckpt.total_units = total_units_;
+    ckpt.completed_units = completed_units_;
+    ckpt.patterns.reserve(ckpt_pattern_count_);
+    for (uint64_t i = 0; i < ckpt_pattern_count_; ++i) {
+      const MinedPattern<PatternT>& p = out_->patterns[i];
+      CheckpointPatternRec rec;
+      rec.support = p.support;
+      rec.items.assign(p.pattern.items().begin(), p.pattern.items().end());
+      rec.offsets = p.pattern.offsets();
+      ckpt.patterns.push_back(std::move(rec));
+    }
+    ckpt.metrics = boundary_metrics_;
+    ckpt.elapsed_seconds = boundary_elapsed_;
+    ckpt.time_budget_seconds = options_.time_budget_seconds;
+    return ckpt_writer_->Write(ckpt);
   }
 
   const IntervalDatabase& db_;
@@ -453,6 +628,21 @@ class GrowthEngine {
   ProjectionArenas arenas_;
   ExecutionGuard guard_{MakeGuardLimits(), &tracker_};
   ResultT* out_ = nullptr;
+
+  // --- Checkpoint/resume state (see the helper block above) ---
+  CheckpointWriter* ckpt_writer_ = nullptr;  // not owned; null = off
+  const Checkpoint* resume_ = nullptr;       // not owned; null = fresh run
+  CheckpointRunKey run_key_;
+  std::vector<uint64_t> completed_units_;    // in completion order
+  std::unordered_set<uint64_t> resume_done_;
+  obs::MetricsSnapshot obs_start_;
+  obs::MetricsSnapshot resume_base_;
+  uint64_t total_units_ = 0;
+  uint64_t ckpt_pattern_count_ = 0;
+  obs::MetricsSnapshot boundary_metrics_;
+  double boundary_elapsed_ = 0.0;
+  WallTimer run_timer_;
+  Status ckpt_status_;  // first failed checkpoint write, else OK
 };
 
 }  // namespace tpm

@@ -21,6 +21,9 @@ class ProgressTracker;  // obs/progress.h
 class StatsDomain;      // obs/stats_domain.h
 }  // namespace obs
 
+class CheckpointWriter;  // io/checkpoint.h
+struct Checkpoint;       // io/checkpoint.h
+
 /// Which pattern language a miner speaks.
 enum class PatternType { kEndpoint, kCoincidence };
 
@@ -76,6 +79,20 @@ struct MinerOptions {
   /// Null disables progress tracking (zero hot-path cost). Must outlive the
   /// Mine() call. Not owned.
   obs::ProgressTracker* progress = nullptr;
+
+  /// Interval-gated checkpoint sink (io/checkpoint.h): the miner snapshots
+  /// its completed-unit state after each depth-0 bucket (growth) or level
+  /// (level-wise) and writes when the gate is due, plus a final checkpoint
+  /// on any truncated exit. Null disables checkpointing (zero hot-path
+  /// cost — the default). Must outlive the Mine() call. Not owned.
+  CheckpointWriter* checkpoint_writer = nullptr;
+
+  /// Checkpoint to resume from: the miner validates the run identity
+  /// (InvalidArgument naming every differing field on mismatch), skips
+  /// completed units, seeds prior patterns, and merges the prior metrics
+  /// delta into the result snapshot. Must outlive the Mine() call. Not
+  /// owned.
+  const Checkpoint* resume = nullptr;
 
   /// Bundles the four budget fields for ExecutionGuard.
   GuardLimits ToGuardLimits() const {

@@ -21,6 +21,10 @@ namespace obs {
 
 // lint: metric-registry-begin
 inline constexpr const char* kRegisteredMetricNames[] = {
+    "checkpoint.read_bytes",
+    "checkpoint.reads",
+    "checkpoint.write_bytes",
+    "checkpoint.writes",
     "cooc.frequent_symbols",
     "datagen.intervals",
     "datagen.sequences",

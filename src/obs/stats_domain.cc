@@ -83,13 +83,16 @@ MetricsSnapshot MergeDomainSnapshots(std::vector<DomainSnapshot> domains) {
 }
 
 std::string PostmortemJson(const StatsDomain& domain, const std::string& outcome,
-                           const std::string& detail) {
+                           const std::string& detail,
+                           const std::string& checkpoint_path) {
   const std::vector<FlightEvent> events = domain.recorder().Events();
   const uint64_t base_ns = events.empty() ? 0 : events.front().t_ns;
   std::string out = "{\n";
   out += StringPrintf("  \"domain\": \"%s\",\n", JsonEscape(domain.id()).c_str());
   out += StringPrintf("  \"outcome\": \"%s\",\n", JsonEscape(outcome).c_str());
   out += StringPrintf("  \"detail\": \"%s\",\n", JsonEscape(detail).c_str());
+  out += StringPrintf("  \"checkpoint\": \"%s\",\n",
+                      JsonEscape(checkpoint_path).c_str());
   out += StringPrintf(
       "  \"events_recorded\": %llu,\n",
       static_cast<unsigned long long>(domain.recorder().total_recorded()));

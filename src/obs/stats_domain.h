@@ -116,13 +116,16 @@ class StatsDomain {
 MetricsSnapshot MergeDomainSnapshots(std::vector<DomainSnapshot> domains);
 
 /// Renders a postmortem JSON document for a domain: its id, an outcome tag
-/// ("truncated", "fault", "cancelled", ...), free-form detail, the flight
-/// recorder's surviving events (timestamps in microseconds relative to the
-/// oldest event), and the domain's full metrics snapshot. The obs layer
-/// cannot write files (io sits above it); callers persist the string with
-/// the atomic writer — see the `tpm mine` postmortem path in tools/cli.cc.
+/// ("truncated", "fault", "cancelled", ...), free-form detail, the path of
+/// the checkpoint written on the same exit (empty when checkpointing was
+/// off), the flight recorder's surviving events (timestamps in microseconds
+/// relative to the oldest event), and the domain's full metrics snapshot.
+/// The obs layer cannot write files (io sits above it); callers persist the
+/// string with the atomic writer — see the `tpm mine` postmortem path in
+/// tools/cli.cc.
 std::string PostmortemJson(const StatsDomain& domain, const std::string& outcome,
-                           const std::string& detail);
+                           const std::string& detail,
+                           const std::string& checkpoint_path = std::string());
 
 }  // namespace obs
 }  // namespace tpm

@@ -17,6 +17,9 @@ namespace {
 // matrix in ci.yml stays exhaustive.
 const char* const kSites[] = {
     "io.alloc",       // allocation failure at a TPMB record boundary
+    "io.checkpoint.open",    // open failure reading/writing a TPMC checkpoint
+    "io.checkpoint.rename",  // rename failure committing a TPMC checkpoint
+    "io.checkpoint.write",   // write failure serializing a TPMC checkpoint
     "io.fsync",       // fsync(2) failure in the atomic file writer
     "io.open_read",   // open-for-read failure in the file readers
     "io.open_write",  // open-for-write failure in the atomic file writer

@@ -486,6 +486,116 @@ TEST(CliReportTest, ErrorPaths) {
   EXPECT_EQ(RunCli({"tpm", "report", junk.c_str()}, &out), 1);
 }
 
+TEST(CliCheckpointTest, TruncatedRunWritesCheckpointAndResumesIdentically) {
+  const std::string db = TempPath("cli_ckpt.tisd");
+  const std::string ckpt = TempPath("cli_ckpt.tpmc");
+  const std::string pm = TempPath("cli_ckpt.pm.json");
+  WriteSample(db);
+  std::remove(ckpt.c_str());
+  std::string clean;
+  ASSERT_EQ(RunCli({"tpm", "mine", db.c_str(), "--minsup=2"}, &clean), 0);
+  std::string out;
+  EXPECT_EQ(RunCli({"tpm", "mine", db.c_str(), "--minsup=2",
+                 "--budget=0.0000001", ("--checkpoint-out=" + ckpt).c_str(),
+                 "--checkpoint-every=0", ("--postmortem-out=" + pm).c_str()},
+                &out),
+            3);
+  ASSERT_TRUE(FileExists(ckpt));
+  // The postmortem names the checkpoint so a crashed run's operator can
+  // find the resume artifact from the dump alone.
+  const std::string doc = Slurp(pm);
+  EXPECT_NE(doc.find("\"checkpoint\": \"" + ckpt + "\""), std::string::npos)
+      << doc;
+  // Resuming without the budget completes and reproduces the clean pattern
+  // stream exactly (the trailing "# ..." summary line differs in timings).
+  std::string resumed;
+  ASSERT_EQ(RunCli({"tpm", "mine", db.c_str(), "--minsup=2",
+                 ("--resume=" + ckpt).c_str()},
+                &resumed),
+            0);
+  EXPECT_EQ(resumed.substr(0, resumed.find("\n# ")),
+            clean.substr(0, clean.find("\n# ")));
+}
+
+TEST(CliCheckpointTest, ResumeMismatchExitsWith1) {
+  const std::string db = TempPath("cli_ckpt_mm.tisd");
+  const std::string ckpt = TempPath("cli_ckpt_mm.tpmc");
+  WriteSample(db);
+  std::string out;
+  EXPECT_EQ(RunCli({"tpm", "mine", db.c_str(), "--minsup=2",
+                 "--budget=0.0000001", ("--checkpoint-out=" + ckpt).c_str(),
+                 "--checkpoint-every=0", "--postmortem-out=off"},
+                &out),
+            3);
+  ASSERT_TRUE(FileExists(ckpt));
+  // Different minsup: the run-identity check refuses the checkpoint.
+  EXPECT_EQ(RunCli({"tpm", "mine", db.c_str(), "--minsup=3",
+                 ("--resume=" + ckpt).c_str()},
+                &out),
+            1);
+  // Different language/algo: same refusal.
+  EXPECT_EQ(RunCli({"tpm", "mine", db.c_str(), "--minsup=2",
+                 "--type=coincidence", "--algo=ctminer",
+                 ("--resume=" + ckpt).c_str()},
+                &out),
+            1);
+}
+
+TEST(CliCheckpointTest, CorruptOrMissingResumeExitsWith2) {
+  const std::string db = TempPath("cli_ckpt_bad.tisd");
+  const std::string ckpt = TempPath("cli_ckpt_bad.tpmc");
+  const std::string truncated = TempPath("cli_ckpt_bad_trunc.tpmc");
+  WriteSample(db);
+  std::string out;
+  EXPECT_EQ(RunCli({"tpm", "mine", db.c_str(), "--minsup=2",
+                 "--budget=0.0000001", ("--checkpoint-out=" + ckpt).c_str(),
+                 "--checkpoint-every=0", "--postmortem-out=off"},
+                &out),
+            3);
+  const std::string bytes = Slurp(ckpt);
+  ASSERT_GT(bytes.size(), 10u);
+  {
+    std::ofstream f(truncated, std::ios::binary);
+    f.write(bytes.data(), static_cast<std::streamsize>(bytes.size() - 5));
+  }
+  EXPECT_EQ(RunCli({"tpm", "mine", db.c_str(), "--minsup=2",
+                 ("--resume=" + truncated).c_str(), "--postmortem-out=off"},
+                &out),
+            2);
+  EXPECT_EQ(RunCli({"tpm", "mine", db.c_str(), "--minsup=2",
+                 "--resume=/nonexistent/x.tpmc", "--postmortem-out=off"},
+                &out),
+            2);
+}
+
+TEST(CliCheckpointTest, ReportRendersCheckpointFile) {
+  const std::string db = TempPath("cli_ckpt_report.tisd");
+  const std::string ckpt = TempPath("cli_ckpt_report.tpmc");
+  WriteSample(db);
+  std::string out;
+  EXPECT_EQ(RunCli({"tpm", "mine", db.c_str(), "--minsup=2",
+                 "--budget=0.0000001", ("--checkpoint-out=" + ckpt).c_str(),
+                 "--checkpoint-every=0", "--postmortem-out=off"},
+                &out),
+            3);
+  ASSERT_TRUE(FileExists(ckpt));
+  std::string report;
+  ASSERT_EQ(RunCli({"tpm", "report", ckpt.c_str()}, &report), 0);
+  EXPECT_NE(report.find("checkpoint: endpoint"), std::string::npos) << report;
+  EXPECT_NE(report.find("progress:"), std::string::npos) << report;
+  EXPECT_NE(report.find("patterns banked:"), std::string::npos) << report;
+  EXPECT_NE(report.find("elapsed:"), std::string::npos) << report;
+}
+
+TEST(CliCheckpointTest, BadFlagValuesExitWith1) {
+  const std::string db = TempPath("cli_ckpt_flags.tisd");
+  WriteSample(db);
+  std::string out;
+  EXPECT_EQ(RunCli({"tpm", "mine", db.c_str(), "--checkpoint-out="}, &out), 1);
+  EXPECT_EQ(RunCli({"tpm", "mine", db.c_str(), "--checkpoint-every=-1"}, &out),
+            1);
+}
+
 TEST(CliTest, HelpFlagsForSubcommands) {
   std::string out;
   ASSERT_EQ(RunCli({"tpm", "mine", "--help"}, &out), 0);

@@ -17,6 +17,7 @@
 #include "datagen/quest.h"
 #include "datagen/realistic.h"
 #include "io/atomic_write.h"
+#include "io/checkpoint.h"
 #include "io/loader.h"
 #include "miner/miner.h"
 #include "obs/metrics.h"
@@ -50,7 +51,8 @@ constexpr char kUsage[] =
     "exit codes: 0 complete, 1 usage/error, 2 load error, 3 truncated run\n"
     "(budget exhausted or interrupted; partial output was written), 4 fault\n"
     "abnormal mine exits (3/4) also write a flight-recorder postmortem\n"
-    "(tpm-postmortem.json; see `tpm mine --help`, --postmortem-out)\n"
+    "(tpm-postmortem.json; see `tpm mine --help`, --postmortem-out) and,\n"
+    "with --checkpoint-out set, a resumable checkpoint (--resume=<path>)\n"
     "\n"
     "run `tpm <command> --help` for command flags\n";
 
@@ -179,6 +181,9 @@ struct MineFlags {
   std::string projection = "pseudo";
   double progress = -1.0;  // < 0 = off; bare --progress means 1s cadence
   std::string postmortem_out = "auto";
+  std::string checkpoint_out = "off";
+  double checkpoint_every = 30.0;
+  std::string resume;
   ObsFlags obs;
   bool help = false;
 
@@ -218,6 +223,14 @@ struct MineFlags {
     p->AddString("postmortem-out", &postmortem_out,
                  "flight-recorder postmortem on abnormal exit (3/4): auto "
                  "(tpm-postmortem.json in cwd) | off | <path>");
+    p->AddString("checkpoint-out", &checkpoint_out,
+                 "periodic resumable mining checkpoint: off (default) | auto "
+                 "(tpm-checkpoint.tpmc in cwd) | <path>");
+    p->AddDouble("checkpoint-every", &checkpoint_every,
+                 "min seconds between checkpoint writes (0 = every completed "
+                 "bucket/level)");
+    p->AddString("resume", &resume,
+                 "resume mining from a checkpoint written by --checkpoint-out");
     obs.Register(p);
     p->AddBool("help", &help, "show this help");
   }
@@ -250,6 +263,14 @@ struct MineFlags {
     if (postmortem_out.empty()) {
       return Status::InvalidArgument(
           "--postmortem-out needs auto, off, or a path");
+    }
+    if (checkpoint_out.empty()) {
+      return Status::InvalidArgument(
+          "--checkpoint-out needs auto, off, or a path");
+    }
+    if (checkpoint_every < 0.0) {
+      return Status::InvalidArgument(
+          "--checkpoint-every must be >= 0 seconds");
     }
     return obs.Validate();
   }
@@ -348,15 +369,22 @@ int CmdProfile(int argc, const char* const* argv, std::ostream& out) {
 // Persists the flight-recorder postmortem for an abnormal mine exit (3/4).
 // "auto" writes tpm-postmortem.json in the working directory, "off"
 // disables, anything else is the destination path. A write failure only
-// warns — the postmortem must never mask the run's own exit code.
+// warns — the postmortem must never mask the run's own exit code. When the
+// run saved a checkpoint, its path is logged alongside (and embedded in)
+// the postmortem so the two artifacts cross-reference.
 void WritePostmortem(const obs::StatsDomain& domain, const MineFlags& flags,
-                     const char* outcome, const std::string& detail) {
+                     const char* outcome, const std::string& detail,
+                     const std::string& checkpoint_path) {
+  if (!checkpoint_path.empty()) {
+    std::cerr << "tpm: checkpoint saved to " << checkpoint_path
+              << " (resume with --resume=" << checkpoint_path << ")\n";
+  }
   if (flags.postmortem_out == "off") return;
   const std::string path = flags.postmortem_out == "auto"
                                ? std::string("tpm-postmortem.json")
                                : flags.postmortem_out;
-  const Status st =
-      WriteFileAtomic(path, obs::PostmortemJson(domain, outcome, detail));
+  const Status st = WriteFileAtomic(
+      path, obs::PostmortemJson(domain, outcome, detail, checkpoint_path));
   if (!st.ok()) {
     std::cerr << "tpm: postmortem write failed: " << st.ToString() << "\n";
   } else {
@@ -368,10 +396,12 @@ void WritePostmortem(const obs::StatsDomain& domain, const MineFlags& flags,
 // postmortem — the flight recorder holds the events leading up to the
 // injected/environmental failure.
 int FailWithPostmortem(const Status& status, const MineFlags& flags,
-                       const obs::StatsDomain& domain, int fallback) {
+                       const obs::StatsDomain& domain, int fallback,
+                       const std::string& checkpoint_path = std::string()) {
   const int code = Fail(status, fallback);
   if (code == kExitFault) {
-    WritePostmortem(domain, flags, "fault", status.ToString());
+    WritePostmortem(domain, flags, "fault", status.ToString(),
+                    checkpoint_path);
   }
   return code;
 }
@@ -385,20 +415,20 @@ int FailWithPostmortem(const Status& status, const MineFlags& flags,
 template <typename ResultT>
 int FinishMine(ResultT result, const IntervalDatabase& db,
                const MineFlags& flags, const obs::StatsDomain& domain,
-               std::ostream& out) {
+               std::ostream& out, const std::string& checkpoint_path) {
   result.SortCanonically();
   const MiningStats stats = result.stats;
   if (Status st = EmitPatterns(std::move(result.patterns), db.dict(), flags,
                                stats, out);
       !st.ok()) {
-    return FailWithPostmortem(st, flags, domain, kExitError);
+    return FailWithPostmortem(st, flags, domain, kExitError, checkpoint_path);
   }
   if (Status st = flags.obs.Finish(); !st.ok()) {
-    return FailWithPostmortem(st, flags, domain, kExitError);
+    return FailWithPostmortem(st, flags, domain, kExitError, checkpoint_path);
   }
   if (stats.truncated) {
     WritePostmortem(domain, flags, "truncated",
-                    StopReasonName(stats.stop_reason));
+                    StopReasonName(stats.stop_reason), checkpoint_path);
     std::cerr << "tpm: run truncated (" << StopReasonName(stats.stop_reason)
               << "); partial results were written\n";
     return kExitTruncated;
@@ -409,9 +439,11 @@ int FinishMine(ResultT result, const IntervalDatabase& db,
 // A mining failure still attempts the observability outputs so a fault run
 // leaves usable metrics behind, then maps the Status to an exit code.
 int FailMine(const Status& status, const MineFlags& flags,
-             const obs::StatsDomain& domain) {
+             const obs::StatsDomain& domain,
+             const std::string& checkpoint_path = std::string()) {
   (void)flags.obs.Finish();
-  return FailWithPostmortem(status, flags, domain, kExitError);
+  return FailWithPostmortem(status, flags, domain, kExitError,
+                            checkpoint_path);
 }
 
 int CmdMine(int argc, const char* const* argv, std::ostream& out) {
@@ -449,6 +481,40 @@ int CmdMine(int argc, const char* const* argv, std::ostream& out) {
   MinerOptions options = flags.ToOptions();
   options.cancellation = GlobalCancellation();
   options.stats_domain = &domain;
+
+  // Checkpointing: an interval-gated writer the miner drives at completed
+  // unit boundaries, and/or a prior checkpoint to resume from. Identity
+  // validation (database fingerprint + options) happens inside the miner.
+  std::unique_ptr<CheckpointWriter> ckpt_writer;
+  if (flags.checkpoint_out != "off") {
+    const std::string ckpt_out = flags.checkpoint_out == "auto"
+                                     ? std::string("tpm-checkpoint.tpmc")
+                                     : flags.checkpoint_out;
+    ckpt_writer =
+        std::make_unique<CheckpointWriter>(ckpt_out, flags.checkpoint_every);
+    options.checkpoint_writer = ckpt_writer.get();
+  }
+  Checkpoint resume_ckpt;
+  if (!flags.resume.empty()) {
+    domain.RecordEvent("resume.load");
+    auto loaded = ReadCheckpointFile(flags.resume);
+    if (!loaded.ok()) {
+      // Corruption pins section + byte offset and exits with the load-error
+      // code, mirroring the TPMB reader contract.
+      return FailWithPostmortem(loaded.status().WithContext(flags.resume),
+                                flags, domain, kExitLoadError);
+    }
+    resume_ckpt = std::move(*loaded);
+    options.resume = &resume_ckpt;
+  }
+  // Only a checkpoint that actually reached disk is worth advertising on
+  // the exit paths.
+  auto ckpt_path = [&ckpt_writer]() -> std::string {
+    return (ckpt_writer != nullptr && ckpt_writer->writes() > 0)
+               ? ckpt_writer->path()
+               : std::string();
+  };
+
   std::unique_ptr<obs::ProgressTracker> progress;
   if (flags.progress >= 0.0) {
     progress = std::make_unique<obs::ProgressTracker>(
@@ -472,8 +538,8 @@ int CmdMine(int argc, const char* const* argv, std::ostream& out) {
       return Fail(Status::InvalidArgument("unknown endpoint --algo " + flags.algo));
     }
     auto result = miner->Mine(*db, options);
-    if (!result.ok()) return FailMine(result.status(), flags, domain);
-    return FinishMine(std::move(*result), *db, flags, domain, out);
+    if (!result.ok()) return FailMine(result.status(), flags, domain, ckpt_path());
+    return FinishMine(std::move(*result), *db, flags, domain, out, ckpt_path());
   }
   if (flags.type == "coincidence") {
     std::unique_ptr<CoincidenceMiner> miner;
@@ -486,8 +552,8 @@ int CmdMine(int argc, const char* const* argv, std::ostream& out) {
           Status::InvalidArgument("unknown coincidence --algo " + flags.algo));
     }
     auto result = miner->Mine(*db, options);
-    if (!result.ok()) return FailMine(result.status(), flags, domain);
-    return FinishMine(std::move(*result), *db, flags, domain, out);
+    if (!result.ok()) return FailMine(result.status(), flags, domain, ckpt_path());
+    return FinishMine(std::move(*result), *db, flags, domain, out, ckpt_path());
   }
   return Fail(Status::InvalidArgument("unknown --type " + flags.type));
 }
@@ -655,10 +721,10 @@ int CmdCheck(int argc, const char* const* argv, std::ostream& out) {
   return kExitOk;
 }
 
-// `tpm report <file>`: render one of this toolchain's own JSON artifacts —
-// a --metrics-out snapshot, a BENCH_*.json record array, or a postmortem —
-// as a human-readable search summary (pruning effectiveness, per-depth node
-// histogram, memory peaks, stop reason).
+// `tpm report <file>`: render one of this toolchain's own artifacts — a
+// --metrics-out snapshot, a BENCH_*.json record array, a postmortem, or a
+// TPMC mining checkpoint — as a human-readable search summary (progress,
+// pruning effectiveness, per-depth node histogram, memory peaks).
 int CmdReport(int argc, const char* const* argv, std::ostream& out) {
   FlagParser parser;
   auto positional = parser.Parse(argc, argv);
@@ -671,7 +737,18 @@ int CmdReport(int argc, const char* const* argv, std::ostream& out) {
   if (!in) return Fail(Status::NotFound("cannot open " + path), kExitLoadError);
   std::ostringstream buf;
   buf << in.rdbuf();
-  auto report = RenderMetricsReport(buf.str());
+  const std::string content = buf.str();
+  if (content.size() >= 4 && content.compare(0, 4, "TPMC") == 0) {
+    auto ckpt = ParseCheckpoint(content);
+    if (!ckpt.ok()) {
+      return Fail(ckpt.status().WithContext(path), kExitLoadError);
+    }
+    auto report = RenderCheckpointReport(*ckpt);
+    if (!report.ok()) return Fail(report.status().WithContext(path));
+    out << *report;
+    return kExitOk;
+  }
+  auto report = RenderMetricsReport(content);
   if (!report.ok()) return Fail(report.status().WithContext(path));
   out << *report;
   return kExitOk;
