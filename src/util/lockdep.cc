@@ -1,0 +1,180 @@
+#include "util/lockdep.h"
+
+#ifdef TPM_LOCKDEP
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace tpm {
+namespace lockdep {
+namespace {
+
+// One entry per lock the thread currently holds, newest last.
+struct Held {
+  const void* mu;
+  const char* file;
+  int line;
+};
+
+// Acquire sites recorded the first time `to` was taken while `from` was
+// held; reported verbatim when a later acquisition closes a cycle.
+struct EdgeSite {
+  const char* from_file;
+  int from_line;
+  const char* to_file;
+  int to_line;
+};
+
+using EdgeMap = std::unordered_map<const void*, EdgeSite>;
+
+// The global acquisition-order graph. Guarded by a *raw* std::mutex on
+// purpose: lockdep sits below tpm::Mutex, and instrumenting its own lock
+// would recurse straight back into these hooks (sync.h has the same
+// exemption from the `locking` lint).
+struct Graph {
+  std::mutex mu;
+  std::unordered_map<const void*, EdgeMap> adj;
+};
+
+Graph* G() {
+  static Graph* graph = new Graph();  // leaked: hooks run during static destruction
+  return graph;
+}
+
+std::vector<Held>& HeldStack() {
+  thread_local std::vector<Held> stack;
+  return stack;
+}
+
+// DFS for a path `from` -> ... -> `target`; fills `path` with the edges of
+// the first one found. The graph is a DAG by construction (cycle-closing
+// edges abort before insertion), so plain recursion terminates. Caller
+// holds Graph::mu.
+bool FindPath(const Graph& g, const void* from, const void* target,
+              std::vector<std::pair<const void*, const void*>>* path) {
+  auto it = g.adj.find(from);
+  if (it == g.adj.end()) return false;
+  for (const auto& edge : it->second) {
+    path->emplace_back(from, edge.first);
+    if (edge.first == target || FindPath(g, edge.first, target, path)) {
+      return true;
+    }
+    path->pop_back();
+  }
+  return false;
+}
+
+[[noreturn]] void DieCycle(
+    const Graph& g, const Held& held, const void* acquiring, const char* file,
+    int line, const std::vector<std::pair<const void*, const void*>>& path) {
+  // First line is self-contained (both sides of the conflict with their
+  // acquire sites) so a single-line regex can pin the whole diagnosis.
+  std::fprintf(stderr,
+               "lockdep: lock acquisition cycle: acquiring mutex %p at %s:%d "
+               "while holding mutex %p (acquired at %s:%d) inverts the "
+               "existing chain:\n",
+               acquiring, file, line, held.mu, held.file, held.line);
+  for (const auto& e : path) {
+    const EdgeSite& s = g.adj.at(e.first).at(e.second);
+    std::fprintf(
+        stderr,
+        "lockdep:   chain edge: mutex %p (held at %s:%d) -> mutex %p "
+        "(acquired at %s:%d)\n",
+        e.first, s.from_file, s.from_line, e.second, s.to_file, s.to_line);
+  }
+  std::fprintf(stderr,
+               "lockdep: new edge %p -> %p closes the cycle; make every "
+               "thread take these mutexes in one order (document it with "
+               "TPM_ACQUIRED_BEFORE/TPM_ACQUIRED_AFTER in the header).\n",
+               held.mu, acquiring);
+  std::abort();
+}
+
+[[noreturn]] void DieRecursive(const Held& prior, const void* mu,
+                               const char* file, int line) {
+  std::fprintf(stderr,
+               "lockdep: recursive acquisition: mutex %p re-locked at %s:%d "
+               "while already held (acquired at %s:%d); tpm::Mutex is "
+               "non-recursive and this self-deadlocks.\n",
+               mu, file, line, prior.file, prior.line);
+  std::abort();
+}
+
+}  // namespace
+
+void OnAcquire(const void* mu, const char* file, int line) {
+  std::vector<Held>& stack = HeldStack();
+  for (const Held& h : stack) {
+    if (h.mu == mu) DieRecursive(h, mu, file, line);
+  }
+  if (!stack.empty()) {
+    const Held& top = stack.back();
+    Graph* g = G();
+    std::lock_guard<std::mutex> lock(g->mu);
+    EdgeMap& out = g->adj[top.mu];
+    if (out.find(mu) == out.end()) {
+      // First time this ordering is seen: it is legal only if the reverse
+      // ordering mu ->* top.mu is not already on record.
+      std::vector<std::pair<const void*, const void*>> path;
+      if (FindPath(*g, mu, top.mu, &path)) {
+        DieCycle(*g, top, mu, file, line, path);
+      }
+      out.emplace(mu, EdgeSite{top.file, top.line, file, line});
+    }
+  }
+  stack.push_back(Held{mu, file, line});
+}
+
+void OnTryAcquire(const void* mu, const char* file, int line) {
+  // No edges and no cycle check: a try_lock that would invert the order
+  // just fails instead of deadlocking. It still counts as held.
+  HeldStack().push_back(Held{mu, file, line});
+}
+
+void OnRelease(const void* mu) {
+  std::vector<Held>& stack = HeldStack();
+  for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+    if (it->mu == mu) {
+      stack.erase(std::next(it).base());
+      return;
+    }
+  }
+  // Releasing a lock lockdep never saw acquired: tolerated (a mutex locked
+  // before the option flipped on has no entry), not worth aborting over.
+}
+
+void OnDestroy(const void* mu) {
+  Graph* g = G();
+  std::lock_guard<std::mutex> lock(g->mu);
+  g->adj.erase(mu);
+  for (auto& node : g->adj) {
+    node.second.erase(mu);
+  }
+}
+
+void AssertNoLocksHeld(const char* site) {
+  const std::vector<Held>& stack = HeldStack();
+  if (stack.empty()) return;
+  std::fprintf(stderr,
+               "lockdep: %d lock(s) held across blocking boundary '%s' "
+               "(fault/checkpoint sites sit in front of syscalls; holding a "
+               "lock here turns an injected failure into a lock-held "
+               "unwind):\n",
+               static_cast<int>(stack.size()), site);
+  for (const Held& h : stack) {
+    std::fprintf(stderr, "lockdep:   mutex %p acquired at %s:%d\n", h.mu,
+                 h.file, h.line);
+  }
+  std::abort();
+}
+
+int HeldCount() { return static_cast<int>(HeldStack().size()); }
+
+}  // namespace lockdep
+}  // namespace tpm
+
+#endif  // TPM_LOCKDEP

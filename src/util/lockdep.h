@@ -1,0 +1,90 @@
+// Runtime lock-order validation (Tier E of the static-analysis layer, see
+// docs/STATIC_ANALYSIS.md).
+//
+// Clang's thread-safety analysis (Tier D) proves locks guard their data, but
+// its acquired_before/acquired_after checking is essentially unimplemented,
+// so nothing stops two threads from taking the same pair of mutexes in
+// opposite orders. This module is the runtime mirror of those annotations,
+// modeled on the Linux kernel's lockdep: every tpm::Mutex acquisition feeds a
+// per-thread held-lock stack and a global acquisition-order graph, and a
+// cycle check runs *before* the underlying lock() call — so an inconsistent
+// ordering aborts with both conflicting chains (each edge tagged with its
+// acquire-site file:line) the first time it is *attempted*, even if the
+// interleaving that would deadlock never happens in that run.
+//
+// The instrumentation is compiled in with -DTPM_LOCKDEP=ON (a CMake option,
+// Debug-validator builds in CI); in release builds every hook folds away and
+// tpm::Mutex is a plain std::mutex again — the bench suite's sync.mutex rows
+// pin that (see bench/bench_micro_projection.cc).
+//
+// Rules enforced:
+//   1. No acquisition may close a cycle in the global order graph
+//      (classic ABBA: T1 takes A then B, T2 takes B then A).
+//   2. TryLock never adds edges — a failed try_lock cannot deadlock, and a
+//      reverse-order try_lock is a legitimate pattern — but a successful one
+//      still pushes the held stack so rule 3 and later edges see it.
+//   3. No thread may reach a fault-injection point or checkpoint/atomic-write
+//      boundary while holding any instrumented lock
+//      (TPM_LOCKDEP_ASSERT_NO_LOCKS_HELD in io_fault.h / miner_metrics.h):
+//      those sites sit in front of syscalls and allocation, and holding a
+//      lock across them turns an injected failure into a lock-held unwind.
+//
+// Lock identity is the Mutex address; ~Mutex purges the node so stack- or
+// arena-allocated mutexes reusing an address cannot manufacture false cycles.
+
+#pragma once
+
+
+#ifdef TPM_LOCKDEP
+
+namespace tpm {
+namespace lockdep {
+
+/// Compiled-in probe for tests and CI guards ("fail if compiled out").
+constexpr bool Enabled() { return true; }
+
+/// Pre-acquire hook for a blocking Lock(): runs the cycle check against the
+/// caller's held stack (aborting with both chains on a violation), records
+/// the held-top -> mu ordering edge, and pushes mu onto the held stack.
+/// Called *before* the underlying lock() so detection precedes deadlock.
+void OnAcquire(const void* mu, const char* file, int line);
+
+/// Post-success hook for TryLock(): pushes the held stack only. No edges,
+/// no cycle check — try-lock in inverse order cannot deadlock.
+void OnTryAcquire(const void* mu, const char* file, int line);
+
+/// Pops `mu` from the caller's held stack (out-of-order release is legal).
+void OnRelease(const void* mu);
+
+/// Purges `mu` from the order graph (edges in both directions). Called from
+/// ~Mutex so address reuse cannot create phantom orderings.
+void OnDestroy(const void* mu);
+
+/// Aborts (listing every held lock and its acquire site) unless the calling
+/// thread holds no instrumented lock. `site` names the boundary being
+/// crossed, e.g. "io.checkpoint.write".
+void AssertNoLocksHeld(const char* site);
+
+/// Locks currently held by the calling thread (test hook).
+int HeldCount();
+
+}  // namespace lockdep
+}  // namespace tpm
+
+#define TPM_LOCKDEP_ASSERT_NO_LOCKS_HELD(site) \
+  (::tpm::lockdep::AssertNoLocksHeld(site))
+
+#else  // !TPM_LOCKDEP
+
+namespace tpm {
+namespace lockdep {
+
+constexpr bool Enabled() { return false; }
+inline int HeldCount() { return 0; }
+
+}  // namespace lockdep
+}  // namespace tpm
+
+#define TPM_LOCKDEP_ASSERT_NO_LOCKS_HELD(site) ((void)0)
+
+#endif  // TPM_LOCKDEP

@@ -26,6 +26,8 @@
 
 #include <mutex>
 
+#include "util/lockdep.h"
+
 // ---------------------------------------------------------------------------
 // Attribute plumbing: real attributes under Clang, no-ops elsewhere.
 // ---------------------------------------------------------------------------
@@ -106,9 +108,33 @@ class TPM_CAPABILITY("mutex") Mutex {
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
+#ifdef TPM_LOCKDEP
+  // Tier E runtime lockdep (util/lockdep.h): the acquire hook runs the
+  // lock-order cycle check *before* blocking on the underlying mutex, so an
+  // ABBA inversion aborts with both chains instead of deadlocking. The
+  // file/line defaults capture the caller's acquire site for the report.
+  ~Mutex() { lockdep::OnDestroy(this); }
+
+  void Lock(const char* file = __builtin_FILE(),
+            int line = __builtin_LINE()) TPM_ACQUIRE() {
+    lockdep::OnAcquire(this, file, line);
+    mu_.lock();
+  }
+  void Unlock() TPM_RELEASE() {
+    mu_.unlock();
+    lockdep::OnRelease(this);
+  }
+  bool TryLock(const char* file = __builtin_FILE(),
+               int line = __builtin_LINE()) TPM_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    lockdep::OnTryAcquire(this, file, line);
+    return true;
+  }
+#else
   void Lock() TPM_ACQUIRE() { mu_.lock(); }
   void Unlock() TPM_RELEASE() { mu_.unlock(); }
   bool TryLock() TPM_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+#endif
 
  private:
   std::mutex mu_;
@@ -120,7 +146,17 @@ class TPM_CAPABILITY("mutex") Mutex {
 /// acquire and the destructor with the release on every control-flow path.
 class TPM_SCOPED_CAPABILITY MutexLock {
  public:
+#ifdef TPM_LOCKDEP
+  // Forwards the construction site so lockdep reports name the MutexLock
+  // line, not this header.
+  explicit MutexLock(Mutex* mu, const char* file = __builtin_FILE(),
+                     int line = __builtin_LINE()) TPM_ACQUIRE(mu)
+      : mu_(mu) {
+    mu_->Lock(file, line);
+  }
+#else
   explicit MutexLock(Mutex* mu) TPM_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+#endif
   ~MutexLock() TPM_RELEASE() { mu_->Unlock(); }
 
   MutexLock(const MutexLock&) = delete;

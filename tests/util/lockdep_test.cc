@@ -1,0 +1,181 @@
+// Tier E runtime lockdep tests (src/util/lockdep.h): an induced ABBA cycle
+// must die naming both conflicting chains with their acquire sites, while
+// consistent ordering stays silent. Compiled to a single skip unless the
+// build was configured with -DTPM_LOCKDEP=ON (the debug-validators CI job);
+// the CI step greps for the death test so the suite cannot silently run
+// compiled out.
+
+#include "util/lockdep.h"
+
+#include <gtest/gtest.h>
+
+#include "util/sync.h"
+
+namespace tpm {
+namespace {
+
+#ifdef TPM_LOCKDEP
+
+TEST(LockdepTest, EnabledProbeIsOn) { EXPECT_TRUE(lockdep::Enabled()); }
+
+TEST(LockdepTest, HeldCountTracksStack) {
+  Mutex a;
+  Mutex b;
+  EXPECT_EQ(lockdep::HeldCount(), 0);
+  {
+    MutexLock la(&a);
+    EXPECT_EQ(lockdep::HeldCount(), 1);
+    {
+      MutexLock lb(&b);
+      EXPECT_EQ(lockdep::HeldCount(), 2);
+    }
+    EXPECT_EQ(lockdep::HeldCount(), 1);
+  }
+  EXPECT_EQ(lockdep::HeldCount(), 0);
+}
+
+// The negative test: the same pair taken in one consistent order, over and
+// over, plus each lock alone, never trips the cycle check.
+TEST(LockdepTest, ConsistentOrderStaysSilent) {
+  Mutex a;
+  Mutex b;
+  for (int i = 0; i < 100; ++i) {
+    MutexLock la(&a);
+    MutexLock lb(&b);
+  }
+  {
+    MutexLock lb(&b);  // b alone afterwards is legal: no a is held
+  }
+  EXPECT_EQ(lockdep::HeldCount(), 0);
+}
+
+// Reverse-order try_lock is a legitimate non-deadlocking pattern: a failed
+// try_lock just returns false, so no ordering edge is recorded.
+TEST(LockdepTest, ReverseTryLockIsAllowed) {
+  Mutex a;
+  Mutex b;
+  {
+    MutexLock la(&a);
+    MutexLock lb(&b);  // establishes a -> b
+  }
+  {
+    MutexLock lb(&b);
+    ASSERT_TRUE(a.TryLock());  // b -> a, but via try_lock: no edge, no death
+    EXPECT_EQ(lockdep::HeldCount(), 2);
+    a.Unlock();
+  }
+  EXPECT_EQ(lockdep::HeldCount(), 0);
+}
+
+// ~Mutex purges the graph node, so stack slots reused by fresh mutexes (a
+// new Mutex at an old address) cannot inherit stale ordering edges: the
+// opposite order across generations is legal.
+TEST(LockdepTest, DestroyedMutexDoesNotPoisonItsAddress) {
+  for (int i = 0; i < 8; ++i) {
+    Mutex a;
+    Mutex b;
+    if (i % 2 == 0) {
+      MutexLock la(&a);
+      MutexLock lb(&b);
+    } else {
+      MutexLock lb(&b);
+      MutexLock la(&a);
+    }
+  }
+  EXPECT_EQ(lockdep::HeldCount(), 0);
+}
+
+TEST(LockdepTest, FaultBoundaryWithNoLocksIsSilent) {
+  TPM_LOCKDEP_ASSERT_NO_LOCKS_HELD("io.checkpoint.write");
+  SUCCEED();
+}
+
+// Classic ABBA: one thread's history takes a then b; the same thread later
+// taking b then a closes the cycle. Detection happens on the *attempt* —
+// single-threaded, no second thread and no deadlock needed.
+void ProvokeAbba() {
+  Mutex a;
+  Mutex b;
+  {
+    MutexLock la(&a);
+    MutexLock lb(&b);  // records a -> b
+  }
+  MutexLock lb(&b);
+  MutexLock la(&a);  // b -> a closes the cycle: dies here
+}
+
+// The first report line is self-contained: the new acquisition and the held
+// lock, each with its acquire-site file:line in this file.
+TEST(LockdepDeathTest, AbbaCycleNamesNewAcquisition) {
+  EXPECT_DEATH(ProvokeAbba(),
+               "lockdep: lock acquisition cycle: acquiring mutex 0x[0-9a-f]+ "
+               "at [^ ]*lockdep_test\\.cc:[0-9]+ while holding mutex "
+               "0x[0-9a-f]+ \\(acquired at [^ ]*lockdep_test\\.cc:[0-9]+\\)");
+}
+
+// ...and the conflicting pre-existing chain is printed edge by edge with
+// the sites where each ordering was first recorded.
+TEST(LockdepDeathTest, AbbaCycleNamesExistingChain) {
+  EXPECT_DEATH(ProvokeAbba(),
+               "chain edge: mutex 0x[0-9a-f]+ \\(held at "
+               "[^ ]*lockdep_test\\.cc:[0-9]+\\) -> mutex 0x[0-9a-f]+ "
+               "\\(acquired at [^ ]*lockdep_test\\.cc:[0-9]+\\)");
+}
+
+// Cycles through an intermediate lock are caught too: a -> b, b -> c on
+// record, then c -> a closes a three-edge cycle.
+TEST(LockdepDeathTest, TransitiveCycleCaught) {
+  EXPECT_DEATH(
+      {
+        Mutex a;
+        Mutex b;
+        Mutex c;
+        {
+          MutexLock l1(&a);
+          MutexLock l2(&b);
+        }
+        {
+          MutexLock l1(&b);
+          MutexLock l2(&c);
+        }
+        MutexLock l3(&c);
+        MutexLock l4(&a);
+      },
+      "lockdep: lock acquisition cycle");
+}
+
+TEST(LockdepDeathTest, RecursiveAcquisitionDies) {
+  EXPECT_DEATH(
+      {
+        Mutex a;
+        a.Lock();
+        a.Lock();
+      },
+      "lockdep: recursive acquisition");
+}
+
+// Rule 3: reaching a fault-injection / checkpoint boundary with any lock
+// held aborts, naming the boundary and every held lock's acquire site.
+TEST(LockdepDeathTest, LockHeldAcrossFaultBoundaryDies) {
+  EXPECT_DEATH(
+      {
+        Mutex a;
+        MutexLock l(&a);
+        TPM_LOCKDEP_ASSERT_NO_LOCKS_HELD("io.checkpoint.write");
+      },
+      "lockdep: 1 lock\\(s\\) held across blocking boundary "
+      "'io.checkpoint.write'");
+}
+
+#else  // !TPM_LOCKDEP
+
+TEST(LockdepTest, CompiledOut) {
+  EXPECT_FALSE(lockdep::Enabled());
+  GTEST_SKIP() << "TPM_LOCKDEP is off; configure with -DTPM_LOCKDEP=ON to "
+                  "run the runtime lockdep suite";
+}
+
+#endif  // TPM_LOCKDEP
+
+}  // namespace
+}  // namespace tpm
