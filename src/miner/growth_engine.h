@@ -61,6 +61,7 @@
 #include "obs/trace.h"
 #include "util/macros.h"
 #include "util/memory.h"
+#include "util/sched_test.h"
 #include "util/timer.h"
 
 namespace tpm {
@@ -552,6 +553,9 @@ class GrowthEngine {
   }
 
   void NoteUnitComplete(uint64_t unit_key) {
+    // Tier E seam: the checkpoint-unit boundary is where a parallel engine
+    // will hand completed work to the writer thread (util/sched_test.h).
+    TPM_TEST_YIELD("miner.unit_boundary");
     if (ckpt_writer_ == nullptr) return;
     completed_units_.push_back(unit_key);
     ckpt_pattern_count_ = out_->patterns.size();

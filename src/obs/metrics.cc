@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/sched_test.h"
+
 namespace tpm {
 namespace obs {
 
@@ -246,6 +248,9 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 }
 
 void MetricsRegistry::MergeSnapshot(const MetricsSnapshot& delta) {
+  // Tier E seam: concurrent folds into one registry must commute
+  // (util/sched_test.h).
+  TPM_TEST_YIELD("obs.registry.merge");
   for (const CounterSample& c : delta.counters) {
     if (c.value != 0) GetCounter(c.name)->Increment(c.value);
   }

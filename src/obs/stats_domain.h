@@ -32,6 +32,7 @@
 
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "util/sched_test.h"
 
 namespace tpm {
 namespace obs {
@@ -85,11 +86,20 @@ class StatsDomain {
 
   MetricsSnapshot Snapshot() const { return registry_.Snapshot(); }
 
-  DomainSnapshot TakeSnapshot() const { return {id_, registry_.Snapshot()}; }
+  DomainSnapshot TakeSnapshot() const {
+    // Tier E seam: a worker snapshotting for the cross-thread merge — the
+    // point whose timing relative to other workers must not matter
+    // (util/sched_test.h).
+    TPM_TEST_YIELD("obs.domain.snapshot");
+    return {id_, registry_.Snapshot()};
+  }
 
   /// Folds this domain's current values into `target` (usually the global
   /// registry) via MetricsRegistry::MergeSnapshot.
   void PublishTo(MetricsRegistry* target) const {
+    // Tier E seam: publication into a shared registry races with other
+    // publishers; the fold must be order-invariant (util/sched_test.h).
+    TPM_TEST_YIELD("obs.domain.publish");
     target->MergeSnapshot(registry_.Snapshot());
   }
 

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "util/memory.h"
+#include "util/sched_test.h"
 
 // ASan detection: GCC defines __SANITIZE_ADDRESS__; Clang exposes the
 // feature test. TPM_ASAN_ENABLED gates the manual poisoning below.
@@ -160,6 +161,10 @@ class Arena {
   /// their bytes happened to lie below the mark — a rewound arena makes no
   /// liveness promises to spans it did not just hand out.
   void Rewind(const Mark& m) {
+    // Tier E seam: the generation bump is the moment every earlier view of
+    // this arena dies — exactly where a racing reader would observe stale
+    // spans (util/sched_test.h).
+    TPM_TEST_YIELD("arena.rewind");
 #if TPM_ASAN_ENABLED
     for (size_t b = m.block; b < blocks_.size() && b <= block_; ++b) {
       const size_t keep = b == m.block ? m.offset : 0;

@@ -1,0 +1,86 @@
+#include "util/sched_test.h"
+
+#ifdef TPM_SCHED_TEST
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace tpm {
+namespace sched {
+namespace {
+
+std::atomic<ScheduleController*> g_controller{nullptr};
+std::atomic<uint64_t> g_visits{0};
+std::atomic<uint64_t> g_next_thread_index{0};
+
+// SplitMix64: tiny, seedable, and good enough to decorrelate per-thread
+// perturbation streams (same generator family as util/rng.h).
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Per-thread stream seeded from (controller seed, thread index). The index
+// is assigned on first use per thread; which worker gets which index depends
+// on start order, which only widens the set of interleavings a seed sweep
+// explores — reproducibility of the *contract result* is what the tests
+// assert, not reproducibility of the schedule itself.
+uint64_t* ThreadStream(uint64_t seed) {
+  thread_local uint64_t index =
+      g_next_thread_index.fetch_add(1, std::memory_order_relaxed);
+  thread_local uint64_t stream = 0;
+  thread_local uint64_t seeded_for = ~uint64_t{0};
+  if (seeded_for != seed) {
+    seeded_for = seed;
+    stream = seed ^ (0x9e3779b97f4a7c15ULL * (index + 1));
+  }
+  return &stream;
+}
+
+}  // namespace
+
+void ScheduleController::Perturb(const char* point) {
+  (void)point;
+  uint64_t draw = SplitMix64(ThreadStream(seed_));
+  switch (draw & 0x7U) {
+    case 0:
+    case 1:
+    case 2: {
+      // Yield the CPU 1-3 times: explores fine-grained reorderings.
+      int yields = static_cast<int>((draw >> 3) % 3) + 1;
+      for (int i = 0; i < yields; ++i) std::this_thread::yield();
+      break;
+    }
+    case 3: {
+      // Short sleep: forces coarse reorderings (a whole worker falls
+      // behind), which is what actually varies completion order.
+      std::this_thread::sleep_for(
+          std::chrono::microseconds((draw >> 3) % 150));
+      break;
+    }
+    default:
+      break;  // pass through: half the hits run undisturbed
+  }
+}
+
+void SetController(ScheduleController* c) {
+  g_controller.store(c, std::memory_order_release);
+}
+
+uint64_t YieldPointVisits() {
+  return g_visits.load(std::memory_order_relaxed);
+}
+
+void YieldPoint(const char* point) {
+  g_visits.fetch_add(1, std::memory_order_relaxed);
+  ScheduleController* c = g_controller.load(std::memory_order_acquire);
+  if (c != nullptr) c->Perturb(point);
+}
+
+}  // namespace sched
+}  // namespace tpm
+
+#endif  // TPM_SCHED_TEST
