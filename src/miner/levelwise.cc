@@ -451,10 +451,17 @@ class EndpointLevelwise {
     // The memo is serialized at write time, so after a partial level it is a
     // superset of the boundary's: safe, because re-inserting on the replayed
     // level is idempotent and the extra entries match what full reprocessing
-    // inserts anyway. Set order makes the bytes nondeterministic; resumed
-    // OUTPUT stays deterministic regardless.
-    for (const EndpointPattern& p : frequent_) {
-      ckpt.memo.push_back(CheckpointPatternRec{0, p.items(), p.offsets()});
+    // inserts anyway. Sorted before serializing so checkpoint bytes are a
+    // pure function of the mined state, not of hash-set iteration order.
+    std::vector<const EndpointPattern*> memo;
+    memo.reserve(frequent_.size());
+    for (const EndpointPattern& p : frequent_) memo.push_back(&p);
+    std::sort(memo.begin(), memo.end(),
+              [](const EndpointPattern* a, const EndpointPattern* b) {
+                return *a < *b;
+              });
+    for (const EndpointPattern* p : memo) {
+      ckpt.memo.push_back(CheckpointPatternRec{0, p->items(), p->offsets()});
     }
     ckpt.metrics = boundary_metrics_;
     ckpt.elapsed_seconds = boundary_elapsed_;
@@ -795,8 +802,17 @@ class CoincidenceLevelwise {
       ckpt.frontier.push_back(
           CheckpointPatternRec{0, f.items, std::move(full)});
     }
-    for (const CoincidencePattern& p : frequent_) {
-      ckpt.memo.push_back(CheckpointPatternRec{0, p.items(), p.offsets()});
+    // Sorted for the same reason as the endpoint miner's memo: checkpoint
+    // bytes must be a pure function of the mined state, not hash-set order.
+    std::vector<const CoincidencePattern*> memo;
+    memo.reserve(frequent_.size());
+    for (const CoincidencePattern& p : frequent_) memo.push_back(&p);
+    std::sort(memo.begin(), memo.end(),
+              [](const CoincidencePattern* a, const CoincidencePattern* b) {
+                return *a < *b;
+              });
+    for (const CoincidencePattern* p : memo) {
+      ckpt.memo.push_back(CheckpointPatternRec{0, p->items(), p->offsets()});
     }
     ckpt.metrics = boundary_metrics_;
     ckpt.elapsed_seconds = boundary_elapsed_;
