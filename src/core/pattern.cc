@@ -98,17 +98,18 @@ Status EndpointPattern::Validate() const {
 }
 
 bool EndpointPattern::IsComplete() const {
-  int64_t balance = 0;
+  // Complete iff every per-symbol start/finish count returns to zero. The
+  // nonzero-symbol count is maintained incrementally on the 0 <-> nonzero
+  // transitions, so no final pass over the hash-ordered map is needed.
   std::unordered_map<EventId, int> open;
+  size_t imbalanced = 0;
   for (EndpointCode c : items_) {
-    open[EndpointEvent(c)] += IsFinish(c) ? -1 : 1;
-    balance += IsFinish(c) ? -1 : 1;
+    int& n = open[EndpointEvent(c)];
+    if (n == 0) ++imbalanced;
+    n += IsFinish(c) ? -1 : 1;
+    if (n == 0) --imbalanced;
   }
-  if (balance != 0) return false;
-  for (const auto& [ev, n] : open) {
-    if (n != 0) return false;
-  }
-  return true;
+  return imbalanced == 0;
 }
 
 std::vector<Interval> EndpointPattern::ToCanonicalIntervals() const {
