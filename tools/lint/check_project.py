@@ -21,10 +21,22 @@ Enforces invariants generic tools can't (see docs/STATIC_ANALYSIS.md):
   locking   Tier D concurrency hygiene (docs/STATIC_ANALYSIS.md): src/ uses
             tpm::Mutex/MutexLock (src/util/sync.h), never raw std::mutex or
             std::lock_guard, so every lock carries thread-safety capability
-            annotations; mutable statics must be std::atomic, thread_local,
+            annotations (src/util/lockdep.cc is the one other exemption: it
+            sits below the sync abstraction and instrumenting its own lock
+            would recurse); mutable statics must be std::atomic, thread_local,
             or allowlisted in tools/lint/locking_allowlist.txt with a reason;
             in a class that owns a Mutex, every other data member must be
             TPM_GUARDED_BY, std::atomic, const, or allowlisted.
+  determinism  Tier E (docs/STATIC_ANALYSIS.md): no range-iteration over
+            std::unordered_{map,set,multimap,multiset} in src/ — hash order
+            is nondeterministic across runs, libraries, and platforms, so
+            any fold over it poisons emit/merge/serialize paths (the
+            parallel-miner byte-identical contract). Sort into a vector
+            first, restructure to avoid iterating, or allowlist the variable
+            in tools/lint/determinism_allowlist.txt with a sorted-fold
+            justification. Pointer-keyed ordered containers, std::less over
+            pointers, and operator< over pointers are banned outright:
+            they order by allocation address, which ASLR re-rolls each run.
   format    whitespace rules checkable without clang-format: no trailing
             whitespace, no tabs in C++ sources, no CRLF, final newline.
 
@@ -282,6 +294,9 @@ def check_projection(root, findings):
 
 LOCKING_ALLOWLIST_PATH = os.path.join("tools", "lint", "locking_allowlist.txt")
 SYNC_HEADER = os.path.join("src", "util", "sync.h")
+# Runtime lockdep guards its own state with a raw std::mutex on purpose:
+# instrumenting it would recurse straight back into the lockdep hooks.
+LOCK_PRIMITIVE_FILES = (SYNC_HEADER, os.path.join("src", "util", "lockdep.cc"))
 
 # Raw standard-library lock primitives carry no capability annotations, so
 # Clang's thread-safety analysis cannot see them. util/sync.h wraps them.
@@ -307,10 +322,10 @@ def strip_line_comment(line):
     return line.split("//", 1)[0]
 
 
-def load_locking_allowlist(root, findings):
-    """Returns {key: lineno}; keys are `path:identifier` or
-    `path:Class::member`, each required to carry a `# reason` comment."""
-    path = os.path.join(root, LOCKING_ALLOWLIST_PATH)
+def load_reasoned_allowlist(root, rel_path, check, findings):
+    """Returns {key: lineno} from a `path:identifier  # reason` allowlist;
+    reasonless and duplicate entries are findings, so the list cannot rot."""
+    path = os.path.join(root, rel_path)
     entries = {}
     try:
         lines = open(path, encoding="utf-8").read().splitlines()
@@ -322,13 +337,18 @@ def load_locking_allowlist(root, findings):
         if not entry:
             continue
         if not reason.strip():
-            findings.add("locking", LOCKING_ALLOWLIST_PATH, lineno,
+            findings.add(check, rel_path, lineno,
                          f"allowlist entry '{entry}' has no `# reason` comment")
         if entry in entries:
-            findings.add("locking", LOCKING_ALLOWLIST_PATH, lineno,
+            findings.add(check, rel_path, lineno,
                          f"duplicate allowlist entry '{entry}'")
         entries[entry] = lineno
     return entries
+
+
+def load_locking_allowlist(root, findings):
+    return load_reasoned_allowlist(root, LOCKING_ALLOWLIST_PATH, "locking",
+                                   findings)
 
 
 def blank_nested_braces(body):
@@ -474,7 +494,7 @@ def check_locking(root, findings):
         rel = relpath(root, path)
         text = open(path, encoding="utf-8").read()
         lines = text.splitlines()
-        if rel != SYNC_HEADER:
+        if rel not in LOCK_PRIMITIVE_FILES:
             for lineno, line in enumerate(lines, 1):
                 m = RAW_MUTEX_RE.search(strip_line_comment(line))
                 if m:
@@ -489,6 +509,100 @@ def check_locking(root, findings):
                                   used_allow, findings)
     for key in sorted(set(allow) - used_allow):
         findings.add("locking", LOCKING_ALLOWLIST_PATH, allow[key],
+                     f"allowlist entry '{key}' matches nothing; remove it")
+
+
+# --------------------------------------------------------------------------
+# determinism: no nondeterministically-ordered folds (Tier E)
+# --------------------------------------------------------------------------
+
+DETERMINISM_ALLOWLIST_PATH = os.path.join("tools", "lint",
+                                          "determinism_allowlist.txt")
+UNORDERED_TYPE_RE = re.compile(
+    r"std::unordered_(?:map|set|multimap|multiset)\s*<")
+# Range-for headers only: a classic for(;;) contains semicolons and is
+# excluded, and range expressions with calls/parens name temporaries, not
+# the tracked variables.
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(([^;()]*):([^;()]*)\)")
+PTR_KEY_RE = re.compile(
+    r"std::(?:map|set|multimap|multiset)<\s*(?:const\s+)?[A-Za-z_][\w:]*\s*\*")
+PTR_LESS_RE = re.compile(r"std::less<\s*(?:const\s+)?[A-Za-z_][\w:]*\s*\*")
+PTR_CMP_RE = re.compile(
+    r"\boperator<\s*\(\s*(?:const\s+)?[A-Za-z_][\w:]*\s*\*")
+
+
+def unordered_decl_names(text):
+    """Names declared with a std::unordered_* type anywhere in `text`
+    (locals, members, parameters): the identifier right after the closing
+    template bracket, skipping cv/ref/pointer tokens. An identifier followed
+    by `(` is a function returning the container, not a variable."""
+    names = set()
+    for m in UNORDERED_TYPE_RE.finditer(text):
+        i = m.end()
+        depth = 1
+        while i < len(text) and depth:
+            if text[i] == "<":
+                depth += 1
+            elif text[i] == ">":
+                depth -= 1
+            i += 1
+        dm = re.match(r"\s*[&*]*\s*(?:const\s+)?([A-Za-z_]\w*)\s*(\S)?",
+                      text[i:], re.DOTALL)
+        if dm and dm.group(2) != "(":
+            names.add(dm.group(1))
+    return names
+
+
+def check_determinism(root, findings):
+    allow = load_reasoned_allowlist(root, DETERMINISM_ALLOWLIST_PATH,
+                                    "determinism", findings)
+    used_allow = set()
+    for path in iter_files(root, ("src",), CXX_EXTENSIONS):
+        rel = relpath(root, path)
+        code_lines = [strip_line_comment(l)
+                      for l in open(path, encoding="utf-8").read().splitlines()]
+        unordered = unordered_decl_names("\n".join(code_lines))
+        for lineno, line in enumerate(code_lines, 1):
+            for fm in RANGE_FOR_RE.finditer(line):
+                ids = re.findall(r"[A-Za-z_]\w*", fm.group(2))
+                if not ids or ids[-1] not in unordered:
+                    continue
+                name = ids[-1]
+                key = f"{rel}:{name}"
+                if key in allow:
+                    used_allow.add(key)
+                    continue
+                findings.add(
+                    "determinism", rel, lineno,
+                    f"range-iteration over unordered container '{name}': "
+                    "hash order is nondeterministic, so any "
+                    "emit/merge/serialize fold over it is too; sort into a "
+                    "vector first, restructure to avoid iterating, or "
+                    f"allowlist '{key}' in {DETERMINISM_ALLOWLIST_PATH} with "
+                    "a sorted-fold justification")
+            pm = PTR_KEY_RE.search(line)
+            if pm:
+                findings.add(
+                    "determinism", rel, lineno,
+                    f"pointer-keyed ordered container '{pm.group(0)}…>': "
+                    "iteration order follows allocation addresses, which "
+                    "ASLR re-rolls every run; key by a stable id instead")
+            lm = PTR_LESS_RE.search(line)
+            if lm:
+                findings.add(
+                    "determinism", rel, lineno,
+                    f"'{lm.group(0)}…>' orders by allocation address, which "
+                    "ASLR re-rolls every run; compare stable ids or values "
+                    "instead")
+            cm = PTR_CMP_RE.search(line)
+            if cm:
+                findings.add(
+                    "determinism", rel, lineno,
+                    "operator< over raw pointers orders by allocation "
+                    "address, which ASLR re-rolls every run; compare stable "
+                    "ids or values instead")
+    for key in sorted(set(allow) - used_allow):
+        findings.add("determinism", DETERMINISM_ALLOWLIST_PATH, allow[key],
                      f"allowlist entry '{key}' matches nothing; remove it")
 
 
@@ -527,6 +641,7 @@ CHECKS = {
     "headers": check_headers,
     "projection": check_projection,
     "locking": check_locking,
+    "determinism": check_determinism,
     "format": check_format,
 }
 
@@ -662,11 +777,48 @@ def self_test(root):
     plant("mutable static without atomic/guard", unguarded_static, "locking",
           "g_unguarded_total")
 
+    def unordered_fold(scratch):
+        path = os.path.join(scratch, "src", "core", "pattern.cc")
+        with open(path, "a") as f:
+            f.write("\nstatic int SumOpenz("
+                    "const std::unordered_map<int, int>& openz) {\n"
+                    "  int total = 0;\n"
+                    "  for (const auto& kv : openz) total += kv.second;\n"
+                    "  return total;\n"
+                    "}\n")
+
+    plant("range-iteration over unordered container", unordered_fold,
+          "determinism", "openz")
+
+    def pointer_keyed_map(scratch):
+        path = os.path.join(scratch, "src", "core", "types.h")
+        with open(path, "a") as f:
+            f.write("using BadIntervalIndex = std::map<const Interval*, int>;\n")
+
+    plant("pointer-keyed ordered container", pointer_keyed_map, "determinism",
+          "pointer-keyed")
+
+    def pointer_less(scratch):
+        path = os.path.join(scratch, "src", "core", "types.h")
+        with open(path, "a") as f:
+            f.write("using BadOrder = std::less<const Interval*>;\n")
+
+    plant("std::less over raw pointers", pointer_less, "determinism",
+          "std::less")
+
+    def pointer_compare(scratch):
+        path = os.path.join(scratch, "src", "core", "types.h")
+        with open(path, "a") as f:
+            f.write("bool operator<(const Interval* a, const Interval* b);\n")
+
+    plant("operator< over raw pointers", pointer_compare, "determinism",
+          "operator< over raw pointers")
+
     if failures:
         for f in failures:
             print(f"FAIL {f}")
         return 1
-    print("lint self-test OK: 10 planted violations, 10 caught, clean tree clean")
+    print("lint self-test OK: 14 planted violations, 14 caught, clean tree clean")
     return 0
 
 
