@@ -229,6 +229,31 @@ int main() {
     }
   }
 
+  // 5. Parallel scaling: the endpoint mine at 1/2/4/8 workers (scheduler /
+  //    worker / merger split, docs/ARCHITECTURE.md). Output is byte-identical
+  //    across rows by construction — the interesting number is the wall-clock
+  //    column. The substrate gets a scale floor so the single-thread run is
+  //    long enough (~100ms) to measure scheduling against even under CI's
+  //    reduced TPM_BENCH_SCALE; CI asserts the 8-thread row at <=0.5x the
+  //    single-thread row from BENCH_micro.json when the host has the cores.
+  const size_t threads_base = cells.size();
+  QuestConfig par_config = config;
+  par_config.num_sequences =
+      static_cast<uint32_t>(4000 * std::max(scale, 0.5));
+  auto par_db = GenerateQuest(par_config);
+  TPM_CHECK_OK(par_db.status());
+  MinerOptions par_options;
+  par_options.min_support = 0.005;
+  par_options.time_budget_seconds = kBudget;
+  par_options.steal = true;
+  for (uint32_t threads : {1u, 2u, 4u, 8u}) {
+    par_options.threads = threads;
+    auto run = MineEndpointGrowth(*par_db, par_options, EndpointGrowthConfig{});
+    TPM_CHECK_OK(run.status());
+    cells.push_back(CellFrom("P-TPMiner/E", "threads-" + std::to_string(threads),
+                             run->stats, run->patterns.size()));
+  }
+
   PrintTable(cells);
   PrintRatio("projection-replay", cells[1], cells[0]);
   PrintRatio("e2e endpoint", cells[4], cells[2]);
@@ -238,6 +263,13 @@ int main() {
         "ratio: progress on/off time=%.3fx (%llu snapshots emitted)\n",
         cells[7].seconds / cells[6].seconds,
         static_cast<unsigned long long>(tracker.snapshots_emitted()));
+  }
+  for (size_t i = threads_base + 1; i < cells.size(); ++i) {
+    if (cells[i].seconds > 0.0) {
+      std::printf("ratio: e2e endpoint %s speedup=%.2fx vs threads-1\n",
+                  cells[i].config.c_str(),
+                  cells[threads_base].seconds / cells[i].seconds);
+    }
   }
   WriteJsonRecords("micro", cells);
   return 0;

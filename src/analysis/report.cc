@@ -126,6 +126,42 @@ void RenderSnapshot(const JsonValue& snap, std::string* out) {
     }
   }
 
+  // --- Per-worker scheduling breakdown ------------------------------------
+  // The parallel miner's attribution histograms use the worker id as the
+  // observed value (LinearBounds(0,1,..)), so bucket i is worker i. Present
+  // only when a run mined with --threads > 1.
+  const JsonValue* wunits = FindMetric(histograms, "miner.worker.units");
+  const JsonValue* wnodes = FindMetric(histograms, "miner.worker.nodes");
+  const JsonValue* wunit_counts =
+      wunits != nullptr ? wunits->Find("counts") : nullptr;
+  const JsonValue* wnode_counts =
+      wnodes != nullptr ? wnodes->Find("counts") : nullptr;
+  if (wunit_counts != nullptr && wnode_counts != nullptr &&
+      wunit_counts->is_array() && wnode_counts->is_array()) {
+    const size_t n =
+        std::max(wunit_counts->items.size(), wnode_counts->items.size());
+    std::string rows;
+    for (size_t w = 0; w < n; ++w) {
+      const uint64_t units = w < wunit_counts->items.size()
+                                 ? wunit_counts->items[w].AsUint64()
+                                 : 0;
+      const uint64_t wn = w < wnode_counts->items.size()
+                              ? wnode_counts->items[w].AsUint64()
+                              : 0;
+      if (units == 0 && wn == 0) continue;
+      rows += StringPrintf("  worker %-3llu %12llu %15llu\n",
+                           static_cast<unsigned long long>(w),
+                           static_cast<unsigned long long>(units),
+                           static_cast<unsigned long long>(wn));
+    }
+    if (!rows.empty()) {
+      *out += "workers (scheduling attribution; varies run to run):\n";
+      *out += StringPrintf("  %-10s %12s %15s\n", "worker", "units done",
+                           "nodes expanded");
+      *out += rows;
+    }
+  }
+
   // --- Stop reason ---------------------------------------------------------
   struct StopRow {
     const char* name;

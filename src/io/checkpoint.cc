@@ -18,7 +18,10 @@ namespace tpm {
 namespace {
 
 constexpr char kMagic[4] = {'T', 'P', 'M', 'C'};
-constexpr uint64_t kVersion = 1;
+// v2 added unit_pattern_counts to the progress section (one varint per
+// completed unit), so a resume can regroup the pattern stream by unit no
+// matter which thread count produced the checkpoint.
+constexpr uint64_t kVersion = 2;
 constexpr size_t kMagicBytes = 4;
 
 // Corruption diagnostic carrying the section being decoded and the absolute
@@ -190,6 +193,10 @@ std::string SerializeCheckpoint(const Checkpoint& ckpt) {
   PutVarint64(&out, DoubleBits(ckpt.time_budget_seconds));
   PutVarint64(&out, ckpt.completed_units.size());
   for (uint64_t unit : ckpt.completed_units) PutVarint64(&out, unit);
+  // One pattern count per completed unit, aligned with the list above; the
+  // shared length keeps the two vectors structurally in lock-step.
+  TPM_CHECK(ckpt.unit_pattern_counts.size() == ckpt.completed_units.size());
+  for (uint64_t n : ckpt.unit_pattern_counts) PutVarint64(&out, n);
   // --- patterns / frontier / memo ---
   for (const std::vector<CheckpointPatternRec>* recs :
        {&ckpt.patterns, &ckpt.frontier, &ckpt.memo}) {
@@ -332,8 +339,22 @@ Result<Checkpoint> ParseCheckpoint(const std::string& buffer) {
     TPM_CKPT_FIELD(uint64_t unit, r.GetVarint64(), "progress");
     ckpt.completed_units.push_back(unit);
   }
+  ckpt.unit_pattern_counts.reserve(num_completed);
+  for (uint64_t i = 0; i < num_completed; ++i) {
+    TPM_CKPT_FIELD(uint64_t n, r.GetVarint64(), "progress");
+    ckpt.unit_pattern_counts.push_back(n);
+  }
   // --- patterns / frontier / memo ---
   TPM_RETURN_NOT_OK(ParsePatternRecs(r, "patterns", &ckpt.patterns));
+  uint64_t claimed_patterns = 0;
+  for (uint64_t n : ckpt.unit_pattern_counts) claimed_patterns += n;
+  if (claimed_patterns != ckpt.patterns.size()) {
+    return CorruptAt(
+        "patterns", kMagicBytes + r.offset(),
+        StringPrintf("unit pattern counts claim %llu patterns, found %llu",
+                     static_cast<unsigned long long>(claimed_patterns),
+                     static_cast<unsigned long long>(ckpt.patterns.size())));
+  }
   TPM_RETURN_NOT_OK(ParsePatternRecs(r, "frontier", &ckpt.frontier));
   TPM_RETURN_NOT_OK(ParsePatternRecs(r, "memo", &ckpt.memo));
   // --- metrics ---

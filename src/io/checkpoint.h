@@ -87,11 +87,21 @@ struct Checkpoint {
   /// unknown up front (level-wise miners).
   uint64_t total_units = 0;
 
-  /// Completed units in completion order: `(code << 1) | i_ext` bucket keys
-  /// for the growth engines, level indices for the level-wise miners.
+  /// Completed units: `(code << 1) | i_ext` bucket keys for the growth
+  /// engines (serialized in ascending key order so the bytes are identical
+  /// for every thread count and completion order), level indices in
+  /// completion order for the level-wise miners.
   std::vector<uint64_t> completed_units;
 
-  /// Every pattern emitted up to the boundary, in emission order.
+  /// v2: how many of `patterns` each completed unit contributed, aligned
+  /// index-for-index with `completed_units` (so `patterns` is the
+  /// concatenation of per-unit banks in that order). Lets a resume regroup
+  /// the pattern stream by unit no matter how the writing run scheduled its
+  /// workers. Σ unit_pattern_counts == patterns.size() always.
+  std::vector<uint64_t> unit_pattern_counts;
+
+  /// Every pattern emitted up to the boundary, grouped per completed unit
+  /// (see unit_pattern_counts); within a unit, in emission order.
   std::vector<CheckpointPatternRec> patterns;
 
   /// Level-wise only: the next level's candidates (empty for growth).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <memory>
 #include <vector>
 
 #include "core/coincidence.h"
@@ -43,13 +44,18 @@ class CoincidencePolicy {
       : options_(options) {}
 
   size_t Build(const IntervalDatabase& db) {
-    cdb_ = CoincidenceDatabase::FromDatabase(db);
-    return cdb_.MemoryBytes();
+    // Shared immutable representation: worker policies are copies of the
+    // built prototype, and sharing the database keeps those copies cheap.
+    cdb_ = std::make_shared<const CoincidenceDatabase>(
+        CoincidenceDatabase::FromDatabase(db));
+    return cdb_->MemoryBytes();
   }
 
-  uint32_t NumSeqs() const { return static_cast<uint32_t>(cdb_.size()); }
-  uint32_t NumItems(uint32_t seq) const { return cdb_[seq].num_items(); }
-  uint32_t ItemCode(uint32_t seq, uint32_t p) const { return cdb_[seq].item(p); }
+  uint32_t NumSeqs() const { return static_cast<uint32_t>(cdb_->size()); }
+  uint32_t NumItems(uint32_t seq) const { return (*cdb_)[seq].num_items(); }
+  uint32_t ItemCode(uint32_t seq, uint32_t p) const {
+    return (*cdb_)[seq].item(p);
+  }
 
   // Every coincidence item is a symbol occurrence, so admission pruning
   // applies to all candidates.
@@ -94,7 +100,7 @@ class CoincidencePolicy {
   template <typename ItemAt, typename Sink>
   void ScanState(const GrowthScanCtx& ctx, uint32_t seq, const StateRec& st,
                  const uint32_t* bnd, ItemAt&& item_at, Sink&& try_push) {
-    const CoincidenceSequence& cs = cdb_[seq];
+    const CoincidenceSequence& cs = (*cdb_)[seq];
     const EventId last_symbol = pat_items_.empty() ? 0 : pat_items_.back();
     const uint32_t num_last = static_cast<uint32_t>(last_syms_.size());
     const uint32_t stride = Stride();
@@ -164,7 +170,7 @@ class CoincidencePolicy {
       for (uint32_t i = 0; i < n; ++i) keep->push_back(i);
       return;
     }
-    const CoincidenceSequence& cs = cdb_[v.seq];
+    const CoincidenceSequence& cs = (*cdb_)[v.seq];
     const uint32_t stride = v.stride;
 
     // Order by item; dominance never looks backwards that way.
@@ -265,7 +271,7 @@ class CoincidencePolicy {
 
   const MinerOptions& options_;
 
-  CoincidenceDatabase cdb_;
+  std::shared_ptr<const CoincidenceDatabase> cdb_;
 
   std::vector<EventId> pat_items_;
   std::vector<uint32_t> pat_offsets_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <memory>
 #include <vector>
 
 #include "core/endpoint.h"
@@ -38,13 +39,18 @@ class EndpointPolicy {
                               : options.validity_pruning) {}
 
   size_t Build(const IntervalDatabase& db) {
-    edb_ = EndpointDatabase::FromDatabase(db);
-    return edb_.MemoryBytes();
+    // Shared immutable representation: worker policies are copies of the
+    // built prototype, and sharing the database keeps those copies cheap.
+    edb_ = std::make_shared<const EndpointDatabase>(
+        EndpointDatabase::FromDatabase(db));
+    return edb_->MemoryBytes();
   }
 
-  uint32_t NumSeqs() const { return static_cast<uint32_t>(edb_.size()); }
-  uint32_t NumItems(uint32_t seq) const { return edb_[seq].num_items(); }
-  uint32_t ItemCode(uint32_t seq, uint32_t p) const { return edb_[seq].item(p); }
+  uint32_t NumSeqs() const { return static_cast<uint32_t>(edb_->size()); }
+  uint32_t NumItems(uint32_t seq) const { return (*edb_)[seq].num_items(); }
+  uint32_t ItemCode(uint32_t seq, uint32_t p) const {
+    return (*edb_)[seq].item(p);
+  }
 
   // Finish endpoints never introduce a symbol: their start already did, so
   // admission pruning does not apply to them.
@@ -88,7 +94,7 @@ class EndpointPolicy {
   template <typename ItemAt, typename Sink>
   void ScanState(const GrowthScanCtx& ctx, uint32_t seq, const StateRec& st,
                  const uint32_t* req, ItemAt&& item_at, Sink&& try_push) {
-    const EndpointSequence& es = edb_[seq];
+    const EndpointSequence& es = (*edb_)[seq];
     const uint32_t st_slice =
         st.item == kNoStateItem ? kNoStateItem : es.item_slice(st.item);
     const uint32_t last_code = pat_items_.empty() ? 0 : pat_items_.back();
@@ -285,7 +291,7 @@ class EndpointPolicy {
   const MinerOptions& options_;
   const bool validity_pruning_;
 
-  EndpointDatabase edb_;
+  std::shared_ptr<const EndpointDatabase> edb_;
 
   // DFS pattern stack.
   std::vector<EndpointCode> pat_items_;

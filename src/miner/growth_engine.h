@@ -21,27 +21,60 @@
 //   InPattern / PatternSymbols                  pair-pruning queries
 //   BeginNode / FlushNodeMetrics                per-node policy counters
 //
-// Every piece of per-node search state lives in ExpandFrame (the explicit
-// context struct) or on the policy's pattern stack keyed by recursion depth
-// — nothing is hidden in cross-node mutable engine state — so a subtree
-// expansion is a self-contained unit of work. That is the enabler for
-// handing sibling subtrees to a parallel scheduler later: a worker needs
-// only the frame's NodeProjection, the allowed vector, and a policy whose
-// stack is replayed to the subtree root.
+// The engine is split into three layers (docs/ARCHITECTURE.md, "Scheduler /
+// worker / merger"):
+//
+//   scheduler  The root-node scan produces the level-1 buckets in the
+//              deterministic child order; miner/scheduler.h freezes that
+//              order into work units whose id IS the bucket index, so a
+//              unit means the same subtree for every thread count and every
+//              checkpoint ever written. --steal additionally publishes a
+//              heavyweight unit's level-2 children as stealable sub-units
+//              (the split decision depends only on projection sizes, never
+//              on the thread count).
+//
+//   workers    Each worker owns a full WorkerCtx: a copy of the built
+//              policy (cheap — the language representation is shared via
+//              shared_ptr), its own MemoryTracker, ProjectionArenas,
+//              ExecutionGuard, and postfix-count scratch. Every work item
+//              is mined against a private per-unit StatsDomain, so nothing
+//              mutable is shared between workers on the hot path. With
+//              --threads=1 the same loop runs inline on the calling thread.
+//
+//   merger     Workers deliver finished units (pattern bank + metrics
+//              delta) through a single mutex-guarded inbox; the calling
+//              thread folds them through the MergeDomainSnapshots contract
+//              (sorted, commutative folds), advances the checkpoint
+//              frontier, and assembles the final pattern list in unit-id
+//              order — so the output is byte-identical for any thread
+//              count and any completion order.
+//
+// Stop propagation is lock-free: every guard's on_stop funnels into a CAS
+// on first_stop_reason_ plus a stop flag every worker polls, so a pattern
+// cap, deadline, memory trip, or SIGINT on any thread winds down the whole
+// crew with the usual bounded latency.
+//
+// Lock order (see docs/STATIC_ANALYSIS.md): WorkScheduler::mu_ and
+// DeliveryInbox::mu are independent leaf locks — no code path holds both,
+// and neither is held across metrics, I/O, or policy calls.
 //
 // Projection storage is delegated to core/projection.h: pseudo mode stages
-// into a shared arena (reset once per node) and finalizes into per-depth
-// arenas (rewound when the subtree exits), making the MemoryTracker's view
-// of projection bytes exact; copy mode reproduces the legacy heap-copied
-// cost profile for A/B comparison and the physical-projection baselines.
+// into a per-worker shared arena (reset once per node) and finalizes into
+// per-depth arenas (rewound when the subtree exits), making each
+// MemoryTracker's view of projection bytes exact; copy mode reproduces the
+// legacy heap-copied cost profile for A/B comparison and the
+// physical-projection baselines.
 
 #pragma once
 
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <thread>
 #include <type_traits>
 #include <unordered_map>
 #include <unordered_set>
@@ -54,6 +87,7 @@
 #include "miner/cooccurrence.h"
 #include "miner/miner_metrics.h"
 #include "miner/options.h"
+#include "miner/scheduler.h"
 #include "miner/validate_hooks.h"
 #include "obs/metrics.h"
 #include "obs/progress.h"
@@ -62,6 +96,8 @@
 #include "util/macros.h"
 #include "util/memory.h"
 #include "util/sched_test.h"
+#include "util/string_util.h"
+#include "util/sync.h"
 #include "util/timer.h"
 
 namespace tpm {
@@ -129,7 +165,6 @@ class GrowthEngine {
     // Per-run attribution against the domain registry: the domain may be
     // caller-owned and reused across runs, so deltas are still needed.
     obs_start_ = domain_->registry().Snapshot();
-    resume_base_ = obs_start_;
     domain_->RecordEvent("run.begin", db_.size(), minsup_);
     WallTimer build_timer;
     size_t rep_bytes = 0;
@@ -166,20 +201,89 @@ class GrowthEngine {
     }
     out_ = &result;
     SeedFromResume();
-    Expand(root, allowed, /*depth=*/0);
+
+    // The calling thread's context: the root node is expanded against the
+    // engine-owned policy/tracker/arenas/guard, charging the run domain —
+    // exactly the single-thread preamble every thread count shares.
+    WorkerCtx root_ctx;
+    root_ctx.id = 0;
+    root_ctx.policy = &policy_;
+    root_ctx.tracker = &tracker_;
+    root_ctx.arenas = &arenas_;
+    root_ctx.guard = &guard_;
+    root_ctx.seen_epoch = &seen_epoch_;
+    root_ctx.epoch = &epoch_;
+    root_ctx.domain = domain_;
+    root_ctx.om = om_;
+    std::vector<MinedPattern<PatternT>> root_bank;
+    root_ctx.bank = &root_bank;
+    root_ctx.inline_progress = true;
+
+    NodeChildren root_nc;
+    const bool root_entered = ExpandNode(root_ctx, root, allowed, 0, &root_nc);
+    if (root_entered) {
+      BuildUnits(&root_nc);
+      root_child_allowed_ = &root_nc.child_allowed;
+      total_units_ = units_.size();
+      if (progress_ != nullptr) progress_->SetTotalBuckets(units_.size());
+    }
+    // Metrics watershed: everything charged to the run domain so far
+    // (run.begin, build, the root-node scan) is the preamble; unit work is
+    // charged to per-unit domains from here on, and the run domain only
+    // accumulates the tail (run.end, stop accounting, end-of-run gauges).
+    // base + unit deltas + tail partitions exactly the charges a
+    // single-thread run makes, so the merged result is byte-identical for
+    // every thread count — and, on a resume, composes with the prior
+    // segment's boundary metrics the same way.
+    preamble_end_ = domain_->registry().Snapshot();
+    if (root_entered && ckpt_writer_ != nullptr) {
+      boundary_elapsed_ =
+          (resume_ != nullptr ? resume_->elapsed_seconds : 0.0) +
+          run_timer_.ElapsedSeconds();
+    }
+
+    if (root_entered) {
+      RunUnits(root_ctx);
+      ReleaseNode(root_ctx, &root_nc, 0);
+    }
+
+    const StopReason stop_reason = static_cast<StopReason>(
+        first_stop_reason_.load(std::memory_order_relaxed));
+    // A stop that tripped on a worker guard has not been recorded in the
+    // run's flight recorder yet (the engine guard's on_stop records its own
+    // trips at trip time, pre-unit stops included).
+    if (stop_reason != StopReason::kNone && !guard_.stopped()) {
+      domain_->RecordEvent("guard.stop", static_cast<uint64_t>(stop_reason),
+                           root_ctx.nodes + worker_nodes_);
+    }
     if (!ckpt_status_.ok()) return ckpt_status_;
+    // A truncated run (guard stop, cancellation/SIGINT) leaves a final
+    // checkpoint at the merged completed-unit frontier so the work survives.
+    // Written before assembly: AssembleResult moves the unit banks into the
+    // result, and the checkpoint serializes those same banks.
+    if (ckpt_writer_ != nullptr && stop_reason != StopReason::kNone) {
+      TPM_RETURN_NOT_OK(WriteCheckpointNow());
+      domain_->recorder().Record("ckpt.write", last_ckpt_units_,
+                                 last_ckpt_patterns_);
+    }
+    AssembleResult(&result, &root_bank);
     result.stats.mine_seconds = mine_timer.ElapsedSeconds();
     result.stats.patterns_found = result.patterns.size();
-    result.stats.truncated = guard_.stopped();
-    result.stats.stop_reason = guard_.reason();
-    RecordStopMetrics(guard_.reason(), &domain_->registry());
-    result.stats.peak_tracked_bytes = tracker_.peak_bytes();
-    result.stats.arena_peak_bytes = arenas_.total_allocated_bytes();
+    result.stats.truncated = stop_reason != StopReason::kNone;
+    result.stats.stop_reason = stop_reason;
+    RecordStopMetrics(stop_reason, &domain_->registry());
+    result.stats.nodes_expanded = root_ctx.nodes + worker_nodes_;
+    result.stats.candidates_checked = root_ctx.cands + worker_cands_;
+    result.stats.states_created = root_ctx.states + worker_states_;
+    result.stats.peak_tracked_bytes = tracker_.peak_bytes() + worker_peak_;
+    result.stats.arena_peak_bytes =
+        arenas_.total_allocated_bytes() + worker_arena_bytes_;
     result.stats.peak_rss_bytes = ReadPeakRssBytes();
     if (mode_ == ProjectionMode::kPseudo) {
       om_.arena_peak->Set(
           static_cast<int64_t>(result.stats.arena_peak_bytes));
-      om_.arena_blocks->Increment(arenas_.total_blocks());
+      om_.arena_blocks->Increment(arenas_.total_blocks() +
+                                  worker_arena_blocks_);
     }
     // Final VmHWM sample: a truncated run's peak was already captured by the
     // progress tracker at snapshot time; this records the end-of-run value.
@@ -189,22 +293,19 @@ class GrowthEngine {
     }
     domain_->RecordEvent("run.end", result.patterns.size(),
                          result.stats.nodes_expanded);
-    result.stats.metrics = RunDelta();
+    result.stats.metrics = FinalMetrics();
     // Fold the run into the process-global registry so whole-process scrapes
     // (--metrics-out, CI smoke asserts) see every domain's work.
     obs::MetricsRegistry::Global().MergeSnapshot(result.stats.metrics);
     if (progress_ != nullptr) progress_->Finish();
-    // A truncated run (guard stop, cancellation/SIGINT) leaves a final
-    // checkpoint at the last completed-unit boundary so the work survives.
-    if (ckpt_writer_ != nullptr && result.stats.truncated) {
-      TPM_RETURN_NOT_OK(WriteCheckpoint());
-      domain_->recorder().Record("ckpt.write", completed_units_.size(),
-                                 ckpt_pattern_count_);
-    }
     return result;
   }
 
  private:
+  // Per-unit flight recorders are small: a unit's postmortem value is its
+  // merged counters, and the run domain keeps the run-scoped milestones.
+  static constexpr size_t kUnitFlightCapacity = 32;
+
   // One candidate extension's child projection under construction.
   struct Bucket {
     uint32_t code = 0;
@@ -214,7 +315,7 @@ class GrowthEngine {
 
   // Everything one node expansion owns. Kept explicit (rather than spread
   // over engine members mutated across recursion) so sibling subtrees only
-  // share read-only inputs — the precondition for mining them in parallel.
+  // share read-only inputs — the property the worker layer relies on.
   struct ExpandFrame {
     std::deque<Bucket> buckets;  // deque: stable addresses under growth
     std::unordered_map<uint64_t, int32_t> bucket_index;  // key -> idx or -1
@@ -223,41 +324,217 @@ class GrowthEngine {
     uint32_t cur_seq = 0;
   };
 
-  void Expand(const NodeProjection& proj, const std::vector<uint8_t>& allowed,
-              uint32_t depth) {
+  // A node's finalized children, kept alive while the subtree (or, for the
+  // root and split units, the scheduler) walks them. ReleaseNode undoes the
+  // tracker charges and rewinds the child-depth arena.
+  struct NodeChildren {
+    ExpandFrame frame;
+    std::vector<uint8_t> child_allowed;
+    Arena::Mark child_mark;
+    size_t final_bytes = 0;
+    bool entered = false;  ///< node charged and children finalized
+  };
+
+  // One execution context: the bindings a worker (or the calling thread)
+  // mines with. The pointees are either engine members (root context) or a
+  // WorkerSlot's privately owned copies — never shared between two
+  // concurrently mining contexts.
+  struct WorkerCtx {
+    uint32_t id = 0;
+    Policy* policy = nullptr;
+    MemoryTracker* tracker = nullptr;
+    ProjectionArenas* arenas = nullptr;
+    ExecutionGuard* guard = nullptr;
+    std::vector<uint32_t>* seen_epoch = nullptr;
+    uint32_t* epoch = nullptr;
+
+    // Current work-item bindings (swapped per unit / sub-unit).
+    obs::StatsDomain* domain = nullptr;
+    MinerMetrics om{};
+    std::vector<MinedPattern<PatternT>>* bank = nullptr;
+    uint64_t item_patterns = 0;  ///< emissions within the current item
+
+    // Cumulative counters, folded into MiningStats after the join.
+    uint64_t nodes = 0;
+    uint64_t states = 0;
+    uint64_t cands = 0;
+    uint64_t patterns_emitted = 0;
+
+    // Progress plumbing: the inline path reports run totals through
+    // TickNode exactly like the single-thread engine always did; parallel
+    // workers publish their own totals into a padded slot instead.
+    bool inline_progress = false;
+    uint64_t node_base = 0;
+    size_t bytes_base = 0;
+
+    // Scheduling attribution (miner.worker.*); null for the root context.
+    obs::Histogram* attr_nodes = nullptr;
+    obs::Histogram* attr_units = nullptr;
+  };
+
+  // Everything one worker privately owns. The policy copy is cheap: the
+  // built language representation is shared behind a shared_ptr and the
+  // DFS stacks are empty at unit-phase start.
+  struct WorkerSlot {
+    WorkerSlot(GrowthEngine* e, uint32_t id)
+        : policy(e->policy_),
+          arenas(&tracker),
+          guard(e->MakeWorkerLimits(), &tracker),
+          attribution(StringPrintf("worker-%u", id)) {
+      seen_epoch.assign(e->num_symbols_, 0);
+      ctx.id = id;
+      ctx.policy = &policy;
+      ctx.tracker = &tracker;
+      ctx.arenas = &arenas;
+      ctx.guard = &guard;
+      ctx.seen_epoch = &seen_epoch;
+      ctx.epoch = &epoch;
+      ctx.attr_nodes = attribution.GetHistogram("miner.worker.nodes",
+                                                obs::LinearBounds(0, 1, 65));
+      ctx.attr_units = attribution.GetHistogram("miner.worker.units",
+                                                obs::LinearBounds(0, 1, 65));
+    }
+    Policy policy;
+    MemoryTracker tracker;
+    ProjectionArenas arenas;
+    ExecutionGuard guard;
+    std::vector<uint32_t> seen_epoch;
+    uint32_t epoch = 0;
+    obs::StatsDomain attribution;  // worker-<id>: miner.worker.* histograms
+    WorkerCtx ctx;
+  };
+
+  // One depth-0 subtree, in deterministic bucket order (unit id == index).
+  struct UnitInfo {
+    uint64_t key = 0;  ///< (code << 1) | i_ext — the checkpoint unit key
+    uint32_t code = 0;
+    bool i_ext = false;
+    bool splittable = false;
+    const NodeProjection* view = nullptr;  ///< lives in the root's children
+  };
+
+  // The merged fate of one unit. `bank`/`delta` are written by the merger
+  // (or the pre-pass / resume transfer on the calling thread) only.
+  struct UnitOutcome {
+    bool delivered = false;  ///< a worker finished (possibly truncated)
+    bool complete = false;   ///< subtree fully mined — checkpointable
+    bool from_resume = false;
+    std::vector<MinedPattern<PatternT>> bank;
+    obs::MetricsSnapshot delta;  ///< empty for resumed units (in the prior)
+  };
+
+  // A resumed unit whose key did not (or cannot yet) match a bucket: kept
+  // verbatim so its patterns and checkpoint claim survive even when the run
+  // stops before the root scan rebuilds the bucket set.
+  struct ResumeUnit {
+    uint64_t key = 0;
+    std::vector<MinedPattern<PatternT>> bank;
+  };
+
+  // What a worker hands the merger for one finished unit.
+  struct UnitDelivery {
+    uint64_t unit_id = 0;
+    bool complete = false;
+    std::vector<MinedPattern<PatternT>> bank;
+    obs::MetricsSnapshot delta;
+  };
+
+  // Leaf lock (held only around the vector ops, never across metrics, I/O,
+  // or the scheduler's lock).
+  struct DeliveryInbox {
+    Mutex mu;
+    std::vector<UnitDelivery> items TPM_GUARDED_BY(mu);
+  };
+
+  // Join state for one split unit; `remaining` is the release/acquire
+  // barrier that publishes the thieves' banks back to the owner.
+  struct SplitState {
+    std::atomic<uint32_t> remaining{0};
+  };
+
+  // One stealable level-2 child of a split unit. The view and allowed set
+  // live in the owner's arenas / NodeChildren, which the owner keeps alive
+  // (and does not rewind) until every sub joined. `bank`/`delta`/`complete`
+  // are written by the thief before its release-decrement on `remaining`
+  // and read by the owner after the acquire-load observes zero.
+  struct SubUnit {
+    uint64_t unit_id = 0;
+    uint32_t ord = 0;  ///< deterministic child order within the unit
+    const NodeProjection* view = nullptr;
+    const std::vector<uint8_t>* allowed = nullptr;
+    std::vector<std::pair<uint32_t, bool>> path;  ///< (code, i_ext) replay
+    SplitState* split = nullptr;
+    bool complete = false;
+    std::vector<MinedPattern<PatternT>> bank;
+    obs::MetricsSnapshot delta;
+  };
+
+  // ---- Worker layer ----------------------------------------------------
+
+  /// One consolidated stop poll: the context's own guard first (sticky),
+  /// then the crew-wide flag (tripping this guard so the stop reason and
+  /// on_stop accounting stay uniform), then the guard's own limits.
+  bool WorkerShouldStop(WorkerCtx& w) {
+    if (w.guard->stopped()) return true;
+    if (stop_flag_.load(std::memory_order_relaxed)) {
+      w.guard->Trip(StopReason::kCancelled);
+      return true;
+    }
+    return w.guard->ShouldStop();
+  }
+
+  void TickProgress(WorkerCtx& w) {
+    if (progress_ == nullptr) return;
+    if (w.inline_progress) {
+      progress_->TickNode(w.node_base + w.nodes,
+                          patterns_total_.load(std::memory_order_relaxed),
+                          w.bytes_base + w.tracker->current_bytes());
+    } else {
+      progress_->TickWorker(w.id, w.nodes, w.patterns_emitted,
+                            w.tracker->current_bytes());
+    }
+  }
+
+  /// Expands one node: charges it, emits when the policy deems the pattern
+  /// complete, scans the projection, and finalizes the children into `nc`.
+  /// Returns false when the node produced no children to walk (guard stop,
+  /// emit-time stop, or the max_items cutoff) — `nc` is untouched then and
+  /// needs no ReleaseNode.
+  bool ExpandNode(WorkerCtx& w, const NodeProjection& proj,
+                  const std::vector<uint8_t>& allowed, uint32_t depth,
+                  NodeChildren* nc) {
     // Arena-lifetime contract: the projection's depth arena must not have
     // rewound since Finalize (docs/ARCHITECTURE.md). A violation here means
-    // a frame was kept across its subtree's exit — exactly the bug class a
-    // parallel scheduler could introduce.
+    // a frame was released while its subtree (or a stolen sub-unit of it)
+    // was still live — exactly the bug class the scheduler could introduce.
     proj.CheckAlive();
-    if (guard_.ShouldStop()) return;
-    ++out_->stats.nodes_expanded;
-    if (progress_ != nullptr) {
-      progress_->TickNode(out_->stats.nodes_expanded, out_->patterns.size(),
-                          tracker_.current_bytes());
-    }
-    om_.node_depth->Observe(policy_.PatternLen());
-    om_.projected_seqs->Observe(proj.num_spans);
-    om_.projected_states->Observe(proj.num_states);
-    const uint64_t node_states_before = out_->stats.states_created;
-    const uint64_t node_cands_before = out_->stats.candidates_checked;
-    policy_.BeginNode();
+    if (WorkerShouldStop(w)) return false;
+    ++w.nodes;
+    TickProgress(w);
+    w.om.node_depth->Observe(w.policy->PatternLen());
+    w.om.projected_seqs->Observe(proj.num_spans);
+    w.om.projected_states->Observe(proj.num_states);
+    if (w.attr_nodes != nullptr) w.attr_nodes->Observe(w.id);
+    const uint64_t node_states_before = w.states;
+    const uint64_t node_cands_before = w.cands;
+    w.policy->BeginNode();
 
     // Report the pattern at this node when the policy deems it complete.
-    if (policy_.CanEmit()) {
-      EmitPattern(static_cast<SupportCount>(proj.num_spans));
-      if (guard_.stopped()) return;
+    if (w.policy->CanEmit()) {
+      EmitPattern(w, static_cast<SupportCount>(proj.num_spans));
+      if (w.guard->stopped()) return false;
     }
-    if (options_.max_items > 0 && policy_.PatternLen() >= options_.max_items) {
-      return;
+    if (options_.max_items > 0 &&
+        w.policy->PatternLen() >= options_.max_items) {
+      return false;
     }
 
     GrowthScanCtx ctx;
     ctx.allow_s_ext = options_.max_length == 0 ||
-                      policy_.NumBlocks() < options_.max_length ||
-                      policy_.PatternLen() == 0;
+                      w.policy->NumBlocks() < options_.max_length ||
+                      w.policy->PatternLen() == 0;
 
-    ExpandFrame frame;
+    ExpandFrame& frame = nc->frame;
     if (postfix_pruning_) frame.postfix_count.assign(num_symbols_, 0);
 
     auto bucket_for = [&](uint32_t code, bool i_ext) -> Bucket* {
@@ -267,7 +544,7 @@ class GrowthEngine {
       if (it != frame.bucket_index.end()) {
         return it->second < 0 ? nullptr : &frame.buckets[it->second];
       }
-      ++out_->stats.candidates_checked;
+      ++w.cands;
       // Admission checks for extensions introducing a new symbol.
       if (Policy::IntroducesSymbol(code)) {
         const EventId ev = Policy::SymbolOf(code);
@@ -275,14 +552,15 @@ class GrowthEngine {
           // The allowed set is narrowed by postfix counting when postfix
           // pruning runs; otherwise it is the pair table's frequent-symbol
           // filter — attribute the rejection accordingly.
-          (postfix_pruning_ ? om_.postfix_hits : om_.pair_hits)->Increment();
+          (postfix_pruning_ ? w.om.postfix_hits : w.om.pair_hits)
+              ->Increment();
           frame.bucket_index.emplace(key, -1);
           return nullptr;
         }
-        if (pair_pruning_ && !policy_.InPattern(ev)) {
-          for (EventId a : policy_.PatternSymbols()) {
+        if (pair_pruning_ && !w.policy->InPattern(ev)) {
+          for (EventId a : w.policy->PatternSymbols()) {
             if (!cooc_.IsFrequentPair(a, ev)) {
-              om_.pair_hits->Increment();
+              w.om.pair_hits->Increment();
               frame.bucket_index.emplace(key, -1);
               return nullptr;
             }
@@ -295,7 +573,7 @@ class GrowthEngine {
       Bucket& b = frame.buckets.back();
       b.code = code;
       b.i_ext = i_ext;
-      b.builder.Init(mode_, policy_.ChildStride(code, i_ext), &arenas_,
+      b.builder.Init(mode_, w.policy->ChildStride(code, i_ext), w.arenas,
                      depth + 1);
       return &b;
     };
@@ -304,7 +582,7 @@ class GrowthEngine {
                         uint32_t anchor) -> uint32_t* {
       Bucket* b = bucket_for(code, i_ext);
       if (b == nullptr) return nullptr;
-      ++out_->stats.states_created;
+      ++w.states;
       return b->builder.Push(frame.cur_seq, item, anchor);
     };
 
@@ -312,7 +590,7 @@ class GrowthEngine {
     for (uint32_t si = 0; si < proj.num_spans; ++si) {
       const SeqSpan& sp = proj.spans[si];
       frame.cur_seq = sp.seq;
-      const uint32_t nitems = policy_.NumItems(sp.seq);
+      const uint32_t nitems = w.policy->NumItems(sp.seq);
 
       uint32_t min_item = ~0u;
       for (uint32_t i = 0; i < sp.count; ++i) {
@@ -328,22 +606,22 @@ class GrowthEngine {
       if (config_.physical_projection) {
         copy.reserve(nitems - min_item);
         for (uint32_t p = min_item; p < nitems; ++p) {
-          copy.emplace_back(p, policy_.ItemCode(sp.seq, p));
+          copy.emplace_back(p, w.policy->ItemCode(sp.seq, p));
         }
         frame.copies_bytes += copy.capacity() * sizeof(copy[0]);
       }
       auto item_at = [&](uint32_t p) -> uint32_t {
         if (config_.physical_projection) return copy[p - min_item].second;
-        return policy_.ItemCode(frame.cur_seq, p);
+        return w.policy->ItemCode(frame.cur_seq, p);
       };
 
       // Postfix symbol counting for the children's allowed set.
       if (postfix_pruning_) {
-        ++epoch_;
+        ++(*w.epoch);
         for (uint32_t p = min_item; p < nitems; ++p) {
           const EventId ev = Policy::SymbolOf(item_at(p));
-          if (seen_epoch_[ev] != epoch_) {
-            seen_epoch_[ev] = epoch_;
+          if ((*w.seen_epoch)[ev] != *w.epoch) {
+            (*w.seen_epoch)[ev] = *w.epoch;
             ++frame.postfix_count[ev];
           }
         }
@@ -351,22 +629,21 @@ class GrowthEngine {
 
       for (uint32_t i = 0; i < sp.count; ++i) {
         const size_t state_index = sp.offset + i;
-        policy_.ScanState(ctx, sp.seq, proj.states[state_index],
-                          proj.aux_of(state_index), item_at, try_push);
+        w.policy->ScanState(ctx, sp.seq, proj.states[state_index],
+                            proj.aux_of(state_index), item_at, try_push);
       }
     }
 
     // Flush this node's scan tallies before recursion resets them.
-    om_.states->Increment(out_->stats.states_created - node_states_before);
-    om_.candidates->Increment(out_->stats.candidates_checked -
-                              node_cands_before);
-    policy_.FlushNodeMetrics(om_);
+    w.om.states->Increment(w.states - node_states_before);
+    w.om.candidates->Increment(w.cands - node_cands_before);
+    w.policy->FlushNodeMetrics(w.om);
 
     // ---- Children ------------------------------------------------------
-    std::vector<uint8_t> child_allowed = allowed;
+    nc->child_allowed = allowed;
     if (postfix_pruning_) {
       for (EventId e = 0; e < num_symbols_; ++e) {
-        if (frame.postfix_count[e] < minsup_) child_allowed[e] = 0;
+        if (frame.postfix_count[e] < minsup_) nc->child_allowed[e] = 0;
       }
     }
 
@@ -376,7 +653,7 @@ class GrowthEngine {
     for (const Bucket& b : frame.buckets) {
       scan_bytes += b.builder.staged_heap_bytes();
     }
-    tracker_.Allocate(scan_bytes);
+    w.tracker->Allocate(scan_bytes);
 
     // Deterministic child order.
     std::sort(frame.buckets.begin(), frame.buckets.end(),
@@ -385,111 +662,556 @@ class GrowthEngine {
                 return a.code < b.code;
               });
 
-    Arena& child_arena = arenas_.depth(depth + 1);
-    const Arena::Mark child_mark = child_arena.mark();
-    size_t final_bytes = 0;
+    Arena& child_arena = w.arenas->depth(depth + 1);
+    nc->child_mark = child_arena.mark();
+    nc->final_bytes = 0;
     for (Bucket& b : frame.buckets) {
       const NodeProjection& view = b.builder.Finalize(
-          [this](const ProjectionBuilder::SpanView& v,
-                 std::vector<uint32_t>* keep) {
-            policy_.SelectSpan(v, keep);
+          [&w](const ProjectionBuilder::SpanView& v,
+               std::vector<uint32_t>* keep) {
+            w.policy->SelectSpan(v, keep);
           });
       internal::DCheckProjection(view);
-      final_bytes += b.builder.final_heap_bytes();
+      nc->final_bytes += b.builder.final_heap_bytes();
     }
-    // All parents up the stack finalized before recursing, so nothing else
-    // is staged: the staging arena can rewind to empty for the children.
-    arenas_.staging().Reset();
-    tracker_.Allocate(final_bytes);
-    tracker_.Release(scan_bytes - frame.copies_bytes);  // staging freed
+    // All parents up this context's stack finalized before recursing, so
+    // nothing else is staged: the staging arena can rewind to empty.
+    w.arenas->staging().Reset();
+    w.tracker->Allocate(nc->final_bytes);
+    w.tracker->Release(scan_bytes - frame.copies_bytes);  // staging freed
     if (mode_ == ProjectionMode::kPseudo) {
-      om_.arena_depth_bytes->Observe(child_arena.used_bytes());
+      w.om.arena_depth_bytes->Observe(child_arena.used_bytes());
     }
-
-    // The root's bucket walk is the progress/ETA unit and the checkpoint's
-    // completion unit: its subtree count is the only total known up front,
-    // and each completed level-1 subtree is a comparable, deterministic
-    // slice of the search.
-    if (depth == 0) {
-      if (progress_ != nullptr) progress_->SetTotalBuckets(frame.buckets.size());
-      total_units_ = frame.buckets.size();
-      // Resume baseline: everything charged so far (run.begin, build, the
-      // root-node scan) is preamble the interrupted run's boundary metrics
-      // already include, so the resumed delta starts here — merging the two
-      // then reproduces an uninterrupted run's delta exactly.
-      if (resume_ != nullptr) resume_base_ = domain_->registry().Snapshot();
-      if (ckpt_writer_ != nullptr) {
-        // Pre-unit boundary: a run truncated before its first bucket
-        // completes still checkpoints the preamble delta, so a resume
-        // replays only the bucket work on top of it.
-        ckpt_pattern_count_ = out_->patterns.size();
-        boundary_metrics_ = RunDelta();
-        boundary_elapsed_ =
-            (resume_ != nullptr ? resume_->elapsed_seconds : 0.0) +
-            run_timer_.ElapsedSeconds();
-      }
-    }
-    for (Bucket& b : frame.buckets) {
-      if (guard_.stopped()) break;
-      if (depth == 0 && !ckpt_status_.ok()) break;
-      const uint64_t unit_key =
-          (static_cast<uint64_t>(b.code) << 1) | (b.i_ext ? 1 : 0);
-      if (depth == 0 && resume_done_.count(unit_key) != 0) {
-        // This subtree's patterns and metrics were seeded from the
-        // checkpoint; re-expanding it would double-count both.
-        if (progress_ != nullptr) progress_->NoteBucketDone();
-        continue;
-      }
-      const NodeProjection& view = b.builder.view();
-      if (view.num_spans < minsup_) {
-        if (depth == 0) {
-          if (progress_ != nullptr) progress_->NoteBucketDone();
-          NoteUnitComplete(unit_key);
-        }
-        continue;
-      }
-      if (depth == 0) domain_->RecordEvent("bucket", b.code, b.i_ext ? 1 : 0);
-      policy_.Apply(b.code, b.i_ext);
-      Expand(view, child_allowed, depth + 1);
-      policy_.Undo(b.code, b.i_ext);
-      if (depth == 0) {
-        if (progress_ != nullptr) progress_->NoteBucketDone();
-        // A guard stop mid-subtree means this unit is incomplete: the
-        // checkpoint must not claim it, and the boundary state stays at the
-        // last fully completed bucket.
-        if (!guard_.stopped()) NoteUnitComplete(unit_key);
-      }
-    }
-    tracker_.Release(frame.copies_bytes + final_bytes);
-    child_arena.Rewind(child_mark);
+    nc->entered = true;
+    return true;
   }
 
-  void EmitPattern(SupportCount support) {
-    out_->patterns.push_back(
-        MinedPattern<PatternT>{policy_.MakePattern(), support});
-    om_.patterns->Increment();
+  void ReleaseNode(WorkerCtx& w, NodeChildren* nc, uint32_t depth) {
+    w.tracker->Release(nc->frame.copies_bytes + nc->final_bytes);
+    w.arenas->depth(depth + 1).Rewind(nc->child_mark);
+  }
+
+  /// The recursion driver below the unit roots: expand, walk the frequent
+  /// children depth-first, release.
+  void ExpandSubtree(WorkerCtx& w, const NodeProjection& proj,
+                     const std::vector<uint8_t>& allowed, uint32_t depth) {
+    NodeChildren nc;
+    if (!ExpandNode(w, proj, allowed, depth, &nc)) return;
+    for (Bucket& b : nc.frame.buckets) {
+      if (w.guard->stopped()) break;
+      const NodeProjection& view = b.builder.view();
+      if (view.num_spans < minsup_) continue;
+      w.policy->Apply(b.code, b.i_ext);
+      ExpandSubtree(w, view, nc.child_allowed, depth + 1);
+      w.policy->Undo(b.code, b.i_ext);
+    }
+    ReleaseNode(w, &nc, depth);
+  }
+
+  void EmitPattern(WorkerCtx& w, SupportCount support) {
+    w.bank->push_back(
+        MinedPattern<PatternT>{w.policy->MakePattern(), support});
+    w.om.patterns->Increment();
+    ++w.patterns_emitted;
+    ++w.item_patterns;
     // Pattern-count watermarks give postmortems a growth curve without
-    // recording every emission.
-    if ((out_->patterns.size() & 1023) == 0) {
-      domain_->RecordEvent("patterns", out_->patterns.size(),
-                           out_->stats.nodes_expanded);
+    // recording every emission. Charged per work item so the curve (and the
+    // merged event count) is identical for every thread count.
+    if ((w.item_patterns & 1023) == 0) {
+      w.domain->RecordEvent("patterns", w.item_patterns, w.nodes);
     }
     // items + slice offsets (incl. the trailing end offset).
-    tracker_.Allocate((policy_.PatternLen() + policy_.NumBlocks() + 1) *
-                      sizeof(uint32_t));
-    guard_.NotePattern(out_->patterns.size());
+    tracker_charge_pattern(w, w.bank->back());
+    const uint64_t total =
+        patterns_total_.fetch_add(1, std::memory_order_relaxed) + 1;
+    w.guard->NotePattern(total);
+  }
+
+  void tracker_charge_pattern(WorkerCtx& w,
+                              const MinedPattern<PatternT>& /*p*/) {
+    w.tracker->Allocate((w.policy->PatternLen() + w.policy->NumBlocks() + 1) *
+                        sizeof(uint32_t));
+  }
+
+  // ---- Scheduler layer -------------------------------------------------
+
+  /// Freezes the root's bucket walk into the deterministic unit table and
+  /// transfers resumed unit banks onto their units.
+  void BuildUnits(NodeChildren* root_nc) {
+    std::unordered_map<uint64_t, size_t> by_key;
+    units_.reserve(root_nc->frame.buckets.size());
+    for (Bucket& b : root_nc->frame.buckets) {
+      UnitInfo u;
+      u.code = b.code;
+      u.i_ext = b.i_ext;
+      u.key = (static_cast<uint64_t>(b.code) << 1) | (b.i_ext ? 1 : 0);
+      u.view = &b.builder.view();
+      by_key.emplace(u.key, units_.size());
+      units_.push_back(u);
+    }
+    outcomes_.resize(units_.size());
+    if (options_.steal) {
+      std::vector<WorkUnit> wu(units_.size());
+      for (size_t i = 0; i < units_.size(); ++i) {
+        wu[i].id = i;
+        wu[i].key = units_[i].key;
+        wu[i].weight = units_[i].view->num_spans;
+      }
+      // Thread-count independent: the split set depends only on the
+      // projection sizes, so the work-item set (and every per-item metrics
+      // domain) is the same for any --threads.
+      MarkSplittableUnits(&wu, minsup_);
+      for (size_t i = 0; i < units_.size(); ++i) {
+        units_[i].splittable = wu[i].splittable;
+      }
+    }
+    // Attach resumed banks to their units; a key with no bucket (possible
+    // only for a tampered-but-CRC-valid checkpoint) stays orphaned and is
+    // still carried through result assembly and checkpoint writes.
+    std::vector<ResumeUnit> leftovers;
+    for (ResumeUnit& r : orphan_units_) {
+      auto it = by_key.find(r.key);
+      if (it == by_key.end()) {
+        leftovers.push_back(std::move(r));
+        continue;
+      }
+      UnitOutcome& o = outcomes_[it->second];
+      o.delivered = true;
+      o.complete = true;
+      o.from_resume = true;
+      o.bank = std::move(r.bank);
+    }
+    orphan_units_.swap(leftovers);
+  }
+
+  /// The unit phase: pre-pass trivial units on the calling thread, then
+  /// drain the scheduler inline (--threads=1) or across worker threads
+  /// with the calling thread merging.
+  void RunUnits(WorkerCtx& root_ctx) {
+    std::vector<WorkUnit> pending;
+    for (size_t i = 0; i < units_.size(); ++i) {
+      if (outcomes_[i].delivered) {
+        // Seeded from the checkpoint: re-expanding would double-count both
+        // the patterns and the metrics.
+        if (progress_ != nullptr) progress_->NoteBucketDone();
+        continue;
+      }
+      if (units_[i].view->num_spans < minsup_) {
+        if (progress_ != nullptr) progress_->NoteBucketDone();
+        UnitOutcome& o = outcomes_[i];
+        o.delivered = true;
+        o.complete = true;
+        OnUnitComplete(i);
+        if (!ckpt_status_.ok()) return;
+        continue;
+      }
+      WorkUnit wu;
+      wu.id = i;
+      wu.key = units_[i].key;
+      wu.weight = units_[i].view->num_spans;
+      wu.splittable = units_[i].splittable;
+      pending.push_back(wu);
+    }
+    if (pending.empty()) return;
+    scheduler_.Reset(std::move(pending));
+    open_items_.store(scheduler_units_pending(), std::memory_order_relaxed);
+
+    const uint32_t nthreads = options_.threads > 0 ? options_.threads : 1;
+    std::deque<WorkerSlot> slots;
+    if (nthreads <= 1) {
+      slots.emplace_back(this, 0u);
+      WorkerCtx& w = slots.back().ctx;
+      w.inline_progress = true;
+      w.node_base = root_ctx.nodes;
+      w.bytes_base = tracker_.current_bytes();
+      WorkerLoop(w, /*inline_merge=*/true);
+      MergeDeliveries();
+    } else {
+      if (progress_ != nullptr) progress_->ConfigureWorkers(nthreads);
+      for (uint32_t i = 0; i < nthreads; ++i) slots.emplace_back(this, i);
+      std::vector<std::thread> crew;
+      crew.reserve(nthreads);
+      for (uint32_t i = 0; i < nthreads; ++i) {
+        WorkerCtx* w = &slots[i].ctx;
+        crew.emplace_back([this, w] { WorkerLoop(*w, false); });
+      }
+      // Merger loop: fold deliveries, advance the checkpoint frontier, and
+      // keep the progress line moving until the queue drains or a stop
+      // (guard trip, SIGINT, checkpoint failure) winds the crew down.
+      while (open_items_.load(std::memory_order_acquire) > 0 &&
+             !stop_flag_.load(std::memory_order_relaxed)) {
+        MergeDeliveries();
+        if (progress_ != nullptr) progress_->PollEmit();
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      for (std::thread& t : crew) t.join();
+      MergeDeliveries();
+    }
+    for (WorkerSlot& s : slots) {
+      worker_nodes_ += s.ctx.nodes;
+      worker_states_ += s.ctx.states;
+      worker_cands_ += s.ctx.cands;
+      worker_peak_ += s.tracker.peak_bytes();
+      worker_arena_bytes_ += s.arenas.total_allocated_bytes();
+      worker_arena_blocks_ += s.arenas.total_blocks();
+      attr_parts_.push_back(s.attribution.TakeSnapshot());
+    }
+  }
+
+  uint64_t scheduler_units_pending() { return scheduler_.units_pending(); }
+
+  void WorkerLoop(WorkerCtx& w, bool inline_merge) {
+    while (!w.guard->stopped() &&
+           !stop_flag_.load(std::memory_order_relaxed)) {
+      WorkItem item;
+      if (scheduler_.TryNext(&item)) {
+        ProcessItem(w, item);
+        if (inline_merge) {
+          MergeDeliveries();
+          if (!ckpt_status_.ok()) return;
+        }
+      } else if (open_items_.load(std::memory_order_acquire) == 0) {
+        break;
+      } else {
+        // Another worker is splitting a unit (its subs are not published
+        // yet) or the tail items are in flight elsewhere.
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+    }
+  }
+
+  void ProcessItem(WorkerCtx& w, const WorkItem& item) {
+    if (item.kind == WorkItem::Kind::kUnit) {
+      const UnitInfo& u = units_[item.unit_id];
+      if (options_.steal && u.splittable) {
+        ProcessSplitUnit(w, item.unit_id);
+      } else {
+        ProcessUnit(w, item.unit_id);
+      }
+    } else {
+      ProcessSub(w, *static_cast<SubUnit*>(item.sub));
+    }
+    open_items_.fetch_sub(1, std::memory_order_release);
+  }
+
+  // Saved per-item bindings so nested items (an owner draining the queue
+  // while its split unit joins) restore their parent's context.
+  struct ItemBinding {
+    obs::StatsDomain* domain;
+    MinerMetrics om;
+    std::vector<MinedPattern<PatternT>>* bank;
+    uint64_t item_patterns;
+  };
+  ItemBinding BindItem(WorkerCtx& w, obs::StatsDomain* domain,
+                       std::vector<MinedPattern<PatternT>>* bank) {
+    ItemBinding saved{w.domain, w.om, w.bank, w.item_patterns};
+    w.domain = domain;
+    w.om = MinerMetrics::ForRegistry(&domain->registry());
+    w.bank = bank;
+    w.item_patterns = 0;
+    return saved;
+  }
+  void RestoreItem(WorkerCtx& w, const ItemBinding& saved) {
+    w.domain = saved.domain;
+    w.om = saved.om;
+    w.bank = saved.bank;
+    w.item_patterns = saved.item_patterns;
+  }
+
+  void ProcessUnit(WorkerCtx& w, uint64_t unit_id) {
+    const UnitInfo& u = units_[unit_id];
+    obs::StatsDomain domain(
+        StringPrintf("unit-%llu", static_cast<unsigned long long>(unit_id)),
+        kUnitFlightCapacity);
+    std::vector<MinedPattern<PatternT>> bank;
+    const ItemBinding saved = BindItem(w, &domain, &bank);
+    domain.RecordEvent("bucket", u.code, u.i_ext ? 1 : 0);
+    w.policy->Apply(u.code, u.i_ext);
+    ExpandSubtree(w, *u.view, *root_child_allowed_, /*depth=*/1);
+    w.policy->Undo(u.code, u.i_ext);
+    const bool complete = !w.guard->stopped();
+    FinishUnit(w, unit_id, complete, &domain, std::move(bank));
+    RestoreItem(w, saved);
+  }
+
+  /// --steal path for a splittable unit: expand the unit root, publish its
+  /// frequent children as stealable sub-units, help drain sub-units (only —
+  /// whole units would rewind this context's shallow arenas under the
+  /// thieves) until every child joined, then assemble the unit exactly as
+  /// if it had been mined in one piece.
+  void ProcessSplitUnit(WorkerCtx& w, uint64_t unit_id) {
+    const UnitInfo& u = units_[unit_id];
+    obs::StatsDomain domain(
+        StringPrintf("unit-%llu", static_cast<unsigned long long>(unit_id)),
+        kUnitFlightCapacity);
+    std::vector<MinedPattern<PatternT>> bank;
+    const ItemBinding saved = BindItem(w, &domain, &bank);
+    domain.RecordEvent("bucket", u.code, u.i_ext ? 1 : 0);
+    w.policy->Apply(u.code, u.i_ext);
+    NodeChildren nc;
+    const bool entered =
+        ExpandNode(w, *u.view, *root_child_allowed_, /*depth=*/1, &nc);
+    std::deque<SubUnit> subs;  // stable addresses: published by pointer
+    SplitState split;
+    if (entered) {
+      std::vector<void*> published;
+      uint32_t ord = 0;
+      for (Bucket& b : nc.frame.buckets) {
+        const NodeProjection& view = b.builder.view();
+        if (view.num_spans < minsup_) continue;
+        subs.emplace_back();
+        SubUnit& s = subs.back();
+        s.unit_id = unit_id;
+        s.ord = ord++;
+        s.view = &view;
+        s.allowed = &nc.child_allowed;
+        s.path.push_back({u.code, u.i_ext});
+        s.path.push_back({b.code, b.i_ext});
+        s.split = &split;
+        published.push_back(&s);
+      }
+      split.remaining.store(static_cast<uint32_t>(subs.size()),
+                            std::memory_order_release);
+      if (!subs.empty()) {
+        open_items_.fetch_add(subs.size(), std::memory_order_relaxed);
+        scheduler_.PushSubs(unit_id, published);
+      }
+    }
+    w.policy->Undo(u.code, u.i_ext);
+    // Drain until the children are all accounted for. This keeps going even
+    // when a stop tripped: a stopped crew unwinds sub-units fast, and the
+    // join must complete before the owner's arenas may rewind.
+    while (split.remaining.load(std::memory_order_acquire) > 0) {
+      WorkItem item;
+      if (scheduler_.TryNextSub(&item)) {
+        ProcessItem(w, item);
+      } else {
+        std::this_thread::sleep_for(std::chrono::microseconds(20));
+      }
+    }
+    if (entered) ReleaseNode(w, &nc, /*depth=*/1);
+    bool complete = !w.guard->stopped();
+    std::vector<obs::DomainSnapshot> parts;
+    for (SubUnit& s : subs) {
+      complete = complete && s.complete;
+      for (MinedPattern<PatternT>& p : s.bank) bank.push_back(std::move(p));
+      parts.push_back(
+          {StringPrintf("unit-%llu.%u",
+                        static_cast<unsigned long long>(unit_id), s.ord),
+           std::move(s.delta)});
+    }
+    if (parts.empty()) {
+      FinishUnit(w, unit_id, complete, &domain, std::move(bank));
+    } else {
+      if (complete) {
+        domain.RecordEvent("unit.done", unit_id, bank.size());
+      }
+      parts.push_back(domain.TakeSnapshot());
+      DeliverUnit(unit_id, complete, std::move(bank),
+                  obs::MergeDomainSnapshots(std::move(parts)));
+      NoteUnitProgress(w);
+      if (complete) NoteUnitAttribution(w);
+    }
+    RestoreItem(w, saved);
+  }
+
+  void ProcessSub(WorkerCtx& w, SubUnit& s) {
+    obs::StatsDomain domain(
+        StringPrintf("unit-%llu.%u",
+                     static_cast<unsigned long long>(s.unit_id), s.ord),
+        kUnitFlightCapacity);
+    std::vector<MinedPattern<PatternT>> bank;
+    const ItemBinding saved = BindItem(w, &domain, &bank);
+    for (const std::pair<uint32_t, bool>& step : s.path) {
+      w.policy->Apply(step.first, step.second);
+    }
+    ExpandSubtree(w, *s.view, *s.allowed,
+                  static_cast<uint32_t>(s.path.size()));
+    for (size_t i = s.path.size(); i > 0; --i) {
+      w.policy->Undo(s.path[i - 1].first, s.path[i - 1].second);
+    }
+    RestoreItem(w, saved);
+    s.complete = !w.guard->stopped();
+    s.bank = std::move(bank);
+    s.delta = domain.TakeSnapshot().snapshot;
+    // Release-decrement publishes bank/delta/complete to the owner's
+    // acquire-load in ProcessSplitUnit.
+    s.split->remaining.fetch_sub(1, std::memory_order_release);
+  }
+
+  void FinishUnit(WorkerCtx& w, uint64_t unit_id, bool complete,
+                  obs::StatsDomain* domain,
+                  std::vector<MinedPattern<PatternT>> bank) {
+    if (complete) {
+      domain->RecordEvent("unit.done", unit_id, bank.size());
+    }
+    DeliverUnit(unit_id, complete, std::move(bank),
+                domain->TakeSnapshot().snapshot);
+    NoteUnitProgress(w);
+    if (complete) NoteUnitAttribution(w);
+  }
+
+  void NoteUnitProgress(WorkerCtx& w) {
+    if (progress_ == nullptr) return;
+    if (w.inline_progress) {
+      progress_->NoteBucketDone();
+    } else {
+      progress_->NoteWorkerBucketDone(w.id);
+    }
+  }
+
+  void NoteUnitAttribution(WorkerCtx& w) {
+    if (w.attr_units != nullptr) w.attr_units->Observe(w.id);
+  }
+
+  // ---- Merger layer ----------------------------------------------------
+
+  void DeliverUnit(uint64_t unit_id, bool complete,
+                   std::vector<MinedPattern<PatternT>> bank,
+                   obs::MetricsSnapshot delta) {
+    UnitDelivery d;
+    d.unit_id = unit_id;
+    d.complete = complete;
+    d.bank = std::move(bank);
+    d.delta = std::move(delta);
+    // Tier E seam: delivery timing relative to other workers and the merger
+    // must not matter (util/sched_test.h).
+    TPM_TEST_YIELD("miner.unit.deliver");
+    MutexLock lock(&inbox_.mu);
+    inbox_.items.push_back(std::move(d));
+  }
+
+  /// Calling-thread only: folds delivered units into the outcome table and
+  /// advances the checkpoint frontier. Incomplete (stop-truncated) units
+  /// keep their partial bank for the result but are never checkpointed.
+  void MergeDeliveries() {
+    std::vector<UnitDelivery> batch;
+    {
+      MutexLock lock(&inbox_.mu);
+      batch.swap(inbox_.items);
+    }
+    for (UnitDelivery& d : batch) {
+      UnitOutcome& o = outcomes_[d.unit_id];
+      o.delivered = true;
+      o.complete = d.complete;
+      o.bank = std::move(d.bank);
+      o.delta = std::move(d.delta);
+      if (d.complete) {
+        OnUnitComplete(d.unit_id);
+        if (!ckpt_status_.ok()) return;
+      }
+    }
+  }
+
+  void OnUnitComplete(uint64_t /*unit_id*/) {
+    // Tier E seam: the checkpoint-unit boundary — where completed work
+    // becomes durable state (util/sched_test.h).
+    TPM_TEST_YIELD("miner.unit_boundary");
+    if (ckpt_writer_ == nullptr) return;
+    boundary_elapsed_ =
+        (resume_ != nullptr ? resume_->elapsed_seconds : 0.0) +
+        run_timer_.ElapsedSeconds();
+    if (!ckpt_writer_->Due()) return;
+    const Status st = WriteCheckpointNow();
+    if (st.ok()) {
+      domain_->recorder().Record("ckpt.write", last_ckpt_units_,
+                                 last_ckpt_patterns_);
+    } else {
+      // Surfaced after the crew winds down: a checkpoint that cannot be
+      // written is a run failure, not something to silently drop.
+      ckpt_status_ = st;
+      stop_flag_.store(true, std::memory_order_release);
+    }
+  }
+
+  /// Stop-propagation hub: first reason wins, and the flag winds every
+  /// worker down (each trips its own guard as kCancelled, which the CAS
+  /// then ignores). Safe from any thread; called from guard on_stop hooks.
+  void NoteStop(StopReason reason) {
+    int expected = 0;
+    first_stop_reason_.compare_exchange_strong(
+        expected, static_cast<int>(reason), std::memory_order_relaxed);
+    stop_flag_.store(true, std::memory_order_release);
+  }
+
+  void AssembleResult(ResultT* result,
+                      std::vector<MinedPattern<PatternT>>* root_bank) {
+    size_t total = root_bank->size();
+    for (const ResumeUnit& r : orphan_units_) total += r.bank.size();
+    for (const UnitOutcome& o : outcomes_) total += o.bank.size();
+    result->patterns.reserve(total);
+    auto append = [&](std::vector<MinedPattern<PatternT>>& bank) {
+      for (MinedPattern<PatternT>& p : bank) {
+        result->patterns.push_back(std::move(p));
+      }
+      bank.clear();
+    };
+    append(*root_bank);
+    // Orphans (resume seeds with no matching bucket — including the case
+    // where a pre-unit stop meant the buckets were never built) first, then
+    // every unit's bank in unit-id order: the same concatenation the
+    // single-thread recursion produced, for any completion order.
+    for (ResumeUnit& r : orphan_units_) append(r.bank);
+    for (UnitOutcome& o : outcomes_) append(o.bank);
+  }
+
+  // ---- Metrics composition ---------------------------------------------
+
+  /// base (preamble delta, or the resumed segment's boundary metrics) +
+  /// every delivered unit's delta + the run domain's tail + the workers'
+  /// scheduling attribution. All folds go through MergeDomainSnapshots, so
+  /// the result depends only on the multiset of charges.
+  obs::MetricsSnapshot FinalMetrics() const {
+    std::vector<obs::DomainSnapshot> parts;
+    parts.push_back({"base", resume_ != nullptr
+                                 ? resume_->metrics
+                                 : preamble_end_.Since(obs_start_)});
+    for (size_t i = 0; i < outcomes_.size(); ++i) {
+      const UnitOutcome& o = outcomes_[i];
+      if (o.delivered && !o.from_resume) {
+        parts.push_back(
+            {StringPrintf("unit-%llu", static_cast<unsigned long long>(i)),
+             o.delta});
+      }
+    }
+    parts.push_back(
+        {"tail", domain_->registry().Snapshot().Since(preamble_end_)});
+    for (const obs::DomainSnapshot& a : attr_parts_) parts.push_back(a);
+    return obs::MergeDomainSnapshots(std::move(parts));
+  }
+
+  /// The checkpoint's metrics: base + the deltas of *complete* units only.
+  /// Excludes the run-domain tail (not yet final), incomplete units (their
+  /// work is not claimed), and the scheduling attribution (thread-count
+  /// dependent by design — a checkpoint must be bytewise independent of
+  /// how the work was scheduled).
+  obs::MetricsSnapshot BoundaryMetrics() const {
+    std::vector<obs::DomainSnapshot> parts;
+    parts.push_back({"base", resume_ != nullptr
+                                 ? resume_->metrics
+                                 : preamble_end_.Since(obs_start_)});
+    for (size_t i = 0; i < outcomes_.size(); ++i) {
+      const UnitOutcome& o = outcomes_[i];
+      if (o.delivered && o.complete && !o.from_resume) {
+        parts.push_back(
+            {StringPrintf("unit-%llu", static_cast<unsigned long long>(i)),
+             o.delta});
+      }
+    }
+    return obs::MergeDomainSnapshots(std::move(parts));
   }
 
   // ---- Checkpoint/resume (io/checkpoint.h) -----------------------------
   //
-  // The depth-0 bucket is the unit of completed work. After each completed
-  // unit the engine snapshots its boundary state (completed units, emitted
-  // patterns, the run's metrics delta) and writes a checkpoint when the
+  // The depth-0 unit is the unit of completed work. The merger advances the
+  // completed frontier as units join and writes a checkpoint when the
   // interval gate is due; a truncated exit writes a final checkpoint at the
-  // last boundary. Resuming seeds the boundary state back and skips the
-  // completed subtrees, so interrupted-then-resumed output is byte-identical
-  // to an uninterrupted run. Everything here is gated on ckpt_writer_ /
-  // resume_, so the default (checkpointing off) costs nothing.
+  // merged frontier. v2 serializes the completed units sorted by unit key
+  // with each unit's pattern bank (and per-unit counts), so the bytes are
+  // independent of completion order and the resume regroups every prior
+  // pattern onto its unit. Resuming seeds the banks back and skips the
+  // completed subtrees, so interrupted-then-resumed output is
+  // byte-identical to an uninterrupted run at any thread count.
 
   CheckpointRunKey MakeRunKey() const {
     constexpr bool kIsEndpoint =
@@ -516,82 +1238,74 @@ class GrowthEngine {
 
   void SeedFromResume() {
     if (resume_ == nullptr) return;
-    completed_units_ = resume_->completed_units;
-    resume_done_.insert(resume_->completed_units.begin(),
-                        resume_->completed_units.end());
-    for (const CheckpointPatternRec& rec : resume_->patterns) {
-      out_->patterns.push_back(
-          MinedPattern<PatternT>{PatternT(rec.items, rec.offsets),
-                                 rec.support});
-      // Mirror EmitPattern's accounting so a resumed run's memory and guard
-      // views match the uninterrupted run's.
-      tracker_.Allocate((rec.items.size() + rec.offsets.size()) *
-                        sizeof(uint32_t));
-      guard_.NotePattern(out_->patterns.size());
+    size_t off = 0;
+    uint64_t seeded = 0;
+    for (size_t i = 0; i < resume_->completed_units.size(); ++i) {
+      ResumeUnit unit;
+      unit.key = resume_->completed_units[i];
+      const uint64_t n = resume_->unit_pattern_counts[i];
+      unit.bank.reserve(n);
+      for (uint64_t j = 0; j < n; ++j) {
+        const CheckpointPatternRec& rec = resume_->patterns[off++];
+        unit.bank.push_back(MinedPattern<PatternT>{
+            PatternT(rec.items, rec.offsets), rec.support});
+        // Mirror EmitPattern's accounting so a resumed run's memory and
+        // guard views match the uninterrupted run's.
+        tracker_.Allocate((rec.items.size() + rec.offsets.size()) *
+                          sizeof(uint32_t));
+        ++seeded;
+        patterns_total_.store(seeded, std::memory_order_relaxed);
+        guard_.NotePattern(seeded);
+      }
+      orphan_units_.push_back(std::move(unit));
     }
-    ckpt_pattern_count_ = out_->patterns.size();
-    boundary_metrics_ = resume_->metrics;
     boundary_elapsed_ = resume_->elapsed_seconds;
     // Recorded against the flight recorder directly: ckpt bookkeeping must
     // not perturb the obs.flight.events counter the determinism tests merge.
-    domain_->recorder().Record("ckpt.resume", completed_units_.size(),
-                               out_->patterns.size());
+    domain_->recorder().Record("ckpt.resume",
+                               resume_->completed_units.size(), seeded);
   }
 
-  /// This run's metrics delta, folded with the resumed segment's when there
-  /// is one — MergeDomainSnapshots keeps the fold associative, so chains of
-  /// resumes compose.
-  obs::MetricsSnapshot RunDelta() const {
-    if (resume_ == nullptr) {
-      return domain_->registry().Snapshot().Since(obs_start_);
+  Status WriteCheckpointNow() {
+    struct DoneUnit {
+      uint64_t key;
+      const std::vector<MinedPattern<PatternT>>* bank;
+    };
+    std::vector<DoneUnit> done;
+    for (const ResumeUnit& r : orphan_units_) done.push_back({r.key, &r.bank});
+    for (size_t i = 0; i < outcomes_.size(); ++i) {
+      const UnitOutcome& o = outcomes_[i];
+      if (o.delivered && o.complete) done.push_back({units_[i].key, &o.bank});
     }
-    std::vector<obs::DomainSnapshot> parts;
-    parts.push_back({"prior", resume_->metrics});
-    parts.push_back(
-        {"current", domain_->registry().Snapshot().Since(resume_base_)});
-    return obs::MergeDomainSnapshots(std::move(parts));
-  }
-
-  void NoteUnitComplete(uint64_t unit_key) {
-    // Tier E seam: the checkpoint-unit boundary is where a parallel engine
-    // will hand completed work to the writer thread (util/sched_test.h).
-    TPM_TEST_YIELD("miner.unit_boundary");
-    if (ckpt_writer_ == nullptr) return;
-    completed_units_.push_back(unit_key);
-    ckpt_pattern_count_ = out_->patterns.size();
-    boundary_metrics_ = RunDelta();
-    boundary_elapsed_ =
-        (resume_ != nullptr ? resume_->elapsed_seconds : 0.0) +
-        run_timer_.ElapsedSeconds();
-    if (!ckpt_writer_->Due()) return;
-    const Status st = WriteCheckpoint();
-    if (st.ok()) {
-      domain_->recorder().Record("ckpt.write", completed_units_.size(),
-                                 ckpt_pattern_count_);
-    } else {
-      // Surfaced after the depth-0 loop unwinds: a checkpoint that cannot
-      // be written is a run failure, not something to silently drop.
-      ckpt_status_ = st;
-    }
-  }
-
-  Status WriteCheckpoint() {
+    // Ascending unit key: completion (and thread-count) independent bytes.
+    std::sort(done.begin(), done.end(),
+              [](const DoneUnit& a, const DoneUnit& b) {
+                return a.key < b.key;
+              });
     Checkpoint ckpt;
     ckpt.key = run_key_;
     ckpt.total_units = total_units_;
-    ckpt.completed_units = completed_units_;
-    ckpt.patterns.reserve(ckpt_pattern_count_);
-    for (uint64_t i = 0; i < ckpt_pattern_count_; ++i) {
-      const MinedPattern<PatternT>& p = out_->patterns[i];
-      CheckpointPatternRec rec;
-      rec.support = p.support;
-      rec.items.assign(p.pattern.items().begin(), p.pattern.items().end());
-      rec.offsets = p.pattern.offsets();
-      ckpt.patterns.push_back(std::move(rec));
+    size_t npat = 0;
+    for (const DoneUnit& d : done) npat += d.bank->size();
+    ckpt.completed_units.reserve(done.size());
+    ckpt.unit_pattern_counts.reserve(done.size());
+    ckpt.patterns.reserve(npat);
+    for (const DoneUnit& d : done) {
+      ckpt.completed_units.push_back(d.key);
+      ckpt.unit_pattern_counts.push_back(d.bank->size());
+      for (const MinedPattern<PatternT>& p : *d.bank) {
+        CheckpointPatternRec rec;
+        rec.support = p.support;
+        rec.items.assign(p.pattern.items().begin(), p.pattern.items().end());
+        rec.offsets = p.pattern.offsets();
+        ckpt.patterns.push_back(std::move(rec));
+      }
     }
-    ckpt.metrics = boundary_metrics_;
+    ckpt.metrics = BoundaryMetrics();
     ckpt.elapsed_seconds = boundary_elapsed_;
     ckpt.time_budget_seconds = options_.time_budget_seconds;
+    last_ckpt_units_ = done.size();
+    last_ckpt_patterns_ = npat;
     return ckpt_writer_->Write(ckpt);
   }
 
@@ -607,13 +1321,14 @@ class GrowthEngine {
   CooccurrenceTable cooc_;
   size_t num_symbols_ = 0;
 
-  // Scratch for per-sequence symbol dedup (postfix counting).
+  // Scratch for per-sequence symbol dedup (postfix counting) — the root
+  // context's copy; workers own theirs.
   std::vector<uint32_t> seen_epoch_;
   uint32_t epoch_ = 0;
 
-  // Observability domain the run charges: caller-provided (parallel workers,
-  // `tpm mine`) or a private throwaway. Declared before guard_ so the
-  // on_stop hook may touch it at any point in the guard's lifetime.
+  // Observability domain the run charges: caller-provided (`tpm mine`) or a
+  // private throwaway. Declared before guard_ so the on_stop hook may touch
+  // it at any point in the guard's lifetime.
   std::unique_ptr<obs::StatsDomain> owned_domain_;
   obs::StatsDomain* domain_ = nullptr;
   MinerMetrics om_;
@@ -624,7 +1339,32 @@ class GrowthEngine {
     limits.on_stop = [this](StopReason reason) {
       domain_->RecordEvent("guard.stop", static_cast<uint64_t>(reason),
                            out_ != nullptr ? out_->stats.nodes_expanded : 0);
+      NoteStop(reason);
     };
+    return limits;
+  }
+
+  /// Worker budgets derived so the crew respects the run's limits: the
+  /// remaining wall budget as-is (the deadline is absolute), the remaining
+  /// memory budget split evenly (exact for one worker, a fair share
+  /// otherwise — the RSS backstop still guards gross overshoot), and the
+  /// pattern cap enforced exactly via the shared emission total.
+  GuardLimits MakeWorkerLimits() {
+    GuardLimits limits = options_.ToGuardLimits();
+    if (limits.time_budget_seconds > 0.0) {
+      const double remaining =
+          limits.time_budget_seconds - run_timer_.ElapsedSeconds();
+      limits.time_budget_seconds = remaining > 1e-9 ? remaining : 1e-9;
+    }
+    if (limits.memory_budget_bytes > 0) {
+      const size_t used = tracker_.current_bytes();
+      const size_t left = limits.memory_budget_bytes > used
+                              ? limits.memory_budget_bytes - used
+                              : 1;
+      const uint32_t n = options_.threads > 0 ? options_.threads : 1;
+      limits.memory_budget_bytes = std::max<size_t>(left / n, 1);
+    }
+    limits.on_stop = [this](StopReason reason) { NoteStop(reason); };
     return limits;
   }
 
@@ -633,18 +1373,35 @@ class GrowthEngine {
   ExecutionGuard guard_{MakeGuardLimits(), &tracker_};
   ResultT* out_ = nullptr;
 
+  // --- Scheduler / worker / merger state ---
+  WorkScheduler scheduler_;
+  DeliveryInbox inbox_;
+  std::vector<UnitInfo> units_;
+  std::vector<UnitOutcome> outcomes_;
+  const std::vector<uint8_t>* root_child_allowed_ = nullptr;
+  std::atomic<uint64_t> open_items_{0};
+  std::atomic<bool> stop_flag_{false};
+  std::atomic<int> first_stop_reason_{0};
+  std::atomic<uint64_t> patterns_total_{0};
+  uint64_t worker_nodes_ = 0;
+  uint64_t worker_states_ = 0;
+  uint64_t worker_cands_ = 0;
+  size_t worker_peak_ = 0;
+  size_t worker_arena_bytes_ = 0;
+  uint64_t worker_arena_blocks_ = 0;
+  std::vector<obs::DomainSnapshot> attr_parts_;
+
   // --- Checkpoint/resume state (see the helper block above) ---
   CheckpointWriter* ckpt_writer_ = nullptr;  // not owned; null = off
   const Checkpoint* resume_ = nullptr;       // not owned; null = fresh run
   CheckpointRunKey run_key_;
-  std::vector<uint64_t> completed_units_;    // in completion order
-  std::unordered_set<uint64_t> resume_done_;
+  std::vector<ResumeUnit> orphan_units_;
   obs::MetricsSnapshot obs_start_;
-  obs::MetricsSnapshot resume_base_;
+  obs::MetricsSnapshot preamble_end_;
   uint64_t total_units_ = 0;
-  uint64_t ckpt_pattern_count_ = 0;
-  obs::MetricsSnapshot boundary_metrics_;
   double boundary_elapsed_ = 0.0;
+  size_t last_ckpt_units_ = 0;
+  size_t last_ckpt_patterns_ = 0;
   WallTimer run_timer_;
   Status ckpt_status_;  // first failed checkpoint write, else OK
 };

@@ -356,6 +356,7 @@ class EndpointLevelwise {
 
   Status SeedFromResume(std::vector<EndpointFrontierPat>* frontier) {
     completed_units_ = resume_->completed_units;
+    unit_pattern_counts_ = resume_->unit_pattern_counts;
     for (const CheckpointPatternRec& rec : resume_->patterns) {
       out_->patterns.push_back(MinedPattern<EndpointPattern>{
           EndpointPattern(rec.items, rec.offsets), rec.support});
@@ -415,6 +416,10 @@ class EndpointLevelwise {
                          const std::vector<EndpointFrontierPat>& frontier) {
     if (ckpt_writer_ == nullptr) return;
     completed_units_.push_back(level_index);
+    // v2 grouping: this level's bank is the pattern-stream slice since the
+    // previous boundary (levels are the levelwise unit of completed work).
+    unit_pattern_counts_.push_back(out_->patterns.size() -
+                                   ckpt_pattern_count_);
     ckpt_pattern_count_ = out_->patterns.size();
     boundary_metrics_ = RunDelta();
     boundary_frontier_ = frontier;
@@ -435,6 +440,7 @@ class EndpointLevelwise {
     Checkpoint ckpt;
     ckpt.key = run_key_;
     ckpt.completed_units = completed_units_;
+    ckpt.unit_pattern_counts = unit_pattern_counts_;
     ckpt.patterns.reserve(ckpt_pattern_count_);
     for (uint64_t i = 0; i < ckpt_pattern_count_; ++i) {
       const MinedPattern<EndpointPattern>& p = out_->patterns[i];
@@ -497,6 +503,7 @@ class EndpointLevelwise {
   const Checkpoint* resume_ = nullptr;       // not owned; null = fresh run
   CheckpointRunKey run_key_;
   std::vector<uint64_t> completed_units_;
+  std::vector<uint64_t> unit_pattern_counts_;
   obs::MetricsSnapshot obs_start_;
   obs::MetricsSnapshot resume_base_;
   uint64_t ckpt_pattern_count_ = 0;
@@ -729,6 +736,7 @@ class CoincidenceLevelwise {
 
   void SeedFromResume(std::vector<CoinFrontierPat>* frontier) {
     completed_units_ = resume_->completed_units;
+    unit_pattern_counts_ = resume_->unit_pattern_counts;
     for (const CheckpointPatternRec& rec : resume_->patterns) {
       out_->patterns.push_back(MinedPattern<CoincidencePattern>{
           CoincidencePattern(rec.items, rec.offsets), rec.support});
@@ -769,6 +777,10 @@ class CoincidenceLevelwise {
                          const std::vector<CoinFrontierPat>& frontier) {
     if (ckpt_writer_ == nullptr) return;
     completed_units_.push_back(level_index);
+    // v2 grouping: this level's bank is the pattern-stream slice since the
+    // previous boundary (levels are the levelwise unit of completed work).
+    unit_pattern_counts_.push_back(out_->patterns.size() -
+                                   ckpt_pattern_count_);
     ckpt_pattern_count_ = out_->patterns.size();
     boundary_metrics_ = RunDelta();
     boundary_frontier_ = frontier;
@@ -789,6 +801,7 @@ class CoincidenceLevelwise {
     Checkpoint ckpt;
     ckpt.key = run_key_;
     ckpt.completed_units = completed_units_;
+    ckpt.unit_pattern_counts = unit_pattern_counts_;
     ckpt.patterns.reserve(ckpt_pattern_count_);
     for (uint64_t i = 0; i < ckpt_pattern_count_; ++i) {
       const MinedPattern<CoincidencePattern>& p = out_->patterns[i];
@@ -848,6 +861,7 @@ class CoincidenceLevelwise {
   const Checkpoint* resume_ = nullptr;       // not owned; null = fresh run
   CheckpointRunKey run_key_;
   std::vector<uint64_t> completed_units_;
+  std::vector<uint64_t> unit_pattern_counts_;
   obs::MetricsSnapshot obs_start_;
   obs::MetricsSnapshot resume_base_;
   uint64_t ckpt_pattern_count_ = 0;

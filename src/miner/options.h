@@ -104,6 +104,20 @@ struct MinerOptions {
     return limits;
   }
 
+  /// Worker threads for the growth engines' unit phase
+  /// (docs/ARCHITECTURE.md, "Scheduler / worker / merger"). 1 (the default)
+  /// mines every unit inline on the calling thread; N > 1 spawns N workers
+  /// that each own their arenas/guard/stats and drain the shared work-unit
+  /// queue, with the calling thread merging completed units. Output is
+  /// byte-identical for every value. Level-wise miners ignore this.
+  uint32_t threads = 1;
+
+  /// Opt-in work stealing: split heavyweight depth-0 units into per-child
+  /// sub-units other workers can pick up. The split decision depends only on
+  /// the projection (never on the thread count), so results stay
+  /// byte-identical across thread counts with the flag either way.
+  bool steal = false;
+
   // --- P-TPMiner pruning toggles (see DESIGN.md §2.1) ---
   bool pair_pruning = true;
   bool postfix_pruning = true;

@@ -1,0 +1,101 @@
+// Work-unit scheduler for the parallel growth engine (the "scheduler" layer
+// of the scheduler / worker / merger split, docs/ARCHITECTURE.md).
+//
+// The engine's root-node scan produces the level-1 frequent-item buckets in
+// a deterministic order (i_ext desc, code asc — the same order the
+// single-thread recursion visited them). The scheduler freezes that order
+// into work units with stable IDs (unit id == index in bucket order), so a
+// unit means the same subtree for every thread count, every completion
+// order, and every checkpoint ever written. Workers drain the queue FIFO;
+// nothing here inspects projections or patterns — the scheduler is pure
+// bookkeeping, which is what keeps it language-agnostic and testable
+// without a miner.
+//
+// Work stealing (--steal) adds a second, higher-priority queue of sub-units:
+// an owner that opens a heavyweight unit publishes that unit's level-2
+// children as sub-units any worker may claim, then drains the shared queue
+// itself until its children are all accounted for. The sub payload is an
+// engine-owned descriptor the scheduler never dereferences.
+//
+// Locking: one Mutex around the two cursors/queues. TryNext/PushSubs are
+// called from every worker; the critical sections are a handful of pointer
+// moves and never touch metrics, I/O, or other locks (leaf lock in the
+// canonical lockdep order, see docs/STATIC_ANALYSIS.md).
+
+#pragma once
+
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/sync.h"
+
+namespace tpm {
+
+/// One depth-0 subtree of the growth search, in deterministic bucket order.
+struct WorkUnit {
+  uint64_t id = 0;      ///< index in bucket order == stable checkpoint unit
+  uint64_t key = 0;     ///< `(code << 1) | i_ext`, the checkpoint unit key
+  uint64_t weight = 0;  ///< projected span count (split heuristic input)
+  bool splittable = false;  ///< eligible for per-child sub-unit splitting
+};
+
+/// What TryNext hands a worker: a whole unit, or one stolen sub-unit of a
+/// unit another worker opened. `sub` is an engine-owned descriptor.
+struct WorkItem {
+  enum class Kind { kNone, kUnit, kSub };
+  Kind kind = Kind::kNone;
+  uint64_t unit_id = 0;
+  void* sub = nullptr;
+};
+
+/// Marks units whose subtrees are worth splitting: weight at least
+/// `min_spans` and at least twice the mean weight. Depends only on the
+/// projection sizes — never on the thread count — so the work-item set (and
+/// therefore every per-item metrics domain) is identical for any --threads.
+void MarkSplittableUnits(std::vector<WorkUnit>* units, uint64_t min_spans);
+
+/// FIFO work queue shared by the workers. Sub-units outrank whole units so
+/// a split unit's children finish promptly and their owner stops draining.
+class WorkScheduler {
+ public:
+  WorkScheduler() = default;
+  WorkScheduler(const WorkScheduler&) = delete;
+  WorkScheduler& operator=(const WorkScheduler&) = delete;
+
+  /// Replaces the queue with `units` (already in deterministic id order).
+  void Reset(std::vector<WorkUnit> units);
+
+  /// Claims the next item: the oldest unclaimed sub-unit if any, else the
+  /// next whole unit in id order. False when both queues are drained (more
+  /// sub-units may still be published by a worker splitting a unit — callers
+  /// gate shutdown on their own outstanding-item count, not on this).
+  bool TryNext(WorkItem* out);
+
+  /// Claims the oldest unclaimed sub-unit only — never a whole unit. A
+  /// split unit's owner drains with this while joining: claiming a whole
+  /// unit there would rewind the owner's shallow arenas while thieves still
+  /// read the published child views.
+  bool TryNextSub(WorkItem* out);
+
+  /// Publishes one split unit's sub-units in child order (atomically, so a
+  /// failed TryNext never observes half a split).
+  void PushSubs(uint64_t unit_id, const std::vector<void*>& subs);
+
+  /// Whole units not yet handed out.
+  uint64_t units_pending() const;
+
+  /// Units handed out so far (diagnostics only).
+  uint64_t units_dispatched() const;
+
+ private:
+  mutable Mutex mu_;
+  std::vector<WorkUnit> units_ TPM_GUARDED_BY(mu_);
+  size_t unit_cursor_ TPM_GUARDED_BY(mu_) = 0;
+  std::vector<WorkItem> subs_ TPM_GUARDED_BY(mu_);
+  size_t sub_cursor_ TPM_GUARDED_BY(mu_) = 0;
+  uint64_t dispatched_ TPM_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace tpm

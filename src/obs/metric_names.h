@@ -43,6 +43,8 @@ inline constexpr const char* kRegisteredMetricNames[] = {
     "miner.arena.blocks",
     "miner.arena.depth_bytes",
     "miner.arena.peak_bytes",
+    "miner.worker.nodes",
+    "miner.worker.units",
     "obs.flight.events",
     "process.peak_rss_bytes",
     "progress.snapshots",

@@ -38,21 +38,39 @@ ProgressTracker::ProgressTracker(double interval_seconds, Sink sink,
   }
 }
 
+void ProgressTracker::ConfigureWorkers(uint32_t num_workers) {
+  slots_.reset(num_workers > 0 ? new WorkerSlot[num_workers] : nullptr);
+  num_slots_ = num_workers;
+}
+
 ProgressSnapshot ProgressTracker::Build(double elapsed,
                                         bool final_snapshot) const {
+  // Fold the worker slots over the owner-thread base totals. Relaxed reads:
+  // the slots are monotone progress counters, and a slightly stale value
+  // only shifts one status line, never correctness.
+  uint64_t nodes = nodes_;
+  uint64_t patterns = patterns_;
+  uint64_t bytes = projected_bytes_;
+  uint64_t buckets_done = buckets_done_;
+  for (uint32_t w = 0; w < num_slots_; ++w) {
+    nodes += slots_[w].nodes.load(std::memory_order_relaxed);
+    patterns += slots_[w].patterns.load(std::memory_order_relaxed);
+    bytes += slots_[w].bytes.load(std::memory_order_relaxed);
+    buckets_done += slots_[w].buckets.load(std::memory_order_relaxed);
+  }
   ProgressSnapshot snap;
   snap.elapsed_seconds = elapsed;
-  snap.buckets_done = buckets_done_;
+  snap.buckets_done = buckets_done;
   snap.buckets_total = buckets_total_;
-  snap.nodes = nodes_;
-  snap.patterns = patterns_;
-  snap.projected_bytes = projected_bytes_;
+  snap.nodes = nodes;
+  snap.patterns = patterns;
+  snap.projected_bytes = bytes;
   snap.nodes_per_second =
-      elapsed > 0.0 ? static_cast<double>(nodes_) / elapsed : 0.0;
-  if (!final_snapshot && buckets_total_ > 0 && buckets_done_ > 0 &&
-      buckets_done_ <= buckets_total_) {
-    snap.eta_seconds = elapsed / static_cast<double>(buckets_done_) *
-                       static_cast<double>(buckets_total_ - buckets_done_);
+      elapsed > 0.0 ? static_cast<double>(nodes) / elapsed : 0.0;
+  if (!final_snapshot && buckets_total_ > 0 && buckets_done > 0 &&
+      buckets_done <= buckets_total_) {
+    snap.eta_seconds = elapsed / static_cast<double>(buckets_done) *
+                       static_cast<double>(buckets_total_ - buckets_done);
   }
   snap.peak_rss_bytes = ReadPeakRssBytes();
   snap.final_snapshot = final_snapshot;

@@ -19,13 +19,22 @@
 // owning StatsDomain (progress.snapshots counter, process.peak_rss_bytes
 // gauge) when one is attached.
 //
-// Thread-compatible, single owner — one tracker per governed run.
+// Single-thread runs drive TickNode/NoteBucketDone directly. The parallel
+// miner instead calls ConfigureWorkers(N) once, has each worker write its
+// own totals through TickWorker/NoteWorkerBucketDone (a relaxed store into
+// that worker's cache-line-padded slot — no shared hot counter, no
+// contention), and the merger thread folds every slot at emission time via
+// PollEmit/Finish. Emission (the sink, the domain charges) stays
+// single-owner: only the owning/merger thread may call SetTotalBuckets,
+// NoteBucketDone, TickNode, PollEmit, or Finish.
 
 #pragma once
 
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "util/timer.h"
@@ -87,12 +96,47 @@ class ProgressTracker {
     }
   }
 
-  /// Emits the final snapshot (always, regardless of interval).
+  // --- Multi-worker charging (parallel growth engine) -------------------
+
+  /// Allocates `num_workers` padded slots. Call once, before any worker
+  /// thread starts ticking; callable by the owner thread only.
+  void ConfigureWorkers(uint32_t num_workers);
+
+  /// Worker-side hot hook: publishes worker `w`'s own cumulative totals.
+  /// Relaxed stores into the worker's private slot — safe to call
+  /// concurrently with every other worker and with the merger's PollEmit.
+  void TickWorker(uint32_t w, uint64_t nodes, uint64_t patterns,
+                  uint64_t projected_bytes) {
+    WorkerSlot& slot = slots_[w];
+    slot.nodes.store(nodes, std::memory_order_relaxed);
+    slot.patterns.store(patterns, std::memory_order_relaxed);
+    slot.bytes.store(projected_bytes, std::memory_order_relaxed);
+  }
+
+  /// Worker-side: one more depth-0 bucket finished on worker `w`.
+  void NoteWorkerBucketDone(uint32_t w) {
+    slots_[w].buckets.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Merger-side: folds every worker slot into the run totals and emits if
+  /// the interval elapsed. Owner thread only.
+  void PollEmit() { MaybeEmit(); }
+
+  /// Emits the final snapshot (always, regardless of interval), folding any
+  /// worker slots first.
   void Finish();
 
   uint64_t snapshots_emitted() const { return emitted_; }
 
  private:
+  // One cache line per worker so hot ticks never false-share.
+  struct alignas(64) WorkerSlot {
+    std::atomic<uint64_t> nodes{0};
+    std::atomic<uint64_t> patterns{0};
+    std::atomic<uint64_t> bytes{0};
+    std::atomic<uint64_t> buckets{0};
+  };
+
   void MaybeEmit();
   ProgressSnapshot Build(double elapsed, bool final_snapshot) const;
   void Emit(const ProgressSnapshot& snap);
@@ -112,6 +156,9 @@ class ProgressTracker {
   uint64_t nodes_ = 0;
   uint64_t patterns_ = 0;
   uint64_t projected_bytes_ = 0;
+
+  std::unique_ptr<WorkerSlot[]> slots_;
+  uint32_t num_slots_ = 0;
 };
 
 }  // namespace obs

@@ -88,6 +88,38 @@ TEST(ReportTest, RendersBenchArray) {
   EXPECT_NE(report->find("P-TPMiner/C @ copy"), std::string::npos);
 }
 
+TEST(ReportTest, RendersPerWorkerBreakdown) {
+  // Attribution histograms use the worker id as the observed value, so
+  // bucket i is worker i. Worker 2 did nothing and must be skipped.
+  const std::string doc = R"({
+    "counters": {"search.candidates": 10},
+    "gauges": {},
+    "histograms": {
+      "miner.worker.units": {"bounds": [0, 1, 2, 3],
+                             "counts": [3, 2, 0, 1, 0], "count": 6, "sum": 5},
+      "miner.worker.nodes": {"bounds": [0, 1, 2, 3],
+                             "counts": [40, 25, 0, 11, 0], "count": 76,
+                             "sum": 50}
+    }
+  })";
+  auto report = RenderMetricsReport(doc);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_NE(report->find("workers (scheduling attribution"), std::string::npos);
+  EXPECT_NE(report->find("worker 0"), std::string::npos);
+  EXPECT_NE(report->find("worker 1"), std::string::npos);
+  EXPECT_EQ(report->find("worker 2"), std::string::npos);  // idle: skipped
+  EXPECT_NE(report->find("worker 3"), std::string::npos);
+  EXPECT_NE(report->find("40"), std::string::npos);
+  EXPECT_NE(report->find("11"), std::string::npos);
+}
+
+TEST(ReportTest, OmitsWorkerBreakdownForSingleThreadRuns) {
+  // No miner.worker.* histograms (the --threads=1 shape): no section.
+  auto report = RenderMetricsReport(kSnapshotJson);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->find("workers (scheduling"), std::string::npos);
+}
+
 TEST(ReportTest, RejectsUnknownShapesAndBadJson) {
   EXPECT_FALSE(RenderMetricsReport("not json").ok());
   EXPECT_FALSE(RenderMetricsReport("[]").ok());

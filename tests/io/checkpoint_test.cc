@@ -69,6 +69,7 @@ Checkpoint FullCheckpoint() {
   ckpt.key = FullKey();
   ckpt.total_units = 12;
   ckpt.completed_units = {3, 0, 9};
+  ckpt.unit_pattern_counts = {1, 0, 1};  // groups the two patterns below
   CheckpointPatternRec a;
   a.support = 17;
   a.items = {1, 4, 2};
@@ -112,6 +113,7 @@ TEST(CheckpointRoundTripTest, PreservesEveryField) {
   EXPECT_TRUE(parsed->key == ckpt.key);
   EXPECT_EQ(parsed->total_units, ckpt.total_units);
   EXPECT_EQ(parsed->completed_units, ckpt.completed_units);
+  EXPECT_EQ(parsed->unit_pattern_counts, ckpt.unit_pattern_counts);
   ExpectPatternRecsEqual(parsed->patterns, ckpt.patterns);
   ExpectPatternRecsEqual(parsed->frontier, ckpt.frontier);
   ExpectPatternRecsEqual(parsed->memo, ckpt.memo);
@@ -170,6 +172,7 @@ TEST(CheckpointFaultTest, InjectedFaultsNeverClobberThePreviousCheckpoint) {
   ASSERT_TRUE(WriteCheckpointFile(original, path).ok());
   Checkpoint newer = original;
   newer.completed_units.push_back(11);
+  newer.unit_pattern_counts.push_back(0);
   for (const char* site :
        {"io.checkpoint.open", "io.checkpoint.write", "io.checkpoint.rename"}) {
     fault::ScopedFault fault(site, 1);
@@ -262,13 +265,26 @@ TEST(CheckpointCorruptionTest, ForgedCrcTruncationsPinSectionAndOffset) {
 
 TEST(CheckpointCorruptionTest, VersionSkewIsNotImplemented) {
   const std::string original = SerializeCheckpoint(FullCheckpoint());
-  // Version 1 encodes as the single varint byte right after the magic.
+  // Version 2 encodes as the single varint byte right after the magic.
   std::string body = original.substr(0, original.size() - 4);
-  ASSERT_EQ(body[4], 1);
-  body[4] = 2;
+  ASSERT_EQ(body[4], 2);
+  body[4] = 3;
   const Status st = ParseCheckpoint(Resign(body)).status();
   ASSERT_EQ(st.code(), StatusCode::kNotImplemented) << st.ToString();
-  EXPECT_NE(st.message().find("version 2"), std::string::npos) << st.ToString();
+  EXPECT_NE(st.message().find("version 3"), std::string::npos) << st.ToString();
+}
+
+TEST(CheckpointCorruptionTest, UnitCountPatternMismatchIsRejected) {
+  // A CRC-valid checkpoint whose per-unit counts do not sum to the pattern
+  // section must fail structurally: a resume would otherwise misgroup the
+  // pattern stream across units. Built by serializing a mismatched struct
+  // directly (the writer-side TPM_CHECK only guards count/unit alignment).
+  Checkpoint ckpt = FullCheckpoint();
+  ckpt.unit_pattern_counts = {1, 0, 0};  // claims 1, section has 2
+  const Status st = ParseCheckpoint(SerializeCheckpoint(ckpt)).status();
+  ASSERT_EQ(st.code(), StatusCode::kCorruption) << st.ToString();
+  EXPECT_NE(st.message().find("unit pattern counts"), std::string::npos)
+      << st.ToString();
 }
 
 TEST(CheckpointCorruptionTest, MalformedSliceOffsetsAreRejected) {

@@ -64,29 +64,12 @@ std::string EmissionRender(const MiningResult<PatternT>& result,
   return out;
 }
 
-// The comparable slice of a run's metrics delta: miner.arena.* and process.*
-// legitimately differ (a resumed run projects fewer subtrees and allocator
-// history shifts RSS), but every search metric — nodes, candidates, prunes,
-// states, flight events — must merge back byte-identical.
-std::string ComparableMetricsJson(obs::MetricsSnapshot snap) {
-  auto dropped = [](const std::string& name) {
-    return name.rfind("miner.arena.", 0) == 0 || name.rfind("process.", 0) == 0;
-  };
-  snap.counters.erase(
-      std::remove_if(snap.counters.begin(), snap.counters.end(),
-                     [&](const obs::CounterSample& s) { return dropped(s.name); }),
-      snap.counters.end());
-  snap.gauges.erase(
-      std::remove_if(snap.gauges.begin(), snap.gauges.end(),
-                     [&](const obs::GaugeSample& s) { return dropped(s.name); }),
-      snap.gauges.end());
-  snap.histograms.erase(
-      std::remove_if(
-          snap.histograms.begin(), snap.histograms.end(),
-          [&](const obs::HistogramSample& s) { return dropped(s.name); }),
-      snap.histograms.end());
-  return snap.ToJson();
-}
+// The comparable slice of a run's metrics delta (testing::): miner.arena.*,
+// process.*, and miner.worker.* legitimately differ (a resumed run projects
+// fewer subtrees, allocator history shifts RSS, and scheduling attribution
+// is timing-dependent), but every search metric — nodes, candidates,
+// prunes, states, flight events — must merge back byte-identical.
+using ::tpm::testing::ComparableMetricsJson;
 
 // Runs `mine` three ways — clean, interrupted at `cap` patterns with a
 // checkpoint, resumed from that checkpoint — and asserts the resumed run
@@ -268,6 +251,65 @@ TEST_P(CheckpointResumeTest, ResumeOfResumeFoldsTransitively) {
   EXPECT_EQ(ComparableMetricsJson(final_run->stats.metrics),
             ComparableMetricsJson(clean->stats.metrics));
   std::remove(path.c_str());
+}
+
+// Checkpoints are scheduling-independent durable state: a run interrupted
+// while mining with N workers must resume byte-identically under any other
+// worker count (and vice versa) — the v2 per-unit pattern grouping is what
+// makes the regrouping thread-count-agnostic.
+TEST_P(CheckpointResumeTest, ResumeAcrossThreadCounts) {
+  const IntervalDatabase db = MakeDb(GetParam());
+  const MinerOptions base = BaseOptions(7);
+  obs::StatsDomain clean_domain("clean");
+  MinerOptions clean_options = base;
+  clean_options.stats_domain = &clean_domain;
+  auto clean = MineEndpointGrowth(db, clean_options, EndpointGrowthConfig{});
+  ASSERT_TRUE(clean.ok()) << clean.status();
+  if (clean->patterns.size() < 3) return;
+  const uint64_t cap = clean->patterns.size() / 2;
+
+  // (interrupting threads, resuming threads): parallel→serial and
+  // serial→parallel, plus parallel→parallel with steal on the resume.
+  struct Combo {
+    uint32_t part_threads;
+    uint32_t resume_threads;
+    bool resume_steal;
+  };
+  for (const Combo c : {Combo{4, 1, false}, Combo{1, 8, false},
+                        Combo{2, 4, true}}) {
+    SCOPED_TRACE("part=" + std::to_string(c.part_threads) +
+                 " resume=" + std::to_string(c.resume_threads) +
+                 (c.resume_steal ? " steal" : ""));
+    const std::string path = TempPath("resume_threads.tpmc");
+    MinerOptions part = base;
+    part.threads = c.part_threads;
+    part.max_patterns = cap;
+    CheckpointWriter writer(path, 0.0);
+    part.checkpoint_writer = &writer;
+    obs::StatsDomain part_domain("part");
+    part.stats_domain = &part_domain;
+    auto interrupted = MineEndpointGrowth(db, part, EndpointGrowthConfig{});
+    ASSERT_TRUE(interrupted.ok()) << interrupted.status();
+    ASSERT_TRUE(interrupted->stats.truncated);
+    auto ckpt = ReadCheckpointFile(path);
+    ASSERT_TRUE(ckpt.ok()) << ckpt.status();
+
+    MinerOptions resume_options = base;
+    resume_options.threads = c.resume_threads;
+    resume_options.steal = c.resume_steal;
+    resume_options.resume = &*ckpt;
+    obs::StatsDomain resume_domain("resume");
+    resume_options.stats_domain = &resume_domain;
+    auto resumed = MineEndpointGrowth(db, resume_options,
+                                      EndpointGrowthConfig{});
+    ASSERT_TRUE(resumed.ok()) << resumed.status();
+    EXPECT_FALSE(resumed->stats.truncated);
+    EXPECT_EQ(EmissionRender(*resumed, db.dict()),
+              EmissionRender(*clean, db.dict()));
+    EXPECT_EQ(ComparableMetricsJson(resumed->stats.metrics),
+              ComparableMetricsJson(clean->stats.metrics));
+    std::remove(path.c_str());
+  }
 }
 
 TEST(CheckpointResumeValidationTest, MismatchedOptionsNameEveryField) {

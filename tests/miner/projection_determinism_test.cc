@@ -1,9 +1,14 @@
-// Determinism suite for the two projection backends (ISSUE 4): on random
-// QUEST databases, the mined (pattern, support) set must be byte-identical
-// between --projection=copy (legacy heap-copied states) and
-// --projection=pseudo (arena-backed flat spans), for both pattern languages
-// and every pruning on/off combination. The copy path exists only as this
-// A/B baseline, so any divergence here is a bug in the pseudo port.
+// Determinism suite for the growth engine's interchangeable execution
+// configurations: on random QUEST databases, the mined (pattern, support)
+// stream must be byte-identical
+//   - between --projection=copy (legacy heap-copied states) and
+//     --projection=pseudo (arena-backed flat spans), and
+//   - between --threads=1 and any worker count (with and without --steal),
+// for both pattern languages and every pruning on/off combination. The copy
+// path exists only as the A/B baseline; the thread sweep pins the
+// scheduler/worker/merger contract (docs/ARCHITECTURE.md): identical
+// patterns in identical emission order AND identical merged metrics for any
+// thread count and completion order.
 
 #include <gtest/gtest.h>
 
@@ -22,32 +27,8 @@
 namespace tpm {
 namespace {
 
+using testing::ComparableMetricsJson;
 using testing::Render;
-
-// The per-run metrics snapshot with memory-accounting entries stripped:
-// miner.arena.* and process.* legitimately differ between backends (the copy
-// path never maps projection arenas; RSS depends on allocator history), but
-// every search metric — nodes, candidates, prunes, projected states, flight
-// events — must be byte-identical.
-std::string ComparableMetricsJson(obs::MetricsSnapshot snap) {
-  auto dropped = [](const std::string& name) {
-    return name.rfind("miner.arena.", 0) == 0 || name.rfind("process.", 0) == 0;
-  };
-  snap.counters.erase(
-      std::remove_if(snap.counters.begin(), snap.counters.end(),
-                     [&](const obs::CounterSample& s) { return dropped(s.name); }),
-      snap.counters.end());
-  snap.gauges.erase(
-      std::remove_if(snap.gauges.begin(), snap.gauges.end(),
-                     [&](const obs::GaugeSample& s) { return dropped(s.name); }),
-      snap.gauges.end());
-  snap.histograms.erase(
-      std::remove_if(
-          snap.histograms.begin(), snap.histograms.end(),
-          [&](const obs::HistogramSample& s) { return dropped(s.name); }),
-      snap.histograms.end());
-  return snap.ToJson();
-}
 
 constexpr uint32_t kNumDatabases = 25;
 
@@ -181,6 +162,84 @@ TEST_P(ProjectionDeterminismTest, WindowConstraintAgreesAcrossBackends) {
   cc->SortCanonically();
   EXPECT_EQ(Render(*ep, db.dict()), Render(*ec, db.dict()));
   EXPECT_EQ(Render(*cp, db.dict()), Render(*cc, db.dict()));
+}
+
+// Renders the exact emission order (testing::Render sorts): the parallel
+// merger must reproduce the single-thread pattern STREAM, not just the set.
+template <typename PatternT>
+std::string EmissionOrderRender(const MiningResult<PatternT>& result,
+                                const Dictionary& dict) {
+  std::string out;
+  for (const auto& mp : result.patterns) {
+    out += mp.pattern.ToString(dict) + "@" + std::to_string(mp.support) + "\n";
+  }
+  return out;
+}
+
+// --threads sweep: mining with 2/4/8 workers (and with --steal splitting
+// heavyweight subtrees) must be byte-identical to --threads=1 — patterns in
+// emission order AND the full merged metrics delta (modulo the memory /
+// scheduling-attribution families every equivalent run may vary in).
+TEST_P(ProjectionDeterminismTest, EndpointThreadCountsAgree) {
+  const IntervalDatabase db = MakeDb(GetParam());
+  for (uint32_t mask = 0; mask < 8; ++mask) {
+    MinerOptions options = BaseOptions(mask);
+    obs::StatsDomain base_domain("t1");
+    options.stats_domain = &base_domain;
+    auto single = MineEndpointGrowth(db, options, EndpointGrowthConfig{});
+    ASSERT_TRUE(single.ok()) << single.status();
+    const std::string want = EmissionOrderRender(*single, db.dict());
+    const std::string want_metrics =
+        ComparableMetricsJson(single->stats.metrics);
+    for (uint32_t threads : {2u, 4u, 8u}) {
+      for (bool steal : {false, true}) {
+        MinerOptions par = BaseOptions(mask);
+        par.threads = threads;
+        par.steal = steal;
+        std::string domain_name = "t";
+        domain_name += std::to_string(threads);
+        obs::StatsDomain domain(domain_name);
+        par.stats_domain = &domain;
+        auto result = MineEndpointGrowth(db, par, EndpointGrowthConfig{});
+        ASSERT_TRUE(result.ok()) << result.status();
+        EXPECT_EQ(EmissionOrderRender(*result, db.dict()), want)
+            << "mask " << mask << " threads " << threads << " steal " << steal;
+        EXPECT_EQ(ComparableMetricsJson(result->stats.metrics), want_metrics)
+            << "mask " << mask << " threads " << threads << " steal " << steal;
+        EXPECT_EQ(result->stats.nodes_expanded, single->stats.nodes_expanded);
+        EXPECT_EQ(result->stats.states_created, single->stats.states_created);
+      }
+    }
+  }
+}
+
+TEST_P(ProjectionDeterminismTest, CoincidenceThreadCountsAgree) {
+  const IntervalDatabase db = MakeDb(GetParam());
+  for (uint32_t mask = 0; mask < 4; ++mask) {
+    MinerOptions options = BaseOptions(mask);
+    obs::StatsDomain base_domain("t1");
+    options.stats_domain = &base_domain;
+    auto single = MineCoincidenceGrowth(db, options, CoincidenceGrowthConfig{});
+    ASSERT_TRUE(single.ok()) << single.status();
+    const std::string want = EmissionOrderRender(*single, db.dict());
+    const std::string want_metrics =
+        ComparableMetricsJson(single->stats.metrics);
+    for (uint32_t threads : {2u, 4u, 8u}) {
+      MinerOptions par = BaseOptions(mask);
+      par.threads = threads;
+      par.steal = (threads == 8);  // exercise the steal path at the top end
+      std::string domain_name = "t";
+      domain_name += std::to_string(threads);
+      obs::StatsDomain domain(domain_name);
+      par.stats_domain = &domain;
+      auto result = MineCoincidenceGrowth(db, par, CoincidenceGrowthConfig{});
+      ASSERT_TRUE(result.ok()) << result.status();
+      EXPECT_EQ(EmissionOrderRender(*result, db.dict()), want)
+          << "mask " << mask << " threads " << threads;
+      EXPECT_EQ(ComparableMetricsJson(result->stats.metrics), want_metrics)
+          << "mask " << mask << " threads " << threads;
+    }
+  }
 }
 
 // The physical-projection baselines (TPrefixSpan / CTMiner) must force the

@@ -3,6 +3,7 @@
 
 #include "obs/progress.h"
 
+#include <thread>
 #include <vector>
 
 #include "gtest/gtest.h"
@@ -91,6 +92,61 @@ TEST(ProgressTrackerTest, ChargesDomainPerEmission) {
   EXPECT_EQ(tracker.snapshots_emitted(), 3u);
 }
 #endif
+
+TEST(ProgressTrackerTest, WorkerSlotsFoldIntoSnapshots) {
+  std::vector<ProgressSnapshot> seen;
+  ProgressTracker tracker(3600.0,
+                          [&seen](const ProgressSnapshot& s) { seen.push_back(s); });
+  tracker.SetTotalBuckets(6);
+  tracker.ConfigureWorkers(3);
+  // The owner thread keeps its own base totals (the root expansion in the
+  // parallel engine); workers publish cumulative totals into their slots.
+  tracker.TickNode(10, 1, 100);
+  tracker.TickWorker(0, 50, 3, 1000);
+  tracker.TickWorker(1, 30, 2, 500);
+  tracker.TickWorker(2, 5, 0, 50);
+  tracker.NoteBucketDone();           // owner-side bucket
+  tracker.NoteWorkerBucketDone(0);
+  tracker.NoteWorkerBucketDone(0);
+  tracker.NoteWorkerBucketDone(2);
+  tracker.Finish();
+  ASSERT_EQ(seen.size(), 1u);
+  const ProgressSnapshot& snap = seen.back();
+  EXPECT_EQ(snap.nodes, 10u + 50 + 30 + 5);
+  EXPECT_EQ(snap.patterns, 1u + 3 + 2);
+  EXPECT_EQ(snap.projected_bytes, 100u + 1000 + 500 + 50);
+  EXPECT_EQ(snap.buckets_done, 4u);
+  EXPECT_EQ(snap.buckets_total, 6u);
+}
+
+TEST(ProgressTrackerTest, ConcurrentWorkerTicksAreSafe) {
+  // Hammer TickWorker/NoteWorkerBucketDone from several threads while the
+  // owner polls — meaningful under TSan; the final fold must see each
+  // worker's last published totals exactly once.
+  std::vector<ProgressSnapshot> seen;
+  ProgressTracker tracker(0.0,
+                          [&seen](const ProgressSnapshot& s) { seen.push_back(s); });
+  constexpr uint32_t kWorkers = 4;
+  constexpr uint64_t kTicks = 2000;
+  tracker.ConfigureWorkers(kWorkers);
+  std::vector<std::thread> threads;
+  for (uint32_t w = 0; w < kWorkers; ++w) {
+    threads.emplace_back([&tracker, w] {
+      for (uint64_t i = 1; i <= kTicks; ++i) {
+        tracker.TickWorker(w, i, i / 10, i * 4);
+      }
+      tracker.NoteWorkerBucketDone(w);
+    });
+  }
+  for (int poll = 0; poll < 100; ++poll) tracker.PollEmit();
+  for (std::thread& th : threads) th.join();
+  tracker.Finish();
+  ASSERT_FALSE(seen.empty());
+  const ProgressSnapshot& snap = seen.back();
+  EXPECT_EQ(snap.nodes, kWorkers * kTicks);
+  EXPECT_EQ(snap.patterns, kWorkers * (kTicks / 10));
+  EXPECT_EQ(snap.buckets_done, static_cast<uint64_t>(kWorkers));
+}
 
 TEST(ProgressSnapshotTest, ToStringShapes) {
   ProgressSnapshot snap;

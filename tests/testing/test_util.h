@@ -3,12 +3,14 @@
 #pragma once
 
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
 #include "core/database.h"
 #include "core/pattern.h"
 #include "miner/options.h"
+#include "obs/metrics.h"
 #include "util/rng.h"
 
 namespace tpm {
@@ -75,6 +77,38 @@ std::vector<std::string> Render(const MiningResult<PatternT>& result,
   }
   std::sort(out.begin(), out.end());
   return out;
+}
+
+/// The comparable slice of a run's metrics delta. Three families
+/// legitimately vary between equivalent runs and are stripped before
+/// byte-comparison; everything else — search counts, prune hits, states,
+/// flight events, depth histograms — must match exactly:
+///   miner.arena.*  allocation granularity (projection mode / worker split)
+///   process.*      RSS depends on allocator history, not logical work
+///   miner.worker.* scheduling attribution is thread-count/timing dependent
+///                  by design (which worker got which unit)
+inline std::string ComparableMetricsJson(obs::MetricsSnapshot snap) {
+  auto dropped = [](const std::string& name) {
+    return name.rfind("miner.arena.", 0) == 0 ||
+           name.rfind("process.", 0) == 0 ||
+           name.rfind("miner.worker.", 0) == 0;
+  };
+  snap.counters.erase(
+      std::remove_if(
+          snap.counters.begin(), snap.counters.end(),
+          [&](const obs::CounterSample& s) { return dropped(s.name); }),
+      snap.counters.end());
+  snap.gauges.erase(
+      std::remove_if(
+          snap.gauges.begin(), snap.gauges.end(),
+          [&](const obs::GaugeSample& s) { return dropped(s.name); }),
+      snap.gauges.end());
+  snap.histograms.erase(
+      std::remove_if(
+          snap.histograms.begin(), snap.histograms.end(),
+          [&](const obs::HistogramSample& s) { return dropped(s.name); }),
+      snap.histograms.end());
+  return snap.ToJson();
 }
 
 }  // namespace testing

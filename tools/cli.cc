@@ -40,7 +40,7 @@ constexpr char kUsage[] =
     "commands:\n"
     "  stats <db>            print dataset statistics\n"
     "  profile <db>          symbol profiles + Allen-relation mix\n"
-    "  mine <db> [flags]     mine temporal patterns\n"
+    "  mine <db> [flags]     mine temporal patterns (--threads=N parallel)\n"
     "  rules <db> [flags]    mine endpoint patterns and derive rules\n"
     "  generate [flags]      synthesize a dataset\n"
     "  convert <in> <out>    transcode between .tisd/.csv/.tpmb\n"
@@ -179,6 +179,8 @@ struct MineFlags {
   bool no_postfix_pruning = false;
   bool no_validity_pruning = false;
   std::string projection = "pseudo";
+  int64_t threads = 1;
+  bool steal = false;
   double progress = -1.0;  // < 0 = off; bare --progress means 1s cadence
   std::string postmortem_out = "auto";
   std::string checkpoint_out = "off";
@@ -217,6 +219,12 @@ struct MineFlags {
     p->AddString("projection", &projection,
                  "growth-engine projection: pseudo (default) | copy "
                  "(deprecated legacy A/B path)");
+    p->AddInt64("threads", &threads,
+                "worker threads for growth-engine mining (1-64; output is "
+                "byte-identical for any value)");
+    p->AddBool("steal", &steal,
+               "split heavyweight subtrees into stealable sub-units "
+               "(growth engines with --threads > 1)");
     p->AddOptionalDouble("progress", &progress, 1.0,
                          "print live progress/ETA to stderr every N seconds "
                          "(bare --progress = 1s)");
@@ -255,6 +263,13 @@ struct MineFlags {
       return Status::InvalidArgument("--projection must be pseudo or copy (got " +
                                      projection + ")");
     }
+    // Hard range, not a clamp: --threads=0 or a negative/absurd count is a
+    // typo'd invocation, and silently mining single-threaded would hide it.
+    if (threads < 1 || threads > 64) {
+      return Status::InvalidArgument(
+          "--threads must be between 1 and 64 (got " +
+          std::to_string(threads) + ")");
+    }
     // -1.0 is the internal "off" sentinel; any explicitly passed negative
     // interval is a mistake.
     if (progress < 0.0 && progress != -1.0) {
@@ -287,6 +302,8 @@ struct MineFlags {
     options.pair_pruning = !no_pair_pruning;
     options.postfix_pruning = !no_postfix_pruning;
     options.validity_pruning = !no_validity_pruning;
+    options.threads = static_cast<uint32_t>(threads);
+    options.steal = steal;
     ProjectionMode mode = ProjectionMode::kPseudo;
     if (ParseProjectionMode(projection, &mode)) options.projection = mode;
     if (mode == ProjectionMode::kCopy) {
