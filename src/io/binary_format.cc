@@ -2,6 +2,7 @@
 
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "io/atomic_write.h"
@@ -136,9 +137,21 @@ Result<IntervalDatabase> ParseBinary(const std::string& buffer) {
         return CorruptAt("record", kMagicBytes + r.offset(),
                          "event id out of dictionary range");
       }
-      const TimeT start = prev_start + delta;
-      seq.Add(static_cast<EventId>(event), start,
-              start + static_cast<TimeT>(duration));
+      // Forged-CRC inputs control delta/duration fully; checked arithmetic
+      // keeps a hostile record from overflowing the signed time domain.
+      TimeT start = 0;
+      if (__builtin_add_overflow(prev_start, delta, &start)) {
+        return CorruptAt("record", kMagicBytes + r.offset(),
+                         "interval start overflows the time domain");
+      }
+      TimeT finish = 0;
+      if (duration > static_cast<uint64_t>(std::numeric_limits<TimeT>::max()) ||
+          __builtin_add_overflow(start, static_cast<TimeT>(duration),
+                                 &finish)) {
+        return CorruptAt("record", kMagicBytes + r.offset(),
+                         "interval duration overflows the time domain");
+      }
+      seq.Add(static_cast<EventId>(event), start, finish);
       prev_start = start;
     }
     seq.Normalize();
