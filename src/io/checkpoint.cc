@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <utility>
 
@@ -347,7 +348,15 @@ Result<Checkpoint> ParseCheckpoint(const std::string& buffer) {
   // --- patterns / frontier / memo ---
   TPM_RETURN_NOT_OK(ParsePatternRecs(r, "patterns", &ckpt.patterns));
   uint64_t claimed_patterns = 0;
-  for (uint64_t n : ckpt.unit_pattern_counts) claimed_patterns += n;
+  for (uint64_t n : ckpt.unit_pattern_counts) {
+    // A wrapping sum could collide with patterns.size() and smuggle absurd
+    // per-unit counts past the check below; saturate instead of wrapping
+    // (the mismatch diagnostic then fires with the saturated value).
+    if (__builtin_add_overflow(claimed_patterns, n, &claimed_patterns)) {
+      claimed_patterns = std::numeric_limits<uint64_t>::max();
+      break;
+    }
+  }
   if (claimed_patterns != ckpt.patterns.size()) {
     return CorruptAt(
         "patterns", kMagicBytes + r.offset(),
