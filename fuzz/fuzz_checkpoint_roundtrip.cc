@@ -1,0 +1,48 @@
+// Differential harness: TPMC write -> read -> write byte-identity.
+//
+// For any buffer ParseCheckpoint accepts, re-serializing the parsed
+// Checkpoint and parsing *that* must yield byte-identical serialization —
+// the determinism contract resume depends on (checkpoints written by
+// different thread counts/schedules compare byte-for-byte; see
+// docs/ROBUSTNESS.md "Checkpoint & resume").
+//
+// Note the first serialization is not required to equal the input: the
+// reader tolerates, e.g., non-canonical varint paddings the writer never
+// produces. The fixed point is required from the first rewrite on.
+
+#include <cstdint>
+#include <string>
+
+#include "fuzz/fuzz_util.h"
+#include "io/checkpoint.h"
+
+namespace tpm {
+namespace {
+
+void CheckOneBuffer(const std::string& buffer) {
+  auto parsed = ParseCheckpoint(buffer);
+  if (!parsed.ok()) return;  // error contracts are fuzz_checkpoint's job
+
+  const std::string first = SerializeCheckpoint(*parsed);
+  auto reparsed = ParseCheckpoint(first);
+  FUZZ_REQUIRE(reparsed.ok(), "serialization of accepted checkpoint fails "
+                              "to parse: " +
+                                  reparsed.status().ToString());
+  const std::string second = SerializeCheckpoint(*reparsed);
+  FUZZ_REQUIRE(first == second,
+               "write->read->write is not byte-identical (sizes " +
+                   std::to_string(first.size()) + " vs " +
+                   std::to_string(second.size()) + ")");
+}
+
+}  // namespace
+}  // namespace tpm
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  tpm::fuzz::Init();
+  if (size > tpm::fuzz::kMaxInputBytes) return 0;
+  const std::string buffer(reinterpret_cast<const char*>(data), size);
+  tpm::CheckOneBuffer(buffer);
+  tpm::CheckOneBuffer(tpm::fuzz::Resign(buffer));
+  return 0;
+}

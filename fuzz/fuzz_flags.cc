@@ -1,0 +1,84 @@
+// Fuzzes tpm::FlagParser (src/util/flags.h) — the CLI's argv surface.
+//
+// The input is split on newlines into an argv covering every registered
+// flag kind (string/int64/double/bool/optional-double). Properties:
+//   * no crash/UB for arbitrary argv contents;
+//   * parsing is deterministic (same argv twice -> same outcome, same
+//     positionals, same assigned values);
+//   * a successful parse never leaves a registered int64/double output in a
+//     half-assigned state (outputs are either the default or a value the
+//     flag's parser accepted — enforced implicitly by determinism).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/fuzz_util.h"
+#include "util/flags.h"
+
+namespace tpm {
+namespace {
+
+struct ParseOutcome {
+  bool ok = false;
+  std::vector<std::string> positionals;
+  std::string s;
+  int64_t i = 0;
+  double d = 0.0;
+  bool b = false;
+  double od = 0.0;
+
+  friend bool operator==(const ParseOutcome& a, const ParseOutcome& x) {
+    return a.ok == x.ok && a.positionals == x.positionals && a.s == x.s &&
+           a.i == x.i && a.b == x.b && a.d == x.d && a.od == x.od;
+  }
+};
+
+ParseOutcome RunOnce(const std::vector<std::string>& args) {
+  ParseOutcome out;
+  out.s = "default";
+  FlagParser parser;
+  parser.AddString("name", &out.s, "a string");
+  parser.AddInt64("count", &out.i, "an int64");
+  parser.AddDouble("ratio", &out.d, "a double");
+  parser.AddBool("flag", &out.b, "a bool");
+  parser.AddOptionalDouble("progress", &out.od, 1.5, "an optional double");
+  FUZZ_REQUIRE(!parser.Usage().empty(), "Usage() is empty");
+
+  std::vector<const char*> argv;
+  argv.push_back("fuzz_flags");
+  for (const std::string& arg : args) argv.push_back(arg.c_str());
+  auto result = parser.Parse(static_cast<int>(argv.size()), argv.data());
+  out.ok = result.ok();
+  if (result.ok()) out.positionals = *result;
+  return out;
+}
+
+void CheckOneInput(const std::string& text) {
+  std::vector<std::string> args;
+  std::string current;
+  for (char c : text) {
+    if (c == '\n') {
+      args.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+    if (args.size() >= 64) break;
+  }
+  if (!current.empty()) args.push_back(current);
+
+  const ParseOutcome first = RunOnce(args);
+  const ParseOutcome again = RunOnce(args);
+  FUZZ_REQUIRE(first == again, "flag parsing is nondeterministic");
+}
+
+}  // namespace
+}  // namespace tpm
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  tpm::fuzz::Init();
+  if (size > tpm::fuzz::kMaxInputBytes) return 0;
+  tpm::CheckOneInput(std::string(reinterpret_cast<const char*>(data), size));
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Fuzzes tpm::ParseJson (src/util/json.cc).
+//
+// Properties enforced:
+//   * no crash/UB for arbitrary text at the default and at a tight depth
+//     limit (the limiter must reject, never overflow the stack);
+//   * parsing is deterministic: two parses of the same text yield equal
+//     trees;
+//   * the documented 64-bit exactness: a pure-decimal number literal that
+//     fits uint64/int64 round-trips through AsUint64/AsInt64 exactly (the
+//     reason numbers keep their source text at all).
+
+#include <cctype>
+#include <cstdint>
+#include <string>
+
+#include "fuzz/fuzz_util.h"
+#include "util/json.h"
+
+namespace tpm {
+namespace {
+
+bool Equal(const JsonValue& a, const JsonValue& b) {
+  if (a.kind != b.kind || a.bool_value != b.bool_value || a.text != b.text ||
+      a.items.size() != b.items.size() || a.fields.size() != b.fields.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.items.size(); ++i) {
+    if (!Equal(a.items[i], b.items[i])) return false;
+  }
+  for (size_t i = 0; i < a.fields.size(); ++i) {
+    if (a.fields[i].first != b.fields[i].first ||
+        !Equal(a.fields[i].second, b.fields[i].second)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool AllDigits(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+// Canonical decimal without leading zeros ("0" itself allowed).
+bool Canonical(const std::string& digits) {
+  return AllDigits(digits) && (digits.size() == 1 || digits[0] != '0');
+}
+
+void CheckNumbers(const JsonValue& v) {
+  if (v.is_number()) {
+    // Exercise every accessor; only the in-range integral cases have an
+    // exactness contract to assert.
+    (void)v.AsDouble();
+    const uint64_t u = v.AsUint64();
+    const int64_t i = v.AsInt64();
+    // Any 19-digit decimal < 2^64 and any 18-digit decimal < 2^63.
+    if (Canonical(v.text) && v.text.size() <= 19) {
+      FUZZ_REQUIRE(std::to_string(u) == v.text,
+                   "uint64 round-trip lost precision on " + v.text);
+    }
+    if (v.text.size() >= 2 && v.text[0] == '-' &&
+        Canonical(v.text.substr(1)) && v.text.size() <= 19) {
+      FUZZ_REQUIRE(std::to_string(i) == v.text,
+                   "int64 round-trip lost precision on " + v.text);
+    }
+  }
+  for (const JsonValue& item : v.items) CheckNumbers(item);
+  for (const auto& [key, field] : v.fields) CheckNumbers(field);
+}
+
+void CheckOneInput(const std::string& text) {
+  auto first = ParseJson(text);
+  auto again = ParseJson(text);
+  FUZZ_REQUIRE(first.ok() == again.ok(), "parse is nondeterministic");
+  if (first.ok()) {
+    FUZZ_REQUIRE(Equal(*first, *again), "parse trees differ across parses");
+    CheckNumbers(*first);
+  }
+  // The depth limiter must cut deep nesting off cleanly.
+  (void)ParseJson(text, /*max_depth=*/4);
+}
+
+}  // namespace
+}  // namespace tpm
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  tpm::fuzz::Init();
+  if (size > tpm::fuzz::kMaxInputBytes) return 0;
+  tpm::CheckOneInput(std::string(reinterpret_cast<const char*>(data), size));
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Shared support for the Tier F fuzz harnesses (docs/STATIC_ANALYSIS.md).
+//
+// Each harness is a plain `LLVMFuzzerTestOneInput` translation unit linked
+// two ways by fuzz/CMakeLists.txt: against libFuzzer under TPM_FUZZ=ON
+// (coverage-guided fuzzing) and against fuzz/standalone_main.cc otherwise
+// (deterministic corpus replay — the fuzz_replay_* ctest targets that run in
+// every build). Harnesses therefore depend only on the production libraries:
+// no gtest, no fuzzer-specific API beyond the entry point.
+//
+// Contract violations abort via FUZZ_REQUIRE so both drivers record the
+// offending input as a crash artifact.
+
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "io/crc32.h"
+#include "util/logging.h"
+#include "util/status.h"
+
+/// Release-mode invariant check: unlike assert(), active in every build so
+/// replay binaries and fuzzing binaries enforce identical contracts.
+#define FUZZ_REQUIRE(condition, detail)                                     \
+  do {                                                                      \
+    if (!(condition)) {                                                     \
+      std::fprintf(stderr, "FUZZ_REQUIRE failed at %s:%d: %s\n  %s\n",      \
+                   __FILE__, __LINE__, #condition,                          \
+                   std::string(detail).c_str());                            \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (false)
+
+namespace tpm {
+namespace fuzz {
+
+/// Inputs larger than this are ignored (return 0, not rejected as
+/// uninteresting) — real TPMB/TPMC artifacts the harnesses care about are
+/// well under it, and huge inputs only slow exploration down.
+inline constexpr size_t kMaxInputBytes = 1 << 20;
+
+/// Silences the logging subsystem once per process; parsers log recovery
+/// warnings that would otherwise drown fuzzer output.
+inline void Init() {
+  static const bool done = [] {
+    SetLogLevel(LogLevel::kOff);
+    return true;
+  }();
+  (void)done;
+}
+
+/// Appends the little-endian CRC-32 trailer the TPMB/TPMC readers verify.
+/// Re-signing an arbitrary mutated body lets coverage-guided exploration
+/// reach the section decoders behind the checksum wall instead of dying at
+/// "crc mismatch" for every mutation.
+inline std::string Resign(const std::string& body) {
+  const uint32_t crc = Crc32(body.data(), body.size());
+  std::string out = body;
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((crc >> (8 * i)) & 0xFF));
+  }
+  return out;
+}
+
+/// Extracts the "byte offset N" a Corruption status reports, or npos when
+/// the message carries none. Mirrors tpm::testing::CorruptionOffset
+/// (tests/testing/test_util.h) without the gtest dependency; the phrasing is
+/// part of the binary readers' error contract (src/io/binary_format.cc,
+/// src/io/checkpoint.cc).
+inline size_t CorruptionOffset(const Status& status) {
+  const std::string& msg = status.message();
+  const char kNeedle[] = "byte offset ";
+  const size_t at = msg.rfind(kNeedle);
+  if (at == std::string::npos) return std::string::npos;
+  return static_cast<size_t>(
+      std::strtoull(msg.c_str() + at + sizeof(kNeedle) - 1, nullptr, 10));
+}
+
+/// Every Corruption from ParseBinary/ParseCheckpoint must pin a section name
+/// and a byte offset that lies within the parsed buffer — the same contract
+/// tests/testing/test_util.h::ExpectWellFormedCorruption asserts in gtests.
+inline void RequireWellFormedCorruption(const Status& status,
+                                        size_t buffer_size) {
+  FUZZ_REQUIRE(status.code() == StatusCode::kCorruption, status.ToString());
+  FUZZ_REQUIRE(status.message().find("section ") != std::string::npos,
+               status.ToString());
+  const size_t offset = CorruptionOffset(status);
+  FUZZ_REQUIRE(offset != std::string::npos,
+               "no byte offset in: " + status.ToString());
+  FUZZ_REQUIRE(offset <= buffer_size, status.ToString() + " (buffer size " +
+                                          std::to_string(buffer_size) + ")");
+}
+
+}  // namespace fuzz
+}  // namespace tpm

@@ -1,0 +1,63 @@
+// File-replay driver used when libFuzzer is unavailable (TPM_FUZZ=OFF or a
+// non-Clang toolchain). Every harness links either libFuzzer's main or this
+// one; both accept the same invocation shape
+//
+//   <harness> [-ignored-flags...] <file-or-directory>...
+//
+// so the fuzz_replay_* ctest targets can pass `-runs=0 <corpus dir>` and get
+// corpus replay from either binary. Directories are walked recursively in
+// sorted order for deterministic replay; each input runs once through
+// LLVMFuzzerTestOneInput, and a contract violation aborts the process (which
+// fails the ctest target, pinning the regression).
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+bool RunFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open input: %s\n", path.c_str());
+    return false;
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()),
+                         bytes.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!arg.empty() && arg[0] == '-') continue;  // libFuzzer-style flags
+    std::error_code ec;
+    if (std::filesystem::is_directory(arg, ec)) {
+      for (const auto& entry :
+           std::filesystem::recursive_directory_iterator(arg, ec)) {
+        if (entry.is_regular_file()) inputs.push_back(entry.path().string());
+      }
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  std::sort(inputs.begin(), inputs.end());
+
+  size_t ran = 0;
+  for (const std::string& path : inputs) {
+    if (RunFile(path)) ++ran;
+  }
+  std::printf("replayed %zu/%zu inputs\n", ran, inputs.size());
+  return ran == inputs.size() ? 0 : 1;
+}

@@ -8,6 +8,7 @@
 
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "io/checkpoint.h"
@@ -24,27 +25,10 @@ std::string TempPath(const std::string& name) {
   return ::testing::TempDir() + "/" + name;
 }
 
-// Extracts the "byte offset N" a Corruption status reports, or npos when the
-// message carries none. The phrasing is part of the reader's error contract
-// (src/io/checkpoint.cc), shared with the TPMB reader.
-size_t CorruptionOffset(const Status& status) {
-  const std::string& msg = status.message();
-  const char kNeedle[] = "byte offset ";
-  const size_t at = msg.rfind(kNeedle);
-  if (at == std::string::npos) return std::string::npos;
-  return static_cast<size_t>(
-      std::strtoull(msg.c_str() + at + sizeof(kNeedle) - 1, nullptr, 10));
-}
-
-void ExpectWellFormedCorruption(const Status& status, size_t buffer_size) {
-  ASSERT_EQ(status.code(), StatusCode::kCorruption) << status.ToString();
-  EXPECT_NE(status.message().find("section "), std::string::npos)
-      << status.ToString();
-  const size_t offset = CorruptionOffset(status);
-  ASSERT_NE(offset, std::string::npos)
-      << "no byte offset in: " << status.ToString();
-  EXPECT_LE(offset, buffer_size) << status.ToString();
-}
+// The shared corruption-diagnostic contract (every Corruption pins a
+// section and a byte offset) lives in testing/test_util.h so this file,
+// tests/io/fuzz_test.cc, and the Tier F harnesses assert the same phrasing.
+using tpm::testing::ExpectWellFormedCorruption;
 
 CheckpointRunKey FullKey() {
   CheckpointRunKey key;
@@ -285,6 +269,63 @@ TEST(CheckpointCorruptionTest, UnitCountPatternMismatchIsRejected) {
   ASSERT_EQ(st.code(), StatusCode::kCorruption) << st.ToString();
   EXPECT_NE(st.message().find("unit pattern counts"), std::string::npos)
       << st.ToString();
+}
+
+TEST(CheckpointCorruptionTest, UnitCountSumWraparoundIsRejected) {
+  // Per-unit counts that wrap the uint64 sum back to patterns.size() must
+  // not slip past the consistency check: the parser saturates the sum
+  // instead of letting it wrap. Here 2^63 + 2^63 + 2 ≡ 2 (mod 2^64), which
+  // equals the two patterns FullCheckpoint carries.
+  Checkpoint ckpt = FullCheckpoint();
+  ckpt.unit_pattern_counts = {1ull << 63, 1ull << 63, 2};
+  const std::string buffer = SerializeCheckpoint(ckpt);
+  const Status st = ParseCheckpoint(buffer).status();
+  ASSERT_EQ(st.code(), StatusCode::kCorruption) << st.ToString();
+  EXPECT_NE(st.message().find("unit pattern counts"), std::string::npos)
+      << st.ToString();
+  ExpectWellFormedCorruption(st, buffer.size());
+}
+
+// Locates the byte span of the per-unit pattern counts in a serialized
+// FullCheckpoint by diffing against a serialization that differs only in
+// those counts. The span is the smallest range covering every differing
+// byte before the CRC trailer.
+std::pair<size_t, size_t> UnitCountByteSpan() {
+  const std::string base = SerializeCheckpoint(FullCheckpoint());
+  Checkpoint changed = FullCheckpoint();
+  changed.unit_pattern_counts = {0, 1, 1};  // same sum, different bytes
+  const std::string other = SerializeCheckpoint(changed);
+  EXPECT_EQ(base.size(), other.size());
+  size_t first = std::string::npos;
+  size_t last = 0;
+  for (size_t i = 0; i + 4 < base.size(); ++i) {  // exclude the CRC trailer
+    if (base[i] != other[i]) {
+      if (first == std::string::npos) first = i;
+      last = i;
+    }
+  }
+  EXPECT_NE(first, std::string::npos);
+  return {first, last + 1};
+}
+
+TEST(CheckpointCorruptionTest, ForgedUnitCountBitFlipsAreStructurallyCaught) {
+  // The CRC sweep above already rejects these mutations; re-signing forces
+  // the v2 per-unit-count decoder itself to catch them. Any single-bit flip
+  // inside the count varints either breaks a downstream section bound or
+  // desynchronizes the claimed sum from the pattern section — with only two
+  // patterns present, no flipped count can re-balance the total.
+  const std::string original = SerializeCheckpoint(FullCheckpoint());
+  const auto [begin, end] = UnitCountByteSpan();
+  std::string body = original.substr(0, original.size() - 4);
+  for (size_t byte = begin; byte < end; ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mutated = body;
+      mutated[byte] = static_cast<char>(mutated[byte] ^ (1 << bit));
+      auto parsed = ParseCheckpoint(Resign(mutated));
+      ASSERT_FALSE(parsed.ok()) << "byte " << byte << " bit " << bit;
+      ExpectWellFormedCorruption(parsed.status(), mutated.size() + 4);
+    }
+  }
 }
 
 TEST(CheckpointCorruptionTest, MalformedSliceOffsetsAreRejected) {

@@ -1,6 +1,10 @@
 // Robustness fuzzing of the parsers: random corruption and random garbage
 // must produce Status errors (or valid databases), never crashes/UB.
 
+// This gtest is the sanitizer-free smoke sibling of the Tier F harnesses
+// (fuzz/): the same generators seed the fuzz corpora via
+// tools/fuzz/make_corpus.py, where libFuzzer + ASan/UBSan take over.
+
 #include <gtest/gtest.h>
 
 #include <cstdlib>
@@ -9,34 +13,15 @@
 #include "datagen/quest.h"
 #include "io/binary_format.h"
 #include "io/text_format.h"
+#include "testing/test_util.h"
 #include "util/rng.h"
 
 namespace tpm {
 namespace {
 
-// Extracts the "byte offset N" a Corruption status reports, or npos when the
-// message carries none. The phrasing is part of the binary reader's error
-// contract (src/io/binary_format.cc).
-size_t CorruptionOffset(const Status& status) {
-  const std::string& msg = status.message();
-  const char kNeedle[] = "byte offset ";
-  const size_t at = msg.rfind(kNeedle);
-  if (at == std::string::npos) return std::string::npos;
-  return static_cast<size_t>(
-      std::strtoull(msg.c_str() + at + sizeof(kNeedle) - 1, nullptr, 10));
-}
-
-// Every Corruption from ParseBinary must pin a section and an offset that
-// lies within the parsed buffer.
-void ExpectWellFormedCorruption(const Status& status, size_t buffer_size) {
-  ASSERT_EQ(status.code(), StatusCode::kCorruption) << status.ToString();
-  EXPECT_NE(status.message().find("section "), std::string::npos)
-      << status.ToString();
-  const size_t offset = CorruptionOffset(status);
-  ASSERT_NE(offset, std::string::npos)
-      << "no byte offset in: " << status.ToString();
-  EXPECT_LE(offset, buffer_size) << status.ToString();
-}
+// The corruption-diagnostic contract is shared with checkpoint_test.cc and
+// the fuzz harnesses (testing/test_util.h, fuzz/fuzz_util.h).
+using tpm::testing::ExpectWellFormedCorruption;
 
 class IoFuzzTest : public ::testing::TestWithParam<uint64_t> {};
 

@@ -3,7 +3,10 @@
 #pragma once
 
 
+#include <gtest/gtest.h>
+
 #include <algorithm>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -12,9 +15,37 @@
 #include "miner/options.h"
 #include "obs/metrics.h"
 #include "util/rng.h"
+#include "util/status.h"
 
 namespace tpm {
 namespace testing {
+
+/// Extracts the "byte offset N" a Corruption status reports, or npos when
+/// the message carries none. The phrasing is part of the binary readers'
+/// error contract (src/io/binary_format.cc, src/io/checkpoint.cc); the fuzz
+/// harnesses assert the identical contract without gtest
+/// (fuzz/fuzz_util.h).
+inline size_t CorruptionOffset(const Status& status) {
+  const std::string& msg = status.message();
+  const char kNeedle[] = "byte offset ";
+  const size_t at = msg.rfind(kNeedle);
+  if (at == std::string::npos) return std::string::npos;
+  return static_cast<size_t>(
+      std::strtoull(msg.c_str() + at + sizeof(kNeedle) - 1, nullptr, 10));
+}
+
+/// Every Corruption from the TPMB/TPMC readers must pin a section name and
+/// a byte offset that lies within the parsed buffer.
+inline void ExpectWellFormedCorruption(const Status& status,
+                                       size_t buffer_size) {
+  ASSERT_EQ(status.code(), StatusCode::kCorruption) << status.ToString();
+  EXPECT_NE(status.message().find("section "), std::string::npos)
+      << status.ToString();
+  const size_t offset = CorruptionOffset(status);
+  ASSERT_NE(offset, std::string::npos)
+      << "no byte offset in: " << status.ToString();
+  EXPECT_LE(offset, buffer_size) << status.ToString();
+}
 
 /// Interns "A".."Z"-style single-letter symbols so tests can write patterns
 /// and intervals symbolically.

@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Tier F coverage gate over an llvm-cov JSON export.
+
+Consumes the output of
+
+    llvm-cov export -summary-only -instr-profile=... <binaries...>
+
+and enforces per-target line-coverage floors on the untrusted decoding
+surfaces the fuzz harnesses drive (see tools/fuzz/surfaces.txt):
+
+    src/io/            aggregate line coverage >= 90%
+    src/util/json.cc   line coverage           >= 90%
+
+Floors are aggregates over matching files, so adding a file to src/io/
+cannot silently dodge the gate. The full per-file table is emitted as
+GitHub-flavoured markdown (use --markdown-out "$GITHUB_STEP_SUMMARY" in CI)
+together with the repo-wide totals; the process exits nonzero when any
+floor is missed so the CI job fails loudly.
+
+Usage:
+    llvm-cov export -summary-only ... > coverage.json
+    python3 tools/coverage/check_coverage.py --json coverage.json \
+        --root "$PWD" [--markdown-out summary.md]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# (label, matcher, minimum line-coverage percent). A matcher ending in "/"
+# aggregates every file under that directory; otherwise it must equal the
+# repo-relative path exactly.
+FLOORS = [
+    ("src/io/", "src/io/", 90.0),
+    ("src/util/json.cc", "src/util/json.cc", 90.0),
+]
+
+
+def rel_path(filename, root):
+    """Maps an absolute filename from the export to a repo-relative one."""
+    root = os.path.abspath(root)
+    absolute = os.path.abspath(filename)
+    if absolute.startswith(root + os.sep):
+        return os.path.relpath(absolute, root).replace(os.sep, "/")
+    return filename.replace(os.sep, "/")
+
+
+def matches(rel, matcher):
+    if matcher.endswith("/"):
+        return rel.startswith(matcher)
+    return rel == matcher
+
+
+def line_summary(entry):
+    lines = entry["summary"]["lines"]
+    return int(lines["count"]), int(lines["covered"])
+
+
+def percent(count, covered):
+    return 100.0 if count == 0 else 100.0 * covered / count
+
+
+def build_report(export, root):
+    """Returns (floor_rows, file_rows, totals) from the parsed export."""
+    files = []
+    for data in export["data"]:
+        for entry in data["files"]:
+            count, covered = line_summary(entry)
+            files.append((rel_path(entry["filename"], root), count, covered))
+    files.sort()
+
+    floor_rows = []
+    for label, matcher, minimum in FLOORS:
+        count = covered = nfiles = 0
+        for rel, c, v in files:
+            if matches(rel, matcher):
+                count += c
+                covered += v
+                nfiles += 1
+        pct = percent(count, covered)
+        floor_rows.append(
+            {
+                "label": label,
+                "files": nfiles,
+                "count": count,
+                "covered": covered,
+                "percent": pct,
+                "minimum": minimum,
+                "ok": nfiles > 0 and count > 0 and pct >= minimum,
+            }
+        )
+
+    total_count = sum(c for _, c, _ in files)
+    total_covered = sum(v for _, _, v in files)
+    totals = (total_count, total_covered, percent(total_count, total_covered))
+    return floor_rows, files, totals
+
+
+def render_markdown(floor_rows, files, totals):
+    out = ["## Tier F coverage gate", ""]
+    out.append("| target | files | lines | covered | coverage | floor | status |")
+    out.append("|---|---:|---:|---:|---:|---:|---|")
+    for row in floor_rows:
+        out.append(
+            "| `%s` | %d | %d | %d | %.2f%% | %.0f%% | %s |"
+            % (
+                row["label"],
+                row["files"],
+                row["count"],
+                row["covered"],
+                row["percent"],
+                row["minimum"],
+                "pass" if row["ok"] else "**FAIL**",
+            )
+        )
+    count, covered, pct = totals
+    out.append("")
+    out.append(
+        "Repo-wide line coverage: **%.2f%%** (%d of %d lines)."
+        % (pct, covered, count)
+    )
+    out.append("")
+    out.append("<details><summary>Per-file line coverage</summary>")
+    out.append("")
+    out.append("| file | lines | covered | coverage |")
+    out.append("|---|---:|---:|---:|")
+    for rel, c, v in files:
+        out.append("| `%s` | %d | %d | %.2f%% |" % (rel, c, v, percent(c, v)))
+    out.append("")
+    out.append("</details>")
+    return "\n".join(out) + "\n"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", required=True,
+                        help="llvm-cov export -summary-only output")
+    parser.add_argument("--root", default=".",
+                        help="repo root; export filenames are made relative to it")
+    parser.add_argument("--markdown-out", default=None,
+                        help="also append the markdown report to this file")
+    args = parser.parse_args()
+
+    with open(args.json, "r", encoding="utf-8") as f:
+        export = json.load(f)
+    if export.get("type") != "llvm.coverage.json.export":
+        print("error: %s is not an llvm-cov JSON export" % args.json,
+              file=sys.stderr)
+        return 2
+
+    floor_rows, files, totals = build_report(export, args.root)
+    markdown = render_markdown(floor_rows, files, totals)
+    print(markdown)
+    if args.markdown_out:
+        with open(args.markdown_out, "a", encoding="utf-8") as f:
+            f.write(markdown)
+
+    failed = False
+    for row in floor_rows:
+        if row["files"] == 0:
+            print("coverage gate: %s matched no files in the export"
+                  % row["label"], file=sys.stderr)
+            failed = True
+        elif not row["ok"]:
+            print(
+                "coverage gate: %s at %.2f%% is below the %.0f%% floor"
+                % (row["label"], row["percent"], row["minimum"]),
+                file=sys.stderr,
+            )
+            failed = True
+    if failed:
+        return 1
+    print("coverage gate OK: all floors met", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -39,6 +39,12 @@ Enforces invariants generic tools can't (see docs/STATIC_ANALYSIS.md):
             they order by allocation address, which ASLR re-rolls each run.
   format    whitespace rules checkable without clang-format: no trailing
             whitespace, no tabs in C++ sources, no CRLF, final newline.
+  fuzz-surface  Tier F (docs/STATIC_ANALYSIS.md): every Parse*/Read*/Load*
+            entry point declared in src/io/ headers must be registered to a
+            fuzz harness in tools/fuzz/surfaces.txt (`<EntryPoint> <harness>
+            # reason` lines); stale entries, unknown harnesses, and
+            reasonless lines are findings, so no codec ships unfuzzed and
+            the registry cannot rot.
 
 Exit code 0 when clean, 1 with one `file:line: [check] message` per finding.
 
@@ -635,6 +641,59 @@ def check_format(root, findings):
                 findings.add("format", rel, lineno, "tab in C++ source")
 
 
+# --------------------------------------------------------------------------
+# fuzz-surface: every src/io/ parser entry point has a registered harness
+# --------------------------------------------------------------------------
+
+FUZZ_SURFACES_PATH = os.path.join("tools", "fuzz", "surfaces.txt")
+FUZZ_IO_HEADERS = os.path.join("src", "io")
+# A public decode surface: a Result<...>- or Status-returning free function
+# whose name starts with Parse/Read/Load (the naming convention src/io
+# follows for anything that consumes untrusted bytes).
+FUZZ_SURFACE_RE = re.compile(
+    r"\b(?:Result<[^;{}]*>|Status)\s+((?:Parse|Read|Load)[A-Z]\w*)\s*\(")
+
+
+def check_fuzz_surface(root, findings):
+    allow = load_reasoned_allowlist(root, FUZZ_SURFACES_PATH, "fuzz-surface",
+                                    findings)
+    registered = {}  # surface name -> first registry line
+    for key, lineno in allow.items():
+        parts = key.split()
+        if len(parts) != 2:
+            findings.add("fuzz-surface", FUZZ_SURFACES_PATH, lineno,
+                         f"malformed entry '{key}': want "
+                         "'<EntryPoint> <harness>  # reason'")
+            continue
+        surface, harness = parts
+        if not os.path.isfile(os.path.join(root, "fuzz", harness + ".cc")):
+            findings.add("fuzz-surface", FUZZ_SURFACES_PATH, lineno,
+                         f"entry '{surface}' names harness '{harness}' but "
+                         f"fuzz/{harness}.cc does not exist")
+        registered.setdefault(surface, lineno)
+
+    declared = {}  # surface name -> "file:line" of the declaration
+    for path in iter_files(root, (FUZZ_IO_HEADERS,), (".h",)):
+        rel = relpath(root, path)
+        lines = open(path, encoding="utf-8").read().splitlines()
+        for lineno, line in enumerate(lines, 1):
+            m = FUZZ_SURFACE_RE.search(strip_line_comment(line))
+            if m:
+                declared.setdefault(m.group(1), f"{rel}:{lineno}")
+    for surface in sorted(set(declared) - set(registered)):
+        rel, _, lineno = declared[surface].rpartition(":")
+        findings.add(
+            "fuzz-surface", rel, int(lineno),
+            f"entry point '{surface}' has no fuzz harness registered in "
+            f"{FUZZ_SURFACES_PATH}; add '<{surface}> <fuzz_harness>  "
+            "# reason' (and a harness under fuzz/ if none covers it)")
+    for surface in sorted(set(registered) - set(declared)):
+        findings.add(
+            "fuzz-surface", FUZZ_SURFACES_PATH, registered[surface],
+            f"stale entry '{surface}': no such entry point is declared in "
+            f"{FUZZ_IO_HEADERS} headers; remove the line")
+
+
 CHECKS = {
     "metrics": check_metrics,
     "faults": check_faults,
@@ -643,6 +702,7 @@ CHECKS = {
     "locking": check_locking,
     "determinism": check_determinism,
     "format": check_format,
+    "fuzz-surface": check_fuzz_surface,
 }
 
 
@@ -674,7 +734,7 @@ def self_test(root):
         scratch = tempfile.mkdtemp(prefix="tpm-lint-selftest-")
         try:
             for sub in ("src", "tools", "bench", "tests", "docs", "cmake",
-                        "examples"):
+                        "examples", "fuzz"):
                 src = os.path.join(root, sub)
                 if os.path.isdir(src):
                     shutil.copytree(src, os.path.join(scratch, sub))
@@ -814,11 +874,28 @@ def self_test(root):
     plant("operator< over raw pointers", pointer_compare, "determinism",
           "operator< over raw pointers")
 
+    def unregistered_surface(scratch):
+        path = os.path.join(scratch, "src", "io", "binary_format.h")
+        with open(path, "a") as f:
+            f.write("namespace tpm { Result<IntervalDatabase> "
+                    "ParseEvilBuffer(const std::string& buffer); }\n")
+
+    plant("parser entry point without a fuzz harness", unregistered_surface,
+          "fuzz-surface", "ParseEvilBuffer")
+
+    def stale_surface_entry(scratch):
+        path = os.path.join(scratch, "tools", "fuzz", "surfaces.txt")
+        with open(path, "a") as f:
+            f.write("ParseNothing fuzz_json  # decoder removed long ago\n")
+
+    plant("stale fuzz-surface registry entry", stale_surface_entry,
+          "fuzz-surface", "ParseNothing")
+
     if failures:
         for f in failures:
             print(f"FAIL {f}")
         return 1
-    print("lint self-test OK: 14 planted violations, 14 caught, clean tree clean")
+    print("lint self-test OK: 16 planted violations, 16 caught, clean tree clean")
     return 0
 
 
